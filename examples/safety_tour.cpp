@@ -1,0 +1,139 @@
+//===- examples/safety_tour.cpp - The paper's bugs, caught ------------------===//
+//
+// Compiles each erroneous program from Sections 2 and 3.3 of the paper and
+// prints the diagnostic Descend produces — the S1..S8 rows of the safety
+// evaluation in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace descend;
+
+namespace {
+
+struct Case {
+  const char *Id;
+  const char *Title;
+  const char *Source;
+};
+
+const std::vector<Case> Cases = {
+    {"S1", "data race: in-place reversal per block (Section 2.2)", R"(
+fn rev_per_block(arr: &uniq gpu.global [f64; 4096])
+-[grid: gpu.grid<X<16>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr.group::<256>[[block]][[thread]] =
+        arr.group::<256>[[block]].rev[[thread]]
+    }
+  }
+}
+)"},
+    {"S2", "barrier not reached by all threads (Section 2.2)", R"(
+fn kernel(arr: &uniq gpu.global [f64; 4096])
+-[grid: gpu.grid<X<16>, X<256>>]-> () {
+  sched(X) block in grid {
+    split(X) block at 32 {
+      first_32_threads => { sync },
+      rest => { }
+    }
+  }
+}
+)"},
+    {"S3", "swapped cudaMemcpy arguments (Section 2.3)", R"(
+fn host() -[t: cpu.thread]-> () {
+  let h_vec = CpuHeap::new([0.0; 1024]);
+  let d_vec = GpuGlobal::alloc_copy(&h_vec);
+  copy_mem_to_host(&uniq d_vec, &h_vec)
+}
+)"},
+    {"S4", "dereferencing CPU memory on the GPU (Section 2.3)", R"(
+fn init_kernel(vec: &uniq cpu.mem [f64; 1024])
+-[grid: gpu.grid<X<1>, X<1024>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      (*vec)[[thread]] = 1.0
+    }
+  }
+}
+)"},
+    {"S5", "launch with bytes instead of elements (Section 2.3)", R"(
+fn scale_vec<n: nat>(vec: &uniq gpu.global [f64; n])
+-[grid: gpu.grid<X<1>, X<n>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<n>[[block]][[thread]] =
+        vec.group::<n>[[block]][[thread]] * 3.0
+    }
+  }
+}
+fn host() -[t: cpu.thread]-> () {
+  let h = CpuHeap::new([0.0; 1024]);
+  let d_vec = GpuGlobal::alloc_copy(&h);
+  scale_vec::<<<X<1>, X<8192>>>>(&uniq d_vec)
+}
+)"},
+    {"S6", "narrowing violated: block borrows whole array (Section 3.3)", R"(
+fn kernel(arr: &uniq gpu.global [f32; 1024])
+-[grid: gpu.grid<X<32>, X<32>>]-> () {
+  sched(X) block in grid {
+    let in_borrow = &uniq *arr
+  }
+}
+)"},
+    {"S7", "narrowing violated: selection without block narrowing", R"(
+fn kernel(arr: &uniq gpu.global [f32; 1024])
+-[grid: gpu.grid<X<32>, X<32>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      let grp = &uniq arr.group::<32>[[thread]]
+    }
+  }
+}
+)"},
+    {"S8", "Listing 1's transpose bug: missing barrier variant", R"(
+view group_by_row<row_size: nat, num_rows: nat> =
+  group::<row_size/num_rows>.transpose.map(transpose)
+view group_by_tile<th: nat, tw: nat> =
+  group::<th>.map(map(group::<tw>)).map(transpose)
+fn transpose(input: & gpu.global [[f64;2048];2048],
+             output: &uniq gpu.global [[f64;2048];2048])
+-[grid: gpu.grid<XY<64,64>,XY<32,8>>]-> () {
+  sched(Y,X) block in grid {
+    let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+    sched(Y,X) thread in block {
+      for i in [0..4] {
+        tmp.group_by_row::<32,4>[[thread]][i] =
+          input.group_by_tile::<32,32>.transpose[[block]]
+            .group_by_row::<32,4>[[thread]][i] };
+      for i in [0..4] {
+        output.group_by_tile::<32,32>[[block]]
+          .group_by_row::<32,4>[[thread]][i] =
+          tmp.transpose.group_by_row::<32,4>[[thread]][i] }
+    } } }
+)"},
+};
+
+} // namespace
+
+int main() {
+  int Caught = 0;
+  for (const Case &C : Cases) {
+    std::printf("=== %s: %s ===\n", C.Id, C.Title);
+    Compiler Comp;
+    bool Ok = Comp.compile(std::string(C.Id) + ".descend", C.Source);
+    if (Ok) {
+      std::printf("UNEXPECTEDLY ACCEPTED\n\n");
+      continue;
+    }
+    ++Caught;
+    std::printf("%s\n", Comp.renderDiagnostics().c_str());
+  }
+  std::printf("summary: %d/%zu unsafe programs rejected at compile time\n",
+              Caught, Cases.size());
+  return Caught == static_cast<int>(Cases.size()) ? 0 : 1;
+}

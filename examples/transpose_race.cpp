@@ -1,0 +1,105 @@
+//===- examples/transpose_race.cpp - Listing 1 vs Listing 2 ----------------===//
+//
+// The paper's motivating example, end to end:
+//   1. the buggy CUDA transpose of Listing 1 (missing parentheses in the
+//      shared-memory index) runs on the simulator and the dynamic race
+//      detector catches the data race;
+//   2. the same bug, expressed in Descend, is rejected at compile time;
+//   3. the correct Descend transpose (Listing 2) was compiled by descendc
+//      at build time, runs race-free and computes the right answer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "sim/Sim.h"
+
+#include "gen_transpose_example.h"
+
+#include <cstdio>
+
+using namespace descend;
+using sim::BlockCtx;
+using sim::Dim3;
+using sim::GpuDevice;
+using sim::ThreadCtx;
+
+static const int N = 128;
+
+/// Listing 1, bug included: `T.Y + J * 32 + T.X` instead of
+/// `(T.Y + J) * 32 + T.X`.
+static void buggyCudaTranspose(GpuDevice &Dev,
+                               GpuDevice::Buffer<double> In,
+                               GpuDevice::Buffer<double> Out) {
+  sim::launchPhases(
+      Dev, Dim3{N / 32, N / 32, 1}, Dim3{32, 8, 1},
+      32 * 32 * sizeof(double),
+      [=](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8)
+          B.sharedStore<double>(
+              0, T.Y + J * 32 + T.X, // <- the bug
+              In.load(B, (size_t)(B.Y * 32 + T.Y + J) * N + B.X * 32 + T.X));
+      },
+      [=](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8)
+          Out.store(B, (size_t)(B.X * 32 + T.Y + J) * N + B.Y * 32 + T.X,
+                    B.sharedLoad<double>(0, T.X * 32 + T.Y + J));
+      });
+}
+
+static const char *BuggyDescend = R"(
+view rows_fused<a: nat, b: nat> = group::<a>.map(transpose)
+fn transpose(input: & gpu.global [[f64;128];128],
+             output: &uniq gpu.global [[f64;128];128])
+-[grid: gpu.grid<XY<4,4>,XY<32,8>>]-> () {
+  sched(Y,X) block in grid {
+    let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+    sched(Y,X) thread in block {
+      for i in [0..4] {
+        // The Listing 1 bug is an overlapping access pattern; in Descend
+        // any view expression for it fails the conflict/shape checks.
+        tmp.rows_fused::<8, 4>[[thread]][i] = 1.0
+      }
+    } } }
+)";
+
+int main() {
+  std::printf("== 1. Buggy CUDA transpose (Listing 1) on the simulator ==\n");
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto In = Dev.alloc<double>(N * N);
+  auto Out = Dev.alloc<double>(N * N);
+  for (int I = 0; I != N * N; ++I)
+    In.data()[I] = I;
+  buggyCudaTranspose(Dev, In, Out);
+  auto Races = Dev.findRaces();
+  std::printf("race detector: %zu conflicting locations\n", Races.size());
+  if (!Races.empty())
+    std::printf("first: %s\n", Races[0].str().c_str());
+  std::printf("(CUDA compiles this silently; the behaviour is undefined)\n\n");
+
+  std::printf("== 2. The same pattern in Descend is rejected statically ==\n");
+  Compiler C;
+  if (!C.compile("buggy.descend", BuggyDescend))
+    std::printf("%s\n", C.renderDiagnostics().c_str());
+  else
+    std::printf("unexpectedly accepted!\n");
+
+  std::printf("== 3. Listing 2 (correct) compiled by descendc ==\n");
+  GpuDevice Dev2;
+  Dev2.setRaceDetection(true);
+  auto In2 = Dev2.alloc<double>(N * N);
+  auto Out2 = Dev2.alloc<double>(N * N);
+  for (int I = 0; I != N * N; ++I)
+    In2.data()[I] = I;
+  descend::gen::transpose(Dev2, In2, Out2);
+  bool Correct = true;
+  for (int R = 0; R != N && Correct; ++R)
+    for (int Col = 0; Col != N; ++Col)
+      if (Out2.data()[Col * N + R] != In2.data()[R * N + Col]) {
+        Correct = false;
+        break;
+      }
+  std::printf("result correct: %s; races: %zu\n", Correct ? "yes" : "NO",
+              Dev2.findRaces().size());
+  return 0;
+}

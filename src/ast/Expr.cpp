@@ -1,0 +1,434 @@
+//===- ast/Expr.cpp - Term utilities and printing --------------------------===//
+
+#include "ast/Expr.h"
+
+#include "ast/Item.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+//===----------------------------------------------------------------------===//
+// Places
+//===----------------------------------------------------------------------===//
+
+const PlaceExpr *descend::basePlace(const PlaceExpr *P) {
+  switch (P->kind()) {
+  case ExprKind::PlaceVar:
+    return nullptr;
+  case ExprKind::PlaceProj:
+    return cast<PlaceProj>(P)->Base.get();
+  case ExprKind::PlaceDeref:
+    return cast<PlaceDeref>(P)->Base.get();
+  case ExprKind::PlaceIndex:
+    return cast<PlaceIndex>(P)->Base.get();
+  case ExprKind::PlaceSelect:
+    return cast<PlaceSelect>(P)->Base.get();
+  case ExprKind::PlaceView:
+    return cast<PlaceView>(P)->Base.get();
+  default:
+    assert(false && "not a place expression");
+    return nullptr;
+  }
+}
+
+PlaceExpr *descend::basePlace(PlaceExpr *P) {
+  return const_cast<PlaceExpr *>(
+      basePlace(static_cast<const PlaceExpr *>(P)));
+}
+
+const std::string &PlaceExpr::rootVar() const {
+  const PlaceExpr *P = this;
+  while (const PlaceExpr *Base = basePlace(P))
+    P = Base;
+  return cast<PlaceVar>(P)->Name;
+}
+
+std::string PlaceExpr::str() const { return exprToString(*this); }
+
+//===----------------------------------------------------------------------===//
+// Literals
+//===----------------------------------------------------------------------===//
+
+ExprPtr LiteralExpr::makeInt(long long V, ScalarKind K) {
+  auto E = std::make_unique<LiteralExpr>(K);
+  E->IntValue = V;
+  return E;
+}
+
+ExprPtr LiteralExpr::makeFloat(double V, ScalarKind K) {
+  auto E = std::make_unique<LiteralExpr>(K);
+  E->FloatValue = V;
+  return E;
+}
+
+ExprPtr LiteralExpr::makeBool(bool V) {
+  auto E = std::make_unique<LiteralExpr>(ScalarKind::Bool);
+  E->BoolValue = V;
+  return E;
+}
+
+ExprPtr LiteralExpr::makeUnit() {
+  return std::make_unique<LiteralExpr>(ScalarKind::Unit);
+}
+
+const char *descend::binOpSpelling(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::And:
+    return "&&";
+  case BinOpKind::Or:
+    return "||";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal
+//===----------------------------------------------------------------------===//
+
+void descend::forEachChild(Expr &E, const std::function<void(Expr &)> &Fn) {
+  switch (E.kind()) {
+  case ExprKind::PlaceVar:
+  case ExprKind::Literal:
+  case ExprKind::Sync:
+  case ExprKind::Alloc:
+    return;
+  case ExprKind::PlaceProj:
+    Fn(*cast<PlaceProj>(&E)->Base);
+    return;
+  case ExprKind::PlaceDeref:
+    Fn(*cast<PlaceDeref>(&E)->Base);
+    return;
+  case ExprKind::PlaceIndex: {
+    auto *P = cast<PlaceIndex>(&E);
+    Fn(*P->Base);
+    Fn(*P->Index);
+    return;
+  }
+  case ExprKind::PlaceSelect:
+    Fn(*cast<PlaceSelect>(&E)->Base);
+    return;
+  case ExprKind::PlaceView:
+    Fn(*cast<PlaceView>(&E)->Base);
+    return;
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(&E);
+    Fn(*B->Lhs);
+    Fn(*B->Rhs);
+    return;
+  }
+  case ExprKind::Unary:
+    Fn(*cast<UnaryExpr>(&E)->Sub);
+    return;
+  case ExprKind::Let:
+    Fn(*cast<LetExpr>(&E)->Init);
+    return;
+  case ExprKind::Assign: {
+    auto *A = cast<AssignExpr>(&E);
+    Fn(*A->Lhs);
+    Fn(*A->Rhs);
+    return;
+  }
+  case ExprKind::Borrow:
+    Fn(*cast<BorrowExpr>(&E)->Place);
+    return;
+  case ExprKind::Block:
+    for (const ExprPtr &S : cast<BlockExpr>(&E)->Stmts)
+      Fn(*S);
+    return;
+  case ExprKind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(&E)->Args)
+      Fn(*A);
+    return;
+  case ExprKind::ArrayInit:
+    Fn(*cast<ArrayInitExpr>(&E)->Elem);
+    return;
+  case ExprKind::ForEach: {
+    auto *F = cast<ForEachExpr>(&E);
+    Fn(*F->Collection);
+    Fn(*F->Body);
+    return;
+  }
+  case ExprKind::ForNat:
+    Fn(*cast<ForNatExpr>(&E)->Body);
+    return;
+  case ExprKind::Sched:
+    Fn(*cast<SchedExpr>(&E)->Body);
+    return;
+  case ExprKind::Split: {
+    auto *S = cast<SplitExpr>(&E);
+    Fn(*S->FstBody);
+    Fn(*S->SndBody);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+void printExpr(const Expr &E, std::ostringstream &OS) {
+  switch (E.kind()) {
+  case ExprKind::PlaceVar:
+    OS << cast<PlaceVar>(&E)->Name;
+    return;
+  case ExprKind::PlaceProj: {
+    const auto *P = cast<PlaceProj>(&E);
+    printExpr(*P->Base, OS);
+    OS << (P->Which == 0 ? ".fst" : ".snd");
+    return;
+  }
+  case ExprKind::PlaceDeref: {
+    OS << "(*";
+    printExpr(*cast<PlaceDeref>(&E)->Base, OS);
+    OS << ")";
+    return;
+  }
+  case ExprKind::PlaceIndex: {
+    const auto *P = cast<PlaceIndex>(&E);
+    printExpr(*P->Base, OS);
+    OS << "[";
+    printExpr(*P->Index, OS);
+    OS << "]";
+    return;
+  }
+  case ExprKind::PlaceSelect: {
+    const auto *P = cast<PlaceSelect>(&E);
+    printExpr(*P->Base, OS);
+    OS << "[[" << P->ExecName << "]]";
+    return;
+  }
+  case ExprKind::PlaceView: {
+    const auto *P = cast<PlaceView>(&E);
+    printExpr(*P->Base, OS);
+    OS << "." << P->ViewName;
+    if (!P->NatArgs.empty()) {
+      OS << "::<";
+      for (size_t I = 0; I != P->NatArgs.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << P->NatArgs[I].str();
+      }
+      OS << ">";
+    }
+    return;
+  }
+  case ExprKind::Literal: {
+    const auto *L = cast<LiteralExpr>(&E);
+    switch (L->Scalar) {
+    case ScalarKind::Bool:
+      OS << (L->BoolValue ? "true" : "false");
+      return;
+    case ScalarKind::F32:
+    case ScalarKind::F64: {
+      std::string S = std::to_string(L->FloatValue);
+      OS << S;
+      if (L->Scalar == ScalarKind::F32)
+        OS << "f32";
+      return;
+    }
+    case ScalarKind::Unit:
+      OS << "()";
+      return;
+    default:
+      OS << L->IntValue;
+      return;
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    OS << "(";
+    printExpr(*B->Lhs, OS);
+    OS << " " << binOpSpelling(B->Op) << " ";
+    printExpr(*B->Rhs, OS);
+    OS << ")";
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    OS << (U->Op == UnOpKind::Neg ? "-" : "!");
+    printExpr(*U->Sub, OS);
+    return;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(&E);
+    OS << "let " << L->Name;
+    if (L->Annotation)
+      OS << ": " << L->Annotation->str();
+    OS << " = ";
+    printExpr(*L->Init, OS);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(&E);
+    printExpr(*A->Lhs, OS);
+    OS << " = ";
+    printExpr(*A->Rhs, OS);
+    return;
+  }
+  case ExprKind::Borrow: {
+    const auto *B = cast<BorrowExpr>(&E);
+    OS << "&";
+    if (B->Own == Ownership::Uniq)
+      OS << "uniq ";
+    printExpr(*B->Place, OS);
+    return;
+  }
+  case ExprKind::Block: {
+    const auto *B = cast<BlockExpr>(&E);
+    OS << "{ ";
+    for (const ExprPtr &S : B->Stmts) {
+      printExpr(*S, OS);
+      OS << "; ";
+    }
+    OS << "}";
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    OS << C->Callee;
+    if (C->IsLaunch)
+      OS << "::<<<" << C->LaunchGrid.str() << ", " << C->LaunchBlock.str()
+         << ">>>";
+    else if (!C->Generics.empty()) {
+      OS << "::<";
+      for (size_t I = 0; I != C->Generics.size(); ++I) {
+        if (I)
+          OS << ", ";
+        const GenericArg &G = C->Generics[I];
+        switch (G.Kind) {
+        case ParamKind::Nat:
+          OS << G.N.str();
+          break;
+        case ParamKind::Memory:
+          OS << G.M.str();
+          break;
+        case ParamKind::DataType:
+          OS << G.T->str();
+          break;
+        }
+      }
+      OS << ">";
+    }
+    OS << "(";
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printExpr(*C->Args[I], OS);
+    }
+    OS << ")";
+    return;
+  }
+  case ExprKind::Alloc: {
+    const auto *A = cast<AllocExpr>(&E);
+    OS << "alloc::<" << A->Mem.str() << ", " << A->AllocTy->str() << ">()";
+    return;
+  }
+  case ExprKind::ForEach: {
+    const auto *F = cast<ForEachExpr>(&E);
+    OS << "for " << F->Var << " in ";
+    printExpr(*F->Collection, OS);
+    OS << " ";
+    printExpr(*F->Body, OS);
+    return;
+  }
+  case ExprKind::ForNat: {
+    const auto *F = cast<ForNatExpr>(&E);
+    OS << "for " << F->Var << " in [" << F->Lo.str() << ".." << F->Hi.str()
+       << "] ";
+    printExpr(*F->Body, OS);
+    return;
+  }
+  case ExprKind::Sched: {
+    const auto *S = cast<SchedExpr>(&E);
+    OS << "sched(";
+    for (size_t I = 0; I != S->Axes.size(); ++I) {
+      if (I)
+        OS << ",";
+      OS << axisName(S->Axes[I]);
+    }
+    OS << ") " << S->Binder << " in " << S->Target << " ";
+    printExpr(*S->Body, OS);
+    return;
+  }
+  case ExprKind::Split: {
+    const auto *S = cast<SplitExpr>(&E);
+    OS << "split(" << axisName(S->SplitAxis) << ") " << S->Target << " at "
+       << S->Position.str() << " { " << S->FstName << " => ";
+    printExpr(*S->FstBody, OS);
+    OS << ", " << S->SndName << " => ";
+    printExpr(*S->SndBody, OS);
+    OS << " }";
+    return;
+  }
+  case ExprKind::ArrayInit: {
+    const auto *A = cast<ArrayInitExpr>(&E);
+    OS << "[";
+    printExpr(*A->Elem, OS);
+    OS << "; " << A->Count.str() << "]";
+    return;
+  }
+  case ExprKind::Sync:
+    OS << "sync";
+    return;
+  }
+}
+} // namespace
+
+std::string descend::exprToString(const Expr &E) {
+  std::ostringstream OS;
+  printExpr(E, OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// FnDef
+//===----------------------------------------------------------------------===//
+
+std::string FnDef::signature() const {
+  std::ostringstream OS;
+  OS << "fn " << Name;
+  if (!Generics.empty()) {
+    OS << "<";
+    for (size_t I = 0; I != Generics.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Generics[I].Name << ": " << paramKindName(Generics[I].Kind);
+    }
+    OS << ">";
+  }
+  OS << "(";
+  for (size_t I = 0; I != Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Params[I].Name << ": " << Params[I].Ty->str();
+  }
+  OS << ") -[" << ExecName << ": " << Exec.str() << "]-> "
+     << (RetTy ? RetTy->str() : "()");
+  return OS.str();
+}

@@ -1,0 +1,96 @@
+//===- ast/Item.h - Top-level Descend items ---------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Top-level declarations: polymorphic
+// functions (Fig. 6 function types, with the execution-resource annotation
+// above the arrow) and composite view definitions such as
+//
+//   view group_by_row<row_size: nat, num_rows: nat> =
+//     group::<row_size/num_rows>.map(transpose)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_AST_ITEM_H
+#define DESCEND_AST_ITEM_H
+
+#include "ast/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+/// <x : κ> — a generic parameter of kind nat, mem or dty.
+struct GenericParam {
+  std::string Name;
+  ParamKind Kind = ParamKind::Nat;
+  SourceRange Range;
+};
+
+struct FnParam {
+  std::string Name;
+  TypeRef Ty;
+  SourceRange Range;
+};
+
+/// fn f<X: κ, ...>(x: δ, ...) -[e: ε]-> δ { body }
+class FnDef {
+public:
+  std::string Name;
+  std::vector<GenericParam> Generics;
+  std::vector<FnParam> Params;
+  /// The name binding the execution resource inside the body (e.g. "grid").
+  std::string ExecName;
+  ExecLevel Exec;
+  TypeRef RetTy;
+  ExprPtr Body; // a BlockExpr; may be null for declarations
+  SourceRange Range;
+
+  bool isGpuFn() const { return Exec.Kind == ExecLevelKind::GpuGrid; }
+  bool isCpuFn() const { return Exec.Kind == ExecLevelKind::CpuThread; }
+
+  /// Function signature rendered in surface syntax (diagnostics).
+  std::string signature() const;
+};
+
+/// One step in a composite view body: a named view with nat arguments and
+/// (for `map`) nested view arguments.
+struct ViewStep {
+  std::string Name;
+  std::vector<Nat> NatArgs;
+  std::vector<std::vector<ViewStep>> ViewArgs; // each arg is a view chain
+  SourceRange Range;
+};
+
+/// view v<x: nat, ...> = step.step...
+class ViewDef {
+public:
+  std::string Name;
+  std::vector<GenericParam> Generics;
+  std::vector<ViewStep> Body;
+  SourceRange Range;
+};
+
+/// A parsed compilation unit.
+class Module {
+public:
+  std::vector<std::unique_ptr<FnDef>> Fns;
+  std::vector<std::unique_ptr<ViewDef>> Views;
+
+  const FnDef *findFn(const std::string &Name) const {
+    for (const auto &F : Fns)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+  const ViewDef *findView(const std::string &Name) const {
+    for (const auto &V : Views)
+      if (V->Name == Name)
+        return V.get();
+    return nullptr;
+  }
+};
+
+} // namespace descend
+
+#endif // DESCEND_AST_ITEM_H

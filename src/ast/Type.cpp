@@ -1,0 +1,393 @@
+//===- ast/Type.cpp - Type equality, printing, substitution ---------------===//
+
+#include "ast/Type.h"
+
+#include <sstream>
+
+using namespace descend;
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+std::string Memory::str() const {
+  switch (Kind) {
+  case MemoryKind::CpuMem:
+    return "cpu.mem";
+  case MemoryKind::GpuGlobal:
+    return "gpu.global";
+  case MemoryKind::GpuShared:
+    return "gpu.shared";
+  case MemoryKind::Var:
+    return Name;
+  }
+  return "<memory>";
+}
+
+//===----------------------------------------------------------------------===//
+// Axes and dimensions
+//===----------------------------------------------------------------------===//
+
+const char *descend::axisName(Axis A) {
+  switch (A) {
+  case Axis::X:
+    return "X";
+  case Axis::Y:
+    return "Y";
+  case Axis::Z:
+    return "Z";
+  }
+  return "?";
+}
+
+Nat Dim::total() const {
+  Nat T = Nat::lit(1);
+  for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+    if (hasAxis(A))
+      T = T * extent(A);
+  return T;
+}
+
+std::string Dim::str() const {
+  std::string Axes;
+  std::vector<std::string> Extents;
+  for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+    if (hasAxis(A)) {
+      Axes += axisName(A);
+      Extents.push_back(extent(A).str());
+    }
+  if (Axes.empty())
+    return "<empty-dim>";
+  std::string Out = Axes + "<";
+  for (size_t I = 0; I != Extents.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Extents[I];
+  }
+  Out += ">";
+  return Out;
+}
+
+Dim Dim::substitute(const std::map<std::string, Nat> &Subst) const {
+  Dim Out;
+  for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+    if (hasAxis(A))
+      Out.setExtent(A, extent(A).substitute(Subst));
+  return Out;
+}
+
+bool descend::operator==(const Dim &A, const Dim &B) {
+  for (Axis Ax : {Axis::X, Axis::Y, Axis::Z}) {
+    if (A.hasAxis(Ax) != B.hasAxis(Ax))
+      return false;
+    if (A.hasAxis(Ax) && !Nat::proveEq(A.extent(Ax), B.extent(Ax)))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ExecLevel
+//===----------------------------------------------------------------------===//
+
+std::string ExecLevel::str() const {
+  switch (Kind) {
+  case ExecLevelKind::CpuThread:
+    return "cpu.thread";
+  case ExecLevelKind::GpuGrid:
+    return "gpu.grid<" + GridDim.str() + ", " + BlockDim.str() + ">";
+  case ExecLevelKind::GpuBlock:
+    return "gpu.block<" + BlockDim.str() + ">";
+  case ExecLevelKind::GpuThread:
+    return "gpu.thread";
+  }
+  return "<exec>";
+}
+
+ExecLevel ExecLevel::substitute(const std::map<std::string, Nat> &Subst) const {
+  ExecLevel Out = *this;
+  Out.GridDim = GridDim.substitute(Subst);
+  Out.BlockDim = BlockDim.substitute(Subst);
+  return Out;
+}
+
+bool descend::operator==(const ExecLevel &A, const ExecLevel &B) {
+  return A.Kind == B.Kind && A.GridDim == B.GridDim && A.BlockDim == B.BlockDim;
+}
+
+//===----------------------------------------------------------------------===//
+// Scalars / kinds
+//===----------------------------------------------------------------------===//
+
+const char *descend::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I32:
+    return "i32";
+  case ScalarKind::I64:
+    return "i64";
+  case ScalarKind::U32:
+    return "u32";
+  case ScalarKind::U64:
+    return "u64";
+  case ScalarKind::F32:
+    return "f32";
+  case ScalarKind::F64:
+    return "f64";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Unit:
+    return "unit";
+  }
+  return "<scalar>";
+}
+
+const char *descend::paramKindName(ParamKind K) {
+  switch (K) {
+  case ParamKind::Nat:
+    return "nat";
+  case ParamKind::Memory:
+    return "mem";
+  case ParamKind::DataType:
+    return "dty";
+  }
+  return "<kind>";
+}
+
+//===----------------------------------------------------------------------===//
+// DataType
+//===----------------------------------------------------------------------===//
+
+bool DataType::equal(const TypeRef &A, const TypeRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TypeKind::Scalar:
+    return cast<ScalarType>(A.get())->Scalar ==
+           cast<ScalarType>(B.get())->Scalar;
+  case TypeKind::Tuple: {
+    const auto *TA = cast<TupleType>(A.get());
+    const auto *TB = cast<TupleType>(B.get());
+    if (TA->Elems.size() != TB->Elems.size())
+      return false;
+    for (size_t I = 0; I != TA->Elems.size(); ++I)
+      if (!equal(TA->Elems[I], TB->Elems[I]))
+        return false;
+    return true;
+  }
+  case TypeKind::Array: {
+    const auto *TA = cast<ArrayType>(A.get());
+    const auto *TB = cast<ArrayType>(B.get());
+    return Nat::proveEq(TA->Size, TB->Size) && equal(TA->Elem, TB->Elem);
+  }
+  case TypeKind::ArrayView: {
+    const auto *TA = cast<ArrayViewType>(A.get());
+    const auto *TB = cast<ArrayViewType>(B.get());
+    return Nat::proveEq(TA->Size, TB->Size) && equal(TA->Elem, TB->Elem);
+  }
+  case TypeKind::Ref: {
+    const auto *TA = cast<RefType>(A.get());
+    const auto *TB = cast<RefType>(B.get());
+    return TA->Own == TB->Own && TA->Mem == TB->Mem &&
+           equal(TA->Pointee, TB->Pointee);
+  }
+  case TypeKind::Box: {
+    const auto *TA = cast<BoxType>(A.get());
+    const auto *TB = cast<BoxType>(B.get());
+    return TA->Mem == TB->Mem && equal(TA->Elem, TB->Elem);
+  }
+  case TypeKind::TypeVar:
+    return cast<TypeVarType>(A.get())->Name == cast<TypeVarType>(B.get())->Name;
+  }
+  return false;
+}
+
+std::string DataType::str() const {
+  switch (kind()) {
+  case TypeKind::Scalar:
+    return scalarKindName(cast<ScalarType>(this)->Scalar);
+  case TypeKind::Tuple: {
+    const auto *T = cast<TupleType>(this);
+    std::string Out = "(";
+    for (size_t I = 0; I != T->Elems.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += T->Elems[I]->str();
+    }
+    return Out + ")";
+  }
+  case TypeKind::Array: {
+    const auto *T = cast<ArrayType>(this);
+    return "[" + T->Elem->str() + "; " + T->Size.str() + "]";
+  }
+  case TypeKind::ArrayView: {
+    const auto *T = cast<ArrayViewType>(this);
+    return "[[" + T->Elem->str() + "; " + T->Size.str() + "]]";
+  }
+  case TypeKind::Ref: {
+    const auto *T = cast<RefType>(this);
+    std::string Out = "&";
+    if (T->Own == Ownership::Uniq)
+      Out += "uniq ";
+    else
+      Out += " ";
+    Out += T->Mem.str() + " " + T->Pointee->str();
+    return Out;
+  }
+  case TypeKind::Box: {
+    const auto *T = cast<BoxType>(this);
+    return T->Elem->str() + " @ " + T->Mem.str();
+  }
+  case TypeKind::TypeVar:
+    return cast<TypeVarType>(this)->Name;
+  }
+  return "<type>";
+}
+
+bool DataType::isCopyable() const {
+  switch (kind()) {
+  case TypeKind::Scalar:
+    return true;
+  case TypeKind::Tuple: {
+    for (const TypeRef &E : cast<TupleType>(this)->Elems)
+      if (!E->isCopyable())
+        return false;
+    return true;
+  }
+  case TypeKind::Ref:
+    return cast<RefType>(this)->Own == Ownership::Shrd;
+  case TypeKind::Array:
+  case TypeKind::ArrayView:
+  case TypeKind::Box:
+  case TypeKind::TypeVar:
+    return false;
+  }
+  return false;
+}
+
+bool DataType::isConcrete() const {
+  switch (kind()) {
+  case TypeKind::Scalar:
+    return true;
+  case TypeKind::Tuple: {
+    for (const TypeRef &E : cast<TupleType>(this)->Elems)
+      if (!E->isConcrete())
+        return false;
+    return true;
+  }
+  case TypeKind::Array: {
+    const auto *T = cast<ArrayType>(this);
+    std::vector<std::string> Vars;
+    T->Size.collectVars(Vars);
+    return Vars.empty() && T->Elem->isConcrete();
+  }
+  case TypeKind::ArrayView: {
+    const auto *T = cast<ArrayViewType>(this);
+    std::vector<std::string> Vars;
+    T->Size.collectVars(Vars);
+    return Vars.empty() && T->Elem->isConcrete();
+  }
+  case TypeKind::Ref: {
+    const auto *T = cast<RefType>(this);
+    return !T->Mem.isVar() && T->Pointee->isConcrete();
+  }
+  case TypeKind::Box: {
+    const auto *T = cast<BoxType>(this);
+    return !T->Mem.isVar() && T->Elem->isConcrete();
+  }
+  case TypeKind::TypeVar:
+    return false;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+TypeRef descend::makeScalar(ScalarKind K) {
+  return std::make_shared<ScalarType>(K);
+}
+
+TypeRef descend::makeUnit() { return makeScalar(ScalarKind::Unit); }
+
+TypeRef descend::makeTuple(std::vector<TypeRef> Elems) {
+  return std::make_shared<TupleType>(std::move(Elems));
+}
+
+TypeRef descend::makeArray(TypeRef Elem, Nat Size) {
+  return std::make_shared<ArrayType>(std::move(Elem), std::move(Size));
+}
+
+TypeRef descend::makeArrayView(TypeRef Elem, Nat Size) {
+  return std::make_shared<ArrayViewType>(std::move(Elem), std::move(Size));
+}
+
+TypeRef descend::makeRef(Ownership Own, Memory Mem, TypeRef Pointee) {
+  return std::make_shared<RefType>(Own, std::move(Mem), std::move(Pointee));
+}
+
+TypeRef descend::makeBox(TypeRef Elem, Memory Mem) {
+  return std::make_shared<BoxType>(std::move(Elem), std::move(Mem));
+}
+
+TypeRef descend::makeTypeVar(std::string Name) {
+  return std::make_shared<TypeVarType>(std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+Memory descend::substituteMemory(const Memory &M, const TypeSubst &Subst) {
+  if (!M.isVar())
+    return M;
+  auto It = Subst.Mems.find(M.Name);
+  return It == Subst.Mems.end() ? M : It->second;
+}
+
+TypeRef descend::substituteType(const TypeRef &T, const TypeSubst &Subst) {
+  if (!T || Subst.empty())
+    return T;
+  switch (T->kind()) {
+  case TypeKind::Scalar:
+    return T;
+  case TypeKind::Tuple: {
+    const auto *TT = cast<TupleType>(T.get());
+    std::vector<TypeRef> Elems;
+    Elems.reserve(TT->Elems.size());
+    for (const TypeRef &E : TT->Elems)
+      Elems.push_back(substituteType(E, Subst));
+    return makeTuple(std::move(Elems));
+  }
+  case TypeKind::Array: {
+    const auto *TA = cast<ArrayType>(T.get());
+    return makeArray(substituteType(TA->Elem, Subst),
+                     TA->Size.substitute(Subst.Nats));
+  }
+  case TypeKind::ArrayView: {
+    const auto *TA = cast<ArrayViewType>(T.get());
+    return makeArrayView(substituteType(TA->Elem, Subst),
+                         TA->Size.substitute(Subst.Nats));
+  }
+  case TypeKind::Ref: {
+    const auto *TR = cast<RefType>(T.get());
+    return makeRef(TR->Own, substituteMemory(TR->Mem, Subst),
+                   substituteType(TR->Pointee, Subst));
+  }
+  case TypeKind::Box: {
+    const auto *TB = cast<BoxType>(T.get());
+    return makeBox(substituteType(TB->Elem, Subst),
+                   substituteMemory(TB->Mem, Subst));
+  }
+  case TypeKind::TypeVar: {
+    const auto *TV = cast<TypeVarType>(T.get());
+    auto It = Subst.Types.find(TV->Name);
+    return It == Subst.Types.end() ? T : It->second;
+  }
+  }
+  return T;
+}

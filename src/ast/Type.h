@@ -1,0 +1,367 @@
+//===- ast/Type.h - Descend types, memories, exec levels --------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Implements the type syntax of Fig. 6:
+//
+//   δ ::= i32 | f64 | ... | unit            scalar types
+//       | (δ1, ..., δn)                     tuple types
+//       | [δ; η] | [[δ; η]]                 array (view) types
+//       | &[uniq] µ δ                       reference types
+//       | δ @ µ                             boxed types
+//       | x                                 type variables
+//
+//   µ ::= cpu.mem | gpu.global | gpu.shared | m        memories
+//   ε ::= cpu.Thread | gpu.Grid d d | gpu.Block d | gpu.Thread   exec levels
+//
+// and the dimension syntax of Fig. 2 (XYZ<η,η,η>, XY<η,η>, ..., X<η>).
+//
+// Types are immutable and shared (TypeRef). Equality is structural with
+// Nat::proveEq deciding size equality, which is what makes launch
+// configuration checking with polymorphic sizes work (Section 3.5).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_AST_TYPE_H
+#define DESCEND_AST_TYPE_H
+
+#include "nat/Nat.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+//===----------------------------------------------------------------------===//
+// Memory spaces (µ)
+//===----------------------------------------------------------------------===//
+
+enum class MemoryKind { CpuMem, GpuGlobal, GpuShared, Var };
+
+/// A memory space annotation. Var is a memory polymorphism variable (m).
+struct Memory {
+  MemoryKind Kind = MemoryKind::CpuMem;
+  std::string Name; // only for Var
+
+  Memory() = default;
+  explicit Memory(MemoryKind Kind) : Kind(Kind) {}
+  static Memory cpuMem() { return Memory(MemoryKind::CpuMem); }
+  static Memory gpuGlobal() { return Memory(MemoryKind::GpuGlobal); }
+  static Memory gpuShared() { return Memory(MemoryKind::GpuShared); }
+  static Memory var(std::string Name) {
+    Memory M(MemoryKind::Var);
+    M.Name = std::move(Name);
+    return M;
+  }
+
+  bool isVar() const { return Kind == MemoryKind::Var; }
+  bool isGpu() const {
+    return Kind == MemoryKind::GpuGlobal || Kind == MemoryKind::GpuShared;
+  }
+  bool isCpu() const { return Kind == MemoryKind::CpuMem; }
+
+  std::string str() const;
+
+  friend bool operator==(const Memory &A, const Memory &B) {
+    return A.Kind == B.Kind && A.Name == B.Name;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Dimensions (d) and axes
+//===----------------------------------------------------------------------===//
+
+enum class Axis { X, Y, Z };
+
+const char *axisName(Axis A);
+
+/// A 1-, 2- or 3-dimensional shape. Fig. 2: the dimension *kind* (XY vs XYZ
+/// vs X, ...) is part of the type so that scheduling over a missing
+/// dimension is a static error. Missing axes hold a null Nat.
+struct Dim {
+  Nat X, Y, Z; // null when the axis is absent
+
+  Dim() = default;
+
+  static Dim makeX(Nat N) {
+    Dim D;
+    D.X = std::move(N);
+    return D;
+  }
+  static Dim makeXY(Nat NX, Nat NY) {
+    Dim D;
+    D.X = std::move(NX);
+    D.Y = std::move(NY);
+    return D;
+  }
+  static Dim makeXYZ(Nat NX, Nat NY, Nat NZ) {
+    Dim D;
+    D.X = std::move(NX);
+    D.Y = std::move(NY);
+    D.Z = std::move(NZ);
+    return D;
+  }
+
+  bool hasAxis(Axis A) const {
+    switch (A) {
+    case Axis::X:
+      return !X.isNull();
+    case Axis::Y:
+      return !Y.isNull();
+    case Axis::Z:
+      return !Z.isNull();
+    }
+    return false;
+  }
+
+  Nat extent(Axis A) const {
+    switch (A) {
+    case Axis::X:
+      return X;
+    case Axis::Y:
+      return Y;
+    case Axis::Z:
+      return Z;
+    }
+    return Nat();
+  }
+
+  void setExtent(Axis A, Nat N) {
+    switch (A) {
+    case Axis::X:
+      X = std::move(N);
+      return;
+    case Axis::Y:
+      Y = std::move(N);
+      return;
+    case Axis::Z:
+      Z = std::move(N);
+      return;
+    }
+  }
+
+  unsigned rank() const {
+    return (hasAxis(Axis::X) ? 1 : 0) + (hasAxis(Axis::Y) ? 1 : 0) +
+           (hasAxis(Axis::Z) ? 1 : 0);
+  }
+
+  /// Total number of elements (product of present extents, 1 if empty).
+  Nat total() const;
+
+  /// Renders Fig. 2 notation, e.g. "XY<64, 64>".
+  std::string str() const;
+
+  Dim substitute(const std::map<std::string, Nat> &Subst) const;
+
+  friend bool operator==(const Dim &A, const Dim &B);
+};
+
+//===----------------------------------------------------------------------===//
+// Execution levels (ε)
+//===----------------------------------------------------------------------===//
+
+enum class ExecLevelKind { CpuThread, GpuGrid, GpuBlock, GpuThread };
+
+/// The execution level a function is annotated with (above the arrow in
+/// Fig. 6). GpuGrid carries the grid-of-blocks and threads-per-block dims;
+/// GpuBlock carries its thread dim.
+struct ExecLevel {
+  ExecLevelKind Kind = ExecLevelKind::CpuThread;
+  Dim GridDim;   // blocks in the grid (GpuGrid only)
+  Dim BlockDim;  // threads per block (GpuGrid and GpuBlock)
+
+  static ExecLevel cpuThread() { return ExecLevel{}; }
+  static ExecLevel gpuGrid(Dim Grid, Dim Block) {
+    ExecLevel E;
+    E.Kind = ExecLevelKind::GpuGrid;
+    E.GridDim = std::move(Grid);
+    E.BlockDim = std::move(Block);
+    return E;
+  }
+  static ExecLevel gpuBlock(Dim Block) {
+    ExecLevel E;
+    E.Kind = ExecLevelKind::GpuBlock;
+    E.BlockDim = std::move(Block);
+    return E;
+  }
+  static ExecLevel gpuThread() {
+    ExecLevel E;
+    E.Kind = ExecLevelKind::GpuThread;
+    return E;
+  }
+
+  bool isGpu() const { return Kind != ExecLevelKind::CpuThread; }
+  std::string str() const;
+  ExecLevel substitute(const std::map<std::string, Nat> &Subst) const;
+
+  friend bool operator==(const ExecLevel &A, const ExecLevel &B);
+};
+
+bool operator==(const Dim &A, const Dim &B);
+bool operator==(const ExecLevel &A, const ExecLevel &B);
+
+//===----------------------------------------------------------------------===//
+// Data types (δ)
+//===----------------------------------------------------------------------===//
+
+enum class TypeKind { Scalar, Tuple, Array, ArrayView, Ref, Box, TypeVar };
+
+enum class ScalarKind { I32, I64, U32, U64, F32, F64, Bool, Unit };
+
+const char *scalarKindName(ScalarKind K);
+
+enum class Ownership { Shrd, Uniq };
+
+class DataType;
+using TypeRef = std::shared_ptr<const DataType>;
+
+/// Base of the immutable data-type hierarchy. Construct via the factory
+/// functions below (makeScalar, makeArray, ...).
+class DataType {
+public:
+  explicit DataType(TypeKind Kind) : Kind(Kind) {}
+  virtual ~DataType() = default;
+
+  TypeKind kind() const { return Kind; }
+
+  /// Structural equality; array sizes compare via Nat::proveEq.
+  static bool equal(const TypeRef &A, const TypeRef &B);
+
+  /// Human-readable rendering using the paper's surface syntax.
+  std::string str() const;
+
+  /// Copyable per Rust semantics: scalars, shared references and tuples of
+  /// copyables copy; arrays, boxes, view arrays and unique references move.
+  bool isCopyable() const;
+
+  /// True if the type contains no type/memory/nat variables.
+  bool isConcrete() const;
+
+private:
+  TypeKind Kind;
+};
+
+class ScalarType : public DataType {
+public:
+  ScalarKind Scalar;
+
+  explicit ScalarType(ScalarKind S) : DataType(TypeKind::Scalar), Scalar(S) {}
+  static bool classof(const DataType *T) {
+    return T->kind() == TypeKind::Scalar;
+  }
+};
+
+class TupleType : public DataType {
+public:
+  std::vector<TypeRef> Elems;
+
+  explicit TupleType(std::vector<TypeRef> Elems)
+      : DataType(TypeKind::Tuple), Elems(std::move(Elems)) {}
+  static bool classof(const DataType *T) {
+    return T->kind() == TypeKind::Tuple;
+  }
+};
+
+/// [δ; η] — a contiguous array of η elements.
+class ArrayType : public DataType {
+public:
+  TypeRef Elem;
+  Nat Size;
+
+  ArrayType(TypeRef Elem, Nat Size)
+      : DataType(TypeKind::Array), Elem(std::move(Elem)),
+        Size(std::move(Size)) {}
+  static bool classof(const DataType *T) {
+    return T->kind() == TypeKind::Array;
+  }
+};
+
+/// [[δ; η]] — an array reshaped by views; not necessarily contiguous.
+class ArrayViewType : public DataType {
+public:
+  TypeRef Elem;
+  Nat Size;
+
+  ArrayViewType(TypeRef Elem, Nat Size)
+      : DataType(TypeKind::ArrayView), Elem(std::move(Elem)),
+        Size(std::move(Size)) {}
+  static bool classof(const DataType *T) {
+    return T->kind() == TypeKind::ArrayView;
+  }
+};
+
+/// &[uniq] µ δ — reference with ownership qualifier and memory annotation.
+class RefType : public DataType {
+public:
+  Ownership Own;
+  Memory Mem;
+  TypeRef Pointee;
+
+  RefType(Ownership Own, Memory Mem, TypeRef Pointee)
+      : DataType(TypeKind::Ref), Own(Own), Mem(std::move(Mem)),
+        Pointee(std::move(Pointee)) {}
+  static bool classof(const DataType *T) { return T->kind() == TypeKind::Ref; }
+};
+
+/// δ @ µ — a smartly-managed allocation living in memory space µ.
+class BoxType : public DataType {
+public:
+  TypeRef Elem;
+  Memory Mem;
+
+  BoxType(TypeRef Elem, Memory Mem)
+      : DataType(TypeKind::Box), Elem(std::move(Elem)), Mem(std::move(Mem)) {}
+  static bool classof(const DataType *T) { return T->kind() == TypeKind::Box; }
+};
+
+class TypeVarType : public DataType {
+public:
+  std::string Name;
+
+  explicit TypeVarType(std::string Name)
+      : DataType(TypeKind::TypeVar), Name(std::move(Name)) {}
+  static bool classof(const DataType *T) {
+    return T->kind() == TypeKind::TypeVar;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+TypeRef makeScalar(ScalarKind K);
+TypeRef makeUnit();
+TypeRef makeTuple(std::vector<TypeRef> Elems);
+TypeRef makeArray(TypeRef Elem, Nat Size);
+TypeRef makeArrayView(TypeRef Elem, Nat Size);
+TypeRef makeRef(Ownership Own, Memory Mem, TypeRef Pointee);
+TypeRef makeBox(TypeRef Elem, Memory Mem);
+TypeRef makeTypeVar(std::string Name);
+
+/// Substitution of nat / memory / type variables (function instantiation).
+struct TypeSubst {
+  std::map<std::string, Nat> Nats;
+  std::map<std::string, Memory> Mems;
+  std::map<std::string, TypeRef> Types;
+
+  bool empty() const {
+    return Nats.empty() && Mems.empty() && Types.empty();
+  }
+};
+
+TypeRef substituteType(const TypeRef &T, const TypeSubst &Subst);
+Memory substituteMemory(const Memory &M, const TypeSubst &Subst);
+
+//===----------------------------------------------------------------------===//
+// Kinds (κ) for generic parameters
+//===----------------------------------------------------------------------===//
+
+enum class ParamKind { Nat, Memory, DataType };
+
+const char *paramKindName(ParamKind K);
+
+} // namespace descend
+
+#endif // DESCEND_AST_TYPE_H

@@ -1,0 +1,1117 @@
+//===- codegen/CodeGen.cpp - CUDA and simulator backends --------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "exec/ExecResource.h"
+#include "support/StringUtils.h"
+#include "views/IndexSpace.h"
+#include "views/View.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+namespace {
+
+const char *cppScalarType(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I32:
+    return "int32_t";
+  case ScalarKind::I64:
+    return "int64_t";
+  case ScalarKind::U32:
+    return "uint32_t";
+  case ScalarKind::U64:
+    return "uint64_t";
+  case ScalarKind::F32:
+    return "float";
+  case ScalarKind::F64:
+    return "double";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Unit:
+    return "void";
+  }
+  return "void";
+}
+
+/// True when the Nat contains an unfolded Pow node (cannot be printed as
+/// C++; '^' means xor there).
+bool containsPow(const Nat &N) {
+  if (N.isNull())
+    return false;
+  if (N.kind() == NatKind::Pow)
+    return true;
+  switch (N.kind()) {
+  case NatKind::Lit:
+  case NatKind::Var:
+    return false;
+  default:
+    return containsPow(N.lhs()) || containsPow(N.rhs());
+  }
+}
+
+std::string floatLiteral(double V, ScalarKind K) {
+  std::string S = strfmt("%.17g", V);
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  if (K == ScalarKind::F32)
+    S += "f";
+  return S;
+}
+
+/// Extracts the array-nest dimensions and element scalar type of a kernel
+/// parameter / allocation type.
+bool arrayNest(const TypeRef &T, std::vector<Nat> &Dims, ScalarKind &Elem) {
+  const DataType *Cur = T.get();
+  while (true) {
+    if (const auto *A = dyn_cast<ArrayType>(Cur)) {
+      Dims.push_back(A->Size);
+      Cur = A->Elem.get();
+      continue;
+    }
+    if (const auto *A = dyn_cast<ArrayViewType>(Cur)) {
+      Dims.push_back(A->Size);
+      Cur = A->Elem.get();
+      continue;
+    }
+    if (const auto *S = dyn_cast<ScalarType>(Cur)) {
+      Elem = S->Scalar;
+      return true;
+    }
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowerer
+//===----------------------------------------------------------------------===//
+
+enum class Backend { Cuda, Sim };
+
+struct Sym {
+  enum Kind { GlobalBuf, SharedBuf, Local, ExecVar, NatVar } K = Local;
+  std::string CppName;
+  ScalarKind Elem = ScalarKind::F64;
+  std::vector<Nat> Dims;    // GlobalBuf / SharedBuf
+  size_t ByteBase = 0;      // SharedBuf: offset in the shared arena
+  size_t LocalOff = 0;      // Local: offset in the per-thread arena region
+  bool Uniq = false;        // GlobalBuf: unique reference?
+  // ExecVar:
+  ExecResource Exec = ExecResource::cpuThread();
+  unsigned OpsBegin = 0, OpsEnd = 0;
+  // NatVar:
+  Nat ConstVal; // set while unrolled
+};
+
+class Lowerer {
+public:
+  Lowerer(const Module &Mod, Backend B) : Mod(Mod), B(B) {
+    Views.addModuleViews(Mod);
+  }
+
+  // Results for the kernel just lowered.
+  std::vector<std::string> Phases;      // sim: per-phase body lines
+  std::string CudaBody;                 // cuda: linear body
+  size_t SharedBytes = 0;               // shared allocations
+  size_t LocalBytesPerThread = 0;       // per-thread register arena
+  std::string Error;
+
+private:
+  const Module &Mod;
+  Backend B;
+  ViewRegistry Views;
+
+  std::map<std::string, std::vector<Sym>> Syms;
+  std::vector<std::vector<std::string>> Scopes;
+  ExecResource CurExec = ExecResource::cpuThread();
+  unsigned ThreadsPerBlock = 1;
+  unsigned NextLocalUid = 0;
+  /// Live phase-spanning locals: (C++ name, element type, arena offset).
+  struct LiveLocal {
+    std::string CppName;
+    ScalarKind Elem;
+    size_t Off;
+    unsigned ScopeDepth;
+  };
+  std::vector<LiveLocal> LiveLocals;
+
+  std::ostringstream Out; // current phase (sim) or whole body (cuda)
+  unsigned Indent = 1;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  void line(const std::string &S) {
+    for (unsigned I = 0; I != Indent; ++I)
+      Out << "  ";
+    Out << S << "\n";
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() {
+    for (const std::string &N : Scopes.back())
+      Syms[N].pop_back();
+    while (!LiveLocals.empty() && LiveLocals.back().ScopeDepth >= Scopes.size())
+      LiveLocals.pop_back();
+    Scopes.pop_back();
+  }
+  Sym &bind(const std::string &Name, Sym S) {
+    Scopes.back().push_back(Name);
+    auto &Stack = Syms[Name];
+    Stack.push_back(std::move(S));
+    return Stack.back();
+  }
+  Sym *lookup(const std::string &Name) {
+    auto It = Syms.find(Name);
+    if (It == Syms.end() || It->second.empty())
+      return nullptr;
+    return &It->second.back();
+  }
+
+  /// Raw coordinate variable for (stage, axis).
+  std::string axisVarName(unsigned Stage, Axis A) const {
+    if (B == Backend::Cuda) {
+      std::string Base = Stage == 0 ? "blockIdx." : "threadIdx.";
+      return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
+    }
+    std::string Base = Stage == 0 ? "_b" : "_t";
+    return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
+  }
+
+  /// Local coordinate of the forall at op index \p OpIdx in \p Exec: the
+  /// raw coordinate minus the snd-split offsets accumulated before it.
+  Nat coordinateFor(const ExecResource &Exec, unsigned OpIdx) {
+    const ExecOp &Op = Exec.ops()[OpIdx];
+    Nat Coord = Nat::var(axisVarName(Op.Stage, Op.Ax));
+    for (unsigned I = 0; I != OpIdx; ++I) {
+      const ExecOp &Prev = Exec.ops()[I];
+      if (Prev.Stage == Op.Stage && Prev.Ax == Op.Ax &&
+          Prev.Kind == ExecOpKind::SplitSnd)
+        Coord = Coord - Prev.Pos;
+    }
+    return Coord;
+  }
+
+  Nat exprToNat(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Literal: {
+      const auto *L = cast<LiteralExpr>(&E);
+      return Nat::lit(L->IntValue);
+    }
+    case ExprKind::PlaceVar: {
+      const auto *V = cast<PlaceVar>(&E);
+      if (Sym *S = lookup(V->Name); S && S->K == Sym::NatVar)
+        return S->ConstVal ? S->ConstVal : Nat::var(V->Name);
+      return Nat();
+    }
+    case ExprKind::Binary: {
+      const auto *Bin = cast<BinaryExpr>(&E);
+      Nat L = exprToNat(*Bin->Lhs);
+      Nat R = exprToNat(*Bin->Rhs);
+      if (!L || !R)
+        return Nat();
+      switch (Bin->Op) {
+      case BinOpKind::Add:
+        return L + R;
+      case BinOpKind::Sub:
+        return L - R;
+      case BinOpKind::Mul:
+        return L * R;
+      case BinOpKind::Div:
+        return L / R;
+      case BinOpKind::Mod:
+        return L % R;
+      default:
+        return Nat();
+      }
+    }
+    default:
+      return Nat();
+    }
+  }
+
+  /// Substitutes unrolled loop constants into a nat from the source.
+  Nat substLoopConsts(Nat N) {
+    if (!N)
+      return N;
+    std::vector<std::string> Vars;
+    N.collectVars(Vars);
+    std::map<std::string, Nat> Subst;
+    for (const std::string &V : Vars)
+      if (Sym *S = lookup(V); S && S->K == Sym::NatVar && S->ConstVal)
+        Subst[V] = S->ConstVal;
+    return Subst.empty() ? N : N.substitute(Subst);
+  }
+
+  std::string natToCpp(const Nat &N) {
+    Nat S = N.simplified();
+    if (containsPow(S)) {
+      fail("internal: unfolded 2^i expression reached code generation: " +
+           S.str());
+      return "0";
+    }
+    return S.str();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Places
+  //===--------------------------------------------------------------------===//
+
+  struct LPlace {
+    enum Kind { Global, Shared, Local, NatValue } K = Global;
+    const Sym *Root = nullptr;
+    Nat Index;   // flat element index
+    Nat NatVal;  // NatValue
+  };
+
+  std::optional<LPlace> lowerPlace(const PlaceExpr &P) {
+    // Collect root-to-leaf chain.
+    std::vector<const PlaceExpr *> Chain;
+    for (const PlaceExpr *Cur = &P; Cur; Cur = basePlace(Cur))
+      Chain.push_back(Cur);
+    std::reverse(Chain.begin(), Chain.end());
+
+    const auto *RootVar = dyn_cast<PlaceVar>(Chain[0]);
+    assert(RootVar && "place chain must start at a variable");
+    Sym *Root = lookup(RootVar->Name);
+    if (!Root) {
+      fail("internal: unknown symbol `" + RootVar->Name + "`");
+      return std::nullopt;
+    }
+
+    LPlace Result;
+    if (Root->K == Sym::NatVar) {
+      Result.K = LPlace::NatValue;
+      Result.NatVal = Root->ConstVal ? Root->ConstVal
+                                     : Nat::var(RootVar->Name);
+      return Result;
+    }
+    if (Root->K == Sym::Local) {
+      Result.K = LPlace::Local;
+      Result.Root = Root;
+      return Result;
+    }
+    if (Root->K == Sym::ExecVar) {
+      fail("internal: execution resource used as value");
+      return std::nullopt;
+    }
+
+    Result.K = Root->K == Sym::GlobalBuf ? LPlace::Global : LPlace::Shared;
+    Result.Root = Root;
+
+    IndexSpace Space = IndexSpace::fromDims(Root->Dims);
+    // Pending split view: a split must be followed by .fst/.snd.
+    std::optional<Nat> PendingSplit;
+
+    for (size_t I = 1; I != Chain.size(); ++I) {
+      const PlaceExpr *Step = Chain[I];
+      std::string Err;
+      switch (Step->kind()) {
+      case ExprKind::PlaceDeref:
+        break; // references were resolved to buffers
+      case ExprKind::PlaceView: {
+        const auto *V = cast<PlaceView>(Step);
+        std::vector<Nat> Args;
+        for (const Nat &A : V->NatArgs)
+          Args.push_back(substLoopConsts(A).simplified());
+        auto Resolved = Views.resolve(V->ViewName, Args, &Err);
+        if (!Resolved) {
+          fail(Err);
+          return std::nullopt;
+        }
+        for (const View &Prim : *Resolved) {
+          if (Prim.Kind == ViewKind::SplitView) {
+            if (PendingSplit) {
+              fail("internal: split view without projection");
+              return std::nullopt;
+            }
+            PendingSplit = Prim.Arg;
+            continue;
+          }
+          if (PendingSplit) {
+            fail("internal: split view without projection");
+            return std::nullopt;
+          }
+          if (!Space.applyView(Prim, &Err)) {
+            fail(Err);
+            return std::nullopt;
+          }
+        }
+        break;
+      }
+      case ExprKind::PlaceProj: {
+        const auto *Proj = cast<PlaceProj>(Step);
+        if (!PendingSplit) {
+          fail("tuple projections outside split views are not supported in "
+               "kernels");
+          return std::nullopt;
+        }
+        if (!Space.takeSplitPart(*PendingSplit, Proj->Which == 0, &Err)) {
+          fail(Err);
+          return std::nullopt;
+        }
+        PendingSplit.reset();
+        break;
+      }
+      case ExprKind::PlaceSelect: {
+        const auto *Sel = cast<PlaceSelect>(Step);
+        Sym *ExecSym = lookup(Sel->ExecName);
+        if (!ExecSym || ExecSym->K != Sym::ExecVar) {
+          fail("internal: unknown execution resource `" + Sel->ExecName +
+               "`");
+          return std::nullopt;
+        }
+        for (unsigned OpIdx = ExecSym->OpsBegin; OpIdx != ExecSym->OpsEnd;
+             ++OpIdx) {
+          Nat Coord = coordinateFor(ExecSym->Exec, OpIdx);
+          if (!Space.bindOuter(Coord, &Err)) {
+            fail(Err);
+            return std::nullopt;
+          }
+        }
+        break;
+      }
+      case ExprKind::PlaceIndex: {
+        const auto *Idx = cast<PlaceIndex>(Step);
+        Nat N = exprToNat(*Idx->Index);
+        if (!N) {
+          fail("kernel indices must be static or loop-variable expressions: "
+               + exprToString(*Idx->Index));
+          return std::nullopt;
+        }
+        if (!Space.bindOuter(substLoopConsts(N), &Err)) {
+          fail(Err);
+          return std::nullopt;
+        }
+        break;
+      }
+      default:
+        fail("unsupported place step in kernel");
+        return std::nullopt;
+      }
+    }
+
+    std::string Err;
+    Result.Index = Space.flatten(&Err);
+    if (Result.Index.isNull()) {
+      fail(Err);
+      return std::nullopt;
+    }
+    return Result;
+  }
+
+  std::string placeLoad(const LPlace &P) {
+    switch (P.K) {
+    case LPlace::NatValue:
+      return natToCpp(P.NatVal);
+    case LPlace::Local:
+      return P.Root->CppName;
+    case LPlace::Global:
+      if (B == Backend::Cuda)
+        return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
+      return P.Root->CppName + ".load(_b, " + natToCpp(P.Index) + ")";
+    case LPlace::Shared:
+      if (B == Backend::Cuda)
+        return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
+      return strfmt("_b.sharedLoad<%s>(%zu, %s)",
+                    cppScalarType(P.Root->Elem), P.Root->ByteBase,
+                    natToCpp(P.Index).c_str());
+    }
+    return "0";
+  }
+
+  bool placeStore(const LPlace &P, const std::string &Value) {
+    switch (P.K) {
+    case LPlace::NatValue:
+      return fail("cannot assign to a loop variable");
+    case LPlace::Local:
+      line(P.Root->CppName + " = " + Value + ";");
+      return true;
+    case LPlace::Global:
+      if (B == Backend::Cuda)
+        line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
+             ";");
+      else
+        line(P.Root->CppName + ".store(_b, " + natToCpp(P.Index) + ", " +
+             Value + ");");
+      return true;
+    case LPlace::Shared:
+      if (B == Backend::Cuda)
+        line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
+             ";");
+      else
+        line(strfmt("_b.sharedStore<%s>(%zu, %s, %s);",
+                    cppScalarType(P.Root->Elem), P.Root->ByteBase,
+                    natToCpp(P.Index).c_str(), Value.c_str()));
+      return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions & statements
+  //===--------------------------------------------------------------------===//
+
+  std::optional<std::string> genExpr(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Literal: {
+      const auto *L = cast<LiteralExpr>(&E);
+      switch (L->Scalar) {
+      case ScalarKind::Bool:
+        return std::string(L->BoolValue ? "true" : "false");
+      case ScalarKind::F32:
+      case ScalarKind::F64:
+        return floatLiteral(L->FloatValue, L->Scalar);
+      case ScalarKind::Unit:
+        return std::string("/*unit*/0");
+      default:
+        return std::to_string(L->IntValue);
+      }
+    }
+    case ExprKind::Binary: {
+      const auto *Bin = cast<BinaryExpr>(&E);
+      auto L = genExpr(*Bin->Lhs);
+      auto R = genExpr(*Bin->Rhs);
+      if (!L || !R)
+        return std::nullopt;
+      return "(" + *L + " " + binOpSpelling(Bin->Op) + " " + *R + ")";
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(&E);
+      auto S = genExpr(*U->Sub);
+      if (!S)
+        return std::nullopt;
+      return std::string(U->Op == UnOpKind::Neg ? "-" : "!") + *S;
+    }
+    default:
+      if (const auto *P = dyn_cast<PlaceExpr>(&E)) {
+        auto LP = lowerPlace(*P);
+        if (!LP)
+          return std::nullopt;
+        return placeLoad(*LP);
+      }
+      fail("unsupported expression in kernel: " + exprToString(E));
+      return std::nullopt;
+    }
+  }
+
+  static bool containsSyncOrSplit(const Expr &E) {
+    if (isa<SyncExpr>(&E) || isa<SplitExpr>(&E))
+      return true;
+    bool Found = false;
+    forEachChild(const_cast<Expr &>(E),
+                 [&](Expr &C) { Found = Found || containsSyncOrSplit(C); });
+    return Found;
+  }
+
+  void phaseBreak() {
+    if (B == Backend::Cuda) {
+      line("__syncthreads();");
+      return;
+    }
+    // Registers do not survive the phase boundary: spill phase-spanning
+    // locals to their per-thread arena slot and reload at the start of the
+    // next phase (one load/store per local per phase, as a handwritten
+    // kernel would do).
+    for (const LiveLocal &L : LiveLocals)
+      line(strfmt("_b.shared<%s>(_locals_base + %zu)[_lin] = %s;",
+                  cppScalarType(L.Elem), L.Off, L.CppName.c_str()));
+    Phases.push_back(Out.str());
+    Out.str("");
+    for (const LiveLocal &L : LiveLocals)
+      line(strfmt("%s %s = _b.shared<%s>(_locals_base + %zu)[_lin];",
+                  cppScalarType(L.Elem), L.CppName.c_str(),
+                  cppScalarType(L.Elem), L.Off));
+  }
+
+  bool genStmt(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Block: {
+      const auto *Blk = cast<BlockExpr>(&E);
+      pushScope();
+      for (const ExprPtr &S : Blk->Stmts)
+        if (!genStmt(*S))
+          return false;
+      popScope();
+      return true;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(&E);
+      if (const auto *A = dyn_cast<AllocExpr>(L->Init.get())) {
+        std::vector<Nat> Dims;
+        ScalarKind Elem = ScalarKind::F64;
+        if (!arrayNest(A->AllocTy, Dims, Elem))
+          return fail("alloc type must be an array of scalars");
+        size_t Bytes = 1;
+        for (const Nat &D : Dims) {
+          auto V = D.evaluate({});
+          if (!V)
+            return fail("shared allocation sizes must be concrete");
+          Bytes *= *V;
+        }
+        size_t ElemSize = Elem == ScalarKind::F32 ? 4
+                          : Elem == ScalarKind::Bool ? 1
+                                                     : 8;
+        Bytes *= ElemSize;
+        Sym S;
+        S.K = Sym::SharedBuf;
+        S.CppName = L->Name;
+        S.Elem = Elem;
+        S.Dims = Dims;
+        S.ByteBase = (SharedBytes + 7) & ~size_t(7);
+        SharedBytes = S.ByteBase + Bytes;
+        if (B == Backend::Cuda) {
+          size_t Total = Bytes / ElemSize;
+          line(strfmt("__shared__ %s %s[%zu];", cppScalarType(Elem),
+                      L->Name.c_str(), Total));
+        }
+        bind(L->Name, std::move(S));
+        return true;
+      }
+      // Scalar thread-local binding.
+      const auto *Scalar = dyn_cast_if_present<ScalarType>(
+          L->Init->Ty ? L->Init->Ty.get()
+                      : (L->Annotation ? L->Annotation.get() : nullptr));
+      if (!Scalar)
+        return fail("only scalar lets and shared allocations are supported "
+                    "inside kernels: let " +
+                    L->Name);
+      auto Init = genExpr(*L->Init);
+      if (!Init)
+        return false;
+      Sym S;
+      S.K = Sym::Local;
+      S.CppName = B == Backend::Cuda
+                      ? L->Name
+                      : strfmt("%s_%u", L->Name.c_str(), NextLocalUid++);
+      S.Elem = Scalar->Scalar;
+      // Per-thread arena region for phase-spanning state (sim): each var
+      // gets 8 * ThreadsPerBlock bytes after the shared allocations.
+      S.LocalOff = ((LocalBytesPerThread + 7) & ~size_t(7));
+      LocalBytesPerThread = S.LocalOff + 8;
+      S.LocalOff = S.LocalOff * ThreadsPerBlock;
+      const Sym &Bound = bind(L->Name, std::move(S));
+      line(strfmt("%s %s = %s;", cppScalarType(Bound.Elem),
+                  Bound.CppName.c_str(), Init->c_str()));
+      if (B == Backend::Sim)
+        LiveLocals.push_back(LiveLocal{Bound.CppName, Bound.Elem,
+                                       Bound.LocalOff,
+                                       (unsigned)Scopes.size()});
+      return true;
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(&E);
+      auto Value = genExpr(*A->Rhs);
+      if (!Value)
+        return false;
+      auto LP = lowerPlace(*A->Lhs);
+      if (!LP)
+        return false;
+      return placeStore(*LP, *Value);
+    }
+    case ExprKind::Sched: {
+      const auto *S = cast<SchedExpr>(&E);
+      Sym *Target = lookup(S->Target);
+      if (!Target || Target->K != Sym::ExecVar)
+        return fail("internal: unknown sched target");
+      ExecResource Child = Target->Exec;
+      for (Axis A : S->Axes) {
+        auto Next = Child.forall(A);
+        if (!Next)
+          return fail("internal: invalid sched");
+        Child = *Next;
+      }
+      pushScope();
+      Sym Binder;
+      Binder.K = Sym::ExecVar;
+      Binder.CppName = S->Binder;
+      Binder.Exec = Child;
+      Binder.OpsBegin = Target->Exec.numOps();
+      Binder.OpsEnd = Child.numOps();
+      bind(S->Binder, std::move(Binder));
+      ExecResource Saved = CurExec;
+      CurExec = Child;
+      bool Ok = genStmt(*S->Body);
+      CurExec = Saved;
+      popScope();
+      return Ok;
+    }
+    case ExprKind::Split: {
+      const auto *S = cast<SplitExpr>(&E);
+      Sym *Target = lookup(S->Target);
+      if (!Target || Target->K != Sym::ExecVar)
+        return fail("internal: unknown split target");
+      Nat Pos = substLoopConsts(S->Position).simplified();
+      auto Fst = Target->Exec.split(S->SplitAxis, Pos, true);
+      auto Snd = Target->Exec.split(S->SplitAxis, Pos, false);
+      if (!Fst || !Snd)
+        return fail("internal: invalid split");
+      // Guard: local coordinate along the split axis at the split's stage.
+      unsigned Stage = Fst->ops().back().Stage;
+      Nat Coord = Nat::var(axisVarName(Stage, S->SplitAxis));
+      for (const ExecOp &Op : Target->Exec.ops())
+        if (Op.Stage == Stage && Op.Ax == S->SplitAxis &&
+            Op.Kind == ExecOpKind::SplitSnd)
+          Coord = Coord - Op.Pos;
+      line("if (" + natToCpp(Coord) + " < " + natToCpp(Pos) + ") {");
+      ++Indent;
+      {
+        pushScope();
+        Sym Binder;
+        Binder.K = Sym::ExecVar;
+        Binder.CppName = S->FstName;
+        Binder.Exec = *Fst;
+        Binder.OpsBegin = Target->Exec.numOps();
+        Binder.OpsEnd = Fst->numOps();
+        bind(S->FstName, std::move(Binder));
+        ExecResource Saved = CurExec;
+        CurExec = *Fst;
+        bool Ok = genStmt(*S->FstBody);
+        CurExec = Saved;
+        popScope();
+        if (!Ok)
+          return false;
+      }
+      --Indent;
+      line("} else {");
+      ++Indent;
+      {
+        pushScope();
+        Sym Binder;
+        Binder.K = Sym::ExecVar;
+        Binder.CppName = S->SndName;
+        Binder.Exec = *Snd;
+        Binder.OpsBegin = Target->Exec.numOps();
+        Binder.OpsEnd = Snd->numOps();
+        bind(S->SndName, std::move(Binder));
+        ExecResource Saved = CurExec;
+        CurExec = *Snd;
+        bool Ok = genStmt(*S->SndBody);
+        CurExec = Saved;
+        popScope();
+        if (!Ok)
+          return false;
+      }
+      --Indent;
+      line("}");
+      return true;
+    }
+    case ExprKind::Sync:
+      phaseBreak();
+      return true;
+    case ExprKind::ForNat: {
+      const auto *F = cast<ForNatExpr>(&E);
+      Nat Lo = substLoopConsts(F->Lo).simplified();
+      Nat Hi = substLoopConsts(F->Hi).simplified();
+      // Loops whose body synchronizes (sim: phase boundaries) or splits
+      // the hierarchy (iteration-dependent split positions like n/2^s)
+      // are unrolled; their ranges are statically evaluated (Fig. 5).
+      bool NeedUnroll = containsSyncOrSplit(*F->Body);
+      if (NeedUnroll) {
+        if (!Lo.isLit() || !Hi.isLit())
+          return fail("loops containing sync or split need static bounds, "
+                      "got [" +
+                      Lo.str() + ".." + Hi.str() + "]");
+        for (long long V = Lo.litValue(); V < Hi.litValue(); ++V) {
+          pushScope();
+          Sym S;
+          S.K = Sym::NatVar;
+          S.CppName = F->Var;
+          S.ConstVal = Nat::lit(V);
+          bind(F->Var, std::move(S));
+          bool Ok = genStmt(*F->Body);
+          popScope();
+          if (!Ok)
+            return false;
+        }
+        return true;
+      }
+      line(strfmt("for (long long %s = %s; %s < %s; ++%s) {",
+                  F->Var.c_str(), natToCpp(Lo).c_str(), F->Var.c_str(),
+                  natToCpp(Hi).c_str(), F->Var.c_str()));
+      ++Indent;
+      pushScope();
+      Sym S;
+      S.K = Sym::NatVar;
+      S.CppName = F->Var;
+      bind(F->Var, std::move(S));
+      bool Ok = genStmt(*F->Body);
+      popScope();
+      --Indent;
+      line("}");
+      return Ok;
+    }
+    default:
+      return fail("unsupported statement in kernel: " + exprToString(E));
+    }
+  }
+
+public:
+  bool runKernel(const FnDef &Fn) {
+    Phases.clear();
+    CudaBody.clear();
+    SharedBytes = 0;
+    LocalBytesPerThread = 0;
+    Out.str("");
+    Syms.clear();
+    Scopes.clear();
+
+    auto Threads = Fn.Exec.BlockDim.total().evaluate({});
+    if (!Threads)
+      return fail("kernel block dimensions must be concrete; instantiate "
+                  "generic sizes first (--define)");
+    ThreadsPerBlock = *Threads;
+
+    pushScope();
+    ExecResource Grid =
+        ExecResource::gpuGrid(Fn.ExecName, Fn.Exec.GridDim, Fn.Exec.BlockDim);
+    Sym ExecSym;
+    ExecSym.K = Sym::ExecVar;
+    ExecSym.CppName = Fn.ExecName;
+    ExecSym.Exec = Grid;
+    bind(Fn.ExecName, std::move(ExecSym));
+    CurExec = Grid;
+
+    for (const FnParam &P : Fn.Params) {
+      const auto *Ref = dyn_cast<RefType>(P.Ty.get());
+      if (!Ref)
+        return fail("kernel parameters must be references to global "
+                    "memory: " +
+                    P.Name);
+      std::vector<Nat> Dims;
+      ScalarKind Elem = ScalarKind::F64;
+      if (!arrayNest(Ref->Pointee, Dims, Elem))
+        return fail("kernel parameter must reference an array of scalars: " +
+                    P.Name);
+      Sym S;
+      S.K = Sym::GlobalBuf;
+      S.CppName = P.Name;
+      S.Elem = Elem;
+      S.Dims = std::move(Dims);
+      S.Uniq = Ref->Own == Ownership::Uniq;
+      bind(P.Name, std::move(S));
+    }
+
+    bool Ok = Fn.Body ? genStmt(*Fn.Body) : true;
+    popScope();
+    if (!Ok)
+      return false;
+
+    if (B == Backend::Sim)
+      Phases.push_back(Out.str());
+    else
+      CudaBody = Out.str();
+    return true;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sim backend assembly
+//===----------------------------------------------------------------------===//
+
+GenResult descend::emitSim(const Module &M, const std::string &FnSuffix) {
+  GenResult R;
+  std::ostringstream OS;
+  OS << "// Generated by descendc --emit=sim. Do not edit.\n";
+  OS << "#pragma once\n\n#include \"sim/Sim.h\"\n\n#include <cstdint>\n\n";
+  OS << "namespace descend::gen {\n";
+
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isGpuFn())
+      continue;
+    Lowerer L(M, Backend::Sim);
+    if (!L.runKernel(Fn)) {
+      R.Error = "while lowering `" + Fn.Name + "`: " + L.Error;
+      return R;
+    }
+
+    auto GridOf = [](const Dim &D) {
+      auto Get = [&](Axis A) -> unsigned {
+        if (!D.hasAxis(A))
+          return 1;
+        auto V = D.extent(A).evaluate({});
+        return V ? static_cast<unsigned>(*V) : 1;
+      };
+      return strfmt("descend::sim::Dim3{%u, %u, %u}", Get(Axis::X),
+                    Get(Axis::Y), Get(Axis::Z));
+    };
+
+    unsigned Threads = 1;
+    if (auto T = Fn.Exec.BlockDim.total().evaluate({}))
+      Threads = *T;
+    size_t SharedTotal = (L.SharedBytes + 7) & ~size_t(7);
+    size_t ArenaBytes = SharedTotal + L.LocalBytesPerThread * Threads;
+
+    OS << "\n/// " << Fn.signature() << "\n";
+    OS << "inline void " << Fn.Name << FnSuffix
+       << "(descend::sim::GpuDevice &_dev";
+    for (const FnParam &P : Fn.Params) {
+      std::vector<Nat> Dims;
+      ScalarKind Elem = ScalarKind::F64;
+      const auto *Ref = cast<RefType>(P.Ty.get());
+      arrayNest(Ref->Pointee, Dims, Elem);
+      OS << ",\n    descend::sim::GpuDevice::Buffer<" << cppScalarType(Elem)
+         << "> " << P.Name;
+    }
+    OS << ") {\n";
+    OS << "  using descend::sim::BlockCtx;\n";
+    OS << "  using descend::sim::ThreadCtx;\n";
+    OS << "  constexpr size_t _locals_base = " << SharedTotal << ";\n";
+    OS << "  (void)_locals_base;\n";
+    OS << "  descend::sim::launchPhases(_dev, " << GridOf(Fn.Exec.GridDim)
+       << ", " << GridOf(Fn.Exec.BlockDim) << ", " << ArenaBytes;
+    for (const std::string &Phase : L.Phases) {
+      OS << ",\n    [&](BlockCtx &_b, ThreadCtx &_t) {\n";
+      OS << "      const long long _bx = _b.X, _by = _b.Y, _bz = _b.Z;\n";
+      OS << "      const long long _tx = _t.X, _ty = _t.Y, _tz = _t.Z;\n";
+      OS << "      const size_t _lin = _b.CurThread;\n";
+      OS << "      (void)_bx; (void)_by; (void)_bz; (void)_tx; (void)_ty; "
+            "(void)_tz; (void)_lin;\n";
+      // Indent the phase body two extra levels.
+      std::istringstream Body(Phase);
+      std::string LineStr;
+      while (std::getline(Body, LineStr))
+        OS << "    " << LineStr << "\n";
+      OS << "    }";
+    }
+    OS << ");\n}\n";
+  }
+  OS << "\n} // namespace descend::gen\n";
+  R.Ok = true;
+  R.Code = OS.str();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// CUDA backend assembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal host-side emitter for cpu.thread functions: covers the memory
+/// API of Section 3.4 and kernel launches of Section 3.5.
+class HostEmitter {
+public:
+  HostEmitter(const Module &M, std::ostringstream &OS) : M(M), OS(OS) {}
+
+  bool emit(const FnDef &Fn) {
+    OS << "void " << Fn.Name << "(";
+    for (size_t I = 0; I != Fn.Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      emitParam(Fn.Params[I]);
+    }
+    OS << ") {\n";
+    bool Ok = emitBlock(*cast<BlockExpr>(Fn.Body.get()), 1);
+    OS << "}\n";
+    return Ok;
+  }
+
+  std::string Error;
+
+private:
+  const Module &M;
+  std::ostringstream &OS;
+  std::map<std::string, std::string> VarTypes; // host vars -> C type
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  void indent(unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      OS << "  ";
+  }
+
+  void emitParam(const FnParam &P) {
+    std::vector<Nat> Dims;
+    ScalarKind Elem = ScalarKind::F64;
+    if (const auto *Ref = dyn_cast<RefType>(P.Ty.get());
+        Ref && arrayNest(Ref->Pointee, Dims, Elem)) {
+      OS << (Ref->Own == Ownership::Shrd ? "const " : "")
+         << cppScalarType(Elem) << " *" << P.Name;
+      return;
+    }
+    if (const auto *S = dyn_cast<ScalarType>(P.Ty.get())) {
+      OS << cppScalarType(S->Scalar) << " " << P.Name;
+      return;
+    }
+    OS << "/*unsupported*/ int " << P.Name;
+  }
+
+  bool emitBlock(const BlockExpr &Blk, unsigned Depth) {
+    for (const ExprPtr &S : Blk.Stmts)
+      if (!emitStmt(*S, Depth))
+        return false;
+    return true;
+  }
+
+  bool emitStmt(const Expr &E, unsigned Depth) {
+    switch (E.kind()) {
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(&E);
+      return emitLet(*L, Depth);
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(&E);
+      return emitCall(*C, Depth, /*LetName=*/"");
+    }
+    case ExprKind::Block:
+      indent(Depth);
+      OS << "{\n";
+      if (!emitBlock(*cast<BlockExpr>(&E), Depth + 1))
+        return false;
+      indent(Depth);
+      OS << "}\n";
+      return true;
+    default:
+      return fail("unsupported host statement: " + exprToString(E));
+    }
+  }
+
+  bool emitLet(const LetExpr &L, unsigned Depth) {
+    const auto *C = dyn_cast<CallExpr>(L.Init.get());
+    if (C)
+      return emitCall(*C, Depth, L.Name);
+    return fail("unsupported host let initializer: " +
+                exprToString(*L.Init));
+  }
+
+  std::string argName(const Expr &E) {
+    if (const auto *B = dyn_cast<BorrowExpr>(&E))
+      return cast<PlaceExpr>(B->Place.get())->rootVar();
+    if (const auto *P = dyn_cast<PlaceExpr>(&E))
+      return P->rootVar();
+    return "";
+  }
+
+  bool emitCall(const CallExpr &C, unsigned Depth, const std::string &Let) {
+    if (C.Callee == "CpuHeap::new") {
+      const auto *Init = dyn_cast<ArrayInitExpr>(C.Args[0].get());
+      if (!Init)
+        return fail("CpuHeap::new expects an array initializer");
+      const auto *ElemTy =
+          dyn_cast_if_present<ScalarType>(Init->Elem->Ty.get());
+      std::string CT = ElemTy ? cppScalarType(ElemTy->Scalar) : "double";
+      indent(Depth);
+      OS << "std::vector<" << CT << "> " << Let << "("
+         << Init->Count.simplified().str() << ", "
+         << exprToString(*Init->Elem) << ");\n";
+      VarTypes[Let] = CT;
+      return true;
+    }
+    if (C.Callee == "GpuGlobal::alloc_copy") {
+      std::string Src = argName(*C.Args[0]);
+      std::string CT = VarTypes.count(Src) ? VarTypes[Src] : "double";
+      indent(Depth);
+      OS << CT << " *" << Let << ";\n";
+      indent(Depth);
+      OS << "cudaMalloc(&" << Let << ", " << Src << ".size() * sizeof(" << CT
+         << "));\n";
+      indent(Depth);
+      OS << "cudaMemcpy(" << Let << ", " << Src << ".data(), " << Src
+         << ".size() * sizeof(" << CT << "), cudaMemcpyHostToDevice);\n";
+      VarTypes[Let] = CT;
+      return true;
+    }
+    if (C.Callee == "copy_mem_to_host" || C.Callee == "copy_to_gpu") {
+      bool ToHost = C.Callee == "copy_mem_to_host";
+      std::string Dst = argName(*C.Args[0]);
+      std::string Src = argName(*C.Args[1]);
+      std::string CT = VarTypes.count(ToHost ? Dst : Src)
+                           ? VarTypes[ToHost ? Dst : Src]
+                           : "double";
+      indent(Depth);
+      if (ToHost)
+        OS << "cudaMemcpy(" << Dst << ".data(), " << Src << ", " << Dst
+           << ".size() * sizeof(" << CT << "), cudaMemcpyDeviceToHost);\n";
+      else
+        OS << "cudaMemcpy(" << Dst << ", " << Src << ".data(), " << Src
+           << ".size() * sizeof(" << CT << "), cudaMemcpyHostToDevice);\n";
+      return true;
+    }
+    if (C.IsLaunch) {
+      auto DimOf = [&](const Dim &D) {
+        auto Get = [&](Axis A) -> std::string {
+          return D.hasAxis(A) ? D.extent(A).simplified().str() : "1";
+        };
+        return "dim3(" + Get(Axis::X) + ", " + Get(Axis::Y) + ", " +
+               Get(Axis::Z) + ")";
+      };
+      indent(Depth);
+      OS << C.Callee << "<<<" << DimOf(C.LaunchGrid) << ", "
+         << DimOf(C.LaunchBlock) << ">>>(";
+      for (size_t I = 0; I != C.Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << argName(*C.Args[I]);
+      }
+      OS << ");\n";
+      indent(Depth);
+      OS << "cudaDeviceSynchronize();\n";
+      return true;
+    }
+    return fail("unsupported host call: " + C.Callee);
+  }
+};
+
+} // namespace
+
+GenResult descend::emitCuda(const Module &M) {
+  GenResult R;
+  std::ostringstream OS;
+  OS << "// Generated by descendc --emit=cuda. Do not edit.\n";
+  OS << "#include <cstdint>\n#include <cstdio>\n#include <vector>\n";
+  OS << "#include <cuda_runtime.h>\n\n";
+
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isGpuFn())
+      continue;
+    Lowerer L(M, Backend::Cuda);
+    if (!L.runKernel(Fn)) {
+      R.Error = "while lowering `" + Fn.Name + "`: " + L.Error;
+      return R;
+    }
+    OS << "/// " << Fn.signature() << "\n";
+    OS << "__global__ void " << Fn.Name << "(";
+    for (size_t I = 0; I != Fn.Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      const auto *Ref = cast<RefType>(Fn.Params[I].Ty.get());
+      std::vector<Nat> Dims;
+      ScalarKind Elem = ScalarKind::F64;
+      arrayNest(Ref->Pointee, Dims, Elem);
+      OS << (Ref->Own == Ownership::Shrd ? "const " : "")
+         << cppScalarType(Elem) << " *" << Fn.Params[I].Name;
+    }
+    OS << ") {\n" << L.CudaBody << "}\n\n";
+  }
+
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isCpuFn())
+      continue;
+    HostEmitter H(M, OS);
+    if (!H.emit(Fn)) {
+      R.Error = "while emitting host `" + Fn.Name + "`: " + H.Error;
+      return R;
+    }
+    OS << "\n";
+  }
+
+  R.Ok = true;
+  R.Code = OS.str();
+  return R;
+}

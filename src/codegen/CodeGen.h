@@ -1,0 +1,54 @@
+//===- codegen/CodeGen.h - Descend code generation --------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Translates well-typed Descend modules
+// (Section 5):
+//
+//  * CUDA backend: GPU grid functions become __global__ kernels; sched
+//    disappears (the bound execution resource becomes blockIdx/threadIdx),
+//    selections and views compile to raw indices (lowered through
+//    views/IndexSpace and normalized by the nat simplifier), split becomes
+//    an if/else over coordinates, sync becomes __syncthreads(). CPU
+//    functions become host C++ using the CUDA runtime API.
+//
+//  * Sim backend: the same lowering, but kernels are emitted as
+//    phase-structured C++ against sim/Sim.h, with sync compiled into a
+//    phase boundary. for-nat loops containing sync are unrolled (their
+//    ranges are statically evaluated). This is the backend the Figure 8
+//    reproduction compiles and measures.
+//
+// Code generation assumes the module already passed the TypeChecker and
+// that generic functions were instantiated (Driver::defineNat); remaining
+// inconsistencies are internal errors.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_CODEGEN_CODEGEN_H
+#define DESCEND_CODEGEN_CODEGEN_H
+
+#include "ast/Item.h"
+
+#include <optional>
+#include <string>
+
+namespace descend {
+
+class DiagnosticEngine;
+
+/// Result of a code generation run.
+struct GenResult {
+  bool Ok = false;
+  std::string Code;
+  std::string Error; // set when !Ok
+};
+
+/// Emits CUDA C++ for the whole module (kernels + host functions).
+GenResult emitCuda(const Module &M);
+
+/// Emits simulator C++ (one inline launch function per GPU grid function)
+/// into a self-contained header. \p FnSuffix is appended to every emitted
+/// function name so multiple instantiations can coexist in one binary.
+GenResult emitSim(const Module &M, const std::string &FnSuffix = "");
+
+} // namespace descend
+
+#endif // DESCEND_CODEGEN_CODEGEN_H

@@ -1,0 +1,67 @@
+//===- driver/Compiler.h - End-to-end compilation pipeline ------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The public facade library users and
+// the descendc tool drive: source text -> parse -> (optional) generic size
+// instantiation -> type check -> code generation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_DRIVER_COMPILER_H
+#define DESCEND_DRIVER_COMPILER_H
+
+#include "ast/Item.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace descend {
+
+struct CompileOptions {
+  /// Instantiates generic nat parameters (and free size variables) before
+  /// type checking, e.g. {"n", 1024}. Mirrors how the call side fixes grid
+  /// size variables (Section 3.5), but at compile-tool granularity.
+  std::map<std::string, long long> Defines;
+};
+
+/// One compilation session. Owns the source manager and diagnostics so
+/// rendered messages can point into the source.
+class Compiler {
+public:
+  Compiler();
+
+  /// Parses and type-checks \p Source. Returns true on success; the module
+  /// remains available either way (it may be partially usable).
+  bool compile(const std::string &BufferName, const std::string &Source,
+               const CompileOptions &Options = {});
+
+  Module *module() { return Mod.get(); }
+  const Module *module() const { return Mod.get(); }
+
+  DiagnosticEngine &diagnostics() { return Diags; }
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+
+  /// Renders all collected diagnostics.
+  std::string renderDiagnostics() const { return Diags.renderAll(); }
+
+  /// Code generation (compile() must have succeeded).
+  std::string emitCudaCode(std::string *Error = nullptr) const;
+  std::string emitSimCode(std::string *Error = nullptr,
+                          const std::string &FnSuffix = "") const;
+
+private:
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> Mod;
+};
+
+/// Substitutes nat variables by literals everywhere in the module (types,
+/// dimensions, view arguments, loop bounds, split positions) and removes
+/// the instantiated generic parameters.
+void instantiateNats(Module &M, const std::map<std::string, long long> &Defs);
+
+} // namespace descend
+
+#endif // DESCEND_DRIVER_COMPILER_H

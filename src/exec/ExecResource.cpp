@@ -1,0 +1,255 @@
+//===- exec/ExecResource.cpp ------------------------------------------------===//
+
+#include "exec/ExecResource.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+ExecResource ExecResource::cpuThread() {
+  ExecResource E;
+  E.Cpu = true;
+  E.Base = "cpu.thread";
+  return E;
+}
+
+ExecResource ExecResource::gpuGrid(std::string Name, Dim GridDim,
+                                   Dim BlockDim) {
+  ExecResource E;
+  E.Cpu = false;
+  E.Base = std::move(Name);
+  E.GridDim = std::move(GridDim);
+  E.BlockDim = std::move(BlockDim);
+  return E;
+}
+
+/// Axes of \p D that are consumed by a Forall at \p Stage in \p Ops.
+static bool forallConsumed(const std::vector<ExecOp> &Ops, unsigned Stage,
+                           Axis A) {
+  for (const ExecOp &Op : Ops)
+    if (Op.Kind == ExecOpKind::Forall && Op.Stage == Stage && Op.Ax == A)
+      return true;
+  return false;
+}
+
+unsigned ExecResource::currentStage() const {
+  if (Cpu)
+    return 2;
+  for (unsigned Stage = 0; Stage != 2; ++Stage) {
+    const Dim &D = Stage == 0 ? GridDim : BlockDim;
+    for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+      if (D.hasAxis(A) && !forallConsumed(Ops, Stage, A))
+        return Stage;
+  }
+  return 2;
+}
+
+Nat ExecResource::remainingExtent(unsigned Stage, Axis A) const {
+  const Dim &D = Stage == 0 ? GridDim : BlockDim;
+  if (!D.hasAxis(A))
+    return Nat();
+  Nat Extent = D.extent(A);
+  for (const ExecOp &Op : Ops) {
+    if (Op.Stage != Stage || Op.Ax != A)
+      continue;
+    switch (Op.Kind) {
+    case ExecOpKind::Forall:
+      return Nat(); // consumed
+    case ExecOpKind::SplitFst:
+      Extent = Op.Pos;
+      break;
+    case ExecOpKind::SplitSnd:
+      Extent = Nat::sub(Extent, Op.Pos);
+      break;
+    }
+  }
+  return Extent;
+}
+
+bool ExecResource::axisAvailable(Axis A) const {
+  unsigned Stage = currentStage();
+  if (Stage > 1)
+    return false;
+  return !remainingExtent(Stage, A).isNull();
+}
+
+std::optional<ExecResource> ExecResource::forall(Axis A,
+                                                 std::string *Err) const {
+  if (Cpu) {
+    if (Err)
+      *Err = "cannot schedule over a CPU thread";
+    return std::nullopt;
+  }
+  unsigned Stage = currentStage();
+  if (Stage > 1) {
+    if (Err)
+      *Err = "cannot schedule inside a single thread";
+    return std::nullopt;
+  }
+  if (remainingExtent(Stage, A).isNull()) {
+    if (Err)
+      *Err = strfmt("dimension %s does not exist at this level of the "
+                    "execution hierarchy",
+                    axisName(A));
+    return std::nullopt;
+  }
+  ExecResource Out = *this;
+  ExecOp Op;
+  Op.Kind = ExecOpKind::Forall;
+  Op.Ax = A;
+  Op.Stage = Stage;
+  Op.Extent = remainingExtent(Stage, A);
+  Out.Ops.push_back(std::move(Op));
+  return Out;
+}
+
+std::optional<ExecResource> ExecResource::split(Axis A, Nat Pos, bool TakeFst,
+                                                std::string *Err) const {
+  if (Cpu) {
+    if (Err)
+      *Err = "cannot split a CPU thread";
+    return std::nullopt;
+  }
+  unsigned Stage = currentStage();
+  if (Stage > 1) {
+    if (Err)
+      *Err = "cannot split a single thread";
+    return std::nullopt;
+  }
+  Nat Extent = remainingExtent(Stage, A);
+  if (Extent.isNull()) {
+    if (Err)
+      *Err = strfmt("dimension %s does not exist at this level of the "
+                    "execution hierarchy",
+                    axisName(A));
+    return std::nullopt;
+  }
+  auto InBounds = Nat::proveLe(Pos, Extent);
+  if (!InBounds || !*InBounds) {
+    if (Err)
+      *Err = strfmt("cannot prove split position %s within extent %s",
+                    Pos.str().c_str(), Extent.str().c_str());
+    return std::nullopt;
+  }
+  ExecResource Out = *this;
+  ExecOp Op;
+  Op.Kind = TakeFst ? ExecOpKind::SplitFst : ExecOpKind::SplitSnd;
+  Op.Ax = A;
+  Op.Stage = Stage;
+  Op.Extent = Extent;
+  Op.Pos = std::move(Pos);
+  Out.Ops.push_back(std::move(Op));
+  return Out;
+}
+
+std::optional<ExecLevel> ExecResource::level() const {
+  if (Cpu)
+    return ExecLevel::cpuThread();
+  bool HasSplit = false;
+  for (const ExecOp &Op : Ops)
+    if (Op.Kind != ExecOpKind::Forall)
+      HasSplit = true;
+  unsigned Stage = currentStage();
+  if (Ops.empty())
+    return ExecLevel::gpuGrid(GridDim, BlockDim);
+  if (HasSplit)
+    return std::nullopt; // split groups are not callable levels
+  if (Stage == 1) {
+    // All block axes consumed, no thread axis consumed -> one block each.
+    for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+      if (BlockDim.hasAxis(A) && forallConsumed(Ops, 1, A))
+        return std::nullopt; // partially scheduled threads
+    return ExecLevel::gpuBlock(BlockDim);
+  }
+  if (Stage == 2)
+    return ExecLevel::gpuThread();
+  return std::nullopt; // partially scheduled blocks
+}
+
+ExecResource::SyncLegality ExecResource::syncLegality() const {
+  if (Cpu)
+    return SyncLegality::NotInBlock;
+  // Must be within a single block: every grid axis consumed by forall
+  // (split groups of blocks still contain whole blocks, which is fine, but
+  // the block axes must be fully scheduled down to one block per instance).
+  for (Axis A : {Axis::X, Axis::Y, Axis::Z})
+    if (GridDim.hasAxis(A) && !forallConsumed(Ops, 0, A))
+      return SyncLegality::NotInBlock;
+  // No thread-stage split: otherwise only part of the block executes the
+  // barrier (Section 2.2's error example).
+  for (const ExecOp &Op : Ops)
+    if (Op.Stage == 1 && Op.Kind != ExecOpKind::Forall)
+      return SyncLegality::InSplit;
+  return SyncLegality::Ok;
+}
+
+bool ExecResource::disjoint(const ExecResource &A, const ExecResource &B) {
+  if (A.Cpu != B.Cpu || A.Base != B.Base)
+    return false; // different bases: unrelated, not provably disjoint threads
+  size_t N = std::min(A.Ops.size(), B.Ops.size());
+  for (size_t I = 0; I != N; ++I) {
+    const ExecOp &OA = A.Ops[I];
+    const ExecOp &OB = B.Ops[I];
+    if (OA == OB)
+      continue;
+    // Diverging at a split with identical axis/stage/position but opposite
+    // projections means disjoint thread sets.
+    bool BothSplit = OA.Kind != ExecOpKind::Forall &&
+                     OB.Kind != ExecOpKind::Forall;
+    if (BothSplit && OA.Ax == OB.Ax && OA.Stage == OB.Stage &&
+        Nat::proveEq(OA.Pos, OB.Pos) && OA.Kind != OB.Kind)
+      return true;
+    return false; // diverged incomparably
+  }
+  return false;
+}
+
+bool ExecResource::isPrefixOf(const ExecResource &A, const ExecResource &B) {
+  if (A.Cpu != B.Cpu || A.Base != B.Base)
+    return false;
+  if (A.Ops.size() > B.Ops.size())
+    return false;
+  for (size_t I = 0; I != A.Ops.size(); ++I)
+    if (!(A.Ops[I] == B.Ops[I]))
+      return false;
+  return true;
+}
+
+bool ExecResource::equal(const ExecResource &A, const ExecResource &B) {
+  return A.Ops.size() == B.Ops.size() && isPrefixOf(A, B);
+}
+
+ExecResource ExecResource::blockPrefix() const {
+  ExecResource Out = *this;
+  Out.Ops.clear();
+  for (const ExecOp &Op : Ops) {
+    if (Op.Stage != 0)
+      break;
+    Out.Ops.push_back(Op);
+  }
+  return Out;
+}
+
+std::string ExecResource::str() const {
+  if (Cpu)
+    return "cpu.thread";
+  std::ostringstream OS;
+  OS << "gpu.grid<" << GridDim.str() << ", " << BlockDim.str() << ">";
+  for (const ExecOp &Op : Ops) {
+    switch (Op.Kind) {
+    case ExecOpKind::Forall:
+      OS << ".forall(" << axisName(Op.Ax) << ")";
+      break;
+    case ExecOpKind::SplitFst:
+      OS << ".split(" << Op.Pos.str() << ", " << axisName(Op.Ax) << ").fst";
+      break;
+    case ExecOpKind::SplitSnd:
+      OS << ".split(" << Op.Pos.str() << ", " << axisName(Op.Ax) << ").snd";
+      break;
+    }
+  }
+  return OS.str();
+}

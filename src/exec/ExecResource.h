@@ -1,0 +1,142 @@
+//===- exec/ExecResource.h - Execution resources (Fig. 2) -------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Implements the execution-resource
+// grammar of Fig. 2:
+//
+//   e ::= cpu.thread
+//       | gpu.grid<d, d>
+//       | e.forall([X|Y|Z])
+//       | e.split(η, [X|Y|Z]).[fst|snd]
+//
+// An execution resource is a base (a CPU thread or a whole GPU grid) plus a
+// chain of ops. Ops apply to one of two *stages*: stage 0 schedules blocks
+// of the grid, stage 1 schedules threads within a block. A `forall` over an
+// axis descends the hierarchy along that axis (all sub-resources execute
+// the same code); a `split` carves the current group in two independent
+// parts along an axis.
+//
+// The three purposes listed in Section 3.1 map to the queries below:
+//  1. what runs on CPU vs GPU              -> level()
+//  2. which instructions run where (sync!) -> syncLegality(), stage info
+//  3. sizes for code generation            -> extents, coordinates
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_EXEC_EXECRESOURCE_H
+#define DESCEND_EXEC_EXECRESOURCE_H
+
+#include "ast/Type.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+enum class ExecOpKind { Forall, SplitFst, SplitSnd };
+
+/// One step of hierarchical scheduling.
+struct ExecOp {
+  ExecOpKind Kind = ExecOpKind::Forall;
+  Axis Ax = Axis::X;
+  unsigned Stage = 0; // 0 == blocks-in-grid, 1 == threads-in-block
+  Nat Pos;            // split position (splits only)
+  Nat Extent;         // extent of the axis when the op was applied
+
+  friend bool operator==(const ExecOp &A, const ExecOp &B) {
+    if (A.Kind != B.Kind || A.Ax != B.Ax || A.Stage != B.Stage)
+      return false;
+    if (A.Kind == ExecOpKind::Forall)
+      return true;
+    return Nat::proveEq(A.Pos, B.Pos);
+  }
+};
+
+/// An execution resource: base plus op chain. Immutable; forall()/split()
+/// return extended copies.
+class ExecResource {
+public:
+  /// The executing CPU thread (base of host functions).
+  static ExecResource cpuThread();
+
+  /// The full GPU grid a kernel is executed by. \p Name is the binder from
+  /// the function signature (e.g. "grid").
+  static ExecResource gpuGrid(std::string Name, Dim GridDim, Dim BlockDim);
+
+  bool isCpu() const { return Cpu; }
+  bool isGpu() const { return !Cpu; }
+
+  const std::string &baseName() const { return Base; }
+  const std::vector<ExecOp> &ops() const { return Ops; }
+
+  /// The stage (0 = blocks, 1 = threads) the next op applies to, i.e. the
+  /// first stage with axes not yet consumed by forall. Returns 2 when both
+  /// stages are fully scheduled (a single thread).
+  unsigned currentStage() const;
+
+  /// Extent of \p A at \p Stage after the splits so far; null if the axis
+  /// is absent or already consumed by a forall.
+  Nat remainingExtent(unsigned Stage, Axis A) const;
+
+  /// True if \p A at the current stage can still be scheduled over.
+  bool axisAvailable(Axis A) const;
+
+  /// e.forall(A); nullopt + error message if A is unavailable.
+  std::optional<ExecResource> forall(Axis A, std::string *Err = nullptr) const;
+
+  /// e.split(Pos, A).fst / .snd; nullopt + error if A unavailable or the
+  /// position cannot be proven within the extent.
+  std::optional<ExecResource> split(Axis A, Nat Pos, bool TakeFst,
+                                    std::string *Err = nullptr) const;
+
+  /// The execution level of this resource if it corresponds to one of the
+  /// Fig. 6 levels (used for function-call matching): cpu.Thread, the full
+  /// gpu.Grid, a gpu.Block, or a gpu.Thread. Split groups and partially
+  /// scheduled resources have no level.
+  std::optional<ExecLevel> level() const;
+
+  /// Whether a barrier is legal for code executed by this resource: the
+  /// resource must be inside a single block (stage 0 fully scheduled) and
+  /// not inside a thread-stage split — otherwise not all threads of the
+  /// block reach the barrier (Section 2.2).
+  enum class SyncLegality { Ok, NotInBlock, InSplit };
+  SyncLegality syncLegality() const;
+
+  /// True if the two resources denote provably disjoint sets of threads:
+  /// equal prefixes diverging at a split with the same axis/stage/position
+  /// but opposite projections.
+  static bool disjoint(const ExecResource &A, const ExecResource &B);
+
+  /// True if A's op chain is a prefix of B's (same base).
+  static bool isPrefixOf(const ExecResource &A, const ExecResource &B);
+
+  static bool equal(const ExecResource &A, const ExecResource &B);
+
+  /// Formal notation per Fig. 1, e.g.
+  /// "gpu.grid<XY<2,2>, XY<4,4>>.forall(X).split(1, Y).fst".
+  std::string str() const;
+
+  /// Number of ops in the chain (used to identify which forall ops a
+  /// sched-bound variable contributed; see Typeck narrowing).
+  unsigned numOps() const { return Ops.size(); }
+
+  /// The enclosing block: this resource restricted to its stage-0 ops.
+  /// Used by sync to clear the accesses of the synchronized block's
+  /// threads.
+  ExecResource blockPrefix() const;
+
+  const Dim &gridDim() const { return GridDim; }
+  const Dim &blockDim() const { return BlockDim; }
+
+private:
+  ExecResource() = default;
+
+  bool Cpu = false;
+  std::string Base;
+  Dim GridDim, BlockDim;
+  std::vector<ExecOp> Ops;
+};
+
+} // namespace descend
+
+#endif // DESCEND_EXEC_EXECRESOURCE_H

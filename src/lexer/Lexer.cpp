@@ -1,0 +1,328 @@
+//===- lexer/Lexer.cpp ------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include "support/SourceManager.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace descend;
+
+const char *descend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwSched:
+    return "'sched'";
+  case TokenKind::KwSplit:
+    return "'split'";
+  case TokenKind::KwAt:
+    return "'at'";
+  case TokenKind::KwSync:
+    return "'sync'";
+  case TokenKind::KwView:
+    return "'view'";
+  case TokenKind::KwUniq:
+    return "'uniq'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::ColonColon:
+    return "'::'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::FatArrow:
+    return "'=>'";
+  case TokenKind::ThinArrow:
+    return "'->'";
+  case TokenKind::AtSign:
+    return "'@'";
+  case TokenKind::Caret:
+    return "'^'";
+  }
+  return "<token>";
+}
+
+Lexer::Lexer(const SourceManager &SM, uint32_t BufferId,
+             DiagnosticEngine &Diags)
+    : Text(SM.bufferText(BufferId)), BufferId(BufferId), Diags(Diags) {}
+
+bool Lexer::atEnd() const { return Pos >= Text.size(); }
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+SourceLoc Lexer::loc() const { return SourceLoc(BufferId, Pos); }
+
+Token Lexer::make(TokenKind Kind, uint32_t Begin) const {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Text.substr(Begin, Pos - Begin);
+  T.Range = SourceRange(SourceLoc(BufferId, Begin), SourceLoc(BufferId, Pos));
+  return T;
+}
+
+static TokenKind keywordKind(std::string_view S) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},       {"let", TokenKind::KwLet},
+      {"for", TokenKind::KwFor},     {"in", TokenKind::KwIn},
+      {"sched", TokenKind::KwSched}, {"split", TokenKind::KwSplit},
+      {"at", TokenKind::KwAt},       {"sync", TokenKind::KwSync},
+      {"view", TokenKind::KwView},   {"uniq", TokenKind::KwUniq},
+      {"true", TokenKind::KwTrue},   {"false", TokenKind::KwFalse},
+  };
+  auto It = Keywords.find(S);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      return Tokens;
+  }
+}
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd()) {
+        Diags.error(DiagCode::LexUnterminatedComment,
+                    SourceRange(SourceLoc(BufferId, Begin), loc()),
+                    "unterminated block comment");
+        return make(TokenKind::Eof, Pos);
+      }
+      Pos += 2;
+      continue;
+    }
+    break;
+  }
+
+  uint32_t Begin = Pos;
+  if (atEnd())
+    return make(TokenKind::Eof, Begin);
+
+  char C = peek();
+
+  // Identifiers and keywords.
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      ++Pos;
+    Token T = make(TokenKind::Identifier, Begin);
+    T.Kind = keywordKind(T.Text);
+    return T;
+  }
+
+  // Numbers: 123, 123i64, 1.5, 2.0f32. A '.' is part of the number only
+  // when followed by a digit ("[0..4]" must lex as 0 .. 4).
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    bool IsFloat = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      ++Pos;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    // Optional type suffix: i32, u32, i64, u64, f32, f64.
+    if (peek() == 'i' || peek() == 'u' || peek() == 'f') {
+      char S = peek();
+      if ((peek(1) == '3' && peek(2) == '2') ||
+          (peek(1) == '6' && peek(2) == '4')) {
+        if (S == 'f' && peek(1) == '3' && !IsFloat)
+          IsFloat = true; // 2f32 is a float literal
+        if (S == 'f' && peek(1) == '6' && !IsFloat)
+          IsFloat = true;
+        Pos += 3;
+      }
+    }
+    return make(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                Begin);
+  }
+
+  ++Pos; // consume C
+  switch (C) {
+  case '(':
+    return make(TokenKind::LParen, Begin);
+  case ')':
+    return make(TokenKind::RParen, Begin);
+  case '{':
+    return make(TokenKind::LBrace, Begin);
+  case '}':
+    return make(TokenKind::RBrace, Begin);
+  case '[':
+    return make(TokenKind::LBracket, Begin);
+  case ']':
+    return make(TokenKind::RBracket, Begin);
+  case ',':
+    return make(TokenKind::Comma, Begin);
+  case ';':
+    return make(TokenKind::Semicolon, Begin);
+  case '.':
+    if (peek() == '.') {
+      ++Pos;
+      return make(TokenKind::DotDot, Begin);
+    }
+    return make(TokenKind::Dot, Begin);
+  case ':':
+    if (peek() == ':') {
+      ++Pos;
+      return make(TokenKind::ColonColon, Begin);
+    }
+    return make(TokenKind::Colon, Begin);
+  case '<':
+    if (peek() == '=') {
+      ++Pos;
+      return make(TokenKind::LessEqual, Begin);
+    }
+    return make(TokenKind::Less, Begin);
+  case '>':
+    if (peek() == '=') {
+      ++Pos;
+      return make(TokenKind::GreaterEqual, Begin);
+    }
+    return make(TokenKind::Greater, Begin);
+  case '&':
+    if (peek() == '&') {
+      ++Pos;
+      return make(TokenKind::AmpAmp, Begin);
+    }
+    return make(TokenKind::Amp, Begin);
+  case '|':
+    if (peek() == '|') {
+      ++Pos;
+      return make(TokenKind::PipePipe, Begin);
+    }
+    Diags.error(DiagCode::LexUnknownCharacter,
+                SourceRange(SourceLoc(BufferId, Begin), loc()),
+                "unknown character '|'");
+    return next();
+  case '*':
+    return make(TokenKind::Star, Begin);
+  case '+':
+    return make(TokenKind::Plus, Begin);
+  case '-':
+    if (peek() == '>') {
+      ++Pos;
+      return make(TokenKind::ThinArrow, Begin);
+    }
+    return make(TokenKind::Minus, Begin);
+  case '/':
+    return make(TokenKind::Slash, Begin);
+  case '%':
+    return make(TokenKind::Percent, Begin);
+  case '@':
+    return make(TokenKind::AtSign, Begin);
+  case '^':
+    return make(TokenKind::Caret, Begin);
+  case '=':
+    if (peek() == '=') {
+      ++Pos;
+      return make(TokenKind::EqualEqual, Begin);
+    }
+    if (peek() == '>') {
+      ++Pos;
+      return make(TokenKind::FatArrow, Begin);
+    }
+    return make(TokenKind::Equal, Begin);
+  case '!':
+    if (peek() == '=') {
+      ++Pos;
+      return make(TokenKind::NotEqual, Begin);
+    }
+    return make(TokenKind::Not, Begin);
+  default:
+    Diags.error(DiagCode::LexUnknownCharacter,
+                SourceRange(SourceLoc(BufferId, Begin), loc()),
+                std::string("unknown character '") + C + "'");
+    return next();
+  }
+}

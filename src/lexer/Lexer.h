@@ -1,0 +1,43 @@
+//===- lexer/Lexer.h - Descend tokenizer ------------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_LEXER_LEXER_H
+#define DESCEND_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace descend {
+
+class SourceManager;
+
+/// Tokenizes one buffer. Errors are reported to the DiagnosticEngine and
+/// lexing continues where possible.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer; the result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  bool atEnd() const;
+  SourceLoc loc() const;
+  Token make(TokenKind Kind, uint32_t Begin) const;
+
+  std::string_view Text;
+  uint32_t BufferId;
+  uint32_t Pos = 0;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace descend
+
+#endif // DESCEND_LEXER_LEXER_H

@@ -1,0 +1,92 @@
+//===- lexer/Token.h - Descend tokens ---------------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Tokens for the surface syntax used in
+// the paper's listings. Angle brackets are always lexed as single '<'/'>'
+// so that launch configurations (f::<<<X<32>, X<32>>>>) and nested generic
+// argument lists compose; the parser counts brackets.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_LEXER_TOKEN_H
+#define DESCEND_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace descend {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwFn,
+  KwLet,
+  KwFor,
+  KwIn,
+  KwSched,
+  KwSplit,
+  KwAt,
+  KwSync,
+  KwView,
+  KwUniq,
+  KwTrue,
+  KwFalse,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Semicolon,
+  Colon,
+  ColonColon,
+  Dot,
+  DotDot,
+  Amp,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Equal,
+  EqualEqual,
+  NotEqual,
+  LessEqual,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Not,
+  FatArrow,   // =>
+  ThinArrow,  // ->
+  AtSign,     // @
+  Caret,      // ^ (nat exponentiation)
+};
+
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceRange Range;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  /// True for an identifier with exactly this spelling (contextual
+  /// keywords such as axis names and "fst"/"snd").
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::Identifier && Text == S;
+  }
+  std::string text() const { return std::string(Text); }
+};
+
+} // namespace descend
+
+#endif // DESCEND_LEXER_TOKEN_H

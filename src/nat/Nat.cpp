@@ -1,0 +1,614 @@
+//===- nat/Nat.cpp - Symbolic naturals and their normal form --------------===//
+//
+// Normalization maps a Nat onto an integer-coefficient polynomial over
+// "atoms". Atoms are variables plus opaque division/modulo subterms that
+// cannot be expanded. The normal form is canonical, so structural identity
+// of polynomials decides equality, and sign analysis of coefficients (all
+// atoms denote naturals, hence every monomial is non-negative) yields sound
+// order and divisibility proofs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nat/Nat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+//===----------------------------------------------------------------------===//
+// Construction with local folds
+//===----------------------------------------------------------------------===//
+
+static Nat makeNode(NatKind Kind, Nat L, Nat R) {
+  return Nat::fromNodeInternal(
+      std::make_shared<const NatExpr>(Kind, std::move(L), std::move(R)));
+}
+
+Nat Nat::lit(long long Value) {
+  return Nat(std::make_shared<const NatExpr>(Value));
+}
+
+Nat Nat::var(std::string Name) {
+  return Nat(std::make_shared<const NatExpr>(std::move(Name)));
+}
+
+NatKind Nat::kind() const {
+  assert(Node && "kind() of null Nat");
+  return Node->Kind;
+}
+
+long long Nat::litValue() const {
+  assert(isLit() && "litValue() of non-literal");
+  return Node->Value;
+}
+
+const std::string &Nat::varName() const {
+  assert(kind() == NatKind::Var && "varName() of non-variable");
+  return Node->Name;
+}
+
+Nat Nat::lhs() const { return Node->Lhs; }
+Nat Nat::rhs() const { return Node->Rhs; }
+
+Nat Nat::add(Nat L, Nat R) {
+  assert(L && R && "add() of null Nat");
+  if (L.isLit() && R.isLit())
+    return lit(L.litValue() + R.litValue());
+  if (L.isLit() && L.litValue() == 0)
+    return R;
+  if (R.isLit() && R.litValue() == 0)
+    return L;
+  return makeNode(NatKind::Add, std::move(L), std::move(R));
+}
+
+Nat Nat::sub(Nat L, Nat R) {
+  assert(L && R && "sub() of null Nat");
+  if (L.isLit() && R.isLit())
+    return lit(L.litValue() - R.litValue());
+  if (R.isLit() && R.litValue() == 0)
+    return L;
+  return makeNode(NatKind::Sub, std::move(L), std::move(R));
+}
+
+Nat Nat::mul(Nat L, Nat R) {
+  assert(L && R && "mul() of null Nat");
+  if (L.isLit() && R.isLit())
+    return lit(L.litValue() * R.litValue());
+  if (L.isLit() && L.litValue() == 1)
+    return R;
+  if (R.isLit() && R.litValue() == 1)
+    return L;
+  if ((L.isLit() && L.litValue() == 0) || (R.isLit() && R.litValue() == 0))
+    return lit(0);
+  return makeNode(NatKind::Mul, std::move(L), std::move(R));
+}
+
+Nat Nat::div(Nat L, Nat R) {
+  assert(L && R && "div() of null Nat");
+  if (L.isLit() && R.isLit() && R.litValue() != 0)
+    return lit(L.litValue() / R.litValue());
+  if (R.isLit() && R.litValue() == 1)
+    return L;
+  return makeNode(NatKind::Div, std::move(L), std::move(R));
+}
+
+Nat Nat::mod(Nat L, Nat R) {
+  assert(L && R && "mod() of null Nat");
+  if (L.isLit() && R.isLit() && R.litValue() != 0)
+    return lit(L.litValue() % R.litValue());
+  if (R.isLit() && R.litValue() == 1)
+    return lit(0);
+  return makeNode(NatKind::Mod, std::move(L), std::move(R));
+}
+
+static long long ipow(long long B, long long E) {
+  long long Out = 1;
+  for (long long I = 0; I < E; ++I)
+    Out *= B;
+  return Out;
+}
+
+Nat Nat::pow(Nat Base, Nat Exp) {
+  assert(Base && Exp && "pow() of null Nat");
+  if (Base.isLit() && Exp.isLit() && Exp.litValue() >= 0 &&
+      Exp.litValue() < 63)
+    return lit(ipow(Base.litValue(), Exp.litValue()));
+  if (Exp.isLit() && Exp.litValue() == 0)
+    return lit(1);
+  if (Exp.isLit() && Exp.litValue() == 1)
+    return Base;
+  return makeNode(NatKind::Pow, std::move(Base), std::move(Exp));
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Precedence: additive = 1, multiplicative = 2, atoms = 3.
+unsigned precedence(NatKind K) {
+  switch (K) {
+  case NatKind::Lit:
+  case NatKind::Var:
+    return 3;
+  case NatKind::Mul:
+  case NatKind::Div:
+  case NatKind::Mod:
+    return 2;
+  case NatKind::Add:
+  case NatKind::Sub:
+    return 1;
+  case NatKind::Pow:
+    return 3;
+  }
+  return 3;
+}
+
+void printNat(const Nat &N, unsigned ParentPrec, std::ostringstream &OS) {
+  unsigned Prec = precedence(N.kind());
+  bool Paren = Prec < ParentPrec;
+  if (Paren)
+    OS << '(';
+  switch (N.kind()) {
+  case NatKind::Lit:
+    OS << N.litValue();
+    break;
+  case NatKind::Var:
+    OS << N.varName();
+    break;
+  case NatKind::Add:
+    printNat(N.lhs(), Prec, OS);
+    OS << " + ";
+    printNat(N.rhs(), Prec, OS);
+    break;
+  case NatKind::Sub:
+    printNat(N.lhs(), Prec, OS);
+    OS << " - ";
+    // Right operand of '-' needs parens at equal precedence.
+    printNat(N.rhs(), Prec + 1, OS);
+    break;
+  case NatKind::Mul:
+    printNat(N.lhs(), Prec, OS);
+    OS << " * ";
+    printNat(N.rhs(), Prec, OS);
+    break;
+  case NatKind::Div:
+    printNat(N.lhs(), Prec, OS);
+    OS << " / ";
+    printNat(N.rhs(), Prec + 1, OS);
+    break;
+  case NatKind::Mod:
+    printNat(N.lhs(), Prec, OS);
+    OS << " % ";
+    printNat(N.rhs(), Prec + 1, OS);
+    break;
+  case NatKind::Pow:
+    printNat(N.lhs(), Prec + 1, OS);
+    OS << " ^ ";
+    printNat(N.rhs(), Prec + 1, OS);
+    break;
+  }
+  if (Paren)
+    OS << ')';
+}
+} // namespace
+
+std::string Nat::str() const {
+  if (!Node)
+    return "<null>";
+  std::ostringstream OS;
+  printNat(*this, 0, OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation / substitution / variable collection
+//===----------------------------------------------------------------------===//
+
+std::optional<long long> Nat::evaluate(const NatEnv &Env) const {
+  assert(Node && "evaluate() of null Nat");
+  switch (kind()) {
+  case NatKind::Lit:
+    return litValue();
+  case NatKind::Var: {
+    auto It = Env.find(varName());
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+  default: {
+    auto L = lhs().evaluate(Env);
+    auto R = rhs().evaluate(Env);
+    if (!L || !R)
+      return std::nullopt;
+    switch (kind()) {
+    case NatKind::Add:
+      return *L + *R;
+    case NatKind::Sub:
+      return *L - *R;
+    case NatKind::Mul:
+      return *L * *R;
+    case NatKind::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return *L / *R;
+    case NatKind::Mod:
+      if (*R == 0)
+        return std::nullopt;
+      return *L % *R;
+    case NatKind::Pow:
+      if (*R < 0 || *R > 62)
+        return std::nullopt;
+      return ipow(*L, *R);
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+}
+
+Nat Nat::substitute(const std::map<std::string, Nat> &Subst) const {
+  assert(Node && "substitute() of null Nat");
+  switch (kind()) {
+  case NatKind::Lit:
+    return *this;
+  case NatKind::Var: {
+    auto It = Subst.find(varName());
+    return It == Subst.end() ? *this : It->second;
+  }
+  case NatKind::Add:
+    return add(lhs().substitute(Subst), rhs().substitute(Subst));
+  case NatKind::Sub:
+    return sub(lhs().substitute(Subst), rhs().substitute(Subst));
+  case NatKind::Mul:
+    return mul(lhs().substitute(Subst), rhs().substitute(Subst));
+  case NatKind::Div:
+    return div(lhs().substitute(Subst), rhs().substitute(Subst));
+  case NatKind::Mod:
+    return mod(lhs().substitute(Subst), rhs().substitute(Subst));
+  case NatKind::Pow:
+    return pow(lhs().substitute(Subst), rhs().substitute(Subst));
+  }
+  return *this;
+}
+
+void Nat::collectVars(std::vector<std::string> &Out) const {
+  assert(Node && "collectVars() of null Nat");
+  switch (kind()) {
+  case NatKind::Lit:
+    return;
+  case NatKind::Var:
+    if (std::find(Out.begin(), Out.end(), varName()) == Out.end())
+      Out.push_back(varName());
+    return;
+  default:
+    lhs().collectVars(Out);
+    rhs().collectVars(Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Polynomial normal form
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A product of atoms with powers; sorted by atom key. Empty == constant.
+struct Monomial {
+  std::vector<std::pair<std::string, unsigned>> Factors;
+
+  bool operator<(const Monomial &O) const { return Factors < O.Factors; }
+  bool operator==(const Monomial &O) const { return Factors == O.Factors; }
+};
+
+struct Poly {
+  std::map<Monomial, long long> Terms;       // coefficient per monomial
+  std::map<std::string, Nat> Atoms;          // atom key -> representative
+
+  void addTerm(Monomial M, long long Coeff) {
+    if (Coeff == 0)
+      return;
+    auto [It, Inserted] = Terms.try_emplace(std::move(M), Coeff);
+    if (!Inserted) {
+      It->second += Coeff;
+      if (It->second == 0)
+        Terms.erase(It);
+    }
+  }
+
+  void addAtoms(const Poly &O) {
+    for (const auto &[K, V] : O.Atoms)
+      Atoms.emplace(K, V);
+  }
+
+  bool isConstant() const {
+    return Terms.empty() ||
+           (Terms.size() == 1 && Terms.begin()->first.Factors.empty());
+  }
+
+  long long constantTerm() const {
+    auto It = Terms.find(Monomial{});
+    return It == Terms.end() ? 0 : It->second;
+  }
+};
+
+Poly constantPoly(long long C) {
+  Poly P;
+  P.addTerm(Monomial{}, C);
+  return P;
+}
+
+Poly atomPoly(const std::string &Key, Nat Rep) {
+  Poly P;
+  Monomial M;
+  M.Factors.emplace_back(Key, 1);
+  P.addTerm(std::move(M), 1);
+  P.Atoms.emplace(Key, std::move(Rep));
+  return P;
+}
+
+Poly addPoly(const Poly &A, const Poly &B, long long Sign) {
+  Poly Out = A;
+  for (const auto &[M, C] : B.Terms)
+    Out.addTerm(M, Sign * C);
+  Out.addAtoms(B);
+  return Out;
+}
+
+Monomial mulMonomial(const Monomial &A, const Monomial &B) {
+  Monomial Out;
+  size_t I = 0, J = 0;
+  while (I < A.Factors.size() && J < B.Factors.size()) {
+    if (A.Factors[I].first < B.Factors[J].first)
+      Out.Factors.push_back(A.Factors[I++]);
+    else if (B.Factors[J].first < A.Factors[I].first)
+      Out.Factors.push_back(B.Factors[J++]);
+    else {
+      Out.Factors.emplace_back(A.Factors[I].first,
+                               A.Factors[I].second + B.Factors[J].second);
+      ++I;
+      ++J;
+    }
+  }
+  for (; I < A.Factors.size(); ++I)
+    Out.Factors.push_back(A.Factors[I]);
+  for (; J < B.Factors.size(); ++J)
+    Out.Factors.push_back(B.Factors[J]);
+  return Out;
+}
+
+Poly mulPoly(const Poly &A, const Poly &B) {
+  Poly Out;
+  for (const auto &[MA, CA] : A.Terms)
+    for (const auto &[MB, CB] : B.Terms)
+      Out.addTerm(mulMonomial(MA, MB), CA * CB);
+  Out.addAtoms(A);
+  Out.addAtoms(B);
+  return Out;
+}
+
+Nat polyToNat(const Poly &P);
+
+/// Tries to divide \p L exactly by a single-term polynomial \p R (e.g.
+/// (k*m + 2*k) / k). On success returns the quotient.
+std::optional<Poly> dividePolyByMonomial(const Poly &L, const Poly &R) {
+  if (R.Terms.size() != 1)
+    return std::nullopt;
+  const auto &[RM, RC] = *R.Terms.begin();
+  if (RC == 0)
+    return std::nullopt;
+  Poly Out;
+  for (const auto &[M, C] : L.Terms) {
+    if (C % RC != 0)
+      return std::nullopt;
+    // Subtract RM's factor powers from M.
+    Monomial Q = M;
+    for (const auto &[Key, Power] : RM.Factors) {
+      bool Found = false;
+      for (auto &F : Q.Factors) {
+        if (F.first != Key)
+          continue;
+        if (F.second < Power)
+          return std::nullopt;
+        F.second -= Power;
+        Found = true;
+        break;
+      }
+      if (!Found)
+        return std::nullopt;
+    }
+    std::erase_if(Q.Factors, [](const auto &F) { return F.second == 0; });
+    Out.addTerm(std::move(Q), C / RC);
+  }
+  Out.addAtoms(L);
+  return Out;
+}
+
+/// Rebuilds the canonical Nat for an opaque Div/Mod atom over normalized
+/// children, and returns its polynomial (a fresh atom).
+Poly opaqueAtom(NatKind Kind, const Poly &L, const Poly &R) {
+  Nat LN = polyToNat(L);
+  Nat RN = polyToNat(R);
+  Nat Rep = Kind == NatKind::Div  ? Nat::div(LN, RN)
+            : Kind == NatKind::Pow ? Nat::pow(LN, RN)
+                                   : Nat::mod(LN, RN);
+  // Folding in div/mod may have produced a literal (e.g. 7 / 2).
+  if (Rep.isLit())
+    return constantPoly(Rep.litValue());
+  return atomPoly(Rep.str(), Rep);
+}
+
+Poly normalizePoly(const Nat &N) {
+  switch (N.kind()) {
+  case NatKind::Lit:
+    return constantPoly(N.litValue());
+  case NatKind::Var:
+    return atomPoly(N.varName(), N);
+  case NatKind::Add:
+    return addPoly(normalizePoly(N.lhs()), normalizePoly(N.rhs()), 1);
+  case NatKind::Sub:
+    return addPoly(normalizePoly(N.lhs()), normalizePoly(N.rhs()), -1);
+  case NatKind::Mul:
+    return mulPoly(normalizePoly(N.lhs()), normalizePoly(N.rhs()));
+  case NatKind::Div: {
+    Poly L = normalizePoly(N.lhs());
+    Poly R = normalizePoly(N.rhs());
+    if (R.isConstant() && R.constantTerm() > 0) {
+      long long D = R.constantTerm();
+      bool AllDivisible = true;
+      for (const auto &[M, C] : L.Terms)
+        if (C % D != 0) {
+          AllDivisible = false;
+          break;
+        }
+      if (AllDivisible) {
+        Poly Out;
+        for (const auto &[M, C] : L.Terms)
+          Out.addTerm(M, C / D);
+        Out.addAtoms(L);
+        return Out;
+      }
+    }
+    // x / x == 1 for positive x; sizes in Descend are positive.
+    if (L.Terms == R.Terms)
+      return constantPoly(1);
+    // Exact division by a single-term divisor, e.g. (k*m)/k == m.
+    if (auto Q = dividePolyByMonomial(L, R))
+      return *Q;
+    return opaqueAtom(NatKind::Div, L, R);
+  }
+  case NatKind::Pow: {
+    Poly B = normalizePoly(N.lhs());
+    Poly E = normalizePoly(N.rhs());
+    if (B.isConstant() && E.isConstant() && E.constantTerm() >= 0 &&
+        E.constantTerm() < 63)
+      return constantPoly(ipow(B.constantTerm(), E.constantTerm()));
+    return opaqueAtom(NatKind::Pow, B, E);
+  }
+  case NatKind::Mod: {
+    Poly L = normalizePoly(N.lhs());
+    Poly R = normalizePoly(N.rhs());
+    if (R.isConstant() && R.constantTerm() > 0) {
+      long long D = R.constantTerm();
+      bool NonConstDivisible = true;
+      for (const auto &[M, C] : L.Terms)
+        if (!M.Factors.empty() && C % D != 0) {
+          NonConstDivisible = false;
+          break;
+        }
+      if (NonConstDivisible) {
+        long long Rem = ((L.constantTerm() % D) + D) % D;
+        return constantPoly(Rem);
+      }
+    }
+    if (L.Terms == R.Terms)
+      return constantPoly(0);
+    // (k*m) % k == 0 when the division is exact.
+    if (dividePolyByMonomial(L, R).has_value())
+      return constantPoly(0);
+    return opaqueAtom(NatKind::Mod, L, R);
+  }
+  }
+  return constantPoly(0);
+}
+
+/// Renders a polynomial back into a Nat with deterministic term order.
+Nat polyToNat(const Poly &P) {
+  if (P.Terms.empty())
+    return Nat::lit(0);
+  Nat Acc;
+  // Emit positive terms first so the expression starts without a negation.
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    for (const auto &[M, C] : P.Terms) {
+      bool Negative = C < 0;
+      if ((Pass == 0) == Negative)
+        continue;
+      long long AbsC = Negative ? -C : C;
+      Nat Term;
+      for (const auto &[Key, Power] : M.Factors) {
+        auto It = P.Atoms.find(Key);
+        assert(It != P.Atoms.end() && "atom without representative");
+        for (unsigned I = 0; I != Power; ++I)
+          Term = Term ? Nat::mul(Term, It->second) : It->second;
+      }
+      if (!Term)
+        Term = Nat::lit(AbsC);
+      else if (AbsC != 1)
+        Term = Nat::mul(Term, Nat::lit(AbsC));
+      if (!Acc)
+        Acc = Negative ? Nat::sub(Nat::lit(0), Term) : Term;
+      else
+        Acc = Negative ? Nat::sub(Acc, Term) : Nat::add(Acc, Term);
+    }
+  }
+  return Acc;
+}
+
+} // namespace
+
+Nat Nat::simplified() const {
+  assert(Node && "simplified() of null Nat");
+  return polyToNat(normalizePoly(*this));
+}
+
+bool Nat::proveEq(const Nat &L, const Nat &R) {
+  assert(L && R && "proveEq() of null Nat");
+  if (L.node() == R.node())
+    return true;
+  Poly PL = normalizePoly(L);
+  Poly PR = normalizePoly(R);
+  return PL.Terms == PR.Terms;
+}
+
+bool Nat::proveEqOrBothNull(const Nat &L, const Nat &R) {
+  if (L.isNull() || R.isNull())
+    return L.isNull() && R.isNull();
+  return proveEq(L, R);
+}
+
+std::optional<bool> Nat::proveLe(const Nat &L, const Nat &R) {
+  assert(L && R && "proveLe() of null Nat");
+  Poly D = addPoly(normalizePoly(R), normalizePoly(L), -1); // R - L
+  bool AllNonNeg = true, AllNonPos = true;
+  for (const auto &[M, C] : D.Terms) {
+    if (C < 0)
+      AllNonNeg = false;
+    if (C > 0)
+      AllNonPos = false;
+  }
+  if (AllNonNeg)
+    return true; // every monomial is a product of naturals
+  if (AllNonPos && D.constantTerm() < 0)
+    return false;
+  return std::nullopt;
+}
+
+std::optional<bool> Nat::proveLt(const Nat &L, const Nat &R) {
+  assert(L && R && "proveLt() of null Nat");
+  return proveLe(add(L, lit(1)), R);
+}
+
+std::optional<bool> Nat::proveDivides(long long Divisor, const Nat &E) {
+  assert(E && "proveDivides() of null Nat");
+  assert(Divisor > 0 && "divisor must be positive");
+  if (Divisor == 1)
+    return true;
+  Poly P = normalizePoly(E);
+  bool AllDivisible = true, NonConstDivisible = true;
+  for (const auto &[M, C] : P.Terms) {
+    if (C % Divisor != 0) {
+      AllDivisible = false;
+      if (!M.Factors.empty())
+        NonConstDivisible = false;
+    }
+  }
+  if (AllDivisible)
+    return true;
+  // All variable terms divisible but the constant is not: provably not
+  // divisible.
+  if (NonConstDivisible)
+    return false;
+  return std::nullopt;
+}

@@ -1,0 +1,141 @@
+//===- nat/Nat.h - Symbolic natural-number expressions ----------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Implements the `nat` (η) expression
+// language of the paper (Fig. 2 and Fig. 6): constants, variables and
+// arithmetic over natural numbers. Sizes of arrays, grid dimensions, view
+// parameters and lowered memory indices are all Nat expressions.
+//
+// Nats are immutable values with structural sharing. A polynomial normal
+// form (sum of integer-weighted monomials over atoms) powers:
+//   * proveEq   - definitional equality of sizes,
+//   * proveLe   - side conditions such as n >= k for split,
+//   * proveDivides - side conditions such as n % k == 0 for group,
+//   * simplified   - canonical minimal form, used to erase view overhead
+//                    from generated index expressions (paper Section 5).
+//
+// The provers are sound but incomplete: "unknown" makes the type checker
+// reject, mirroring Descend's static-only checking discipline.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_NAT_NAT_H
+#define DESCEND_NAT_NAT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+enum class NatKind { Lit, Var, Add, Sub, Mul, Div, Mod, Pow };
+
+class NatExpr;
+
+/// Variable bindings used when evaluating a Nat to a concrete integer.
+using NatEnv = std::map<std::string, long long>;
+
+/// Value-semantics handle to an immutable Nat expression node. A
+/// default-constructed Nat is null and only valid for equality tests.
+class Nat {
+public:
+  Nat() = default;
+
+  static Nat lit(long long Value);
+  static Nat var(std::string Name);
+
+  /// Binary constructors perform cheap local folds (constant folding,
+  /// neutral elements); full normalization is simplified().
+  static Nat add(Nat L, Nat R);
+  static Nat sub(Nat L, Nat R);
+  static Nat mul(Nat L, Nat R);
+  static Nat div(Nat L, Nat R);
+  static Nat mod(Nat L, Nat R);
+  /// Exponentiation, e.g. 2^i strides in tree reductions. Folds when the
+  /// exponent is a literal.
+  static Nat pow(Nat Base, Nat Exp);
+
+  friend Nat operator+(const Nat &L, const Nat &R) { return add(L, R); }
+  friend Nat operator-(const Nat &L, const Nat &R) { return sub(L, R); }
+  friend Nat operator*(const Nat &L, const Nat &R) { return mul(L, R); }
+  friend Nat operator/(const Nat &L, const Nat &R) { return div(L, R); }
+  friend Nat operator%(const Nat &L, const Nat &R) { return mod(L, R); }
+
+  bool isNull() const { return !Node; }
+  explicit operator bool() const { return !isNull(); }
+
+  NatKind kind() const;
+  bool isLit() const { return Node && kind() == NatKind::Lit; }
+  /// Literal value; only valid when isLit().
+  long long litValue() const;
+  /// Variable name; only valid for Var nodes.
+  const std::string &varName() const;
+  /// Children of binary nodes.
+  Nat lhs() const;
+  Nat rhs() const;
+
+  /// Renders with standard precedence, e.g. "(n + 1) * 32".
+  std::string str() const;
+
+  /// Evaluates under \p Env using C integer division semantics. Returns
+  /// nullopt if a variable is unbound or a division by zero occurs.
+  std::optional<long long> evaluate(const NatEnv &Env) const;
+
+  /// Substitutes variables by Nats.
+  Nat substitute(const std::map<std::string, Nat> &Subst) const;
+
+  /// Collects the free variable names into \p Out (deduplicated).
+  void collectVars(std::vector<std::string> &Out) const;
+
+  /// Canonical simplified form via polynomial normalization.
+  Nat simplified() const;
+
+  /// Structural equality after normalization. Always sound.
+  static bool proveEq(const Nat &L, const Nat &R);
+
+  /// Tri-state order proofs assuming all variables range over naturals.
+  static std::optional<bool> proveLe(const Nat &L, const Nat &R);
+  static std::optional<bool> proveLt(const Nat &L, const Nat &R);
+
+  /// Proof that \p Divisor (a positive literal) divides \p E.
+  static std::optional<bool> proveDivides(long long Divisor, const Nat &E);
+
+  const NatExpr *node() const { return Node.get(); }
+
+  friend bool operator==(const Nat &L, const Nat &R) {
+    return L.Node == R.Node || proveEqOrBothNull(L, R);
+  }
+
+  /// Internal: wraps an existing node. Only the Nat implementation uses it.
+  static Nat fromNodeInternal(std::shared_ptr<const NatExpr> Node) {
+    return Nat(std::move(Node));
+  }
+
+private:
+  explicit Nat(std::shared_ptr<const NatExpr> Node) : Node(std::move(Node)) {}
+  static bool proveEqOrBothNull(const Nat &L, const Nat &R);
+
+  std::shared_ptr<const NatExpr> Node;
+};
+
+/// Immutable expression node. Use the Nat factories; nodes are not created
+/// directly.
+class NatExpr {
+public:
+  NatKind Kind;
+  long long Value = 0;     // Lit
+  std::string Name;        // Var
+  Nat Lhs, Rhs;            // binary nodes
+
+  explicit NatExpr(long long Value) : Kind(NatKind::Lit), Value(Value) {}
+  explicit NatExpr(std::string Name)
+      : Kind(NatKind::Var), Name(std::move(Name)) {}
+  NatExpr(NatKind Kind, Nat L, Nat R)
+      : Kind(Kind), Lhs(std::move(L)), Rhs(std::move(R)) {}
+};
+
+} // namespace descend
+
+#endif // DESCEND_NAT_NAT_H

@@ -1,0 +1,1314 @@
+//===- parser/Parser.cpp ----------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "lexer/Lexer.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace descend;
+
+Parser::Parser(const SourceManager &SM, uint32_t BufferId,
+               DiagnosticEngine &Diags)
+    : SM(SM), Diags(Diags) {
+  Lexer Lex(SM, BufferId, Diags);
+  Tokens = Lex.lexAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Token stream helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::tok(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof
+  return Tokens[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(DiagCode::ParseExpected, tok().Range,
+              strfmt("expected %s %s, found '%s'", tokenKindName(K), Context,
+                     tok().text().c_str()));
+  return false;
+}
+
+void Parser::syncToItem() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::KwFn) &&
+         !check(TokenKind::KwView))
+    advance();
+}
+
+void Parser::syncToStmtEnd() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::LBrace))
+      ++Depth;
+    if (check(TokenKind::RBrace)) {
+      if (Depth == 0)
+        return;
+      --Depth;
+    }
+    if (Depth == 0 && check(TokenKind::Semicolon)) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+SourceRange Parser::rangeFrom(SourceLoc Begin) const {
+  SourceLoc End = Pos > 0 ? Tokens[Pos - 1].Range.End : Begin;
+  return SourceRange(Begin, End);
+}
+
+//===----------------------------------------------------------------------===//
+// Items
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> Parser::parseModule() {
+  auto M = std::make_unique<Module>();
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwFn)) {
+      if (auto Fn = parseFn())
+        M->Fns.push_back(std::move(Fn));
+      else
+        syncToItem();
+      continue;
+    }
+    if (check(TokenKind::KwView)) {
+      if (auto V = parseViewDef())
+        M->Views.push_back(std::move(V));
+      else
+        syncToItem();
+      continue;
+    }
+    Diags.error(DiagCode::ParseUnexpectedToken, tok().Range,
+                strfmt("expected 'fn' or 'view' at top level, found '%s'",
+                       tok().text().c_str()));
+    syncToItem();
+  }
+  return M;
+}
+
+std::vector<GenericParam> Parser::parseGenericParams() {
+  std::vector<GenericParam> Out;
+  if (!accept(TokenKind::Less))
+    return Out;
+  while (!check(TokenKind::Greater) && !check(TokenKind::Eof)) {
+    GenericParam P;
+    SourceLoc Begin = tok().Range.Begin;
+    P.Name = tok().text();
+    if (!expect(TokenKind::Identifier, "in generic parameter"))
+      break;
+    expect(TokenKind::Colon, "after generic parameter name");
+    std::string KindName = tok().text();
+    if (expect(TokenKind::Identifier, "as generic parameter kind")) {
+      if (KindName == "nat")
+        P.Kind = ParamKind::Nat;
+      else if (KindName == "mem")
+        P.Kind = ParamKind::Memory;
+      else if (KindName == "dty")
+        P.Kind = ParamKind::DataType;
+      else
+        Diags.error(DiagCode::ParseUnexpectedToken, tok().Range,
+                    strfmt("unknown kind '%s'; expected nat, mem or dty",
+                           KindName.c_str()));
+    }
+    P.Range = rangeFrom(Begin);
+    Out.push_back(std::move(P));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Greater, "to close generic parameter list");
+  return Out;
+}
+
+std::unique_ptr<FnDef> Parser::parseFn() {
+  SourceLoc Begin = tok().Range.Begin;
+  assert(check(TokenKind::KwFn) && "parseFn without 'fn'");
+  advance();
+
+  auto Fn = std::make_unique<FnDef>();
+  Fn->Name = tok().text();
+  if (!expect(TokenKind::Identifier, "as function name"))
+    return nullptr;
+  Fn->Generics = parseGenericParams();
+
+  if (!expect(TokenKind::LParen, "to begin parameter list"))
+    return nullptr;
+  while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+    FnParam P;
+    SourceLoc PBegin = tok().Range.Begin;
+    P.Name = tok().text();
+    if (!expect(TokenKind::Identifier, "as parameter name"))
+      return nullptr;
+    expect(TokenKind::Colon, "after parameter name");
+    P.Ty = parseType();
+    if (!P.Ty)
+      return nullptr;
+    P.Range = rangeFrom(PBegin);
+    Fn->Params.push_back(std::move(P));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  if (!expect(TokenKind::RParen, "to close parameter list"))
+    return nullptr;
+
+  // -[exec: level]->
+  if (!expect(TokenKind::Minus, "to begin execution annotation") ||
+      !expect(TokenKind::LBracket, "to begin execution annotation"))
+    return nullptr;
+  Fn->ExecName = tok().text();
+  if (!expect(TokenKind::Identifier, "as execution resource name"))
+    return nullptr;
+  expect(TokenKind::Colon, "after execution resource name");
+  std::string Dummy;
+  if (!parseExecLevel(Fn->Exec, Dummy))
+    return nullptr;
+  if (!expect(TokenKind::RBracket, "to close execution annotation") ||
+      !expect(TokenKind::ThinArrow, "after execution annotation"))
+    return nullptr;
+
+  // Return type: () or a data type.
+  if (check(TokenKind::LParen) && check(TokenKind::RParen, 1)) {
+    advance();
+    advance();
+    Fn->RetTy = makeUnit();
+  } else {
+    Fn->RetTy = parseType();
+    if (!Fn->RetTy)
+      return nullptr;
+  }
+
+  Fn->Body = parseBlock();
+  if (!Fn->Body)
+    return nullptr;
+  Fn->Range = rangeFrom(Begin);
+  return Fn;
+}
+
+std::vector<ViewStep> Parser::parseViewChain() {
+  std::vector<ViewStep> Steps;
+  do {
+    ViewStep S;
+    SourceLoc Begin = tok().Range.Begin;
+    S.Name = tok().text();
+    if (check(TokenKind::KwSplit))
+      advance();
+    else if (!expect(TokenKind::Identifier, "as view name"))
+      return Steps;
+    if (check(TokenKind::ColonColon) && check(TokenKind::Less, 1)) {
+      advance();
+      advance();
+      while (!check(TokenKind::Greater) && !check(TokenKind::Eof)) {
+        Nat N = parseNat();
+        if (!N)
+          return Steps;
+        S.NatArgs.push_back(std::move(N));
+        if (!accept(TokenKind::Comma))
+          break;
+      }
+      expect(TokenKind::Greater, "to close view arguments");
+    }
+    if (accept(TokenKind::LParen)) {
+      while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+        S.ViewArgs.push_back(parseViewChain());
+        if (!accept(TokenKind::Comma))
+          break;
+      }
+      expect(TokenKind::RParen, "to close view arguments");
+    }
+    S.Range = rangeFrom(Begin);
+    Steps.push_back(std::move(S));
+  } while (accept(TokenKind::Dot));
+  return Steps;
+}
+
+std::unique_ptr<ViewDef> Parser::parseViewDef() {
+  SourceLoc Begin = tok().Range.Begin;
+  assert(check(TokenKind::KwView) && "parseViewDef without 'view'");
+  advance();
+
+  auto V = std::make_unique<ViewDef>();
+  V->Name = tok().text();
+  if (!expect(TokenKind::Identifier, "as view name"))
+    return nullptr;
+  V->Generics = parseGenericParams();
+  if (!expect(TokenKind::Equal, "after view header"))
+    return nullptr;
+  V->Body = parseViewChain();
+  if (V->Body.empty())
+    return nullptr;
+  accept(TokenKind::Semicolon);
+  V->Range = rangeFrom(Begin);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Types, memories, exec levels, dims, nats
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseMemory(Memory &Out) {
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(DiagCode::ParseBadType, tok().Range,
+                "expected memory space");
+    return false;
+  }
+  std::string Head = tok().text();
+  if ((Head == "cpu" || Head == "gpu") && check(TokenKind::Dot, 1)) {
+    advance();
+    advance();
+    std::string Sub = tok().text();
+    if (!expect(TokenKind::Identifier, "after memory namespace"))
+      return false;
+    if (Head == "cpu" && Sub == "mem") {
+      Out = Memory::cpuMem();
+      return true;
+    }
+    if (Head == "gpu" && Sub == "global") {
+      Out = Memory::gpuGlobal();
+      return true;
+    }
+    if (Head == "gpu" && Sub == "shared") {
+      Out = Memory::gpuShared();
+      return true;
+    }
+    Diags.error(DiagCode::ParseBadType, tok().Range,
+                strfmt("unknown memory space '%s.%s'", Head.c_str(),
+                       Sub.c_str()));
+    return false;
+  }
+  advance();
+  Out = Memory::var(Head);
+  return true;
+}
+
+bool Parser::axisFromIdent(const Token &T, Axis &Out) {
+  if (T.Text == "X")
+    Out = Axis::X;
+  else if (T.Text == "Y")
+    Out = Axis::Y;
+  else if (T.Text == "Z")
+    Out = Axis::Z;
+  else
+    return false;
+  return true;
+}
+
+bool Parser::parseDim(Dim &Out) {
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(DiagCode::ParseBadDim, tok().Range,
+                "expected dimension (X<..>, XY<..>, XYZ<..>, ...)");
+    return false;
+  }
+  std::string Axes = tok().text();
+  SourceRange AxesRange = tok().Range;
+  advance();
+  std::vector<Axis> AxisList;
+  for (char C : Axes) {
+    Axis A;
+    if (C == 'X')
+      A = Axis::X;
+    else if (C == 'Y')
+      A = Axis::Y;
+    else if (C == 'Z')
+      A = Axis::Z;
+    else {
+      Diags.error(DiagCode::ParseBadDim, AxesRange,
+                  strfmt("unknown dimension '%s'", Axes.c_str()));
+      return false;
+    }
+    AxisList.push_back(A);
+  }
+  if (AxisList.empty() || AxisList.size() > 3) {
+    Diags.error(DiagCode::ParseBadDim, AxesRange,
+                strfmt("dimension must name 1 to 3 axes, got '%s'",
+                       Axes.c_str()));
+    return false;
+  }
+  if (!expect(TokenKind::Less, "after dimension axes"))
+    return false;
+  Out = Dim();
+  for (size_t I = 0; I != AxisList.size(); ++I) {
+    Nat N = parseNat();
+    if (!N)
+      return false;
+    if (Out.hasAxis(AxisList[I])) {
+      Diags.error(DiagCode::ParseBadDim, AxesRange, "repeated axis");
+      return false;
+    }
+    Out.setExtent(AxisList[I], std::move(N));
+    if (I + 1 != AxisList.size() &&
+        !expect(TokenKind::Comma, "between dimension extents"))
+      return false;
+  }
+  return expect(TokenKind::Greater, "to close dimension");
+}
+
+bool Parser::parseExecLevel(ExecLevel &Out, std::string &ExecName) {
+  (void)ExecName;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(DiagCode::ParseBadType, tok().Range,
+                "expected execution level");
+    return false;
+  }
+  std::string Head = tok().text();
+  advance();
+  if (!expect(TokenKind::Dot, "in execution level"))
+    return false;
+  std::string Sub = tok().text();
+  if (!expect(TokenKind::Identifier, "in execution level"))
+    return false;
+
+  if (Head == "cpu" && (Sub == "thread" || Sub == "Thread")) {
+    Out = ExecLevel::cpuThread();
+    return true;
+  }
+  if (Head == "gpu" && (Sub == "grid" || Sub == "Grid")) {
+    if (!expect(TokenKind::Less, "after gpu.grid"))
+      return false;
+    Dim GridDim, BlockDim;
+    if (!parseDim(GridDim))
+      return false;
+    if (!expect(TokenKind::Comma, "between grid dimensions"))
+      return false;
+    if (!parseDim(BlockDim))
+      return false;
+    if (!expect(TokenKind::Greater, "to close gpu.grid"))
+      return false;
+    Out = ExecLevel::gpuGrid(std::move(GridDim), std::move(BlockDim));
+    return true;
+  }
+  if (Head == "gpu" && (Sub == "block" || Sub == "Block")) {
+    if (!expect(TokenKind::Less, "after gpu.block"))
+      return false;
+    Dim BlockDim;
+    if (!parseDim(BlockDim))
+      return false;
+    if (!expect(TokenKind::Greater, "to close gpu.block"))
+      return false;
+    Out = ExecLevel::gpuBlock(std::move(BlockDim));
+    return true;
+  }
+  if (Head == "gpu" && (Sub == "thread" || Sub == "Thread")) {
+    Out = ExecLevel::gpuThread();
+    return true;
+  }
+  Diags.error(DiagCode::ParseBadType, tok().Range,
+              strfmt("unknown execution level '%s.%s'", Head.c_str(),
+                     Sub.c_str()));
+  return false;
+}
+
+Nat Parser::parseNatAtom() {
+  if (check(TokenKind::IntLiteral)) {
+    long long V = std::atoll(tok().text().c_str());
+    advance();
+    return Nat::lit(V);
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = tok().text();
+    advance();
+    return Nat::var(std::move(Name));
+  }
+  if (accept(TokenKind::LParen)) {
+    Nat N = parseNat();
+    expect(TokenKind::RParen, "to close parenthesized size expression");
+    return N;
+  }
+  Diags.error(DiagCode::ParseExpected, tok().Range,
+              strfmt("expected size expression, found '%s'",
+                     tok().text().c_str()));
+  return Nat();
+}
+
+Nat Parser::parseNatPow() {
+  Nat L = parseNatAtom();
+  if (!L)
+    return L;
+  if (accept(TokenKind::Caret)) {
+    Nat R = parseNatPow(); // right-associative
+    if (!R)
+      return R;
+    return Nat::pow(L, R);
+  }
+  return L;
+}
+
+Nat Parser::parseNatMul() {
+  Nat L = parseNatPow();
+  if (!L)
+    return L;
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    TokenKind Op = tok().Kind;
+    advance();
+    Nat R = parseNatPow();
+    if (!R)
+      return R;
+    if (Op == TokenKind::Star)
+      L = Nat::mul(L, R);
+    else if (Op == TokenKind::Slash)
+      L = Nat::div(L, R);
+    else
+      L = Nat::mod(L, R);
+  }
+  return L;
+}
+
+Nat Parser::parseNat() {
+  Nat L = parseNatMul();
+  if (!L)
+    return L;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    TokenKind Op = tok().Kind;
+    advance();
+    Nat R = parseNatMul();
+    if (!R)
+      return R;
+    L = Op == TokenKind::Plus ? Nat::add(L, R) : Nat::sub(L, R);
+  }
+  return L;
+}
+
+TypeRef Parser::parseType() {
+  TypeRef Base;
+  SourceLoc Begin = tok().Range.Begin;
+
+  if (accept(TokenKind::Amp)) {
+    Ownership Own = accept(TokenKind::KwUniq) ? Ownership::Uniq
+                                              : Ownership::Shrd;
+    Memory Mem;
+    if (!parseMemory(Mem))
+      return nullptr;
+    TypeRef Pointee = parseType();
+    if (!Pointee)
+      return nullptr;
+    Base = makeRef(Own, std::move(Mem), std::move(Pointee));
+  } else if (accept(TokenKind::LBracket)) {
+    TypeRef Elem = parseType();
+    if (!Elem)
+      return nullptr;
+    // "[[T; n]]" parses the inner "[T; n]" as an array and then closes
+    // immediately: that is the view-array type.
+    if (check(TokenKind::RBracket)) {
+      if (const auto *AT = dyn_cast<ArrayType>(Elem.get())) {
+        advance();
+        Base = makeArrayView(AT->Elem, AT->Size);
+      } else {
+        Diags.error(DiagCode::ParseBadType, rangeFrom(Begin),
+                    "expected ';' and a size in array type");
+        return nullptr;
+      }
+    } else {
+      if (!accept(TokenKind::Semicolon) && !accept(TokenKind::Comma)) {
+        expect(TokenKind::Semicolon, "in array type");
+        return nullptr;
+      }
+      Nat Size = parseNat();
+      if (!Size)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "to close array type"))
+        return nullptr;
+      Base = makeArray(std::move(Elem), std::move(Size));
+    }
+  } else if (accept(TokenKind::LParen)) {
+    if (accept(TokenKind::RParen)) {
+      Base = makeUnit();
+    } else {
+      std::vector<TypeRef> Elems;
+      while (true) {
+        TypeRef T = parseType();
+        if (!T)
+          return nullptr;
+        Elems.push_back(std::move(T));
+        if (!accept(TokenKind::Comma))
+          break;
+      }
+      if (!expect(TokenKind::RParen, "to close tuple type"))
+        return nullptr;
+      Base = Elems.size() == 1 ? Elems[0] : makeTuple(std::move(Elems));
+    }
+  } else if (check(TokenKind::Identifier)) {
+    std::string Name = tok().text();
+    advance();
+    if (Name == "i32")
+      Base = makeScalar(ScalarKind::I32);
+    else if (Name == "i64")
+      Base = makeScalar(ScalarKind::I64);
+    else if (Name == "u32")
+      Base = makeScalar(ScalarKind::U32);
+    else if (Name == "u64")
+      Base = makeScalar(ScalarKind::U64);
+    else if (Name == "f32")
+      Base = makeScalar(ScalarKind::F32);
+    else if (Name == "f64")
+      Base = makeScalar(ScalarKind::F64);
+    else if (Name == "bool")
+      Base = makeScalar(ScalarKind::Bool);
+    else if (Name == "unit")
+      Base = makeUnit();
+    else
+      Base = makeTypeVar(std::move(Name));
+  } else {
+    Diags.error(DiagCode::ParseBadType, tok().Range,
+                strfmt("expected type, found '%s'", tok().text().c_str()));
+    return nullptr;
+  }
+
+  // Boxed types: T @ mem.
+  while (accept(TokenKind::AtSign)) {
+    Memory Mem;
+    if (!parseMemory(Mem))
+      return nullptr;
+    Base = makeBox(std::move(Base), std::move(Mem));
+  }
+  return Base;
+}
+
+TypeRef Parser::parseStandaloneType() { return parseType(); }
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseBlock() {
+  SourceLoc Begin = tok().Range.Begin;
+  if (!expect(TokenKind::LBrace, "to begin block"))
+    return nullptr;
+  std::vector<ExprPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    ExprPtr S = parseStmt();
+    if (!S) {
+      syncToStmtEnd();
+      continue;
+    }
+    Stmts.push_back(std::move(S));
+    accept(TokenKind::Semicolon);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  auto B = std::make_unique<BlockExpr>(std::move(Stmts));
+  B->Range = rangeFrom(Begin);
+  return B;
+}
+
+bool Parser::parseAxisList(std::vector<Axis> &Out) {
+  if (!expect(TokenKind::LParen, "after scheduling keyword"))
+    return false;
+  while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+    Axis A;
+    if (!check(TokenKind::Identifier) || !axisFromIdent(tok(), A)) {
+      Diags.error(DiagCode::ParseBadDim, tok().Range,
+                  strfmt("expected axis X, Y or Z, found '%s'",
+                         tok().text().c_str()));
+      return false;
+    }
+    advance();
+    Out.push_back(A);
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  return expect(TokenKind::RParen, "to close axis list");
+}
+
+ExprPtr Parser::parseStmt() {
+  SourceLoc Begin = tok().Range.Begin;
+
+  if (check(TokenKind::KwLet)) {
+    advance();
+    std::string Name = tok().text();
+    if (!expect(TokenKind::Identifier, "as binding name"))
+      return nullptr;
+    TypeRef Annot;
+    if (accept(TokenKind::Colon)) {
+      Annot = parseType();
+      if (!Annot)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Equal, "in let binding"))
+      return nullptr;
+    ExprPtr Init = parseExpr();
+    if (!Init)
+      return nullptr;
+    auto L = std::make_unique<LetExpr>(std::move(Name), std::move(Annot),
+                                       std::move(Init));
+    L->Range = rangeFrom(Begin);
+    return L;
+  }
+
+  if (check(TokenKind::KwFor)) {
+    advance();
+    std::string Var = tok().text();
+    if (!expect(TokenKind::Identifier, "as loop variable"))
+      return nullptr;
+    if (!expect(TokenKind::KwIn, "in for loop"))
+      return nullptr;
+    if (check(TokenKind::LBracket)) {
+      advance();
+      Nat Lo = parseNat();
+      if (!Lo)
+        return nullptr;
+      if (!expect(TokenKind::DotDot, "in range"))
+        return nullptr;
+      Nat Hi = parseNat();
+      if (!Hi)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "to close range"))
+        return nullptr;
+      ExprPtr Body = parseBlock();
+      if (!Body)
+        return nullptr;
+      auto F = std::make_unique<ForNatExpr>(std::move(Var), std::move(Lo),
+                                            std::move(Hi), std::move(Body));
+      F->Range = rangeFrom(Begin);
+      return F;
+    }
+    ExprPtr Coll = parseExpr();
+    if (!Coll)
+      return nullptr;
+    ExprPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    auto F = std::make_unique<ForEachExpr>(std::move(Var), std::move(Coll),
+                                           std::move(Body));
+    F->Range = rangeFrom(Begin);
+    return F;
+  }
+
+  if (check(TokenKind::KwSched)) {
+    advance();
+    std::vector<Axis> Axes;
+    if (check(TokenKind::LParen)) {
+      if (!parseAxisList(Axes))
+        return nullptr;
+    }
+    std::string Binder = tok().text();
+    if (!expect(TokenKind::Identifier, "as sched binder"))
+      return nullptr;
+    if (!expect(TokenKind::KwIn, "in sched"))
+      return nullptr;
+    std::string Target = tok().text();
+    if (!expect(TokenKind::Identifier, "as sched target"))
+      return nullptr;
+    ExprPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    auto S = std::make_unique<SchedExpr>(std::move(Axes), std::move(Binder),
+                                         std::move(Target), std::move(Body));
+    S->Range = rangeFrom(Begin);
+    return S;
+  }
+
+  if (check(TokenKind::KwSplit)) {
+    advance();
+    std::vector<Axis> Axes;
+    if (!parseAxisList(Axes))
+      return nullptr;
+    if (Axes.size() != 1) {
+      Diags.error(DiagCode::ParseBadDim, rangeFrom(Begin),
+                  "split takes exactly one axis");
+      return nullptr;
+    }
+    std::string Target = tok().text();
+    if (!expect(TokenKind::Identifier, "as split target"))
+      return nullptr;
+    if (!expect(TokenKind::KwAt, "in split"))
+      return nullptr;
+    Nat Position = parseNat();
+    if (!Position)
+      return nullptr;
+    if (!expect(TokenKind::LBrace, "to begin split arms"))
+      return nullptr;
+    std::string FstName = tok().text();
+    if (!expect(TokenKind::Identifier, "as first split binder"))
+      return nullptr;
+    if (!expect(TokenKind::FatArrow, "after split binder"))
+      return nullptr;
+    ExprPtr FstBody = parseBlock();
+    if (!FstBody)
+      return nullptr;
+    accept(TokenKind::Comma);
+    std::string SndName = tok().text();
+    if (!expect(TokenKind::Identifier, "as second split binder"))
+      return nullptr;
+    if (!expect(TokenKind::FatArrow, "after split binder"))
+      return nullptr;
+    ExprPtr SndBody = parseBlock();
+    if (!SndBody)
+      return nullptr;
+    accept(TokenKind::Comma);
+    if (!expect(TokenKind::RBrace, "to close split arms"))
+      return nullptr;
+    auto S = std::make_unique<SplitExpr>(Axes[0], std::move(Target),
+                                         std::move(Position),
+                                         std::move(FstName), std::move(FstBody),
+                                         std::move(SndName), std::move(SndBody));
+    S->Range = rangeFrom(Begin);
+    return S;
+  }
+
+  if (check(TokenKind::KwSync)) {
+    advance();
+    auto S = std::make_unique<SyncExpr>();
+    S->Range = rangeFrom(Begin);
+    return S;
+  }
+
+  if (check(TokenKind::LBrace))
+    return parseBlock();
+
+  // Expression or assignment.
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (check(TokenKind::Equal)) {
+    if (!isa<PlaceExpr>(E.get())) {
+      Diags.error(DiagCode::CannotAssign, E->Range,
+                  "left-hand side of assignment is not a place expression");
+      return nullptr;
+    }
+    advance();
+    ExprPtr Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    PlacePtr Lhs(static_cast<PlaceExpr *>(E.release()));
+    auto A = std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs));
+    A->Range = rangeFrom(Begin);
+    return A;
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Binary operator precedence; 0 means "not a binary operator".
+unsigned binPrecedence(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return 1;
+  case TokenKind::AmpAmp:
+    return 2;
+  case TokenKind::EqualEqual:
+  case TokenKind::NotEqual:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::LessEqual:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEqual:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
+BinOpKind binOpFromToken(TokenKind K) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    return BinOpKind::Or;
+  case TokenKind::AmpAmp:
+    return BinOpKind::And;
+  case TokenKind::EqualEqual:
+    return BinOpKind::Eq;
+  case TokenKind::NotEqual:
+    return BinOpKind::Ne;
+  case TokenKind::Less:
+    return BinOpKind::Lt;
+  case TokenKind::LessEqual:
+    return BinOpKind::Le;
+  case TokenKind::Greater:
+    return BinOpKind::Gt;
+  case TokenKind::GreaterEqual:
+    return BinOpKind::Ge;
+  case TokenKind::Plus:
+    return BinOpKind::Add;
+  case TokenKind::Minus:
+    return BinOpKind::Sub;
+  case TokenKind::Star:
+    return BinOpKind::Mul;
+  case TokenKind::Slash:
+    return BinOpKind::Div;
+  case TokenKind::Percent:
+    return BinOpKind::Mod;
+  default:
+    assert(false && "not a binary operator");
+    return BinOpKind::Add;
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  return parseBinaryRhs(1, std::move(Lhs));
+}
+
+ExprPtr Parser::parseBinaryRhs(unsigned MinPrec, ExprPtr Lhs) {
+  while (true) {
+    unsigned Prec = binPrecedence(tok().Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    TokenKind OpTok = tok().Kind;
+    advance();
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    unsigned NextPrec = binPrecedence(tok().Kind);
+    if (NextPrec > Prec) {
+      Rhs = parseBinaryRhs(Prec + 1, std::move(Rhs));
+      if (!Rhs)
+        return nullptr;
+    }
+    SourceRange R = SourceRange::merge(Lhs->Range, Rhs->Range);
+    Lhs = std::make_unique<BinaryExpr>(binOpFromToken(OpTok), std::move(Lhs),
+                                       std::move(Rhs));
+    Lhs->Range = R;
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Begin = tok().Range.Begin;
+
+  if (accept(TokenKind::Star)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    if (!isa<PlaceExpr>(Sub.get())) {
+      Diags.error(DiagCode::ParseUnexpectedToken, Sub->Range,
+                  "dereference applies to place expressions only");
+      return nullptr;
+    }
+    PlacePtr P(static_cast<PlaceExpr *>(Sub.release()));
+    auto D = std::make_unique<PlaceDeref>(std::move(P));
+    D->Range = rangeFrom(Begin);
+    return parsePostfix(std::move(D));
+  }
+
+  if (accept(TokenKind::Amp)) {
+    Ownership Own = accept(TokenKind::KwUniq) ? Ownership::Uniq
+                                              : Ownership::Shrd;
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    if (!isa<PlaceExpr>(Sub.get())) {
+      Diags.error(DiagCode::ParseUnexpectedToken, Sub->Range,
+                  "borrow applies to place expressions only");
+      return nullptr;
+    }
+    PlacePtr P(static_cast<PlaceExpr *>(Sub.release()));
+    auto B = std::make_unique<BorrowExpr>(Own, std::move(P));
+    B->Range = rangeFrom(Begin);
+    return B;
+  }
+
+  if (accept(TokenKind::Minus)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    auto U = std::make_unique<UnaryExpr>(UnOpKind::Neg, std::move(Sub));
+    U->Range = rangeFrom(Begin);
+    return U;
+  }
+
+  if (accept(TokenKind::Not)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    auto U = std::make_unique<UnaryExpr>(UnOpKind::Not, std::move(Sub));
+    U->Range = rangeFrom(Begin);
+    return U;
+  }
+
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  while (true) {
+    // Selection p[[exec]]: exactly "[[ident]]".
+    if (check(TokenKind::LBracket) && check(TokenKind::LBracket, 1) &&
+        check(TokenKind::Identifier, 2) && check(TokenKind::RBracket, 3) &&
+        check(TokenKind::RBracket, 4)) {
+      if (!isa<PlaceExpr>(Base.get())) {
+        Diags.error(DiagCode::ParseUnexpectedToken, Base->Range,
+                    "selection applies to place expressions only");
+        return nullptr;
+      }
+      SourceLoc Begin = Base->Range.Begin;
+      advance();
+      advance();
+      std::string ExecName = tok().text();
+      advance();
+      advance();
+      advance();
+      PlacePtr P(static_cast<PlaceExpr *>(Base.release()));
+      Base = std::make_unique<PlaceSelect>(std::move(P), std::move(ExecName));
+      Base->Range = rangeFrom(Begin);
+      continue;
+    }
+    // Indexing p[e].
+    if (check(TokenKind::LBracket)) {
+      if (!isa<PlaceExpr>(Base.get())) {
+        Diags.error(DiagCode::ParseUnexpectedToken, Base->Range,
+                    "indexing applies to place expressions only");
+        return nullptr;
+      }
+      SourceLoc Begin = Base->Range.Begin;
+      advance();
+      ExprPtr Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "to close index"))
+        return nullptr;
+      PlacePtr P(static_cast<PlaceExpr *>(Base.release()));
+      Base = std::make_unique<PlaceIndex>(std::move(P), std::move(Index));
+      Base->Range = rangeFrom(Begin);
+      continue;
+    }
+    // Projection p.fst / p.snd or view application p.v::<...>.
+    if (check(TokenKind::Dot)) {
+      if (!isa<PlaceExpr>(Base.get())) {
+        Diags.error(DiagCode::ParseUnexpectedToken, Base->Range,
+                    "projections and views apply to place expressions only");
+        return nullptr;
+      }
+      SourceLoc Begin = Base->Range.Begin;
+      advance();
+      std::string Name = tok().text();
+      // `split` is a keyword but also the name of a builtin view.
+      if (check(TokenKind::KwSplit))
+        advance();
+      else if (!expect(TokenKind::Identifier, "after '.'"))
+        return nullptr;
+      PlacePtr P(static_cast<PlaceExpr *>(Base.release()));
+      if (Name == "fst" || Name == "snd") {
+        Base = std::make_unique<PlaceProj>(std::move(P), Name == "snd");
+      } else {
+        std::vector<Nat> NatArgs;
+        if (check(TokenKind::ColonColon) && check(TokenKind::Less, 1)) {
+          advance();
+          advance();
+          while (!check(TokenKind::Greater) && !check(TokenKind::Eof)) {
+            Nat N = parseNat();
+            if (!N)
+              return nullptr;
+            NatArgs.push_back(std::move(N));
+            if (!accept(TokenKind::Comma))
+              break;
+          }
+          if (!expect(TokenKind::Greater, "to close view arguments"))
+            return nullptr;
+        }
+        Base = std::make_unique<PlaceView>(std::move(P), std::move(Name),
+                                           std::move(NatArgs));
+      }
+      Base->Range = rangeFrom(Begin);
+      continue;
+    }
+    return Base;
+  }
+}
+
+std::vector<GenericArg> Parser::parseGenericArgs() {
+  // Caller consumed "::<".
+  std::vector<GenericArg> Out;
+  while (!check(TokenKind::Greater) && !check(TokenKind::Eof)) {
+    // Types start with '[', '&', '(' or a scalar name; memories are
+    // cpu.*/gpu.*; everything else parses as a nat (bare identifiers are
+    // reclassified against the callee's parameter kinds during checking).
+    if (check(TokenKind::LBracket) || check(TokenKind::Amp) ||
+        check(TokenKind::LParen)) {
+      TypeRef T = parseType();
+      if (!T)
+        return Out;
+      Out.push_back(GenericArg::type(std::move(T)));
+    } else if (check(TokenKind::Identifier) && check(TokenKind::Dot, 1)) {
+      Memory M;
+      if (!parseMemory(M))
+        return Out;
+      Out.push_back(GenericArg::memory(std::move(M)));
+    } else if (check(TokenKind::Identifier) &&
+               (tok().Text == "i32" || tok().Text == "i64" ||
+                tok().Text == "u32" || tok().Text == "u64" ||
+                tok().Text == "f32" || tok().Text == "f64" ||
+                tok().Text == "bool")) {
+      TypeRef T = parseType();
+      if (!T)
+        return Out;
+      Out.push_back(GenericArg::type(std::move(T)));
+    } else {
+      Nat N = parseNat();
+      if (!N)
+        return Out;
+      Out.push_back(GenericArg::nat(std::move(N)));
+    }
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Greater, "to close generic arguments");
+  return Out;
+}
+
+ExprPtr Parser::parseCallOrPlace() {
+  SourceLoc Begin = tok().Range.Begin;
+  std::string Name = tok().text();
+  assert(check(TokenKind::Identifier) && "expected identifier");
+  advance();
+
+  // Path call: A::b(...).
+  if (check(TokenKind::ColonColon) && check(TokenKind::Identifier, 1)) {
+    advance();
+    std::string Member = tok().text();
+    advance();
+    std::string Callee = Name + "::" + Member;
+    std::vector<GenericArg> Generics;
+    if (check(TokenKind::ColonColon) && check(TokenKind::Less, 1)) {
+      advance();
+      advance();
+      Generics = parseGenericArgs();
+    }
+    if (!expect(TokenKind::LParen, "to begin call arguments"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+      ExprPtr A = parseExpr();
+      if (!A)
+        return nullptr;
+      Args.push_back(std::move(A));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::RParen, "to close call arguments"))
+      return nullptr;
+    auto C = std::make_unique<CallExpr>(std::move(Callee), std::move(Generics),
+                                        std::move(Args));
+    C->Range = rangeFrom(Begin);
+    return C;
+  }
+
+  if (check(TokenKind::ColonColon) && check(TokenKind::Less, 1)) {
+    // Launch f::<<<GridDim, BlockDim>>>(...) or generic call f::<...>(...).
+    bool IsLaunch = check(TokenKind::Less, 2) && check(TokenKind::Less, 3);
+    advance(); // ::
+    if (IsLaunch) {
+      advance(); // <
+      advance(); // <
+      advance(); // <
+      // alloc intrinsic never launches; treat as normal call handled below.
+      Dim Grid, Block;
+      if (!parseDim(Grid))
+        return nullptr;
+      if (!expect(TokenKind::Comma, "between launch dimensions"))
+        return nullptr;
+      if (!parseDim(Block))
+        return nullptr;
+      if (!expect(TokenKind::Greater, "to close launch configuration") ||
+          !expect(TokenKind::Greater, "to close launch configuration") ||
+          !expect(TokenKind::Greater, "to close launch configuration"))
+        return nullptr;
+      if (!expect(TokenKind::LParen, "to begin launch arguments"))
+        return nullptr;
+      std::vector<ExprPtr> Args;
+      while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+        ExprPtr A = parseExpr();
+        if (!A)
+          return nullptr;
+        Args.push_back(std::move(A));
+        if (!accept(TokenKind::Comma))
+          break;
+      }
+      if (!expect(TokenKind::RParen, "to close launch arguments"))
+        return nullptr;
+      auto C = std::make_unique<CallExpr>(std::move(Name),
+                                          std::vector<GenericArg>{},
+                                          std::move(Args));
+      C->IsLaunch = true;
+      C->LaunchGrid = std::move(Grid);
+      C->LaunchBlock = std::move(Block);
+      C->Range = rangeFrom(Begin);
+      return C;
+    }
+
+    advance(); // <
+    // alloc::<mem, type>() intrinsic.
+    if (Name == "alloc") {
+      Memory Mem;
+      if (!parseMemory(Mem))
+        return nullptr;
+      if (!expect(TokenKind::Comma, "between alloc arguments"))
+        return nullptr;
+      TypeRef Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      if (!expect(TokenKind::Greater, "to close alloc arguments"))
+        return nullptr;
+      if (!expect(TokenKind::LParen, "in alloc call") ||
+          !expect(TokenKind::RParen, "in alloc call"))
+        return nullptr;
+      auto A = std::make_unique<AllocExpr>(std::move(Mem), std::move(Ty));
+      A->Range = rangeFrom(Begin);
+      return A;
+    }
+    std::vector<GenericArg> Generics = parseGenericArgs();
+    if (!expect(TokenKind::LParen, "to begin call arguments"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+      ExprPtr A = parseExpr();
+      if (!A)
+        return nullptr;
+      Args.push_back(std::move(A));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::RParen, "to close call arguments"))
+      return nullptr;
+    auto C = std::make_unique<CallExpr>(std::move(Name), std::move(Generics),
+                                        std::move(Args));
+    C->Range = rangeFrom(Begin);
+    return C;
+  }
+
+  // Plain call f(...).
+  if (check(TokenKind::LParen)) {
+    advance();
+    std::vector<ExprPtr> Args;
+    while (!check(TokenKind::RParen) && !check(TokenKind::Eof)) {
+      ExprPtr A = parseExpr();
+      if (!A)
+        return nullptr;
+      Args.push_back(std::move(A));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::RParen, "to close call arguments"))
+      return nullptr;
+    auto C = std::make_unique<CallExpr>(std::move(Name),
+                                        std::vector<GenericArg>{},
+                                        std::move(Args));
+    C->Range = rangeFrom(Begin);
+    return C;
+  }
+
+  // Otherwise a place rooted at this variable.
+  auto V = std::make_unique<PlaceVar>(std::move(Name));
+  V->Range = rangeFrom(Begin);
+  return parsePostfix(std::move(V));
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Begin = tok().Range.Begin;
+
+  if (check(TokenKind::IntLiteral)) {
+    std::string Text = tok().text();
+    advance();
+    ScalarKind K = ScalarKind::I32;
+    if (Text.size() > 3) {
+      std::string Suffix = Text.substr(Text.size() - 3);
+      if (Suffix == "i64")
+        K = ScalarKind::I64;
+      else if (Suffix == "u32")
+        K = ScalarKind::U32;
+      else if (Suffix == "u64")
+        K = ScalarKind::U64;
+    }
+    ExprPtr E = LiteralExpr::makeInt(std::atoll(Text.c_str()), K);
+    E->Range = rangeFrom(Begin);
+    return E;
+  }
+
+  if (check(TokenKind::FloatLiteral)) {
+    std::string Text = tok().text();
+    advance();
+    ScalarKind K = ScalarKind::F64;
+    if (Text.size() > 3 && Text.substr(Text.size() - 3) == "f32")
+      K = ScalarKind::F32;
+    ExprPtr E = LiteralExpr::makeFloat(std::atof(Text.c_str()), K);
+    E->Range = rangeFrom(Begin);
+    return E;
+  }
+
+  if (check(TokenKind::KwTrue) || check(TokenKind::KwFalse)) {
+    bool V = check(TokenKind::KwTrue);
+    advance();
+    ExprPtr E = LiteralExpr::makeBool(V);
+    E->Range = rangeFrom(Begin);
+    return E;
+  }
+
+  if (check(TokenKind::LParen)) {
+    advance();
+    if (accept(TokenKind::RParen)) {
+      ExprPtr E = LiteralExpr::makeUnit();
+      E->Range = rangeFrom(Begin);
+      return E;
+    }
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    // Postfix may continue on a parenthesized place: (*vec)[[thread]].
+    if (isa<PlaceExpr>(Inner.get()))
+      return parsePostfix(std::move(Inner));
+    return Inner;
+  }
+
+  // Array-repeat initializer [elem; count].
+  if (check(TokenKind::LBracket)) {
+    advance();
+    ExprPtr Elem = parseExpr();
+    if (!Elem)
+      return nullptr;
+    if (!accept(TokenKind::Semicolon) && !accept(TokenKind::Comma)) {
+      expect(TokenKind::Semicolon, "in array initializer");
+      return nullptr;
+    }
+    Nat Count = parseNat();
+    if (!Count)
+      return nullptr;
+    if (!expect(TokenKind::RBracket, "to close array initializer"))
+      return nullptr;
+    auto A = std::make_unique<ArrayInitExpr>(std::move(Elem),
+                                             std::move(Count));
+    A->Range = rangeFrom(Begin);
+    return A;
+  }
+
+  if (check(TokenKind::Identifier))
+    return parseCallOrPlace();
+
+  Diags.error(DiagCode::ParseUnexpectedToken, tok().Range,
+              strfmt("expected expression, found '%s'",
+                     tok().text().c_str()));
+  return nullptr;
+}

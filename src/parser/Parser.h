@@ -1,0 +1,91 @@
+//===- parser/Parser.h - Descend recursive-descent parser -------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Parses the surface syntax of the
+// paper's listings into the AST. Notable constructs:
+//
+//   fn f<n: nat>(v: &uniq gpu.global [f64; n]) -[grid: gpu.grid<X<1>,X<n>>]
+//       -> () { ... }
+//   sched(Y, X) block in grid { ... }
+//   split(X) block at 32 { fst_half => { ... }, snd_half => { ... } }
+//   tmp.group_by_row::<32, 4>[[thread]][i] = ...
+//   scale_vec::<<<X<32>, X<32>>>>(&uniq vec)
+//   view group_by_row<r: nat, n: nat> = group::<r/n>.map(transpose)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_PARSER_PARSER_H
+#define DESCEND_PARSER_PARSER_H
+
+#include "ast/Item.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace descend {
+
+class SourceManager;
+
+class Parser {
+public:
+  Parser(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. Returns a module even on errors (check the
+  /// DiagnosticEngine); unparsable items are skipped.
+  std::unique_ptr<Module> parseModule();
+
+  /// Parses a single type (used in tests and tools).
+  TypeRef parseStandaloneType();
+
+private:
+  // Token stream helpers.
+  const Token &tok(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind K, unsigned Ahead = 0) const {
+    return tok(Ahead).is(K);
+  }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void syncToItem();
+  void syncToStmtEnd();
+  SourceRange rangeFrom(SourceLoc Begin) const;
+
+  // Items.
+  std::unique_ptr<FnDef> parseFn();
+  std::unique_ptr<ViewDef> parseViewDef();
+  std::vector<GenericParam> parseGenericParams();
+  std::vector<ViewStep> parseViewChain();
+
+  // Types and friends.
+  TypeRef parseType();
+  bool parseMemory(Memory &Out);
+  bool parseExecLevel(ExecLevel &Out, std::string &ExecName);
+  bool parseDim(Dim &Out);
+  Nat parseNat();
+  Nat parseNatMul();
+  Nat parseNatPow();
+  Nat parseNatAtom();
+  bool parseAxisList(std::vector<Axis> &Out);
+  bool axisFromIdent(const Token &T, Axis &Out);
+
+  // Statements & expressions.
+  ExprPtr parseBlock();
+  ExprPtr parseStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRhs(unsigned MinPrec, ExprPtr Lhs);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+  ExprPtr parseCallOrPlace();
+  std::vector<GenericArg> parseGenericArgs();
+
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace descend
+
+#endif // DESCEND_PARSER_PARSER_H

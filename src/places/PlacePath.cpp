@@ -1,0 +1,111 @@
+//===- places/PlacePath.cpp -------------------------------------------------===//
+
+#include "places/PlacePath.h"
+
+#include <sstream>
+
+using namespace descend;
+
+std::string PlacePath::str() const {
+  std::ostringstream OS;
+  OS << Root;
+  for (const PlaceStep &S : Steps) {
+    switch (S.Kind) {
+    case PlaceStepKind::Proj:
+      OS << (S.Which == 0 ? ".fst" : ".snd");
+      break;
+    case PlaceStepKind::Deref: {
+      std::string Inner = OS.str();
+      OS.str("");
+      OS << "(*" << Inner << ")";
+      break;
+    }
+    case PlaceStepKind::Index:
+      OS << "[" << (S.Index ? S.Index.str() : S.IndexKey) << "]";
+      break;
+    case PlaceStepKind::Select:
+      OS << "[[" << S.ExecVar << "]]";
+      break;
+    case PlaceStepKind::View:
+      OS << "." << S.ViewKey;
+      break;
+    }
+  }
+  return OS.str();
+}
+
+bool descend::provablyDistinct(const Nat &L, const Nat &R) {
+  if (!L || !R)
+    return false;
+  Nat Diff = Nat::sub(L, R).simplified();
+  if (Diff.isLit())
+    return Diff.litValue() != 0;
+  auto Lt = Nat::proveLt(L, R);
+  if (Lt && *Lt)
+    return true;
+  auto Gt = Nat::proveLt(R, L);
+  return Gt && *Gt;
+}
+
+namespace {
+/// Step equality: both denote the same sub-place for the same execution
+/// instance.
+bool stepsEqual(const PlaceStep &A, const PlaceStep &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case PlaceStepKind::Proj:
+    return A.Which == B.Which;
+  case PlaceStepKind::Deref:
+    return true;
+  case PlaceStepKind::Index:
+    if (A.Index && B.Index)
+      return Nat::proveEq(A.Index, B.Index);
+    return !A.IndexKey.empty() && A.IndexKey == B.IndexKey;
+  case PlaceStepKind::Select:
+    // Selections denote the coordinates of the selecting execution
+    // resource: two selections agree only if they are by the *same*
+    // resource. Binders from different split arms overlap even though the
+    // resources are disjoint thread sets (both enumerate the same array).
+    return !A.ExecKey.empty() ? A.ExecKey == B.ExecKey
+                              : A.ExecVar == B.ExecVar;
+  case PlaceStepKind::View:
+    return A.ViewKey == B.ViewKey;
+  }
+  return false;
+}
+
+/// Disjointness of the first differing step pair.
+bool stepsDisjoint(const PlaceStep &A, const PlaceStep &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case PlaceStepKind::Proj:
+    // Projections of a tuple refer to non-overlapping regions; in
+    // particular split::<k>.fst and .snd partition the array.
+    return A.Which != B.Which;
+  case PlaceStepKind::Index:
+    return provablyDistinct(A.Index, B.Index);
+  default:
+    return false;
+  }
+}
+} // namespace
+
+PlaceRelation descend::comparePlaces(const PlacePath &A, const PlacePath &B) {
+  if (A.Root != B.Root || A.RootBindingId != B.RootBindingId)
+    return PlaceRelation::Disjoint;
+
+  size_t N = std::min(A.Steps.size(), B.Steps.size());
+  for (size_t I = 0; I != N; ++I) {
+    if (stepsEqual(A.Steps[I], B.Steps[I]))
+      continue;
+    if (stepsDisjoint(A.Steps[I], B.Steps[I]))
+      return PlaceRelation::Disjoint;
+    return PlaceRelation::Overlap;
+  }
+  if (A.Steps.size() == B.Steps.size())
+    return PlaceRelation::Equal;
+  // One is a strict prefix: the whole array overlaps each of its parts.
+  return PlaceRelation::Overlap;
+}

@@ -1,0 +1,104 @@
+//===- places/PlacePath.h - Resolved place expressions ----------*- C++ -*-===//
+//
+// Part of the Descend reproduction. A PlacePath is the type checker's
+// resolved form of a place expression (Fig. 3): a root binding plus a
+// sequence of steps. Paths are compared *syntactically* to decide whether
+// two accesses may touch the same memory (Section 3.2):
+//
+//   "For checking that a place expression is accessed exclusively,
+//    Descend, like Rust, compares the differences between place
+//    expressions syntactically."
+//
+// Every view is an injective index remapping (see views/) and every select
+// partitions an array over an execution resource, so:
+//   * identical paths denote identical per-instance access sets,
+//   * paths diverging at fst/snd, at provably distinct indices, or at
+//     selections by disjoint execution resources are disjoint,
+//   * anything else conservatively overlaps.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_PLACES_PLACEPATH_H
+#define DESCEND_PLACES_PLACEPATH_H
+
+#include "nat/Nat.h"
+
+#include <string>
+#include <vector>
+
+namespace descend {
+
+enum class PlaceStepKind { Proj, Deref, Index, Select, View };
+
+struct PlaceStep {
+  PlaceStepKind Kind = PlaceStepKind::Deref;
+  unsigned Which = 0;   // Proj: 0 == fst, 1 == snd
+  Nat Index;            // Index: static or loop-var index, null if dynamic
+  std::string IndexKey; // Index: canonical spelling (for dynamic indices)
+  std::string ExecVar;  // Select: name of the selecting execution resource
+  std::string ExecKey;  // Select: canonical form of the resource (identity)
+  unsigned ExecOpsBegin = 0; // Select: forall ops this selection discharges
+  unsigned ExecOpsEnd = 0;
+  std::string ViewKey;  // View: canonical primitive-chain spelling
+
+  static PlaceStep proj(unsigned Which) {
+    PlaceStep S;
+    S.Kind = PlaceStepKind::Proj;
+    S.Which = Which;
+    return S;
+  }
+  static PlaceStep deref() {
+    PlaceStep S;
+    S.Kind = PlaceStepKind::Deref;
+    return S;
+  }
+  static PlaceStep index(Nat N, std::string Key) {
+    PlaceStep S;
+    S.Kind = PlaceStepKind::Index;
+    S.Index = std::move(N);
+    S.IndexKey = std::move(Key);
+    return S;
+  }
+  static PlaceStep select(std::string ExecVar, std::string ExecKey,
+                          unsigned OpsBegin, unsigned OpsEnd) {
+    PlaceStep S;
+    S.Kind = PlaceStepKind::Select;
+    S.ExecVar = std::move(ExecVar);
+    S.ExecKey = std::move(ExecKey);
+    S.ExecOpsBegin = OpsBegin;
+    S.ExecOpsEnd = OpsEnd;
+    return S;
+  }
+  static PlaceStep view(std::string Key) {
+    PlaceStep S;
+    S.Kind = PlaceStepKind::View;
+    S.ViewKey = std::move(Key);
+    return S;
+  }
+};
+
+struct PlacePath {
+  std::string Root;
+  unsigned RootBindingId = 0; // disambiguates shadowed bindings
+  std::vector<PlaceStep> Steps;
+
+  /// Renders in the paper's surface syntax, e.g. "arr.rev[[thread]]".
+  std::string str() const;
+};
+
+enum class PlaceRelation {
+  Disjoint, ///< provably never the same memory
+  Equal,    ///< identical access set (per execution instance)
+  Overlap   ///< may alias; conservative default
+};
+
+/// Syntactic comparison per Section 3.2.
+PlaceRelation comparePlaces(const PlacePath &A, const PlacePath &B);
+
+/// True when L and R provably differ for every variable assignment
+/// (difference is a non-zero constant, or one is provably less).
+bool provablyDistinct(const Nat &L, const Nat &R);
+
+} // namespace descend
+
+#endif // DESCEND_PLACES_PLACEPATH_H

@@ -1,0 +1,80 @@
+//===- runtime/HostRuntime.h - Host-side runtime API ------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The host API of Section 3.4/3.5 as a
+// C++ library over the simulator: heap allocation, CPU<->GPU transfer with
+// direction checking and kernel-launch configuration checking.
+//
+// In Descend these mistakes are compile-time errors; this runtime is the
+// substrate equivalent for *handwritten* host code (and for demonstrating,
+// in the examples, what the type system prevents).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_RUNTIME_HOSTRUNTIME_H
+#define DESCEND_RUNTIME_HOSTRUNTIME_H
+
+#include "sim/Sim.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace descend::rt {
+
+/// CpuHeap::new — host heap allocation (the paper's `[T; n] @ cpu.mem`).
+template <typename T> class HostBuffer {
+public:
+  HostBuffer(size_t Count, T Fill) : Data(Count, Fill) {}
+  explicit HostBuffer(std::vector<T> Init) : Data(std::move(Init)) {}
+
+  size_t size() const { return Data.size(); }
+  T *data() { return Data.data(); }
+  const T *data() const { return Data.data(); }
+  T &operator[](size_t I) { return Data.at(I); }
+  const T &operator[](size_t I) const { return Data.at(I); }
+
+private:
+  std::vector<T> Data;
+};
+
+/// GpuGlobal::alloc_copy — allocates global memory and copies host data.
+template <typename T>
+sim::GpuDevice::Buffer<T> allocCopy(sim::GpuDevice &Dev,
+                                    const HostBuffer<T> &Host) {
+  auto Buf = Dev.alloc<T>(Host.size());
+  std::memcpy(Buf.data(), Host.data(), Host.size() * sizeof(T));
+  return Buf;
+}
+
+/// copy_mem_to_host — checked direction and size (what cudaMemcpy does not
+/// verify; Section 2.3's swapped-arguments bug surfaces here at runtime
+/// instead of compile time).
+template <typename T>
+void copyToHost(HostBuffer<T> &Dst, const sim::GpuDevice::Buffer<T> &Src) {
+  if (Dst.size() != Src.size())
+    throw std::runtime_error("copy_mem_to_host: size mismatch");
+  std::memcpy(Dst.data(), Src.data(), Src.size() * sizeof(T));
+}
+
+template <typename T>
+void copyToGpu(sim::GpuDevice::Buffer<T> &Dst, const HostBuffer<T> &Src) {
+  if (Dst.size() != Src.size())
+    throw std::runtime_error("copy_to_gpu: size mismatch");
+  std::memcpy(Dst.data(), Src.data(), Src.size() * sizeof(T));
+}
+
+/// Checks a launch configuration against the element count a kernel
+/// expects (one element per thread). Descend proves this statically
+/// (Section 3.5); handwritten host code can at best assert it here.
+inline void checkLaunchConfig(sim::Dim3 Grid, sim::Dim3 Block,
+                              size_t Elements) {
+  size_t Threads = static_cast<size_t>(Grid.total()) * Block.total();
+  if (Threads != Elements)
+    throw std::runtime_error(
+        "launch configuration mismatch: " + std::to_string(Threads) +
+        " threads for " + std::to_string(Elements) + " elements");
+}
+
+} // namespace descend::rt
+
+#endif // DESCEND_RUNTIME_HOSTRUNTIME_H

@@ -1,0 +1,178 @@
+//===- sim/Sim.cpp - Simulator implementation -------------------------------===//
+
+#include "sim/Sim.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+using namespace descend::sim;
+
+std::string RaceReport::str() const {
+  return descend::strfmt(
+      "data race on buffer %u offset %zu: block %u thread %u (%s, phase %u) "
+      "vs block %u thread %u (%s, phase %u)",
+      BufferId, Offset, BlockA, ThreadA, WriteA ? "write" : "read", PhaseA,
+      BlockB, ThreadB, WriteB ? "write" : "read", PhaseB);
+}
+
+std::string BoundsReport::str() const {
+  return descend::strfmt(
+      "out-of-bounds access on buffer %u: offset %zu, size %zu", BufferId,
+      Offset, Size);
+}
+
+GpuDevice::GpuDevice() = default;
+GpuDevice::~GpuDevice() = default;
+
+unsigned GpuDevice::effectiveWorkers() const {
+  if (RaceDetection)
+    return 1;
+  if (Workers != 0)
+    return Workers;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+std::byte *GpuDevice::allocRaw(size_t Bytes, unsigned &IdOut) {
+  auto Mem = std::make_unique<std::byte[]>(Bytes);
+  std::memset(Mem.get(), 0, Bytes);
+  Allocations.push_back(std::move(Mem));
+  AllocationSizes.push_back(Bytes);
+  IdOut = Allocations.size(); // ids start at 1; 0+ reserved for shared
+  return Allocations.back().get();
+}
+
+void GpuDevice::logAccess(const BlockCtx &B, unsigned BufferId, size_t Offset,
+                          bool Write) {
+  detail::Access A;
+  A.BufferId = BufferId;
+  A.Offset = Offset;
+  A.Block = B.linear();
+  A.Thread = B.CurThread;
+  A.Phase = static_cast<uint16_t>(B.CurPhase);
+  A.Write = Write;
+  AccessLog.push_back(A);
+}
+
+void GpuDevice::logBounds(unsigned BufferId, size_t Offset, size_t Size) {
+  BoundsReport R;
+  R.BufferId = BufferId;
+  R.Offset = Offset;
+  R.Size = Size;
+  BoundsViolations.push_back(R);
+}
+
+void GpuDevice::clearLogs() {
+  AccessLog.clear();
+  BoundsViolations.clear();
+}
+
+std::vector<RaceReport> GpuDevice::findRaces() const {
+  std::vector<detail::Access> Log = AccessLog;
+  std::sort(Log.begin(), Log.end(),
+            [](const detail::Access &A, const detail::Access &B) {
+              if (A.BufferId != B.BufferId)
+                return A.BufferId < B.BufferId;
+              return A.Offset < B.Offset;
+            });
+
+  std::vector<RaceReport> Reports;
+  size_t I = 0;
+  while (I < Log.size()) {
+    size_t J = I;
+    while (J < Log.size() && Log[J].BufferId == Log[I].BufferId &&
+           Log[J].Offset == Log[I].Offset)
+      ++J;
+    // Scan the group [I, J) for one representative conflict.
+    bool Found = false;
+    for (size_t A = I; A != J && !Found; ++A) {
+      if (!Log[A].Write)
+        continue; // at least one access must be a write
+      for (size_t B = I; B != J && !Found; ++B) {
+        if (A == B)
+          continue;
+        bool SameThread =
+            Log[A].Block == Log[B].Block && Log[A].Thread == Log[B].Thread;
+        if (SameThread)
+          continue;
+        bool Conflict;
+        if (Log[A].Block != Log[B].Block) {
+          // No ordering between blocks within one kernel.
+          Conflict = true;
+        } else {
+          // Same block: phases are ordered by the barrier.
+          Conflict = Log[A].Phase == Log[B].Phase;
+        }
+        if (!Conflict)
+          continue;
+        RaceReport R;
+        R.BufferId = Log[A].BufferId;
+        R.Offset = Log[A].Offset;
+        R.BlockA = Log[A].Block;
+        R.ThreadA = Log[A].Thread;
+        R.PhaseA = Log[A].Phase;
+        R.WriteA = Log[A].Write;
+        R.BlockB = Log[B].Block;
+        R.ThreadB = Log[B].Thread;
+        R.PhaseB = Log[B].Phase;
+        R.WriteB = Log[B].Write;
+        Reports.push_back(R);
+        Found = true;
+      }
+    }
+    I = J;
+  }
+  return Reports;
+}
+
+void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
+                       size_t SharedBytes,
+                       const std::function<void(BlockCtx &)> &RunBlock) {
+  const unsigned NumBlocks = Grid.total();
+  const unsigned NumWorkers = std::min(Dev.effectiveWorkers(), NumBlocks);
+
+  auto RunOne = [&](unsigned Linear, std::byte *Arena) {
+    BlockCtx B;
+    B.X = Linear % Grid.X;
+    B.Y = (Linear / Grid.X) % Grid.Y;
+    B.Z = Linear / (Grid.X * Grid.Y);
+    B.GridDim = Grid;
+    B.BlockDim = Block;
+    B.SharedArena = Arena;
+    B.SharedBytes = SharedBytes;
+    B.Dev = &Dev;
+    // Shared arenas are per block instance: give each block its own
+    // logical buffer id so the detector separates them.
+    B.SharedBufferId = 1000000000u + Linear;
+    if (SharedBytes)
+      std::memset(Arena, 0, SharedBytes);
+    RunBlock(B);
+  };
+
+  if (NumWorkers <= 1) {
+    std::vector<std::byte> Arena(SharedBytes ? SharedBytes : 1);
+    for (unsigned L = 0; L != NumBlocks; ++L)
+      RunOne(L, Arena.data());
+    return;
+  }
+
+  std::atomic<unsigned> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Pool.emplace_back([&]() {
+      std::vector<std::byte> Arena(SharedBytes ? SharedBytes : 1);
+      while (true) {
+        unsigned L = Next.fetch_add(1, std::memory_order_relaxed);
+        if (L >= NumBlocks)
+          return;
+        RunOne(L, Arena.data());
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+}

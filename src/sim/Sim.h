@@ -1,0 +1,256 @@
+//===- sim/Sim.h - Phase-structured GPU execution simulator -----*- C++ -*-===//
+//
+// Part of the Descend reproduction. This is the substrate substituting for
+// the paper's CUDA/Tesla-P100 testbed (see DESIGN.md): a CUDA-like
+// execution model on the host CPU.
+//
+// Execution model:
+//  * A launch runs a grid of independent blocks; blocks are distributed
+//    over a worker pool (they may not synchronize with each other, exactly
+//    as in CUDA).
+//  * A kernel is a sequence of *phases*; a phase runs for every thread of
+//    a block before the next phase starts. A phase boundary is therefore a
+//    __syncthreads() barrier. Descend only admits structured barriers
+//    (sync at block scope), so every well-typed Descend program maps onto
+//    this representation; handwritten kernels are written in the same
+//    style, mirroring how __syncthreads() partitions a CUDA kernel.
+//  * Shared memory is a per-block arena living across the block's phases.
+//
+// Observability (both off by default; the hot path pays one predicted
+// branch):
+//  * Race detection logs (buffer, offset, mode, thread, phase) accesses and
+//    reports CUDA-model races: same offset, >=1 write, different threads,
+//    and either different blocks (no ordering at all) or the same block in
+//    the same phase (no barrier in between).
+//  * Bounds checking records out-of-range accesses instead of corrupting
+//    memory (used to demonstrate the Section 2.3 launch-size bug).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_SIM_SIM_H
+#define DESCEND_SIM_SIM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend::sim {
+
+struct Dim3 {
+  unsigned X = 1, Y = 1, Z = 1;
+  unsigned total() const { return X * Y * Z; }
+};
+
+/// One recorded data race.
+struct RaceReport {
+  unsigned BufferId = 0;
+  size_t Offset = 0;
+  unsigned BlockA = 0, ThreadA = 0, PhaseA = 0;
+  unsigned BlockB = 0, ThreadB = 0, PhaseB = 0;
+  bool WriteA = false, WriteB = false;
+  std::string str() const;
+};
+
+struct BoundsReport {
+  unsigned BufferId = 0;
+  size_t Offset = 0;
+  size_t Size = 0;
+  std::string str() const;
+};
+
+namespace detail {
+struct Access {
+  unsigned BufferId;
+  uint64_t Offset;
+  unsigned Block;
+  unsigned Thread;
+  uint16_t Phase;
+  bool Write;
+};
+} // namespace detail
+
+class GpuDevice;
+
+/// Per-block execution context: block coordinates, dims, the shared-memory
+/// arena and the logging position (updated per thread/phase; block-local,
+/// so parallel block execution stays race-free).
+struct BlockCtx {
+  unsigned X = 0, Y = 0, Z = 0; // blockIdx
+  Dim3 GridDim, BlockDim;
+  std::byte *SharedArena = nullptr;
+  size_t SharedBytes = 0;
+  GpuDevice *Dev = nullptr;
+  unsigned SharedBufferId = 0; // logical id for race logging
+  unsigned CurThread = 0;      // linear id of the executing thread
+  unsigned CurPhase = 0;
+
+  unsigned linear() const { return (Z * GridDim.Y + Y) * GridDim.X + X; }
+
+  /// Raw typed view into the shared arena at byte offset \p Offset.
+  template <typename T> T *shared(size_t Offset) const {
+    return reinterpret_cast<T *>(SharedArena + Offset);
+  }
+
+  // Logged shared-memory access; see class GpuDevice for the global side.
+  template <typename T> T sharedLoad(size_t Base, size_t I) const;
+  template <typename T> void sharedStore(size_t Base, size_t I, T V) const;
+};
+
+/// Thread coordinates within a block.
+struct ThreadCtx {
+  unsigned X = 0, Y = 0, Z = 0; // threadIdx
+};
+
+/// Simulated device: owns global-memory buffers and the observability
+/// state. One launch at a time.
+class GpuDevice {
+public:
+  GpuDevice();
+  ~GpuDevice();
+
+  template <typename T> class Buffer;
+
+  /// Allocates a zero-initialized global buffer of \p Count elements.
+  template <typename T> Buffer<T> alloc(size_t Count);
+
+  /// Enables the dynamic race detector. Forces sequential block execution
+  /// so the log is deterministic.
+  void setRaceDetection(bool On) { RaceDetection = On; }
+  bool raceDetection() const { return RaceDetection; }
+
+  void setBoundsChecking(bool On) { BoundsChecking = On; }
+  bool boundsChecking() const { return BoundsChecking; }
+
+  /// Worker threads for block execution; 0 = hardware concurrency.
+  void setWorkers(unsigned N) { Workers = N; }
+  unsigned effectiveWorkers() const;
+
+  /// Analyzes the logged accesses of the last launch. One report per
+  /// conflicting (buffer, offset) pair.
+  std::vector<RaceReport> findRaces() const;
+  const std::vector<BoundsReport> &boundsViolations() const {
+    return BoundsViolations;
+  }
+  void clearLogs();
+
+  // Internal: used by accessors and the launcher.
+  void logAccess(const BlockCtx &B, unsigned BufferId, size_t Offset,
+                 bool Write);
+  void logBounds(unsigned BufferId, size_t Offset, size_t Size);
+  std::byte *allocRaw(size_t Bytes, unsigned &IdOut);
+
+private:
+  bool RaceDetection = false;
+  bool BoundsChecking = false;
+  unsigned Workers = 0;
+
+  std::vector<std::unique_ptr<std::byte[]>> Allocations;
+  std::vector<size_t> AllocationSizes;
+  std::vector<detail::Access> AccessLog;
+  std::vector<BoundsReport> BoundsViolations;
+};
+
+/// Typed handle to a global buffer. Copyable; does not own the memory.
+template <typename T> class GpuDevice::Buffer {
+public:
+  Buffer() = default;
+
+  size_t size() const { return Count; }
+  unsigned id() const { return Id; }
+
+  /// Host-side unchecked access (initialization and verification).
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+  /// Device-side access from inside a kernel phase.
+  T load(const BlockCtx &B, size_t I) const {
+    if (Dev->raceDetection()) [[unlikely]]
+      Dev->logAccess(B, Id, I, /*Write=*/false);
+    if (Dev->boundsChecking()) [[unlikely]] {
+      if (I >= Count) {
+        Dev->logBounds(Id, I, Count);
+        return T{};
+      }
+    }
+    return Data[I];
+  }
+  void store(const BlockCtx &B, size_t I, T Value) const {
+    if (Dev->raceDetection()) [[unlikely]]
+      Dev->logAccess(B, Id, I, /*Write=*/true);
+    if (Dev->boundsChecking()) [[unlikely]] {
+      if (I >= Count) {
+        Dev->logBounds(Id, I, Count);
+        return;
+      }
+    }
+    Data[I] = Value;
+  }
+
+private:
+  friend class GpuDevice;
+  Buffer(GpuDevice *Dev, T *Data, size_t Count, unsigned Id)
+      : Dev(Dev), Data(Data), Count(Count), Id(Id) {}
+
+  GpuDevice *Dev = nullptr;
+  T *Data = nullptr;
+  size_t Count = 0;
+  unsigned Id = 0;
+};
+
+template <typename T> GpuDevice::Buffer<T> GpuDevice::alloc(size_t Count) {
+  unsigned Id = 0;
+  std::byte *Raw = allocRaw(Count * sizeof(T), Id);
+  return Buffer<T>(this, reinterpret_cast<T *>(Raw), Count, Id);
+}
+
+template <typename T>
+T BlockCtx::sharedLoad(size_t Base, size_t I) const {
+  if (Dev->raceDetection()) [[unlikely]]
+    Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), false);
+  return shared<T>(Base)[I];
+}
+
+template <typename T>
+void BlockCtx::sharedStore(size_t Base, size_t I, T V) const {
+  if (Dev->raceDetection()) [[unlikely]]
+    Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), true);
+  shared<T>(Base)[I] = V;
+}
+
+namespace detail {
+/// Runs \p RunBlock once per block of the grid, distributing blocks over
+/// the device's worker pool and providing each call with a fresh shared
+/// arena.
+void runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
+               const std::function<void(BlockCtx &)> &RunBlock);
+} // namespace detail
+
+/// Launches a phase-structured kernel: each Phase must be callable as
+/// phase(BlockCtx&, ThreadCtx&). Within a block, every phase runs over all
+/// threads before the next one starts (the __syncthreads() barrier).
+template <typename... Phases>
+void launchPhases(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
+                  Phases &&...PhaseFns) {
+  detail::runBlocks(Dev, Grid, Block, SharedBytes, [&](BlockCtx &B) {
+    unsigned PhaseIdx = 0;
+    auto RunPhase = [&](auto &&Phase) {
+      B.CurPhase = PhaseIdx;
+      ThreadCtx T;
+      for (T.Z = 0; T.Z != Block.Z; ++T.Z)
+        for (T.Y = 0; T.Y != Block.Y; ++T.Y)
+          for (T.X = 0; T.X != Block.X; ++T.X) {
+            B.CurThread = (T.Z * Block.Y + T.Y) * Block.X + T.X;
+            Phase(B, T);
+          }
+      ++PhaseIdx;
+    };
+    (RunPhase(PhaseFns), ...);
+  });
+}
+
+} // namespace descend::sim
+
+#endif // DESCEND_SIM_SIM_H

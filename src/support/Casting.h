@@ -1,0 +1,66 @@
+//===- support/Casting.h - LLVM-style RTTI helpers --------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Lightweight reimplementation of LLVM's
+// isa<>/cast<>/dyn_cast<> templates (llvm/Support/Casting.h) for class
+// hierarchies that expose a `classof(const Base *)` predicate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_SUPPORT_CASTING_H
+#define DESCEND_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+
+namespace descend {
+
+/// Returns true if \p Val is an instance of \p To (or of one of the listed
+/// types when multiple are given). \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variants.
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace descend
+
+#endif // DESCEND_SUPPORT_CASTING_H

@@ -1,0 +1,60 @@
+//===- support/SourceLocation.h - Source positions and ranges ---*- C++ -*-===//
+//
+// Part of the Descend reproduction. Byte-offset based source locations,
+// resolved to line/column by the SourceManager.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_SUPPORT_SOURCELOCATION_H
+#define DESCEND_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace descend {
+
+/// A position in a source buffer, identified by buffer id and byte offset.
+/// The invalid location is {0, 0} with Valid == false.
+struct SourceLoc {
+  uint32_t BufferId = 0;
+  uint32_t Offset = 0;
+  bool Valid = false;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t BufferId, uint32_t Offset)
+      : BufferId(BufferId), Offset(Offset), Valid(true) {}
+
+  bool isValid() const { return Valid; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.BufferId == B.BufferId && A.Offset == B.Offset &&
+           A.Valid == B.Valid;
+  }
+};
+
+/// A half-open range [Begin, End) in a single source buffer.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+
+  /// Smallest range covering both \p A and \p B (must share a buffer).
+  static SourceRange merge(SourceRange A, SourceRange B) {
+    if (!A.isValid())
+      return B;
+    if (!B.isValid())
+      return A;
+    SourceRange R;
+    R.Begin = A.Begin.Offset <= B.Begin.Offset ? A.Begin : B.Begin;
+    R.End = A.End.Offset >= B.End.Offset ? A.End : B.End;
+    return R;
+  }
+};
+
+} // namespace descend
+
+#endif // DESCEND_SUPPORT_SOURCELOCATION_H

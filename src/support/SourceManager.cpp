@@ -1,0 +1,59 @@
+//===- support/SourceManager.cpp ------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace descend;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = B.Text.size(); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return Buffers.size(); // ids are 1-based
+}
+
+const SourceManager::Buffer &SourceManager::buffer(uint32_t BufferId) const {
+  assert(BufferId >= 1 && BufferId <= Buffers.size() && "invalid buffer id");
+  return Buffers[BufferId - 1];
+}
+
+std::string_view SourceManager::bufferText(uint32_t BufferId) const {
+  return buffer(BufferId).Text;
+}
+
+std::string_view SourceManager::bufferName(uint32_t BufferId) const {
+  return buffer(BufferId).Name;
+}
+
+PresumedLoc SourceManager::presumed(SourceLoc Loc) const {
+  assert(Loc.isValid() && "presumed() on invalid location");
+  const Buffer &B = buffer(Loc.BufferId);
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(),
+                             Loc.Offset);
+  unsigned Line = It - B.LineStarts.begin(); // 1-based
+  uint32_t LineStart = B.LineStarts[Line - 1];
+  PresumedLoc P;
+  P.BufferName = B.Name;
+  P.Line = Line;
+  P.Column = Loc.Offset - LineStart + 1;
+  return P;
+}
+
+std::string_view SourceManager::lineContaining(SourceLoc Loc) const {
+  assert(Loc.isValid() && "lineContaining() on invalid location");
+  const Buffer &B = buffer(Loc.BufferId);
+  PresumedLoc P = presumed(Loc);
+  uint32_t Start = B.LineStarts[P.Line - 1];
+  uint32_t End = P.Line < B.LineStarts.size() ? B.LineStarts[P.Line] - 1
+                                              : B.Text.size();
+  if (End > Start && B.Text[End - 1] == '\r')
+    --End;
+  return std::string_view(B.Text).substr(Start, End - Start);
+}

@@ -1,0 +1,61 @@
+//===- support/SourceManager.h - Owns source buffers ------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Holds all source text handed to the
+// compiler and resolves SourceLocs into human-readable line/column pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_SUPPORT_SOURCEMANAGER_H
+#define DESCEND_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace descend {
+
+/// A resolved line/column position (1-based) inside a named buffer.
+struct PresumedLoc {
+  std::string_view BufferName;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Owns source buffers and maps offsets to lines. Buffer ids start at 1;
+/// id 0 is reserved for the invalid location.
+class SourceManager {
+public:
+  /// Copies \p Text into a new buffer and returns its id.
+  uint32_t addBuffer(std::string Name, std::string Text);
+
+  /// Full text of buffer \p BufferId.
+  std::string_view bufferText(uint32_t BufferId) const;
+
+  /// Name the buffer was registered under.
+  std::string_view bufferName(uint32_t BufferId) const;
+
+  /// Resolves \p Loc to 1-based line/column. \p Loc must be valid.
+  PresumedLoc presumed(SourceLoc Loc) const;
+
+  /// The full source line (without trailing newline) containing \p Loc.
+  std::string_view lineContaining(SourceLoc Loc) const;
+
+  unsigned numBuffers() const { return Buffers.size(); }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    std::vector<uint32_t> LineStarts; // offsets of each line start
+  };
+
+  const Buffer &buffer(uint32_t BufferId) const;
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace descend
+
+#endif // DESCEND_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,81 @@
+//===- typeck/TypeChecker.h - Descend's extended type system ----*- C++ -*-===//
+//
+// Part of the Descend reproduction. Implements the typing judgement of
+// Section 4:
+//
+//   Δ ; Γg ; Γl ; Θ | e_f : ε ; e | A  ⊢  t : δ  ⊣  Γl' | A'
+//
+// with flow-sensitive local environments (moves, borrows) and the access
+// environment A mapping execution resources to accessed place expressions.
+// The crucial access_safety_check of Fig. 7 performs, in order:
+//
+//   1. Narrowing check  — a uniquely accessed place must select a distinct
+//      part for every `forall` level between the owner's scope and the
+//      accessing execution resource (Section 3.3).
+//   2. Access conflict check — the new access must not overlap a prior
+//      access by another execution resource recorded in A (data races).
+//   3. Borrow checking  — standard Rust rules: no use of moved values, no
+//      conflicting unique borrows, writes only through unique access.
+//
+// Synchronization (sync) clears the accesses of the synchronized block's
+// threads from A, which is both how barriers *permit* subsequent
+// communication and how missing barriers are detected (the stale access
+// conflicts).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_TYPECK_TYPECHECKER_H
+#define DESCEND_TYPECK_TYPECHECKER_H
+
+#include "ast/Item.h"
+#include "exec/ExecResource.h"
+#include "places/PlacePath.h"
+#include "support/Diagnostics.h"
+#include "views/View.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+class SourceManager;
+
+/// Side table the checker fills in for later phases (code generation):
+/// resolved execution resources for sched/split nodes and selects, and the
+/// view chains of PlaceView nodes.
+struct TypeCheckInfo {
+  /// Exec resource for each sched/split binder occurrence (keyed by the
+  /// SchedExpr/SplitExpr node and arm).
+  std::map<const Expr *, ExecResource> SchedExec;
+  std::map<const Expr *, ExecResource> SplitFstExec;
+  std::map<const Expr *, ExecResource> SplitSndExec;
+  /// Resolved primitive chains for each PlaceView node.
+  std::map<const PlaceView *, ViewChain> Views;
+  /// Sched axes for each select's exec variable occurrence.
+  std::map<const PlaceSelect *, std::vector<Axis>> SelectAxes;
+  /// Stage (0 blocks / 1 threads) for each select.
+  std::map<const PlaceSelect *, unsigned> SelectStage;
+};
+
+/// Checks a module. Reports user errors through the DiagnosticEngine;
+/// check() returns false if any error was produced.
+class TypeChecker {
+public:
+  TypeChecker(const SourceManager &SM, DiagnosticEngine &Diags);
+  ~TypeChecker();
+
+  bool check(Module &M);
+
+  const TypeCheckInfo &info() const { return Info; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+  TypeCheckInfo Info;
+};
+
+} // namespace descend
+
+#endif // DESCEND_TYPECK_TYPECHECKER_H

@@ -1,0 +1,178 @@
+//===- views/IndexSpace.cpp -------------------------------------------------===//
+
+#include "views/IndexSpace.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+std::string descend::indexPlaceholder(unsigned I) {
+  return "$" + std::to_string(I);
+}
+
+IndexSpace IndexSpace::fromDims(std::vector<Nat> Dims) {
+  IndexSpace S;
+  S.OrigDims = Dims;
+  S.LogicalDims = std::move(Dims);
+  S.Phys.reserve(S.OrigDims.size());
+  for (unsigned I = 0; I != S.OrigDims.size(); ++I)
+    S.Phys.push_back(Nat::var(indexPlaceholder(I)));
+  return S;
+}
+
+void IndexSpace::renamePlaceholders(const std::map<std::string, Nat> &Subst) {
+  for (Nat &P : Phys)
+    P = P.substitute(Subst);
+}
+
+bool IndexSpace::applyView(const View &V, std::string *Err) {
+  return applyViewAt(V, 0, Err);
+}
+
+bool IndexSpace::applyViewAt(const View &V, unsigned Depth, std::string *Err) {
+  auto Fail = [&](std::string Msg) {
+    if (Err)
+      *Err = std::move(Msg);
+    return false;
+  };
+  if (Depth >= LogicalDims.size())
+    return Fail(strfmt("view '%s' applied beyond the array rank",
+                       V.str().c_str()));
+
+  switch (V.Kind) {
+  case ViewKind::Group: {
+    // dims[D] -> (dims[D]/k, k); $D -> $D*k + $(D+1); shift the rest up.
+    Nat K = V.Arg;
+    Nat N = LogicalDims[Depth];
+    std::map<std::string, Nat> Subst;
+    Subst[indexPlaceholder(Depth)] =
+        Nat::var(indexPlaceholder(Depth)) * K +
+        Nat::var(indexPlaceholder(Depth + 1));
+    for (unsigned I = Depth + 1; I < LogicalDims.size(); ++I)
+      Subst[indexPlaceholder(I)] = Nat::var(indexPlaceholder(I + 1));
+    renamePlaceholders(Subst);
+    LogicalDims[Depth] = Nat::div(N, K).simplified();
+    LogicalDims.insert(LogicalDims.begin() + Depth + 1, K);
+    return true;
+  }
+  case ViewKind::SplitView:
+    return Fail("split views require an immediate .fst/.snd projection");
+  case ViewKind::Transpose: {
+    if (Depth + 1 >= LogicalDims.size())
+      return Fail("transpose requires a two-dimensional array");
+    std::map<std::string, Nat> Subst;
+    Subst[indexPlaceholder(Depth)] = Nat::var(indexPlaceholder(Depth + 1));
+    Subst[indexPlaceholder(Depth + 1)] = Nat::var(indexPlaceholder(Depth));
+    renamePlaceholders(Subst);
+    std::swap(LogicalDims[Depth], LogicalDims[Depth + 1]);
+    return true;
+  }
+  case ViewKind::Reverse: {
+    std::map<std::string, Nat> Subst;
+    Subst[indexPlaceholder(Depth)] =
+        Nat::sub(Nat::sub(LogicalDims[Depth], Nat::lit(1)),
+                 Nat::var(indexPlaceholder(Depth)));
+    renamePlaceholders(Subst);
+    return true;
+  }
+  case ViewKind::Map: {
+    for (const View &SubView : V.Sub)
+      if (!applyViewAt(SubView, Depth + 1, Err))
+        return false;
+    return true;
+  }
+  case ViewKind::Repeat: {
+    // A broadcast dimension: the new coordinate does not reach the
+    // physical index, so binding it later simply drops it.
+    std::map<std::string, Nat> Subst;
+    for (unsigned I = Depth; I < LogicalDims.size(); ++I)
+      Subst[indexPlaceholder(I)] = Nat::var(indexPlaceholder(I + 1));
+    renamePlaceholders(Subst);
+    LogicalDims.insert(LogicalDims.begin() + Depth, V.Arg);
+    return true;
+  }
+  }
+  return Fail("unknown view kind");
+}
+
+bool IndexSpace::takeSplitPart(Nat K, bool TakeFst, std::string *Err) {
+  if (LogicalDims.empty()) {
+    if (Err)
+      *Err = "split applied to a scalar";
+    return false;
+  }
+  if (TakeFst) {
+    LogicalDims[0] = std::move(K);
+    return true;
+  }
+  std::map<std::string, Nat> Subst;
+  Subst[indexPlaceholder(0)] = Nat::var(indexPlaceholder(0)) + K;
+  renamePlaceholders(Subst);
+  LogicalDims[0] = Nat::sub(LogicalDims[0], K).simplified();
+  return true;
+}
+
+bool IndexSpace::bindOuter(const Nat &Coord, std::string *Err) {
+  if (LogicalDims.empty()) {
+    if (Err)
+      *Err = "index applied to a scalar";
+    return false;
+  }
+  std::map<std::string, Nat> Subst;
+  Subst[indexPlaceholder(0)] = Coord;
+  for (unsigned I = 1; I < LogicalDims.size(); ++I)
+    Subst[indexPlaceholder(I)] = Nat::var(indexPlaceholder(I - 1));
+  renamePlaceholders(Subst);
+  LogicalDims.erase(LogicalDims.begin());
+  return true;
+}
+
+Nat IndexSpace::flatten(std::string *Err) const {
+  if (!LogicalDims.empty()) {
+    if (Err)
+      *Err = strfmt("access does not reach a scalar element; %u dimensions "
+                    "remain",
+                    rank());
+    return Nat();
+  }
+  return flattenOrigin();
+}
+
+Nat IndexSpace::flattenOrigin() const {
+  // Row-major: flat = sum_i Phys[i] * prod_{j>i} OrigDims[j]. Unbound
+  // placeholders (remaining logical dims) are taken at their origin, i.e.
+  // substituted with 0.
+  std::map<std::string, Nat> Zeros;
+  for (unsigned I = 0; I < LogicalDims.size(); ++I)
+    Zeros[indexPlaceholder(I)] = Nat::lit(0);
+
+  Nat Flat = Nat::lit(0);
+  Nat Stride = Nat::lit(1);
+  for (unsigned I = OrigDims.size(); I-- > 0;) {
+    Nat P = Zeros.empty() ? Phys[I] : Phys[I].substitute(Zeros);
+    Flat = Flat + P * Stride;
+    Stride = Stride * OrigDims[I];
+  }
+  return Flat.simplified();
+}
+
+std::string IndexSpace::debugString() const {
+  std::ostringstream OS;
+  OS << "logical [";
+  for (size_t I = 0; I != LogicalDims.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << LogicalDims[I].str();
+  }
+  OS << "] phys (";
+  for (size_t I = 0; I != Phys.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Phys[I].simplified().str();
+  }
+  OS << ")";
+  return OS.str();
+}

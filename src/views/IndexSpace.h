@@ -1,0 +1,73 @@
+//===- views/IndexSpace.h - View index lowering -----------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Compiles a chain of views, selections
+// and indexings into a flat memory index expression, as described in
+// Section 5: "Each view takes the previous index and transforms it until
+// the resulting index expresses a combination of all views".
+//
+// The state is a symbolic mapping from the current *logical* multi-index
+// (placeholder variables $0, $1, ...) to the *physical* multi-index of the
+// original array nest. Applying a view rewrites the mapping; binding a
+// coordinate (a selection's blockIdx/threadIdx or an explicit index)
+// consumes the outermost logical dimension. When every dimension is bound,
+// flatten() produces the row-major flat index, normalized by the nat
+// simplifier so that generated code carries no view overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_VIEWS_INDEXSPACE_H
+#define DESCEND_VIEWS_INDEXSPACE_H
+
+#include "views/View.h"
+
+#include <string>
+#include <vector>
+
+namespace descend {
+
+class IndexSpace {
+public:
+  /// Identity mapping over a physical array nest with the given dimension
+  /// sizes (outermost first).
+  static IndexSpace fromDims(std::vector<Nat> Dims);
+
+  /// Number of not-yet-bound logical dimensions.
+  unsigned rank() const { return LogicalDims.size(); }
+
+  /// Size of logical dimension \p I (0 = outermost).
+  const Nat &logicalDim(unsigned I) const { return LogicalDims[I]; }
+
+  /// Applies \p V at the outermost dimension. Split views must go through
+  /// takeSplitPart instead. Returns false and sets \p Err on shape errors.
+  bool applyView(const View &V, std::string *Err);
+
+  /// split::<k>.fst / .snd — narrows the outermost dimension.
+  bool takeSplitPart(Nat K, bool TakeFst, std::string *Err);
+
+  /// Substitutes \p Coord for the outermost logical dimension.
+  bool bindOuter(const Nat &Coord, std::string *Err);
+
+  /// Row-major flat index; requires rank() == 0.
+  Nat flatten(std::string *Err) const;
+
+  /// Flat offset of the element at logical index (0, ..., 0) plus the
+  /// remaining logical extent — used when whole sub-arrays are accessed.
+  Nat flattenOrigin() const;
+
+  std::string debugString() const;
+
+private:
+  bool applyViewAt(const View &V, unsigned Depth, std::string *Err);
+  void renamePlaceholders(const std::map<std::string, Nat> &Subst);
+
+  std::vector<Nat> OrigDims;
+  std::vector<Nat> LogicalDims;
+  std::vector<Nat> Phys; // one entry per original dimension
+};
+
+/// Placeholder variable name for logical dimension \p I.
+std::string indexPlaceholder(unsigned I);
+
+} // namespace descend
+
+#endif // DESCEND_VIEWS_INDEXSPACE_H

@@ -1,0 +1,237 @@
+//===- views/View.cpp -------------------------------------------------------===//
+
+#include "views/View.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace descend;
+
+std::string View::str() const {
+  switch (Kind) {
+  case ViewKind::Group:
+    return "group::<" + Arg.simplified().str() + ">";
+  case ViewKind::SplitView:
+    return "split::<" + Arg.simplified().str() + ">";
+  case ViewKind::Transpose:
+    return "transpose";
+  case ViewKind::Reverse:
+    return "reverse";
+  case ViewKind::Map:
+    return "map(" + viewChainStr(Sub) + ")";
+  case ViewKind::Repeat:
+    return "repeat::<" + Arg.simplified().str() + ">";
+  }
+  return "<view>";
+}
+
+bool View::isBroadcasting() const {
+  if (Kind == ViewKind::Repeat)
+    return true;
+  for (const View &S : Sub)
+    if (S.isBroadcasting())
+      return true;
+  return false;
+}
+
+std::string descend::viewChainStr(const ViewChain &Chain) {
+  std::string Out;
+  for (size_t I = 0; I != Chain.size(); ++I) {
+    if (I)
+      Out += ".";
+    Out += Chain[I].str();
+  }
+  return Out;
+}
+
+void ViewRegistry::addModuleViews(const Module &M) {
+  for (const auto &V : M.Views)
+    UserViews[V->Name] = V.get();
+}
+
+bool ViewRegistry::isKnownView(const std::string &Name) const {
+  if (Name == "group" || Name == "split" || Name == "transpose" ||
+      Name == "reverse" || Name == "rev" || Name == "map" ||
+      Name == "repeat")
+    return true;
+  return UserViews.count(Name) != 0;
+}
+
+std::optional<ViewChain>
+ViewRegistry::resolve(const std::string &Name, const std::vector<Nat> &NatArgs,
+                      std::string *Err) const {
+  auto Fail = [&](std::string Msg) -> std::optional<ViewChain> {
+    if (Err)
+      *Err = std::move(Msg);
+    return std::nullopt;
+  };
+
+  if (Name == "group" || Name == "split") {
+    if (NatArgs.size() != 1)
+      return Fail(strfmt("view '%s' takes exactly one size argument",
+                         Name.c_str()));
+    return ViewChain{Name == "group" ? View::group(NatArgs[0])
+                                     : View::splitAt(NatArgs[0])};
+  }
+  if (Name == "repeat") {
+    if (NatArgs.size() != 1)
+      return Fail("view 'repeat' takes exactly one size argument");
+    return ViewChain{View::repeat(NatArgs[0])};
+  }
+  if (Name == "transpose" || Name == "reverse" || Name == "rev") {
+    if (!NatArgs.empty())
+      return Fail(strfmt("view '%s' takes no size arguments", Name.c_str()));
+    return ViewChain{Name == "transpose" ? View::transpose()
+                                         : View::reverse()};
+  }
+  if (Name == "map")
+    return Fail("'map' requires a view argument and only occurs inside "
+                "view definitions");
+
+  auto It = UserViews.find(Name);
+  if (It == UserViews.end())
+    return Fail(strfmt("unknown view '%s'", Name.c_str()));
+  const ViewDef &Def = *It->second;
+  if (Def.Generics.size() != NatArgs.size())
+    return Fail(strfmt("view '%s' expects %zu size arguments, got %zu",
+                       Name.c_str(), Def.Generics.size(), NatArgs.size()));
+  std::map<std::string, Nat> Subst;
+  for (size_t I = 0; I != NatArgs.size(); ++I)
+    Subst[Def.Generics[I].Name] = NatArgs[I];
+  return resolveSteps(Def.Body, Subst, Err);
+}
+
+std::optional<ViewChain>
+ViewRegistry::resolveSteps(const std::vector<ViewStep> &Steps,
+                           const std::map<std::string, Nat> &NatSubst,
+                           std::string *Err) const {
+  ViewChain Out;
+  for (const ViewStep &S : Steps) {
+    std::vector<Nat> Args;
+    Args.reserve(S.NatArgs.size());
+    for (const Nat &N : S.NatArgs)
+      Args.push_back(N.substitute(NatSubst));
+
+    if (S.Name == "map") {
+      if (S.ViewArgs.size() != 1) {
+        if (Err)
+          *Err = "'map' takes exactly one view argument";
+        return std::nullopt;
+      }
+      auto Sub = resolveSteps(S.ViewArgs[0], NatSubst, Err);
+      if (!Sub)
+        return std::nullopt;
+      Out.push_back(View::map(std::move(*Sub)));
+      continue;
+    }
+    if (!S.ViewArgs.empty()) {
+      if (Err)
+        *Err = strfmt("view '%s' takes no view arguments", S.Name.c_str());
+      return std::nullopt;
+    }
+    auto Resolved = resolve(S.Name, Args, Err);
+    if (!Resolved)
+      return std::nullopt;
+    Out.insert(Out.end(), Resolved->begin(), Resolved->end());
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Shape checking
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Views apply uniformly to arrays and array views; the result is always an
+/// array view. Extracts (elem, size) or fails.
+bool arrayParts(const TypeRef &T, TypeRef &Elem, Nat &Size) {
+  if (const auto *A = dyn_cast<ArrayType>(T.get())) {
+    Elem = A->Elem;
+    Size = A->Size;
+    return true;
+  }
+  if (const auto *A = dyn_cast<ArrayViewType>(T.get())) {
+    Elem = A->Elem;
+    Size = A->Size;
+    return true;
+  }
+  return false;
+}
+} // namespace
+
+TypeRef ViewRegistry::applyToType(const View &V, const TypeRef &In,
+                                  std::string *Err) {
+  auto Fail = [&](std::string Msg) -> TypeRef {
+    if (Err)
+      *Err = std::move(Msg);
+    return nullptr;
+  };
+
+  TypeRef Elem;
+  Nat Size;
+  if (!arrayParts(In, Elem, Size))
+    return Fail(strfmt("view '%s' applied to non-array type %s",
+                       V.str().c_str(), In ? In->str().c_str() : "<null>"));
+
+  switch (V.Kind) {
+  case ViewKind::Group: {
+    // group<k, n, d>: [[d; n]] -> [[ [[d; k]]; n/k]] where n % k == 0.
+    if (!V.Arg.isLit()) {
+      // Symbolic k: require provable divisibility via normalization of
+      // n % k == 0.
+      Nat Rem = Nat::mod(Size, V.Arg);
+      if (!Nat::proveEq(Rem, Nat::lit(0)))
+        return Fail(strfmt("cannot prove %s %% %s == 0 required by group",
+                           Size.str().c_str(), V.Arg.str().c_str()));
+    } else {
+      auto Divides = Nat::proveDivides(V.Arg.litValue(), Size);
+      if (!Divides || !*Divides)
+        return Fail(strfmt("cannot prove %s %% %s == 0 required by group",
+                           Size.str().c_str(), V.Arg.str().c_str()));
+    }
+    Nat Count = Nat::div(Size, V.Arg).simplified();
+    return makeArrayView(makeArrayView(Elem, V.Arg), Count);
+  }
+  case ViewKind::SplitView: {
+    // split<k, n, d>: [[d; n]] -> ([[d; k]], [[d; n-k]]) where n >= k.
+    auto InBounds = Nat::proveLe(V.Arg, Size);
+    if (!InBounds || !*InBounds)
+      return Fail(strfmt("cannot prove %s <= %s required by split",
+                         V.Arg.str().c_str(), Size.str().c_str()));
+    Nat SndSize = Nat::sub(Size, V.Arg).simplified();
+    return makeTuple({makeArrayView(Elem, V.Arg),
+                      makeArrayView(Elem, SndSize)});
+  }
+  case ViewKind::Transpose: {
+    TypeRef InnerElem;
+    Nat InnerSize;
+    if (!arrayParts(Elem, InnerElem, InnerSize))
+      return Fail(strfmt("transpose requires a two-dimensional array, got %s",
+                         In->str().c_str()));
+    return makeArrayView(makeArrayView(InnerElem, Size), InnerSize);
+  }
+  case ViewKind::Reverse:
+    return makeArrayView(Elem, Size);
+  case ViewKind::Map: {
+    TypeRef MappedElem = applyChainToType(V.Sub, Elem, Err);
+    if (!MappedElem)
+      return nullptr;
+    return makeArrayView(MappedElem, Size);
+  }
+  case ViewKind::Repeat:
+    return makeArrayView(makeArrayView(Elem, Size), V.Arg);
+  }
+  return Fail("unknown view kind");
+}
+
+TypeRef ViewRegistry::applyChainToType(const ViewChain &Chain, TypeRef In,
+                                       std::string *Err) {
+  for (const View &V : Chain) {
+    In = applyToType(V, In, Err);
+    if (!In)
+      return nullptr;
+  }
+  return In;
+}

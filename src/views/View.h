@@ -1,0 +1,130 @@
+//===- views/View.h - Memory views (Listing 3) ------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Views reshape arrays or reorder their
+// elements without changing the underlying memory (Section 3.2):
+//
+//   split<k, n, d>([[d; n]])     -> ([[d; k]], [[d; n-k]])   where n >= k
+//   group<k, n, d>([[d; n]])     -> [[ [[d; k]]; n/k]]       where n % k == 0
+//   transpose<m, n, d>([[ [[d; n]]; m]]) -> [[ [[d; m]]; n]]
+//   reverse<n, d>([[d; n]])      -> [[d; n]]
+//   map<..>(v, [[ [[d1; m]]; n]]) -> [[ [[d2; m]]; n]]
+//
+// Composite views (`view` items) expand into chains of these primitives.
+// Each primitive is an *injective* remapping of indices, which is the
+// foundation of the safety argument: identical view chains accessed through
+// distinct selections touch disjoint memory.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_VIEWS_VIEW_H
+#define DESCEND_VIEWS_VIEW_H
+
+#include "ast/Item.h"
+#include "ast/Type.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+enum class ViewKind { Group, SplitView, Transpose, Reverse, Map, Repeat };
+
+/// A fully instantiated primitive view. Map carries its argument chain.
+struct View {
+  ViewKind Kind = ViewKind::Transpose;
+  Nat Arg;               // Group/SplitView parameter k
+  std::vector<View> Sub; // Map's view argument
+
+  static View group(Nat K) {
+    View V;
+    V.Kind = ViewKind::Group;
+    V.Arg = std::move(K);
+    return V;
+  }
+  static View splitAt(Nat K) {
+    View V;
+    V.Kind = ViewKind::SplitView;
+    V.Arg = std::move(K);
+    return V;
+  }
+  static View transpose() {
+    View V;
+    V.Kind = ViewKind::Transpose;
+    return V;
+  }
+  static View reverse() {
+    View V;
+    V.Kind = ViewKind::Reverse;
+    return V;
+  }
+  static View map(std::vector<View> Sub) {
+    View V;
+    V.Kind = ViewKind::Map;
+    V.Sub = std::move(Sub);
+    return V;
+  }
+  /// repeat::<r> — r broadcast copies of the array. Read-only: repeating is
+  /// not injective, so writes through it are rejected by the checker.
+  static View repeat(Nat R) {
+    View V;
+    V.Kind = ViewKind::Repeat;
+    V.Arg = std::move(R);
+    return V;
+  }
+
+  /// True if the view (or a nested map argument) broadcasts elements.
+  bool isBroadcasting() const;
+
+  /// Canonical rendering, e.g. "group::<32>" or "map(transpose)". Used both
+  /// for diagnostics and as the syntactic comparison key in borrow checking.
+  std::string str() const;
+};
+
+using ViewChain = std::vector<View>;
+
+std::string viewChainStr(const ViewChain &Chain);
+
+/// Resolves view names against the builtin catalog and user `view` items,
+/// expanding composites into primitive chains with nat arguments
+/// substituted.
+class ViewRegistry {
+public:
+  ViewRegistry() = default;
+
+  /// Registers all `view` items of a module (later lookups see them).
+  void addModuleViews(const Module &M);
+
+  /// True if \p Name denotes a known (builtin or user) view.
+  bool isKnownView(const std::string &Name) const;
+
+  /// Expands `Name::<NatArgs>` into primitives. Returns nullopt and sets
+  /// \p Err on arity mismatch or unknown names.
+  std::optional<ViewChain> resolve(const std::string &Name,
+                                   const std::vector<Nat> &NatArgs,
+                                   std::string *Err = nullptr) const;
+
+  /// Applies one primitive view to an array type, checking the side
+  /// conditions with the nat prover. Returns the result type or null with
+  /// \p Err set. \p In must be an array or array-view type (split yields a
+  /// tuple of views).
+  static TypeRef applyToType(const View &V, const TypeRef &In,
+                             std::string *Err);
+
+  /// Applies a whole chain.
+  static TypeRef applyChainToType(const ViewChain &Chain, TypeRef In,
+                                  std::string *Err);
+
+private:
+  std::optional<ViewChain>
+  resolveSteps(const std::vector<ViewStep> &Steps,
+               const std::map<std::string, Nat> &NatSubst,
+               std::string *Err) const;
+
+  std::map<std::string, const ViewDef *> UserViews;
+};
+
+} // namespace descend
+
+#endif // DESCEND_VIEWS_VIEW_H

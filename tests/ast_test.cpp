@@ -1,0 +1,228 @@
+//===- tests/ast_test.cpp - Unit tests for src/ast -------------------------===//
+
+#include "ast/Expr.h"
+#include "ast/Item.h"
+#include "ast/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+Nat n(long long V) { return Nat::lit(V); }
+
+//===----------------------------------------------------------------------===//
+// Memory, Dim, ExecLevel
+//===----------------------------------------------------------------------===//
+
+TEST(AstMemory, PrintingAndPredicates) {
+  EXPECT_EQ(Memory::cpuMem().str(), "cpu.mem");
+  EXPECT_EQ(Memory::gpuGlobal().str(), "gpu.global");
+  EXPECT_EQ(Memory::gpuShared().str(), "gpu.shared");
+  EXPECT_EQ(Memory::var("m").str(), "m");
+  EXPECT_TRUE(Memory::gpuGlobal().isGpu());
+  EXPECT_TRUE(Memory::cpuMem().isCpu());
+  EXPECT_TRUE(Memory::var("m").isVar());
+  EXPECT_TRUE(Memory::cpuMem() == Memory::cpuMem());
+  EXPECT_FALSE(Memory::cpuMem() == Memory::gpuShared());
+}
+
+TEST(AstDim, AxesAndTotals) {
+  Dim D = Dim::makeXY(n(64), n(32));
+  EXPECT_TRUE(D.hasAxis(Axis::X));
+  EXPECT_TRUE(D.hasAxis(Axis::Y));
+  EXPECT_FALSE(D.hasAxis(Axis::Z));
+  EXPECT_EQ(D.rank(), 2u);
+  EXPECT_TRUE(Nat::proveEq(D.total(), n(2048)));
+  EXPECT_EQ(D.str(), "XY<64, 32>");
+  Dim D3 = Dim::makeXYZ(n(2), n(2), n(1));
+  EXPECT_EQ(D3.str(), "XYZ<2, 2, 1>");
+  EXPECT_TRUE(Nat::proveEq(D3.total(), n(4)));
+}
+
+TEST(AstDim, SubstitutionAndEquality) {
+  Dim D = Dim::makeX(Nat::var("n") / n(256));
+  Dim S = D.substitute({{"n", n(4096)}});
+  EXPECT_TRUE(Nat::proveEq(S.X, n(16)));
+  EXPECT_TRUE(Dim::makeX(n(16)) == S);
+  EXPECT_FALSE(Dim::makeX(n(16)) == Dim::makeXY(n(16), n(1)));
+}
+
+TEST(AstExecLevel, PrintingAndSubstitution) {
+  ExecLevel G = ExecLevel::gpuGrid(Dim::makeX(Nat::var("n")),
+                                   Dim::makeX(n(256)));
+  EXPECT_EQ(G.str(), "gpu.grid<X<n>, X<256>>");
+  ExecLevel S = G.substitute({{"n", n(8)}});
+  EXPECT_TRUE(Nat::proveEq(S.GridDim.X, n(8)));
+  EXPECT_EQ(ExecLevel::cpuThread().str(), "cpu.thread");
+  EXPECT_TRUE(ExecLevel::gpuThread().isGpu());
+  EXPECT_FALSE(ExecLevel::cpuThread().isGpu());
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST(AstTypes, PrintingMatchesSurfaceSyntax) {
+  TypeRef T = makeRef(Ownership::Uniq, Memory::gpuGlobal(),
+                      makeArray(makeArray(makeScalar(ScalarKind::F64),
+                                          n(2048)),
+                                n(2048)));
+  EXPECT_EQ(T->str(), "&uniq gpu.global [[f64; 2048]; 2048]");
+  EXPECT_EQ(makeTuple({makeScalar(ScalarKind::I32),
+                       makeScalar(ScalarKind::Bool)})
+                ->str(),
+            "(i32, bool)");
+  EXPECT_EQ(makeBox(makeArray(makeScalar(ScalarKind::I32), n(4)),
+                    Memory::cpuMem())
+                ->str(),
+            "[i32; 4] @ cpu.mem");
+  EXPECT_EQ(makeArrayView(makeScalar(ScalarKind::F32), n(8))->str(),
+            "[[f32; 8]]");
+}
+
+TEST(AstTypes, StructuralEqualityUsesNatProver) {
+  Nat N = Nat::var("n");
+  TypeRef A = makeArray(makeScalar(ScalarKind::F64), N * n(2));
+  TypeRef B = makeArray(makeScalar(ScalarKind::F64), n(2) * N);
+  EXPECT_TRUE(DataType::equal(A, B));
+  TypeRef C = makeArray(makeScalar(ScalarKind::F64), N * n(3));
+  EXPECT_FALSE(DataType::equal(A, C));
+  EXPECT_FALSE(DataType::equal(A, makeScalar(ScalarKind::F64)));
+}
+
+TEST(AstTypes, Copyability) {
+  EXPECT_TRUE(makeScalar(ScalarKind::F64)->isCopyable());
+  EXPECT_TRUE(makeTuple({makeScalar(ScalarKind::I32),
+                         makeScalar(ScalarKind::Bool)})
+                  ->isCopyable());
+  EXPECT_FALSE(makeArray(makeScalar(ScalarKind::I32), n(4))->isCopyable());
+  EXPECT_FALSE(
+      makeBox(makeScalar(ScalarKind::I32), Memory::cpuMem())->isCopyable());
+  TypeRef Shrd = makeRef(Ownership::Shrd, Memory::cpuMem(),
+                         makeScalar(ScalarKind::I32));
+  TypeRef Uniq = makeRef(Ownership::Uniq, Memory::cpuMem(),
+                         makeScalar(ScalarKind::I32));
+  EXPECT_TRUE(Shrd->isCopyable());
+  EXPECT_FALSE(Uniq->isCopyable());
+}
+
+TEST(AstTypes, Concreteness) {
+  EXPECT_TRUE(makeArray(makeScalar(ScalarKind::I32), n(4))->isConcrete());
+  EXPECT_FALSE(
+      makeArray(makeScalar(ScalarKind::I32), Nat::var("n"))->isConcrete());
+  EXPECT_FALSE(makeTypeVar("d")->isConcrete());
+  EXPECT_FALSE(makeRef(Ownership::Shrd, Memory::var("m"),
+                       makeScalar(ScalarKind::I32))
+                   ->isConcrete());
+}
+
+TEST(AstTypes, Substitution) {
+  TypeSubst S;
+  S.Nats["n"] = n(64);
+  S.Mems["m"] = Memory::gpuShared();
+  S.Types["d"] = makeScalar(ScalarKind::F32);
+  TypeRef T = makeRef(Ownership::Uniq, Memory::var("m"),
+                      makeArray(makeTypeVar("d"), Nat::var("n")));
+  TypeRef R = substituteType(T, S);
+  EXPECT_EQ(R->str(), "&uniq gpu.shared [f32; 64]");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+PlacePtr varPlace(const char *Name) {
+  return std::make_unique<PlaceVar>(Name);
+}
+
+TEST(AstExpr, PlaceConstructionAndPrinting) {
+  // arr.group::<8>[[t]][i]
+  PlacePtr P = varPlace("arr");
+  P = std::make_unique<PlaceView>(std::move(P), "group",
+                                  std::vector<Nat>{n(8)});
+  P = std::make_unique<PlaceSelect>(std::move(P), "t");
+  ExprPtr Idx = std::make_unique<PlaceVar>("i");
+  P = std::make_unique<PlaceIndex>(std::move(P),
+                                   std::move(Idx));
+  EXPECT_EQ(P->str(), "arr.group::<8>[[t]][i]");
+  EXPECT_EQ(P->rootVar(), "arr");
+}
+
+TEST(AstExpr, BasePlaceWalks) {
+  PlacePtr P = varPlace("x");
+  const PlaceExpr *Root = P.get();
+  EXPECT_EQ(basePlace(Root), nullptr);
+  PlacePtr D = std::make_unique<PlaceDeref>(std::move(P));
+  EXPECT_EQ(basePlace(D.get())->kind(), ExprKind::PlaceVar);
+}
+
+TEST(AstExpr, LiteralFactories) {
+  ExprPtr I = LiteralExpr::makeInt(42);
+  EXPECT_EQ(cast<LiteralExpr>(I.get())->IntValue, 42);
+  EXPECT_EQ(exprToString(*I), "42");
+  ExprPtr F = LiteralExpr::makeFloat(2.5);
+  EXPECT_EQ(cast<LiteralExpr>(F.get())->Scalar, ScalarKind::F64);
+  ExprPtr B = LiteralExpr::makeBool(true);
+  EXPECT_EQ(exprToString(*B), "true");
+  EXPECT_EQ(exprToString(*LiteralExpr::makeUnit()), "()");
+}
+
+TEST(AstExpr, ForEachChildVisitsAll) {
+  // (1 + 2) visits two children.
+  ExprPtr E = std::make_unique<BinaryExpr>(
+      BinOpKind::Add, LiteralExpr::makeInt(1), LiteralExpr::makeInt(2));
+  int Count = 0;
+  forEachChild(*E, [&](Expr &) { ++Count; });
+  EXPECT_EQ(Count, 2);
+
+  std::vector<ExprPtr> Stmts;
+  Stmts.push_back(LiteralExpr::makeInt(1));
+  Stmts.push_back(LiteralExpr::makeInt(2));
+  Stmts.push_back(LiteralExpr::makeInt(3));
+  ExprPtr Blk = std::make_unique<BlockExpr>(std::move(Stmts));
+  Count = 0;
+  forEachChild(*Blk, [&](Expr &) { ++Count; });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(AstExpr, FnSignatureRendering) {
+  FnDef Fn;
+  Fn.Name = "scale_vec";
+  Fn.Generics.push_back(GenericParam{"n", ParamKind::Nat, SourceRange()});
+  FnParam P;
+  P.Name = "vec";
+  P.Ty = makeRef(Ownership::Uniq, Memory::gpuGlobal(),
+                 makeArray(makeScalar(ScalarKind::F64), Nat::var("n")));
+  Fn.Params.push_back(std::move(P));
+  Fn.ExecName = "grid";
+  Fn.Exec = ExecLevel::gpuGrid(Dim::makeX(n(1)), Dim::makeX(Nat::var("n")));
+  Fn.RetTy = makeUnit();
+  EXPECT_EQ(Fn.signature(),
+            "fn scale_vec<n: nat>(vec: &uniq gpu.global [f64; n]) "
+            "-[grid: gpu.grid<X<1>, X<n>>]-> unit");
+}
+
+TEST(AstExpr, ModuleLookup) {
+  Module M;
+  auto Fn = std::make_unique<FnDef>();
+  Fn->Name = "f";
+  M.Fns.push_back(std::move(Fn));
+  auto V = std::make_unique<ViewDef>();
+  V->Name = "v";
+  M.Views.push_back(std::move(V));
+  EXPECT_NE(M.findFn("f"), nullptr);
+  EXPECT_EQ(M.findFn("g"), nullptr);
+  EXPECT_NE(M.findView("v"), nullptr);
+  EXPECT_EQ(M.findView("w"), nullptr);
+}
+
+TEST(AstExpr, BinOpSpellings) {
+  EXPECT_STREQ(binOpSpelling(BinOpKind::Add), "+");
+  EXPECT_STREQ(binOpSpelling(BinOpKind::Le), "<=");
+  EXPECT_STREQ(binOpSpelling(BinOpKind::And), "&&");
+  EXPECT_STREQ(binOpSpelling(BinOpKind::Mod), "%");
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/codegen_test.cpp - CUDA/sim backend tests --------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+struct Gen {
+  std::string Cuda, Sim, Error;
+  bool Ok = false;
+};
+
+Gen generate(const std::string &Src,
+             std::map<std::string, long long> Defines = {}) {
+  Gen G;
+  Compiler C;
+  CompileOptions Options;
+  Options.Defines = std::move(Defines);
+  if (!C.compile("t.descend", Src, Options)) {
+    G.Error = C.renderDiagnostics();
+    return G;
+  }
+  G.Cuda = C.emitCudaCode(&G.Error);
+  if (!G.Error.empty())
+    return G;
+  G.Sim = C.emitSimCode(&G.Error);
+  G.Ok = G.Error.empty();
+  return G;
+}
+
+const char *ScaleVec = R"(
+fn scale_vec(vec: &uniq gpu.global [f64; 1024])
+-[grid: gpu.grid<X<4>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 3.0
+    }
+  }
+}
+)";
+
+TEST(CudaGen, ScaleVecKernel) {
+  Gen G = generate(ScaleVec);
+  ASSERT_TRUE(G.Ok) << G.Error;
+  // The kernel signature and the fully simplified selection index.
+  EXPECT_NE(G.Cuda.find("__global__ void scale_vec(double *vec)"),
+            std::string::npos)
+      << G.Cuda;
+  EXPECT_NE(G.Cuda.find("vec[blockIdx.x * 256 + threadIdx.x]"),
+            std::string::npos)
+      << G.Cuda;
+  // No view machinery survives into the generated code.
+  EXPECT_EQ(G.Cuda.find("group"), std::string::npos);
+}
+
+TEST(CudaGen, SharedRefBecomesConstPointer) {
+  Gen G = generate(R"(
+fn copy(src: & gpu.global [f64; 256], dst: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      dst.group::<256>[[block]][[thread]] =
+        src.group::<256>[[block]][[thread]]
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Cuda.find("const double *src, double *dst"),
+            std::string::npos)
+      << G.Cuda;
+}
+
+TEST(CudaGen, TransposeMatchesListing1Indexing) {
+  Gen G = generate(R"(
+view group_by_row<row_size: nat, num_rows: nat> =
+  group::<row_size/num_rows>.transpose.map(transpose)
+view group_by_tile<th: nat, tw: nat> =
+  group::<th>.map(map(group::<tw>)).map(transpose)
+fn transpose<n: nat>(input: & gpu.global [[f64; n]; n],
+                     output: &uniq gpu.global [[f64; n]; n])
+-[grid: gpu.grid<XY<n/32, n/32>, XY<32, 8>>]-> () {
+  sched(Y, X) block in grid {
+    let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+    sched(Y, X) thread in block {
+      for i in [0..4] {
+        tmp.group_by_row::<32, 4>[[thread]][i] =
+          input.group_by_tile::<32, 32>.transpose[[block]]
+            .group_by_row::<32, 4>[[thread]][i]
+      };
+      sync;
+      for i in [0..4] {
+        output.group_by_tile::<32, 32>[[block]]
+          .group_by_row::<32, 4>[[thread]][i] =
+          tmp.transpose.group_by_row::<32, 4>[[thread]][i]
+      }
+    }
+  }
+}
+)",
+                   {{"n", 2048}});
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Cuda.find("__shared__ double tmp[1024];"), std::string::npos)
+      << G.Cuda;
+  EXPECT_NE(G.Cuda.find("__syncthreads();"), std::string::npos);
+  // The store into tmp is the fixed Listing 1 index (ty + 8i) * 32 + tx,
+  // in canonical polynomial order.
+  EXPECT_NE(G.Cuda.find("tmp[i * 256 + threadIdx.x + threadIdx.y * 32]"),
+            std::string::npos)
+      << G.Cuda;
+  // The input read matches (32 bx + ty + 8i) * 2048 + 32 by + tx.
+  EXPECT_NE(G.Cuda.find("input[blockIdx.x * 65536 + blockIdx.y * 32 + "
+                        "i * 16384 + threadIdx.x + threadIdx.y * 2048]"),
+            std::string::npos)
+      << G.Cuda;
+}
+
+TEST(CudaGen, SplitBecomesIfElse) {
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+  sched(X) block in grid {
+    split(X) block at 32 {
+      lo => { sched(X) t in lo { arr.split::<32>.fst[[t]] = 0.0 } },
+      hi => { sched(X) t in hi { arr.split::<32>.snd[[t]] = 1.0 } }
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Cuda.find("if (threadIdx.x < 32) {"), std::string::npos)
+      << G.Cuda;
+  // snd-arm coordinates are rebased: local t = threadIdx.x - 32, and the
+  // split view adds the 32 back: the two cancel.
+  EXPECT_NE(G.Cuda.find("arr[threadIdx.x] = 1.0;"), std::string::npos)
+      << G.Cuda;
+}
+
+TEST(CudaGen, HostFunctionUsesCudaApi) {
+  Gen G = generate(R"(
+fn scale_vec(vec: &uniq gpu.global [f64; 1024])
+-[grid: gpu.grid<X<4>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 3.0
+    }
+  }
+}
+fn host() -[t: cpu.thread]-> () {
+  let h = CpuHeap::new([1.0; 1024]);
+  let d = GpuGlobal::alloc_copy(&h);
+  scale_vec::<<<X<4>, X<256>>>>(&uniq d);
+  copy_mem_to_host(&uniq h, &d)
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Cuda.find("std::vector<double> h(1024, 1"), std::string::npos)
+      << G.Cuda;
+  EXPECT_NE(G.Cuda.find("cudaMalloc(&d, h.size() * sizeof(double));"),
+            std::string::npos);
+  EXPECT_NE(G.Cuda.find("cudaMemcpyHostToDevice"), std::string::npos);
+  EXPECT_NE(G.Cuda.find("scale_vec<<<dim3(4, 1, 1), dim3(256, 1, 1)>>>(d);"),
+            std::string::npos)
+      << G.Cuda;
+  EXPECT_NE(G.Cuda.find("cudaMemcpy(h.data(), d"), std::string::npos);
+  EXPECT_NE(G.Cuda.find("cudaDeviceSynchronize();"), std::string::npos);
+}
+
+TEST(SimGen, PhasesSplitAtSync) {
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      tmp[[thread]] = arr.group::<256>[[block]][[thread]];
+      sync;
+      arr.group::<256>[[block]][[thread]] = tmp.rev[[thread]]
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  // Two phases (two lambdas) and a reversed shared read in the second.
+  size_t First = G.Sim.find("[&](BlockCtx &_b, ThreadCtx &_t)");
+  ASSERT_NE(First, std::string::npos);
+  size_t Second =
+      G.Sim.find("[&](BlockCtx &_b, ThreadCtx &_t)", First + 1);
+  EXPECT_NE(Second, std::string::npos) << G.Sim;
+  EXPECT_NE(G.Sim.find("255 - _tx"), std::string::npos) << G.Sim;
+  // No __syncthreads in the sim backend.
+  EXPECT_EQ(G.Sim.find("__syncthreads"), std::string::npos);
+}
+
+TEST(SimGen, LocalsSpillAcrossPhases) {
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      let acc = 1.5;
+      sync;
+      arr.group::<256>[[block]][[thread]] = acc
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  // Spill before the phase boundary, reload after.
+  EXPECT_NE(G.Sim.find("_b.shared<double>(_locals_base + 0)[_lin] = acc_0;"),
+            std::string::npos)
+      << G.Sim;
+  EXPECT_NE(G.Sim.find(
+                "double acc_0 = _b.shared<double>(_locals_base + 0)[_lin];"),
+            std::string::npos)
+      << G.Sim;
+}
+
+TEST(SimGen, RequiresConcreteDimensions) {
+  Compiler C;
+  ASSERT_TRUE(C.compile("t.descend", R"(
+fn k<n: nat>(arr: &uniq gpu.global [f64; n])
+-[grid: gpu.grid<X<1>, X<n>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr.group::<n>[[block]][[thread]] = 0.0
+    }
+  }
+}
+)"));
+  std::string Error;
+  std::string Code = C.emitSimCode(&Error);
+  EXPECT_TRUE(Code.empty());
+  EXPECT_NE(Error.find("--define"), std::string::npos) << Error;
+}
+
+TEST(SimGen, UnrollsSyncLoops) {
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      for s in [0..3] {
+        tmp[[thread]] = arr.group::<256>[[block]][[thread]];
+        sync
+      }
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  // Three iterations -> at least three phase lambdas; no residual loop.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = G.Sim.find("[&](BlockCtx", Pos)) != std::string::npos) {
+    ++Count;
+    ++Pos;
+  }
+  EXPECT_GE(Count, 3u) << G.Sim;
+  EXPECT_EQ(G.Sim.find("for (long long s"), std::string::npos) << G.Sim;
+}
+
+} // namespace

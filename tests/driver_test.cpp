@@ -1,0 +1,107 @@
+//===- tests/driver_test.cpp - Compiler facade tests ----------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+const char *PolyKernel = R"(
+fn scale<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
+-[grid: gpu.grid<X<nb>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 2.0
+    }
+  }
+}
+)";
+
+TEST(Driver, CompileAndInstantiate) {
+  Compiler C;
+  CompileOptions Options;
+  Options.Defines["nb"] = 4;
+  ASSERT_TRUE(C.compile("k.descend", PolyKernel, Options))
+      << C.renderDiagnostics();
+  const FnDef *Fn = C.module()->findFn("scale");
+  ASSERT_NE(Fn, nullptr);
+  EXPECT_TRUE(Fn->Generics.empty()) << "nb should be instantiated away";
+  EXPECT_TRUE(Nat::proveEq(Fn->Exec.GridDim.X, Nat::lit(4)));
+  // The parameter type was substituted: [f64; 1024].
+  const auto *Ref = cast<RefType>(Fn->Params[0].Ty.get());
+  const auto *Arr = cast<ArrayType>(Ref->Pointee.get());
+  EXPECT_TRUE(Nat::proveEq(Arr->Size, Nat::lit(1024)));
+}
+
+TEST(Driver, GenericKernelChecksSymbolically) {
+  // Without defines, the polymorphic kernel still checks (Section 3.5:
+  // polymorphism over grid sizes).
+  Compiler C;
+  EXPECT_TRUE(C.compile("k.descend", PolyKernel)) << C.renderDiagnostics();
+}
+
+TEST(Driver, DiagnosticsRenderWithSource) {
+  Compiler C;
+  EXPECT_FALSE(C.compile("bad.descend", R"(
+fn k(arr: &uniq gpu.global [f64; 4096])
+-[grid: gpu.grid<X<16>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr.group::<256>[[block]][[thread]] =
+        arr.group::<256>[[block]].rev[[thread]]
+    }
+  }
+}
+)"));
+  std::string R = C.renderDiagnostics();
+  EXPECT_NE(R.find("error: conflicting memory access"), std::string::npos);
+  EXPECT_NE(R.find("bad.descend:"), std::string::npos);
+  EXPECT_NE(R.find("rev[[thread]]"), std::string::npos) << R;
+}
+
+TEST(Driver, SimSuffixAppendsToNames) {
+  Compiler C;
+  CompileOptions Options;
+  Options.Defines["nb"] = 2;
+  ASSERT_TRUE(C.compile("k.descend", PolyKernel, Options));
+  std::string Code = C.emitSimCode(nullptr, "_tiny");
+  EXPECT_NE(Code.find("inline void scale_tiny("), std::string::npos);
+}
+
+TEST(Driver, InstantiateNatsHandlesAllPositions) {
+  const char *Src = R"(
+fn k<n: nat>(arr: &uniq gpu.global [f64; n*64])
+-[grid: gpu.grid<X<n>, X<64>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 64]>();
+    sched(X) thread in block {
+      for i in [0..n] {
+        tmp[[thread]] = arr.group::<64>[[block]][[thread]]
+      }
+    }
+  }
+}
+)";
+  Compiler C;
+  CompileOptions Options;
+  Options.Defines["n"] = 3;
+  ASSERT_TRUE(C.compile("k.descend", Src, Options))
+      << C.renderDiagnostics();
+  // Loop bound and view arguments were substituted: emitting sim code
+  // succeeds with fully concrete dimensions.
+  std::string Error;
+  std::string Code = C.emitSimCode(&Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_NE(Code.find("i < 3"), std::string::npos) << Code;
+}
+
+TEST(Driver, ParseErrorsShortCircuit) {
+  Compiler C;
+  EXPECT_FALSE(C.compile("broken.descend", "fn ("));
+  EXPECT_TRUE(C.diagnostics().hasErrors());
+}
+
+} // namespace

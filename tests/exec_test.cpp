@@ -1,0 +1,170 @@
+//===- tests/exec_test.cpp - Unit tests for src/exec ----------------------===//
+
+#include "exec/ExecResource.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+Nat n(long long V) { return Nat::lit(V); }
+
+/// The Figure 1 grid: 2x2x1 blocks of 4x4x4 threads.
+ExecResource figure1Grid() {
+  return ExecResource::gpuGrid("grd", Dim::makeXYZ(n(2), n(2), n(1)),
+                               Dim::makeXYZ(n(4), n(4), n(4)));
+}
+
+TEST(ExecResource, CpuThread) {
+  ExecResource E = ExecResource::cpuThread();
+  EXPECT_TRUE(E.isCpu());
+  ASSERT_TRUE(E.level().has_value());
+  EXPECT_EQ(E.level()->Kind, ExecLevelKind::CpuThread);
+  EXPECT_EQ(E.str(), "cpu.thread");
+}
+
+TEST(ExecResource, GridLevelAndPrinting) {
+  ExecResource G = figure1Grid();
+  ASSERT_TRUE(G.level().has_value());
+  EXPECT_EQ(G.level()->Kind, ExecLevelKind::GpuGrid);
+  EXPECT_EQ(G.str(), "gpu.grid<XYZ<2, 2, 1>, XYZ<4, 4, 4>>");
+  EXPECT_EQ(G.currentStage(), 0u);
+}
+
+TEST(ExecResource, Figure1SchedulingChain) {
+  // Figure 1b: grd.forall(X).forall(Z).
+  ExecResource G = figure1Grid();
+  auto FX = G.forall(Axis::X);
+  ASSERT_TRUE(FX.has_value());
+  auto FXZ = FX->forall(Axis::Z);
+  ASSERT_TRUE(FXZ.has_value());
+  EXPECT_EQ(FXZ->str(),
+            "gpu.grid<XYZ<2, 2, 1>, XYZ<4, 4, 4>>.forall(X).forall(Z)");
+  // Y remains unscheduled at stage 0.
+  EXPECT_EQ(FXZ->currentStage(), 0u);
+  EXPECT_FALSE(FXZ->level().has_value()) << "a group of blocks has no level";
+
+  // Figure 1c: .split(1, Y).fst.
+  auto Split = FXZ->split(Axis::Y, n(1), /*TakeFst=*/true);
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(Split->str(), "gpu.grid<XYZ<2, 2, 1>, XYZ<4, 4, 4>>"
+                          ".forall(X).forall(Z).split(1, Y).fst");
+  EXPECT_TRUE(Nat::proveEq(Split->remainingExtent(0, Axis::Y), n(1)));
+}
+
+TEST(ExecResource, BlockAndThreadLevels) {
+  ExecResource G = ExecResource::gpuGrid("grid", Dim::makeXY(n(64), n(64)),
+                                         Dim::makeXY(n(32), n(8)));
+  auto Block = G.forall(Axis::Y)->forall(Axis::X);
+  ASSERT_TRUE(Block.has_value());
+  ASSERT_TRUE(Block->level().has_value());
+  EXPECT_EQ(Block->level()->Kind, ExecLevelKind::GpuBlock);
+  EXPECT_EQ(Block->currentStage(), 1u);
+
+  auto Thread = Block->forall(Axis::Y)->forall(Axis::X);
+  ASSERT_TRUE(Thread.has_value());
+  ASSERT_TRUE(Thread->level().has_value());
+  EXPECT_EQ(Thread->level()->Kind, ExecLevelKind::GpuThread);
+  EXPECT_EQ(Thread->currentStage(), 2u);
+}
+
+TEST(ExecResource, SchedOverMissingDimensionFails) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(16)),
+                                         Dim::makeX(n(256)));
+  std::string Err;
+  EXPECT_FALSE(G.forall(Axis::Y, &Err).has_value());
+  EXPECT_NE(Err.find("dimension Y does not exist"), std::string::npos);
+}
+
+TEST(ExecResource, SchedInsideThreadFails) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(2)),
+                                         Dim::makeX(n(4)));
+  auto T = G.forall(Axis::X)->forall(Axis::X);
+  ASSERT_TRUE(T.has_value());
+  std::string Err;
+  EXPECT_FALSE(T->forall(Axis::X, &Err).has_value());
+}
+
+TEST(ExecResource, SplitBoundsChecked) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(2)),
+                                         Dim::makeX(n(64)));
+  auto Block = G.forall(Axis::X);
+  ASSERT_TRUE(Block.has_value());
+  std::string Err;
+  EXPECT_TRUE(Block->split(Axis::X, n(32), true, &Err).has_value()) << Err;
+  EXPECT_TRUE(Block->split(Axis::X, n(64), true).has_value());
+  EXPECT_FALSE(Block->split(Axis::X, n(65), true, &Err).has_value());
+}
+
+TEST(ExecResource, SyncLegality) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(2)),
+                                         Dim::makeX(n(64)));
+  // At grid level: not inside a block.
+  EXPECT_EQ(G.syncLegality(), ExecResource::SyncLegality::NotInBlock);
+
+  auto Block = G.forall(Axis::X);
+  EXPECT_EQ(Block->syncLegality(), ExecResource::SyncLegality::Ok);
+
+  auto Thread = Block->forall(Axis::X);
+  EXPECT_EQ(Thread->syncLegality(), ExecResource::SyncLegality::Ok);
+
+  // Inside a thread-stage split: the Section 2.2 error case.
+  auto SplitArm = Block->split(Axis::X, n(32), true);
+  ASSERT_TRUE(SplitArm.has_value());
+  EXPECT_EQ(SplitArm->syncLegality(), ExecResource::SyncLegality::InSplit);
+  auto SplitThread = SplitArm->forall(Axis::X);
+  ASSERT_TRUE(SplitThread.has_value());
+  EXPECT_EQ(SplitThread->syncLegality(), ExecResource::SyncLegality::InSplit);
+
+  // A block-stage split is fine: blocks synchronize independently.
+  auto GridHalf =
+      ExecResource::gpuGrid("g", Dim::makeX(n(4)), Dim::makeX(n(64)))
+          .split(Axis::X, n(2), false);
+  ASSERT_TRUE(GridHalf.has_value());
+  auto BlockInHalf = GridHalf->forall(Axis::X);
+  ASSERT_TRUE(BlockInHalf.has_value());
+  EXPECT_EQ(BlockInHalf->syncLegality(), ExecResource::SyncLegality::Ok);
+}
+
+TEST(ExecResource, Disjointness) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(2)),
+                                         Dim::makeX(n(64)));
+  auto Block = G.forall(Axis::X);
+  auto Fst = Block->split(Axis::X, n(32), true);
+  auto Snd = Block->split(Axis::X, n(32), false);
+  ASSERT_TRUE(Fst && Snd);
+  EXPECT_TRUE(ExecResource::disjoint(*Fst, *Snd));
+  EXPECT_FALSE(ExecResource::disjoint(*Fst, *Fst));
+  EXPECT_FALSE(ExecResource::disjoint(*Fst, *Block));
+  // Different positions: not provably disjoint.
+  auto Other = Block->split(Axis::X, n(16), false);
+  EXPECT_FALSE(ExecResource::disjoint(*Fst, *Other));
+}
+
+TEST(ExecResource, PrefixAndEquality) {
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(n(2)),
+                                         Dim::makeX(n(4)));
+  auto B = G.forall(Axis::X);
+  auto T = B->forall(Axis::X);
+  EXPECT_TRUE(ExecResource::isPrefixOf(G, *B));
+  EXPECT_TRUE(ExecResource::isPrefixOf(*B, *T));
+  EXPECT_FALSE(ExecResource::isPrefixOf(*T, *B));
+  EXPECT_TRUE(ExecResource::equal(*B, *B));
+  EXPECT_FALSE(ExecResource::equal(*B, *T));
+}
+
+TEST(ExecResource, PolymorphicExtents) {
+  // Grids with symbolic sizes: gpu.grid<X<m/256>, X<256>>.
+  Nat M = Nat::var("m");
+  ExecResource G = ExecResource::gpuGrid("g", Dim::makeX(M / n(256)),
+                                         Dim::makeX(n(256)));
+  auto Block = G.forall(Axis::X);
+  ASSERT_TRUE(Block.has_value());
+  EXPECT_TRUE(Nat::proveEq(Block->remainingExtent(1, Axis::X), n(256)));
+  std::string Err;
+  auto Split = Block->split(Axis::X, n(128), true, &Err);
+  ASSERT_TRUE(Split.has_value()) << Err;
+}
+
+} // namespace

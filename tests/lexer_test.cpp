@@ -1,0 +1,141 @@
+//===- tests/lexer_test.cpp - Unit tests for src/lexer --------------------===//
+
+#include "lexer/Lexer.h"
+
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, unsigned ExpectedErrors = 0) {
+  static SourceManager SM; // buffers must outlive returned string_views
+  DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer("test", Src);
+  Lexer L(SM, Id, Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_EQ(Diags.errorCount(), ExpectedErrors);
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, Keywords) {
+  auto T = lex("fn let for in sched split at sync view uniq true false");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFn,    TokenKind::KwLet,  TokenKind::KwFor,
+      TokenKind::KwIn,    TokenKind::KwSched, TokenKind::KwSplit,
+      TokenKind::KwAt,    TokenKind::KwSync, TokenKind::KwView,
+      TokenKind::KwUniq,  TokenKind::KwTrue, TokenKind::KwFalse,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(T), Expected);
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  auto T = lex("fnx viewer synchronize");
+  EXPECT_EQ(T[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[2].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, NumbersAndSuffixes) {
+  auto T = lex("123 1.5 2.0f32 7i64 9u32 3f32");
+  EXPECT_EQ(T[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(T[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(T[2].Text, "2.0f32");
+  EXPECT_EQ(T[3].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T[3].Text, "7i64");
+  EXPECT_EQ(T[4].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(T[5].Kind, TokenKind::FloatLiteral) << "3f32 is a float";
+}
+
+TEST(Lexer, RangeDotsDoNotMergeIntoFloat) {
+  auto T = lex("[0..4]");
+  std::vector<TokenKind> Expected = {TokenKind::LBracket, TokenKind::IntLiteral,
+                                     TokenKind::DotDot, TokenKind::IntLiteral,
+                                     TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(kinds(T), Expected);
+}
+
+TEST(Lexer, AngleBracketsStaySingle) {
+  // Launch configurations rely on single '<'/'>' tokens.
+  auto T = lex("f::<<<X<32>, X<32>>>>(v)");
+  unsigned LessCount = 0, GreaterCount = 0;
+  for (const Token &Tok : T) {
+    if (Tok.is(TokenKind::Less))
+      ++LessCount;
+    if (Tok.is(TokenKind::Greater))
+      ++GreaterCount;
+  }
+  EXPECT_EQ(LessCount, 5u);
+  EXPECT_EQ(GreaterCount, 5u);
+}
+
+TEST(Lexer, OperatorsAndArrows) {
+  auto T = lex("-> => == != <= >= && || :: .. = < > ! & . @");
+  std::vector<TokenKind> Expected = {
+      TokenKind::ThinArrow,    TokenKind::FatArrow, TokenKind::EqualEqual,
+      TokenKind::NotEqual,     TokenKind::LessEqual, TokenKind::GreaterEqual,
+      TokenKind::AmpAmp,       TokenKind::PipePipe, TokenKind::ColonColon,
+      TokenKind::DotDot,       TokenKind::Equal,    TokenKind::Less,
+      TokenKind::Greater,      TokenKind::Not,      TokenKind::Amp,
+      TokenKind::Dot,          TokenKind::AtSign,   TokenKind::Eof};
+  EXPECT_EQ(kinds(T), Expected);
+}
+
+TEST(Lexer, ExecAnnotationTokens) {
+  auto T = lex("-[grid: gpu.grid<XY<64,64>,XY<32,8>>]-> ()");
+  EXPECT_EQ(T[0].Kind, TokenKind::Minus);
+  EXPECT_EQ(T[1].Kind, TokenKind::LBracket);
+  // ... ]->
+  bool SawCloseArrow = false;
+  for (size_t I = 0; I + 1 < T.size(); ++I)
+    if (T[I].is(TokenKind::RBracket) && T[I + 1].is(TokenKind::ThinArrow))
+      SawCloseArrow = true;
+  EXPECT_TRUE(SawCloseArrow);
+}
+
+TEST(Lexer, Comments) {
+  auto T = lex("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kinds(T), Expected);
+}
+
+TEST(Lexer, UnterminatedCommentReported) {
+  auto T = lex("a /* never closed", 1);
+  EXPECT_EQ(T.back().Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, UnknownCharacterReported) {
+  auto T = lex("a $ b", 1);
+  // Lexing continues after the error.
+  EXPECT_EQ(T[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, SourceRangesAreAccurate) {
+  auto T = lex("let foo");
+  EXPECT_EQ(T[1].Range.Begin.Offset, 4u);
+  EXPECT_EQ(T[1].Range.End.Offset, 7u);
+}
+
+TEST(Lexer, SelectBracketsLexAsTwoPairs) {
+  auto T = lex("arr[[thread]]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::LBracket, TokenKind::LBracket,
+      TokenKind::Identifier, TokenKind::RBracket, TokenKind::RBracket,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(T), Expected);
+}
+
+} // namespace

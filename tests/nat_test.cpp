@@ -1,0 +1,231 @@
+//===- tests/nat_test.cpp - Unit & property tests for src/nat -------------===//
+
+#include "nat/Nat.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace descend;
+
+namespace {
+
+Nat n(long long V) { return Nat::lit(V); }
+Nat v(const char *Name) { return Nat::var(Name); }
+
+TEST(Nat, LiteralFolding) {
+  EXPECT_EQ((n(2) + n(3)).litValue(), 5);
+  EXPECT_EQ((n(2) * n(3)).litValue(), 6);
+  EXPECT_EQ((n(7) - n(3)).litValue(), 4);
+  EXPECT_EQ((n(7) / n(2)).litValue(), 3);
+  EXPECT_EQ((n(7) % n(2)).litValue(), 1);
+}
+
+TEST(Nat, NeutralElements) {
+  Nat X = v("x");
+  EXPECT_EQ((X + n(0)).node(), X.node());
+  EXPECT_EQ((n(0) + X).node(), X.node());
+  EXPECT_EQ((X * n(1)).node(), X.node());
+  EXPECT_EQ((n(1) * X).node(), X.node());
+  EXPECT_TRUE((X * n(0)).isLit());
+  EXPECT_EQ((X * n(0)).litValue(), 0);
+  EXPECT_EQ((X / n(1)).node(), X.node());
+  EXPECT_EQ((X % n(1)).litValue(), 0);
+}
+
+TEST(Nat, Printing) {
+  Nat E = (v("a") + n(1)) * n(32);
+  EXPECT_EQ(E.str(), "(a + 1) * 32");
+  EXPECT_EQ((v("a") - (v("b") - v("c"))).str(), "a - (b - c)");
+  EXPECT_EQ((v("a") * v("b") + v("c")).str(), "a * b + c");
+}
+
+TEST(Nat, Evaluate) {
+  NatEnv Env{{"n", 10}, {"k", 3}};
+  EXPECT_EQ((v("n") * v("k") + n(1)).evaluate(Env), 31);
+  EXPECT_EQ((v("n") / v("k")).evaluate(Env), 3);
+  EXPECT_EQ((v("n") % v("k")).evaluate(Env), 1);
+  EXPECT_FALSE((v("m") + n(1)).evaluate(Env).has_value());
+  EXPECT_FALSE((v("n") / (v("k") - n(3))).evaluate(Env).has_value());
+}
+
+TEST(Nat, SubstituteThenEvaluate) {
+  Nat E = v("n") * n(2) + v("m");
+  Nat S = E.substitute({{"n", v("k") + n(1)}});
+  EXPECT_EQ(S.evaluate({{"k", 4}, {"m", 7}}), 17);
+}
+
+TEST(Nat, CollectVars) {
+  std::vector<std::string> Vars;
+  (v("a") * v("b") + v("a") % v("c")).collectVars(Vars);
+  EXPECT_EQ(Vars.size(), 3u);
+}
+
+TEST(Nat, ProveEqBasicAlgebra) {
+  // (a + b)^2 == a^2 + 2ab + b^2
+  Nat A = v("a"), B = v("b");
+  Nat L = (A + B) * (A + B);
+  Nat R = A * A + n(2) * A * B + B * B;
+  EXPECT_TRUE(Nat::proveEq(L, R));
+  EXPECT_FALSE(Nat::proveEq(L, R + n(1)));
+}
+
+TEST(Nat, ProveEqDistribution) {
+  Nat X = v("x");
+  EXPECT_TRUE(Nat::proveEq(X * n(3) + X, X * n(4)));
+  EXPECT_TRUE(Nat::proveEq((X + n(1)) * n(32) - n(32), X * n(32)));
+}
+
+TEST(Nat, DivisionSimplification) {
+  Nat N = v("n");
+  // (n * 4) / 2 == n * 2
+  EXPECT_TRUE(Nat::proveEq((N * n(4)) / n(2), N * n(2)));
+  // n / n == 1
+  EXPECT_TRUE(Nat::proveEq(N / N, n(1)));
+  // (n * 2 + 4) / 2 == n + 2
+  EXPECT_TRUE(Nat::proveEq((N * n(2) + n(4)) / n(2), N + n(2)));
+}
+
+TEST(Nat, ModuloSimplification) {
+  Nat N = v("n");
+  EXPECT_TRUE(Nat::proveEq((N * n(6)) % n(3), n(0)));
+  EXPECT_TRUE(Nat::proveEq((N * n(4) + n(5)) % n(2), n(1)));
+  EXPECT_TRUE(Nat::proveEq(N % N, n(0)));
+}
+
+TEST(Nat, OpaqueDivisionAtomsCompareStructurally) {
+  Nat N = v("n"), K = v("k");
+  EXPECT_TRUE(Nat::proveEq(N / K, N / K));
+  EXPECT_FALSE(Nat::proveEq(N / K, K / N));
+  // (n/k) * 2 == 2 * (n/k)
+  EXPECT_TRUE(Nat::proveEq((N / K) * n(2), n(2) * (N / K)));
+}
+
+TEST(Nat, ProveLe) {
+  Nat N = v("n");
+  EXPECT_EQ(Nat::proveLe(N, N + n(1)), std::optional(true));
+  EXPECT_EQ(Nat::proveLe(N, N), std::optional(true));
+  EXPECT_EQ(Nat::proveLe(N + n(1), N), std::optional(false));
+  EXPECT_EQ(Nat::proveLe(n(32), n(1024)), std::optional(true));
+  // Unknown: cannot compare n and m.
+  EXPECT_EQ(Nat::proveLe(v("n"), v("m")), std::nullopt);
+  // n <= n * k is not provable without k >= 1 knowledge.
+  EXPECT_EQ(Nat::proveLe(N, N * v("k")), std::nullopt);
+}
+
+TEST(Nat, ProveLt) {
+  EXPECT_EQ(Nat::proveLt(n(31), n(32)), std::optional(true));
+  EXPECT_EQ(Nat::proveLt(n(32), n(32)), std::optional(false));
+  EXPECT_EQ(Nat::proveLt(v("i"), v("i") + n(1)), std::optional(true));
+}
+
+TEST(Nat, ProveDivides) {
+  Nat N = v("n");
+  EXPECT_EQ(Nat::proveDivides(32, N * n(64)), std::optional(true));
+  EXPECT_EQ(Nat::proveDivides(32, N * n(64) + n(16)), std::optional(false));
+  EXPECT_EQ(Nat::proveDivides(32, N), std::nullopt);
+  EXPECT_EQ(Nat::proveDivides(1, N), std::optional(true));
+  EXPECT_EQ(Nat::proveDivides(4, n(1024)), std::optional(true));
+  EXPECT_EQ(Nat::proveDivides(3, n(1024)), std::optional(false));
+}
+
+TEST(Nat, SimplifiedCanonicalizesIndexExpressions) {
+  // The transpose index of Listing 1: (ty + j) * 32 + tx, built the "view"
+  // way, must simplify to the handwritten polynomial.
+  Nat Ty = v("ty"), Tx = v("tx"), J = v("j");
+  Nat ViewBuilt = ((Ty + J) * n(32)) + Tx;
+  Nat Hand = Ty * n(32) + J * n(32) + Tx;
+  EXPECT_TRUE(Nat::proveEq(ViewBuilt, Hand));
+  EXPECT_EQ(ViewBuilt.simplified().str(), Hand.simplified().str());
+}
+
+TEST(Nat, SimplifiedIsStable) {
+  Nat E = (v("b") + v("a")) * n(2) + v("a");
+  std::string S1 = E.simplified().str();
+  std::string S2 = E.simplified().simplified().str();
+  EXPECT_EQ(S1, S2);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: random expressions, simplified() preserves evaluation.
+//===----------------------------------------------------------------------===//
+
+class NatPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+Nat randomNat(std::mt19937 &Rng, int Depth) {
+  std::uniform_int_distribution<int> KindDist(0, Depth <= 0 ? 1 : 6);
+  switch (KindDist(Rng)) {
+  case 0:
+    return Nat::lit(std::uniform_int_distribution<int>(0, 9)(Rng));
+  case 1: {
+    const char *Names[] = {"x", "y", "z"};
+    return Nat::var(Names[std::uniform_int_distribution<int>(0, 2)(Rng)]);
+  }
+  case 2:
+    return randomNat(Rng, Depth - 1) + randomNat(Rng, Depth - 1);
+  case 3:
+    return randomNat(Rng, Depth - 1) * randomNat(Rng, Depth - 1);
+  case 4:
+    return randomNat(Rng, Depth - 1) - randomNat(Rng, Depth - 1);
+  case 5:
+    return Nat::div(randomNat(Rng, Depth - 1),
+                    Nat::lit(std::uniform_int_distribution<int>(1, 4)(Rng)));
+  default:
+    return Nat::mod(randomNat(Rng, Depth - 1),
+                    Nat::lit(std::uniform_int_distribution<int>(1, 4)(Rng)));
+  }
+}
+
+TEST_P(NatPropertyTest, SimplifiedPreservesEvaluation) {
+  std::mt19937 Rng(GetParam());
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    Nat E = randomNat(Rng, 4);
+    Nat S = E.simplified();
+    NatEnv Env{{"x", 3}, {"y", 5}, {"z", 7}};
+    auto VE = E.evaluate(Env);
+    auto VS = S.evaluate(Env);
+    ASSERT_TRUE(VE.has_value());
+    ASSERT_TRUE(VS.has_value());
+    EXPECT_EQ(*VE, *VS) << "expr: " << E.str() << "\nsimplified: " << S.str();
+  }
+}
+
+TEST_P(NatPropertyTest, ProveEqImpliesEqualEvaluation) {
+  std::mt19937 Rng(GetParam() + 1000);
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    Nat A = randomNat(Rng, 3);
+    Nat B = randomNat(Rng, 3);
+    if (!Nat::proveEq(A, B))
+      continue;
+    for (long long X = 0; X != 4; ++X) {
+      NatEnv Env{{"x", X}, {"y", X + 2}, {"z", 2 * X + 1}};
+      EXPECT_EQ(A.evaluate(Env), B.evaluate(Env))
+          << A.str() << " vs " << B.str();
+    }
+  }
+}
+
+TEST_P(NatPropertyTest, ProveLeIsSoundOnSamples) {
+  std::mt19937 Rng(GetParam() + 2000);
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    Nat A = randomNat(Rng, 3);
+    Nat B = randomNat(Rng, 3);
+    auto Proof = Nat::proveLe(A, B);
+    if (!Proof)
+      continue;
+    for (long long X = 0; X != 4; ++X) {
+      NatEnv Env{{"x", X}, {"y", 3 * X}, {"z", X * X}};
+      auto VA = A.evaluate(Env);
+      auto VB = B.evaluate(Env);
+      if (!VA || !VB)
+        continue;
+      EXPECT_EQ(*VA <= *VB, *Proof)
+          << A.str() << " <= " << B.str() << " at x=" << X;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NatPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace

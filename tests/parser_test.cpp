@@ -1,0 +1,342 @@
+//===- tests/parser_test.cpp - Unit tests for src/parser ------------------===//
+
+#include "parser/Parser.h"
+
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+struct ParseResult {
+  std::unique_ptr<Module> Mod;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::shared_ptr<SourceManager> SM;
+};
+
+ParseResult parse(const std::string &Src) {
+  ParseResult R;
+  R.SM = std::make_shared<SourceManager>();
+  uint32_t Id = R.SM->addBuffer("test.descend", Src);
+  R.Diags = std::make_unique<DiagnosticEngine>(*R.SM);
+  Parser P(*R.SM, Id, *R.Diags);
+  R.Mod = P.parseModule();
+  return R;
+}
+
+/// The matrix transposition function of Listing 2 (verbatim).
+const char *Listing2 = R"(
+fn transpose(input: & gpu.global [[f64;2048];2048],
+             output: &uniq gpu.global [[f64;2048];2048])
+-[grid: gpu.grid<XY<64,64>,XY<32,8>>]-> () {
+  sched(Y,X) block in grid {
+    let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+    sched(Y,X) thread in block {
+      for i in [0..4] {
+        tmp.group_by_row::<32,4>[[thread]][i] =
+          input.group_by_tile::<32,32>.transpose[[block]]
+            .group_by_row::<32,4>[[thread]][i] };
+      sync;
+      for i in [0..4] {
+        output.group_by_tile::<32,32>[[block]]
+          .group_by_row::<32,4>[[thread]][i] =
+          tmp.group_by_row::<32,4>[[thread]][i] }
+    } } }
+)";
+
+TEST(Parser, Listing2Parses) {
+  auto R = parse(Listing2);
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  ASSERT_EQ(R.Mod->Fns.size(), 1u);
+  const FnDef &Fn = *R.Mod->Fns[0];
+  EXPECT_EQ(Fn.Name, "transpose");
+  ASSERT_EQ(Fn.Params.size(), 2u);
+
+  // input: & gpu.global [[f64;2048];2048] — shared ref to nested array.
+  const auto *InRef = dyn_cast<RefType>(Fn.Params[0].Ty.get());
+  ASSERT_NE(InRef, nullptr);
+  EXPECT_EQ(InRef->Own, Ownership::Shrd);
+  EXPECT_EQ(InRef->Mem.Kind, MemoryKind::GpuGlobal);
+  const auto *Outer = dyn_cast<ArrayType>(InRef->Pointee.get());
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(Nat::proveEq(Outer->Size, Nat::lit(2048)));
+  const auto *Inner = dyn_cast<ArrayType>(Outer->Elem.get());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_TRUE(Nat::proveEq(Inner->Size, Nat::lit(2048)));
+
+  // output is a unique reference.
+  const auto *OutRef = dyn_cast<RefType>(Fn.Params[1].Ty.get());
+  ASSERT_NE(OutRef, nullptr);
+  EXPECT_EQ(OutRef->Own, Ownership::Uniq);
+
+  // Exec annotation.
+  EXPECT_EQ(Fn.ExecName, "grid");
+  EXPECT_EQ(Fn.Exec.Kind, ExecLevelKind::GpuGrid);
+  EXPECT_TRUE(Nat::proveEq(Fn.Exec.GridDim.X, Nat::lit(64)));
+  EXPECT_TRUE(Nat::proveEq(Fn.Exec.BlockDim.Y, Nat::lit(8)));
+  EXPECT_FALSE(Fn.Exec.GridDim.hasAxis(Axis::Z));
+
+  // Body structure: sched > { let, sched > { for, sync, for } }.
+  const auto *Body = dyn_cast<BlockExpr>(Fn.Body.get());
+  ASSERT_NE(Body, nullptr);
+  ASSERT_EQ(Body->Stmts.size(), 1u);
+  const auto *SchedBlocks = dyn_cast<SchedExpr>(Body->Stmts[0].get());
+  ASSERT_NE(SchedBlocks, nullptr);
+  EXPECT_EQ(SchedBlocks->Binder, "block");
+  EXPECT_EQ(SchedBlocks->Target, "grid");
+  ASSERT_EQ(SchedBlocks->Axes.size(), 2u);
+  EXPECT_EQ(SchedBlocks->Axes[0], Axis::Y);
+  EXPECT_EQ(SchedBlocks->Axes[1], Axis::X);
+
+  const auto *BlockBody = cast<BlockExpr>(SchedBlocks->Body.get());
+  ASSERT_EQ(BlockBody->Stmts.size(), 2u);
+  const auto *Let = dyn_cast<LetExpr>(BlockBody->Stmts[0].get());
+  ASSERT_NE(Let, nullptr);
+  EXPECT_EQ(Let->Name, "tmp");
+  const auto *Alloc = dyn_cast<AllocExpr>(Let->Init.get());
+  ASSERT_NE(Alloc, nullptr);
+  EXPECT_EQ(Alloc->Mem.Kind, MemoryKind::GpuShared);
+
+  const auto *SchedThreads = dyn_cast<SchedExpr>(BlockBody->Stmts[1].get());
+  ASSERT_NE(SchedThreads, nullptr);
+  const auto *ThreadBody = cast<BlockExpr>(SchedThreads->Body.get());
+  ASSERT_EQ(ThreadBody->Stmts.size(), 3u);
+  EXPECT_TRUE(isa<ForNatExpr>(ThreadBody->Stmts[0].get()));
+  EXPECT_TRUE(isa<SyncExpr>(ThreadBody->Stmts[1].get()));
+  EXPECT_TRUE(isa<ForNatExpr>(ThreadBody->Stmts[2].get()));
+
+  // First loop body: one assignment with view/select/index place on both
+  // sides.
+  const auto *Loop = cast<ForNatExpr>(ThreadBody->Stmts[0].get());
+  EXPECT_TRUE(Nat::proveEq(Loop->Lo, Nat::lit(0)));
+  EXPECT_TRUE(Nat::proveEq(Loop->Hi, Nat::lit(4)));
+  const auto *LoopBody = cast<BlockExpr>(Loop->Body.get());
+  ASSERT_EQ(LoopBody->Stmts.size(), 1u);
+  const auto *Asn = dyn_cast<AssignExpr>(LoopBody->Stmts[0].get());
+  ASSERT_NE(Asn, nullptr);
+  EXPECT_EQ(Asn->Lhs->str(), "tmp.group_by_row::<32, 4>[[thread]][i]");
+  EXPECT_EQ(cast<PlaceExpr>(Asn->Rhs.get())->str(),
+            "input.group_by_tile::<32, 32>.transpose[[block]]"
+            ".group_by_row::<32, 4>[[thread]][i]");
+}
+
+TEST(Parser, ViewDefinition) {
+  auto R = parse("view group_by_row<row_size: nat, num_rows: nat> = "
+                 "group::<row_size/num_rows>.map(transpose)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  ASSERT_EQ(R.Mod->Views.size(), 1u);
+  const ViewDef &V = *R.Mod->Views[0];
+  EXPECT_EQ(V.Name, "group_by_row");
+  ASSERT_EQ(V.Generics.size(), 2u);
+  EXPECT_EQ(V.Generics[0].Kind, ParamKind::Nat);
+  ASSERT_EQ(V.Body.size(), 2u);
+  EXPECT_EQ(V.Body[0].Name, "group");
+  ASSERT_EQ(V.Body[0].NatArgs.size(), 1u);
+  EXPECT_EQ(V.Body[1].Name, "map");
+  ASSERT_EQ(V.Body[1].ViewArgs.size(), 1u);
+  EXPECT_EQ(V.Body[1].ViewArgs[0][0].Name, "transpose");
+}
+
+TEST(Parser, KernelLaunch) {
+  auto R = parse(R"(
+fn main() -[t: cpu.thread]-> () {
+  scale_vec::<<<X<32>, X<32>>>>(&uniq vec)
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = cast<BlockExpr>(R.Mod->Fns[0]->Body.get());
+  const auto *Call = dyn_cast<CallExpr>(Body->Stmts[0].get());
+  ASSERT_NE(Call, nullptr);
+  EXPECT_TRUE(Call->IsLaunch);
+  EXPECT_EQ(Call->Callee, "scale_vec");
+  EXPECT_TRUE(Nat::proveEq(Call->LaunchGrid.X, Nat::lit(32)));
+  EXPECT_TRUE(Nat::proveEq(Call->LaunchBlock.X, Nat::lit(32)));
+  ASSERT_EQ(Call->Args.size(), 1u);
+  const auto *B = dyn_cast<BorrowExpr>(Call->Args[0].get());
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Own, Ownership::Uniq);
+}
+
+TEST(Parser, LaunchWithPolymorphicSizes) {
+  auto R = parse(R"(
+fn main() -[t: cpu.thread]-> () {
+  scale_vec::<<<X<n/256>, X<256>>>>(&uniq vec)
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+}
+
+TEST(Parser, HostMemoryApi) {
+  auto R = parse(R"(
+fn host() -[t: cpu.thread]-> () {
+  let cpu_array: [i32; n] @ cpu.mem = CpuHeap::new([0; n]);
+  let global_array: [i32; n] @ gpu.global = GpuGlobal::alloc_copy(&cpu_array);
+  copy_mem_to_host(&uniq cpu_array, &global_array)
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = cast<BlockExpr>(R.Mod->Fns[0]->Body.get());
+  ASSERT_EQ(Body->Stmts.size(), 3u);
+  const auto *Let = cast<LetExpr>(Body->Stmts[0].get());
+  const auto *Box = dyn_cast<BoxType>(Let->Annotation.get());
+  ASSERT_NE(Box, nullptr);
+  EXPECT_EQ(Box->Mem.Kind, MemoryKind::CpuMem);
+  const auto *Call = cast<CallExpr>(Let->Init.get());
+  EXPECT_EQ(Call->Callee, "CpuHeap::new");
+  EXPECT_TRUE(isa<ArrayInitExpr>(Call->Args[0].get()));
+}
+
+TEST(Parser, SplitWithSyncArms) {
+  auto R = parse(R"(
+fn k(arr: &uniq gpu.shared [f64; 64]) -[block: gpu.block<X<64>>]-> () {
+  split(X) block at 32 {
+    active => { sync },
+    inactive => { }
+  }
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = cast<BlockExpr>(R.Mod->Fns[0]->Body.get());
+  const auto *S = dyn_cast<SplitExpr>(Body->Stmts[0].get());
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->SplitAxis, Axis::X);
+  EXPECT_EQ(S->Target, "block");
+  EXPECT_TRUE(Nat::proveEq(S->Position, Nat::lit(32)));
+  EXPECT_EQ(S->FstName, "active");
+  EXPECT_EQ(S->SndName, "inactive");
+  EXPECT_TRUE(isa<SyncExpr>(cast<BlockExpr>(S->FstBody.get())->Stmts[0].get()));
+  EXPECT_TRUE(cast<BlockExpr>(S->SndBody.get())->Stmts.empty());
+}
+
+TEST(Parser, DerefPlaceWithSelect) {
+  auto R = parse(R"(
+fn k(vec: & cpu.mem [f64; 1024]) -[grid: gpu.grid<X<1>, X<1024>>]-> () {
+  sched(X) thread in grid {
+    (*vec)[[thread]] = 1.0
+  }
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Sched = cast<SchedExpr>(
+      cast<BlockExpr>(R.Mod->Fns[0]->Body.get())->Stmts[0].get());
+  const auto *Asn =
+      cast<AssignExpr>(cast<BlockExpr>(Sched->Body.get())->Stmts[0].get());
+  EXPECT_EQ(Asn->Lhs->str(), "(*vec)[[thread]]");
+  EXPECT_EQ(Asn->Lhs->rootVar(), "vec");
+}
+
+TEST(Parser, GenericFunctionHeader) {
+  auto R = parse(R"(
+fn scale<n: nat, m: mem, d: dty>(v: &uniq m [d; n])
+-[grid: gpu.grid<X<n/256>, X<256>>]-> () { }
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const FnDef &Fn = *R.Mod->Fns[0];
+  ASSERT_EQ(Fn.Generics.size(), 3u);
+  EXPECT_EQ(Fn.Generics[0].Kind, ParamKind::Nat);
+  EXPECT_EQ(Fn.Generics[1].Kind, ParamKind::Memory);
+  EXPECT_EQ(Fn.Generics[2].Kind, ParamKind::DataType);
+  const auto *Ref = cast<RefType>(Fn.Params[0].Ty.get());
+  EXPECT_TRUE(Ref->Mem.isVar());
+  const auto *Arr = cast<ArrayType>(Ref->Pointee.get());
+  EXPECT_TRUE(isa<TypeVarType>(Arr->Elem.get()));
+}
+
+TEST(Parser, TuplesAndProjections) {
+  auto R = parse(R"(
+fn f(pair: ([f64; 16], [f64; 48])) -[t: cpu.thread]-> () {
+  let a = pair.fst;
+  let b = pair.snd
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = cast<BlockExpr>(R.Mod->Fns[0]->Body.get());
+  const auto *LetA = cast<LetExpr>(Body->Stmts[0].get());
+  const auto *Proj = dyn_cast<PlaceProj>(LetA->Init.get());
+  ASSERT_NE(Proj, nullptr);
+  EXPECT_EQ(Proj->Which, 0u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto R = parse(R"(
+fn f() -[t: cpu.thread]-> () {
+  let x = 1 + 2 * 3 - 4 / 2;
+  let b = x < 5 && true || false
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *Body = cast<BlockExpr>(R.Mod->Fns[0]->Body.get());
+  const auto *Let = cast<LetExpr>(Body->Stmts[0].get());
+  EXPECT_EQ(exprToString(*Let->Init), "((1 + (2 * 3)) - (4 / 2))");
+  const auto *LetB = cast<LetExpr>(Body->Stmts[1].get());
+  EXPECT_EQ(exprToString(*LetB->Init),
+            "(((x < 5) && true) || false)");
+}
+
+TEST(Parser, ErrorRecoverySkipsBadItem) {
+  auto R = parse(R"(
+fn broken( -[t: cpu.thread]-> () { }
+fn good() -[t: cpu.thread]-> () { }
+)");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  // The good function is still parsed.
+  bool FoundGood = false;
+  for (const auto &F : R.Mod->Fns)
+    if (F->Name == "good")
+      FoundGood = true;
+  EXPECT_TRUE(FoundGood);
+}
+
+TEST(Parser, ReportsExpectedToken) {
+  auto R = parse("fn f() -[t: cpu.thread]-> () { let = 3; }");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  EXPECT_TRUE(R.Diags->contains(DiagCode::ParseExpected));
+}
+
+TEST(Parser, RevPerBlockExample) {
+  // The data-race example of Section 2.2 in Descend syntax.
+  auto R = parse(R"(
+fn rev_per_block(arr: &uniq gpu.global [f64; 4096])
+-[grid: gpu.grid<X<16>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr.group::<256>[[block]][[thread]] =
+        arr.group::<256>[[block]].rev[[thread]]
+    }
+  }
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  const auto *G = cast<SchedExpr>(
+      cast<BlockExpr>(R.Mod->Fns[0]->Body.get())->Stmts[0].get());
+  const auto *T = cast<SchedExpr>(cast<BlockExpr>(G->Body.get())->Stmts[0].get());
+  const auto *A =
+      cast<AssignExpr>(cast<BlockExpr>(T->Body.get())->Stmts[0].get());
+  EXPECT_EQ(A->Lhs->str(), "arr.group::<256>[[block]][[thread]]");
+}
+
+TEST(Parser, StandaloneTypes) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer("t", "&uniq gpu.global [[f64; 32]; 32]");
+  Parser P(SM, Id, Diags);
+  TypeRef T = P.parseStandaloneType();
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->str(), "&uniq gpu.global [[f64; 32]; 32]");
+}
+
+TEST(Parser, ViewArrayTypeSyntax) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  // [[f64; 32]] with nothing after the inner array is a view type.
+  uint32_t Id = SM.addBuffer("t", "[[f64; 32]]");
+  Parser P(SM, Id, Diags);
+  TypeRef T = P.parseStandaloneType();
+  ASSERT_TRUE(T);
+  EXPECT_TRUE(isa<ArrayViewType>(T.get()));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- tests/places_test.cpp - Place overlap analysis tests ---------------===//
+
+#include "places/PlacePath.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+PlacePath path(std::string Root, std::vector<PlaceStep> Steps,
+               unsigned Binding = 1) {
+  PlacePath P;
+  P.Root = std::move(Root);
+  P.RootBindingId = Binding;
+  P.Steps = std::move(Steps);
+  return P;
+}
+
+TEST(Places, DifferentRootsAreDisjoint) {
+  EXPECT_EQ(comparePlaces(path("a", {}), path("b", {})),
+            PlaceRelation::Disjoint);
+  // Same name, different binding (shadowing) is a different place.
+  EXPECT_EQ(comparePlaces(path("a", {}, 1), path("a", {}, 2)),
+            PlaceRelation::Disjoint);
+}
+
+TEST(Places, IdenticalPathsAreEqual) {
+  auto P1 = path("arr", {PlaceStep::deref(), PlaceStep::view("group::<32>"),
+                         PlaceStep::select("t", "E", 1, 2)});
+  auto P2 = path("arr", {PlaceStep::deref(), PlaceStep::view("group::<32>"),
+                         PlaceStep::select("t", "E", 1, 2)});
+  EXPECT_EQ(comparePlaces(P1, P2), PlaceRelation::Equal);
+}
+
+TEST(Places, ProjectionsDisjoint) {
+  auto Fst = path("p", {PlaceStep::proj(0)});
+  auto Snd = path("p", {PlaceStep::proj(1)});
+  EXPECT_EQ(comparePlaces(Fst, Snd), PlaceRelation::Disjoint);
+}
+
+TEST(Places, DistinctConstantIndicesDisjoint) {
+  auto A = path("p", {PlaceStep::index(Nat::lit(0), "0")});
+  auto B = path("p", {PlaceStep::index(Nat::lit(1), "1")});
+  EXPECT_EQ(comparePlaces(A, B), PlaceRelation::Disjoint);
+  // Same symbolic index: equal.
+  auto I1 = path("p", {PlaceStep::index(Nat::var("i"), "i")});
+  auto I2 = path("p", {PlaceStep::index(Nat::var("i"), "i")});
+  EXPECT_EQ(comparePlaces(I1, I2), PlaceRelation::Equal);
+  // i vs i+1: provably distinct.
+  auto I3 = path("p", {PlaceStep::index(Nat::var("i") + Nat::lit(1), "")});
+  EXPECT_EQ(comparePlaces(I1, I3), PlaceRelation::Disjoint);
+  // i vs j: unknown -> overlap.
+  auto J = path("p", {PlaceStep::index(Nat::var("j"), "j")});
+  EXPECT_EQ(comparePlaces(I1, J), PlaceRelation::Overlap);
+}
+
+TEST(Places, DifferentViewChainsOverlap) {
+  // The rev_per_block pattern: arr[[t]] vs arr.rev[[t]].
+  auto Plain = path("arr", {PlaceStep::select("t", "E", 0, 1)});
+  auto Rev = path("arr", {PlaceStep::view("reverse"),
+                          PlaceStep::select("t", "E", 0, 1)});
+  EXPECT_EQ(comparePlaces(Plain, Rev), PlaceRelation::Overlap);
+}
+
+TEST(Places, SelectsByDifferentResourcesOverlap) {
+  auto A = path("arr", {PlaceStep::select("t", "...fst.forall(X)", 2, 3)});
+  auto B = path("arr", {PlaceStep::select("t", "...snd.forall(X)", 2, 3)});
+  EXPECT_EQ(comparePlaces(A, B), PlaceRelation::Overlap);
+}
+
+TEST(Places, PrefixOverlapsWhole) {
+  auto Whole = path("arr", {});
+  auto Part = path("arr", {PlaceStep::index(Nat::lit(3), "3")});
+  EXPECT_EQ(comparePlaces(Whole, Part), PlaceRelation::Overlap);
+}
+
+TEST(Places, ProvablyDistinct) {
+  EXPECT_TRUE(provablyDistinct(Nat::lit(3), Nat::lit(4)));
+  EXPECT_FALSE(provablyDistinct(Nat::lit(3), Nat::lit(3)));
+  Nat I = Nat::var("i");
+  EXPECT_TRUE(provablyDistinct(I, I + Nat::lit(2)));
+  EXPECT_FALSE(provablyDistinct(I, Nat::var("j")));
+}
+
+TEST(Places, PathRendering) {
+  auto P = path("arr", {PlaceStep::deref(), PlaceStep::view("group::<8>"),
+                        PlaceStep::select("t", "E", 0, 1),
+                        PlaceStep::index(Nat::lit(2), "2")});
+  EXPECT_EQ(P.str(), "(*arr).group::<8>[[t]][2]");
+}
+
+} // namespace

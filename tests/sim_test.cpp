@@ -1,0 +1,234 @@
+//===- tests/sim_test.cpp - Tests for the GPU simulator substrate ---------===//
+
+#include "sim/Sim.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace descend::sim;
+
+namespace {
+
+TEST(Sim, VectorScaleAllThreads) {
+  GpuDevice Dev;
+  auto Buf = Dev.alloc<double>(1024);
+  for (size_t I = 0; I != 1024; ++I)
+    Buf.data()[I] = static_cast<double>(I);
+
+  launchPhases(Dev, Dim3{4}, Dim3{256}, 0,
+               [&](BlockCtx &B, ThreadCtx &T) {
+                 size_t I = B.X * 256 + T.X;
+                 Buf.store(B, I, Buf.load(B, I) * 3.0);
+               });
+
+  for (size_t I = 0; I != 1024; ++I)
+    EXPECT_EQ(Buf.data()[I], 3.0 * I);
+}
+
+TEST(Sim, PhasesActAsBarriers) {
+  // Phase 1 reverses into shared memory, phase 2 writes back: correct only
+  // if the barrier semantics hold within each block.
+  GpuDevice Dev;
+  auto Buf = Dev.alloc<int>(512);
+  for (int I = 0; I != 512; ++I)
+    Buf.data()[I] = I;
+
+  launchPhases(
+      Dev, Dim3{2}, Dim3{256}, 256 * sizeof(int),
+      [&](BlockCtx &B, ThreadCtx &T) {
+        B.sharedStore<int>(0, 255 - T.X, Buf.load(B, B.X * 256 + T.X));
+      },
+      [&](BlockCtx &B, ThreadCtx &T) {
+        Buf.store(B, B.X * 256 + T.X, B.sharedLoad<int>(0, T.X));
+      });
+
+  for (int Blk = 0; Blk != 2; ++Blk)
+    for (int I = 0; I != 256; ++I)
+      EXPECT_EQ(Buf.data()[Blk * 256 + I], Blk * 256 + (255 - I));
+}
+
+TEST(Sim, SharedMemoryIsPerBlock) {
+  GpuDevice Dev;
+  auto Out = Dev.alloc<int>(8);
+  launchPhases(
+      Dev, Dim3{8}, Dim3{1}, sizeof(int),
+      [&](BlockCtx &B, ThreadCtx &) {
+        B.sharedStore<int>(0, 0, static_cast<int>(B.X) + 1);
+      },
+      [&](BlockCtx &B, ThreadCtx &) {
+        Out.store(B, B.X, B.sharedLoad<int>(0, 0));
+      });
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Out.data()[I], I + 1);
+}
+
+TEST(Sim, MultiDimensionalCoordinates) {
+  GpuDevice Dev;
+  auto Out = Dev.alloc<unsigned>(2 * 3 * 4 * 5);
+  launchPhases(Dev, Dim3{2, 3}, Dim3{4, 5}, 0,
+               [&](BlockCtx &B, ThreadCtx &T) {
+                 unsigned Idx = ((B.Y * 2 + B.X) * 5 + T.Y) * 4 + T.X;
+                 Out.store(B, Idx, B.X + 10 * B.Y + 100 * T.X + 1000 * T.Y);
+               });
+  // Spot-check a few coordinates.
+  EXPECT_EQ(Out.data()[0], 0u);
+  unsigned Idx = ((2u * 2 + 1) * 5 + 4) * 4 + 3;
+  EXPECT_EQ(Out.data()[Idx], 1u + 20u + 300u + 4000u);
+}
+
+TEST(Sim, RaceDetectorFindsListing1Bug) {
+  // The Listing 1 transpose bug: tmp[ty + j*32 + tx] instead of
+  // tmp[(ty+j)*32 + tx] makes multiple threads write the same location.
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto In = Dev.alloc<double>(64 * 64);
+  auto Out = Dev.alloc<double>(64 * 64);
+
+  launchPhases(
+      Dev, Dim3{2, 2}, Dim3{32, 8}, 32 * 32 * sizeof(double),
+      [&](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8) {
+          size_t Src = (B.Y * 32 + T.Y + J) * 64 + B.X * 32 + T.X;
+          // BUG (intentional): missing parentheses around (T.Y + J).
+          B.sharedStore<double>(0, T.Y + J * 32 + T.X, In.load(B, Src));
+        }
+      },
+      [&](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8) {
+          size_t Dst = (B.X * 32 + T.Y + J) * 64 + B.Y * 32 + T.X;
+          Out.store(B, Dst, B.sharedLoad<double>(0, T.X * 32 + T.Y + J));
+        }
+      });
+
+  auto Races = Dev.findRaces();
+  EXPECT_FALSE(Races.empty()) << "the Listing 1 bug must be detected";
+}
+
+TEST(Sim, FixedTransposeIsRaceFree) {
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto In = Dev.alloc<double>(64 * 64);
+  auto Out = Dev.alloc<double>(64 * 64);
+  for (int I = 0; I != 64 * 64; ++I)
+    In.data()[I] = I;
+
+  launchPhases(
+      Dev, Dim3{2, 2}, Dim3{32, 8}, 32 * 32 * sizeof(double),
+      [&](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8) {
+          size_t Src = (B.Y * 32 + T.Y + J) * 64 + B.X * 32 + T.X;
+          B.sharedStore<double>(0, (T.Y + J) * 32 + T.X, In.load(B, Src));
+        }
+      },
+      [&](BlockCtx &B, ThreadCtx &T) {
+        for (unsigned J = 0; J != 32; J += 8) {
+          size_t Dst = (B.X * 32 + T.Y + J) * 64 + B.Y * 32 + T.X;
+          Out.store(B, Dst, B.sharedLoad<double>(0, T.X * 32 + T.Y + J));
+        }
+      });
+
+  EXPECT_TRUE(Dev.findRaces().empty());
+  // And it really is the transpose.
+  for (int R = 0; R != 64; ++R)
+    for (int C = 0; C != 64; ++C)
+      EXPECT_EQ(Out.data()[C * 64 + R], In.data()[R * 64 + C]);
+}
+
+TEST(Sim, RaceAcrossPhaseIsNotReported) {
+  // Write in phase 0, read by a different thread in phase 1: ordered by
+  // the barrier, hence no race.
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<int>(256);
+  launchPhases(
+      Dev, Dim3{1}, Dim3{256}, 0,
+      [&](BlockCtx &B, ThreadCtx &T) { Buf.store(B, T.X, (int)T.X); },
+      [&](BlockCtx &B, ThreadCtx &T) {
+        (void)Buf.load(B, 255 - T.X);
+      });
+  EXPECT_TRUE(Dev.findRaces().empty());
+}
+
+TEST(Sim, RaceWithinPhaseIsReported) {
+  // rev_per_block from Section 2.2: in-place reversal in a single phase.
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<double>(256);
+  launchPhases(Dev, Dim3{1}, Dim3{256}, 0,
+               [&](BlockCtx &B, ThreadCtx &T) {
+                 Buf.store(B, T.X, Buf.load(B, 255 - T.X));
+               });
+  EXPECT_FALSE(Dev.findRaces().empty());
+}
+
+TEST(Sim, CrossBlockRaceIsReported) {
+  // Two blocks write the same global location: never safe in one kernel.
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<int>(4);
+  launchPhases(Dev, Dim3{2}, Dim3{1}, 0,
+               [&](BlockCtx &B, ThreadCtx &) { Buf.store(B, 0, (int)B.X); });
+  EXPECT_FALSE(Dev.findRaces().empty());
+}
+
+TEST(Sim, ReadsAloneDoNotRace) {
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<int>(1);
+  launchPhases(Dev, Dim3{4}, Dim3{64}, 0,
+               [&](BlockCtx &B, ThreadCtx &) { (void)Buf.load(B, 0); });
+  EXPECT_TRUE(Dev.findRaces().empty());
+}
+
+TEST(Sim, BoundsCheckingCatchesOverrun) {
+  // The Section 2.3 bug: launching with more threads than elements.
+  GpuDevice Dev;
+  Dev.setBoundsChecking(true);
+  auto Buf = Dev.alloc<double>(100);
+  launchPhases(Dev, Dim3{1}, Dim3{256}, 0,
+               [&](BlockCtx &B, ThreadCtx &T) { Buf.store(B, T.X, 1.0); });
+  EXPECT_EQ(Dev.boundsViolations().size(), 156u);
+  EXPECT_EQ(Dev.boundsViolations()[0].Size, 100u);
+}
+
+TEST(Sim, ParallelBlockExecutionMatchesSequential) {
+  // Histogram-free reduction: each block sums its slice.
+  const size_t N = 1 << 16;
+  std::vector<double> Expected(64, 0);
+  GpuDevice Seq, Par;
+  Seq.setWorkers(1);
+  Par.setWorkers(8);
+  for (GpuDevice *Dev : {&Seq, &Par}) {
+    auto In = Dev->alloc<double>(N);
+    auto Out = Dev->alloc<double>(64);
+    for (size_t I = 0; I != N; ++I)
+      In.data()[I] = static_cast<double>(I % 97);
+    launchPhases(*Dev, Dim3{64}, Dim3{1}, 0,
+                 [&](BlockCtx &B, ThreadCtx &) {
+                   double Sum = 0;
+                   for (size_t I = 0; I != N / 64; ++I)
+                     Sum += In.load(B, B.X * (N / 64) + I);
+                   Out.store(B, B.X, Sum);
+                 });
+    if (Dev == &Seq)
+      for (int I = 0; I != 64; ++I)
+        Expected[I] = Out.data()[I];
+    else
+      for (int I = 0; I != 64; ++I)
+        EXPECT_EQ(Out.data()[I], Expected[I]);
+  }
+}
+
+TEST(Sim, ClearLogsResets) {
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<int>(1);
+  launchPhases(Dev, Dim3{2}, Dim3{1}, 0,
+               [&](BlockCtx &B, ThreadCtx &) { Buf.store(B, 0, 1); });
+  EXPECT_FALSE(Dev.findRaces().empty());
+  Dev.clearLogs();
+  EXPECT_TRUE(Dev.findRaces().empty());
+}
+
+} // namespace

@@ -1,0 +1,386 @@
+//===- tests/typeck_edge_test.cpp - Additional type-system coverage -------===//
+//
+// Edge cases beyond the paper's listings: tuples, multi-dimensional
+// narrowing, view composition shapes, broadcast views, synchronization
+// scoping across blocks, and flow-sensitivity corner cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typeck/TypeChecker.h"
+
+#include "parser/Parser.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+
+namespace {
+
+struct CheckResult {
+  std::shared_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Module> Mod;
+  bool Ok = false;
+};
+
+CheckResult check(const std::string &Src) {
+  CheckResult R;
+  R.SM = std::make_shared<SourceManager>();
+  uint32_t Id = R.SM->addBuffer("edge.descend", Src);
+  R.Diags = std::make_unique<DiagnosticEngine>(*R.SM);
+  Parser P(*R.SM, Id, *R.Diags);
+  R.Mod = P.parseModule();
+  EXPECT_FALSE(R.Diags->hasErrors()) << R.Diags->renderAll();
+  TypeChecker TC(*R.SM, *R.Diags);
+  R.Ok = TC.check(*R.Mod);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-dimensional narrowing (2D blocks and threads)
+//===----------------------------------------------------------------------===//
+
+TEST(TypeckEdge, TwoDimSelectNarrowsBothAxes) {
+  auto R = check(R"(
+view tiles<th: nat, tw: nat> =
+  group::<th>.map(map(group::<tw>)).map(transpose)
+fn k(m: &uniq gpu.global [[f64; 64]; 64])
+-[grid: gpu.grid<XY<4,4>, XY<16,16>>]-> () {
+  sched(Y, X) block in grid {
+    sched(Y, X) thread in block {
+      m.tiles::<16,16>[[block]][[thread]] = 0.0
+    }
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, PartialSchedCannotWriteUniquely) {
+  // Scheduling only X of a 2D block leaves 16 Y-instances sharing the
+  // write: the 2D narrowing is incomplete.
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<4>, XY<16,16>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr.group::<16>[[block]][[thread]] = 0.0
+    }
+  }
+}
+)");
+  // Either the shape check or narrowing must reject; per-thread writes
+  // duplicated along Y are a race.
+  EXPECT_FALSE(R.Ok) << "duplicated writes along Y must not check";
+}
+
+TEST(TypeckEdge, SchedAxisOrderMattersForSelect) {
+  // sched(X, Y) consumes dims in X-then-Y order: the outer dim of the
+  // 2D view must match the X extent.
+  auto R = check(R"(
+view tiles<th: nat, tw: nat> =
+  group::<th>.map(map(group::<tw>)).map(transpose)
+fn k(m: &uniq gpu.global [[f64; 32]; 16])
+-[grid: gpu.grid<X<1>, XY<32,16>>]-> () {
+  sched(X) block in grid {
+    sched(Y, X) thread in block {
+      m[[thread]] = 0.0
+    }
+  }
+}
+)");
+  // m is [16 rows][32 cols]; sched(Y,X) selects rows with Y (16) then
+  // cols with X (32): shapes line up.
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+
+  auto Bad = check(R"(
+fn k(m: &uniq gpu.global [[f64; 32]; 16])
+-[grid: gpu.grid<X<1>, XY<32,16>>]-> () {
+  sched(X) block in grid {
+    sched(X, Y) thread in block {
+      m[[thread]] = 0.0
+    }
+  }
+}
+)");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_TRUE(Bad.Diags->contains(DiagCode::SelectShapeMismatch));
+}
+
+//===----------------------------------------------------------------------===//
+// Views: composition and broadcasts
+//===----------------------------------------------------------------------===//
+
+TEST(TypeckEdge, WriteThroughBroadcastRejected) {
+  auto R = check(R"(
+view bcast<r: nat> = repeat::<r>
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, XY<256,4>>]-> () {
+  sched(X) block in grid {
+    sched(Y, X) thread in block {
+      arr.bcast::<4>[[thread]] = 0.0
+    }
+  }
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::SharedWriteRejected))
+      << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, ReadThroughBroadcastAccepted) {
+  auto R = check(R"(
+view bcast<r: nat> = repeat::<r>
+fn k(arr: & gpu.global [f64; 256], out: &uniq gpu.global [f64; 1024])
+-[grid: gpu.grid<X<1>, XY<256,4>>]-> () {
+  sched(X) block in grid {
+    sched(Y, X) thread in block {
+      out.group::<256>[[thread]] = arr.bcast::<4>[[thread]]
+    }
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, ChainedSplitsSelectNestedParts) {
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+  sched(X) block in grid {
+    split(X) block at 32 {
+      lo => {
+        split(X) lo at 16 {
+          lolo => {
+            sched(X) t in lolo { arr.split::<16>.fst[[t]] = 1.0 }
+          },
+          lohi => { }
+        }
+      },
+      hi => { }
+    }
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, GroupOfGroupComposes) {
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 4096])
+-[grid: gpu.grid<X<4>, X<16>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      for i in [0..64] {
+        arr.group::<1024>[[block]].group::<64>[[thread]][i] = 0.0
+      }
+    }
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronization scope
+//===----------------------------------------------------------------------===//
+
+TEST(TypeckEdge, SyncDoesNotLicenseCrossBlockConflicts) {
+  // Block-level sync only clears this block's accesses; two blocks still
+  // conflict on shared global memory.
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<2>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr[[thread]] = 1.0
+    }
+  }
+}
+)");
+  EXPECT_FALSE(R.Ok) << "both blocks write the same 256 elements";
+  EXPECT_TRUE(R.Diags->contains(DiagCode::NarrowingViolated))
+      << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, SequentialWritesBySameThreadAreFine) {
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      arr[[thread]] = 1.0;
+      arr[[thread]] = 2.0
+    }
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, SyncEnablesCommunicationThenNewConflictDetected) {
+  // Write, sync, read another thread's slot: fine once. Writing again
+  // after the read without a second sync conflicts.
+  auto Good = check(R"(
+fn k(out: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      tmp[[thread]] = 1.0;
+      sync;
+      out[[thread]] = tmp.rev[[thread]]
+    }
+  }
+}
+)");
+  EXPECT_TRUE(Good.Ok) << Good.Diags->renderAll();
+
+  auto Bad = check(R"(
+fn k(out: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      tmp[[thread]] = 1.0;
+      sync;
+      out[[thread]] = tmp.rev[[thread]];
+      tmp[[thread]] = 2.0
+    }
+  }
+}
+)");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_TRUE(Bad.Diags->contains(DiagCode::ConflictingMemoryAccess))
+      << Bad.Diags->renderAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Tuples and host-side flow sensitivity
+//===----------------------------------------------------------------------===//
+
+TEST(TypeckEdge, TupleProjectionTypes) {
+  auto R = check(R"(
+fn host(pair: (i32, f64)) -[t: cpu.thread]-> () {
+  let a = pair.fst;
+  let b = pair.snd;
+  let c = a + 1;
+  let d = b + 1.0
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+
+  auto Bad = check(R"(
+fn host(pair: (i32, f64)) -[t: cpu.thread]-> () {
+  let c = pair.fst + 1.0
+}
+)");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_TRUE(Bad.Diags->contains(DiagCode::MismatchedTypes));
+}
+
+TEST(TypeckEdge, ProjOfNonTupleRejected) {
+  auto R = check(R"(
+fn host(x: i32) -[t: cpu.thread]-> () {
+  let a = x.fst
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::NotATuple));
+}
+
+TEST(TypeckEdge, ForEachOverArray) {
+  auto R = check(R"(
+fn host(arr: & cpu.mem [f64; 16]) -[t: cpu.thread]-> () {
+  for x in *arr {
+    let y = x * 2.0
+  }
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+
+  auto Bad = check(R"(
+fn host(x: f64) -[t: cpu.thread]-> () {
+  for v in x { }
+}
+)");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_TRUE(Bad.Diags->contains(DiagCode::NotAnArray));
+}
+
+TEST(TypeckEdge, ShadowingCreatesDistinctPlaces) {
+  auto R = check(R"(
+fn host() -[t: cpu.thread]-> () {
+  let a = CpuHeap::new([0; 4]);
+  {
+    let a = CpuHeap::new([1; 4]);
+    let r = &uniq a
+  };
+  let r2 = &uniq a
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+}
+
+TEST(TypeckEdge, MovedValueRestoredByNothing) {
+  auto R = check(R"(
+fn host() -[t: cpu.thread]-> () {
+  let a = CpuHeap::new([0; 4]);
+  let b = a;
+  let c = &a
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::UseOfMovedValue));
+}
+
+TEST(TypeckEdge, GenericCallWithExplicitNats) {
+  auto R = check(R"(
+fn helper<n: nat>(x: & cpu.mem [f64; n]) -[t: cpu.thread]-> () { }
+fn host(arr: & cpu.mem [f64; 32]) -[t: cpu.thread]-> () {
+  helper::<32>(arr)
+}
+)");
+  EXPECT_TRUE(R.Ok) << R.Diags->renderAll();
+
+  auto Bad = check(R"(
+fn helper<n: nat>(x: & cpu.mem [f64; n]) -[t: cpu.thread]-> () { }
+fn host(arr: & cpu.mem [f64; 32]) -[t: cpu.thread]-> () {
+  helper::<64>(arr)
+}
+)");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_TRUE(Bad.Diags->contains(DiagCode::MismatchedTypes));
+}
+
+TEST(TypeckEdge, WrongArgCountReported) {
+  auto R = check(R"(
+fn helper(x: i32) -[t: cpu.thread]-> () { }
+fn host() -[t: cpu.thread]-> () {
+  helper(1, 2)
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::WrongArgCount));
+}
+
+TEST(TypeckEdge, SplitTargetMustBeCurrentExec) {
+  // Splitting the grid from inside a block's scope is out of scope.
+  auto R = check(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<2>, X<128>>]-> () {
+  sched(X) block in grid {
+    split(X) grid at 1 {
+      a => { },
+      b => { }
+    }
+  }
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::WrongExecutionContext))
+      << R.Diags->renderAll();
+}
+
+} // namespace

@@ -1,0 +1,333 @@
+//===- tests/views_test.cpp - Unit & property tests for src/views ---------===//
+
+#include "views/IndexSpace.h"
+#include "views/View.h"
+
+#include "parser/Parser.h"
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace descend;
+
+namespace {
+
+Nat n(long long V) { return Nat::lit(V); }
+
+TypeRef f64Array(long long N) {
+  return makeArray(makeScalar(ScalarKind::F64), n(N));
+}
+
+TypeRef f64Array2D(long long M, long long N) {
+  return makeArray(makeArray(makeScalar(ScalarKind::F64), n(N)), n(M));
+}
+
+//===----------------------------------------------------------------------===//
+// Shape checking (the Listing 3 types)
+//===----------------------------------------------------------------------===//
+
+TEST(ViewTypes, GroupShape) {
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::group(n(8)), f64Array(32),
+                                          &Err);
+  ASSERT_TRUE(Out) << Err;
+  EXPECT_EQ(Out->str(), "[[[[f64; 8]]; 4]]");
+}
+
+TEST(ViewTypes, GroupRequiresDivisibility) {
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::group(n(7)), f64Array(32),
+                                          &Err);
+  EXPECT_FALSE(Out);
+  EXPECT_NE(Err.find("% 7 == 0"), std::string::npos);
+}
+
+TEST(ViewTypes, GroupSymbolicDivisibility) {
+  // group<k> on [d; k*m] is provable for symbolic k, m.
+  Nat K = Nat::var("k"), M = Nat::var("m");
+  TypeRef In = makeArray(makeScalar(ScalarKind::F64), K * M);
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::group(K), In, &Err);
+  ASSERT_TRUE(Out) << Err;
+  const auto *Outer = cast<ArrayViewType>(Out.get());
+  EXPECT_TRUE(Nat::proveEq(Outer->Size, M));
+}
+
+TEST(ViewTypes, SplitShape) {
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::splitAt(n(12)), f64Array(32),
+                                          &Err);
+  ASSERT_TRUE(Out) << Err;
+  const auto *T = dyn_cast<TupleType>(Out.get());
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Elems[0]->str(), "[[f64; 12]]");
+  EXPECT_EQ(T->Elems[1]->str(), "[[f64; 20]]");
+}
+
+TEST(ViewTypes, SplitRequiresBound) {
+  std::string Err;
+  EXPECT_FALSE(
+      ViewRegistry::applyToType(View::splitAt(n(33)), f64Array(32), &Err));
+}
+
+TEST(ViewTypes, TransposeShape) {
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::transpose(),
+                                          f64Array2D(8, 32), &Err);
+  ASSERT_TRUE(Out) << Err;
+  EXPECT_EQ(Out->str(), "[[[[f64; 8]]; 32]]");
+}
+
+TEST(ViewTypes, TransposeRequires2D) {
+  std::string Err;
+  EXPECT_FALSE(
+      ViewRegistry::applyToType(View::transpose(), f64Array(32), &Err));
+  EXPECT_NE(Err.find("two-dimensional"), std::string::npos);
+}
+
+TEST(ViewTypes, ReverseKeepsShape) {
+  std::string Err;
+  TypeRef Out = ViewRegistry::applyToType(View::reverse(), f64Array(32),
+                                          &Err);
+  ASSERT_TRUE(Out) << Err;
+  EXPECT_EQ(Out->str(), "[[f64; 32]]");
+}
+
+TEST(ViewTypes, MapAppliesToElements) {
+  std::string Err;
+  View M = View::map({View::group(n(4))});
+  TypeRef Out = ViewRegistry::applyToType(M, f64Array2D(8, 32), &Err);
+  ASSERT_TRUE(Out) << Err;
+  EXPECT_EQ(Out->str(), "[[[[[[f64; 4]]; 8]]; 8]]");
+}
+
+TEST(ViewTypes, ViewOnNonArrayFails) {
+  std::string Err;
+  EXPECT_FALSE(ViewRegistry::applyToType(View::reverse(),
+                                         makeScalar(ScalarKind::F64), &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Registry resolution
+//===----------------------------------------------------------------------===//
+
+TEST(ViewRegistry, ResolvesBuiltins) {
+  ViewRegistry R;
+  EXPECT_TRUE(R.isKnownView("group"));
+  EXPECT_TRUE(R.isKnownView("rev"));
+  EXPECT_FALSE(R.isKnownView("group_by_row"));
+  auto C = R.resolve("group", {n(8)});
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(viewChainStr(*C), "group::<8>");
+  std::string Err;
+  EXPECT_FALSE(R.resolve("group", {}, &Err).has_value());
+  EXPECT_FALSE(R.resolve("transpose", {n(2)}, &Err).has_value());
+  EXPECT_FALSE(R.resolve("nope", {}, &Err).has_value());
+}
+
+TEST(ViewRegistry, ResolvesUserComposites) {
+  SourceManager SM;
+  DiagnosticEngine Diags(SM);
+  uint32_t Id = SM.addBuffer(
+      "v", "view group_by_row<row_size: nat, num_rows: nat> = "
+           "group::<row_size/num_rows>.transpose.map(transpose)");
+  Parser P(SM, Id, Diags);
+  auto Mod = P.parseModule();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+
+  ViewRegistry R;
+  R.addModuleViews(*Mod);
+  ASSERT_TRUE(R.isKnownView("group_by_row"));
+  std::string Err;
+  auto C = R.resolve("group_by_row", {n(32), n(4)}, &Err);
+  ASSERT_TRUE(C.has_value()) << Err;
+  EXPECT_EQ(viewChainStr(*C), "group::<8>.transpose.map(transpose)");
+  // Arity checked.
+  EXPECT_FALSE(R.resolve("group_by_row", {n(32)}, &Err).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Index lowering
+//===----------------------------------------------------------------------===//
+
+TEST(IndexSpace, IdentityFlatten) {
+  IndexSpace S = IndexSpace::fromDims({n(8), n(32)});
+  std::string Err;
+  ASSERT_TRUE(S.bindOuter(Nat::var("r"), &Err)) << Err;
+  ASSERT_TRUE(S.bindOuter(Nat::var("c"), &Err)) << Err;
+  Nat Flat = S.flatten(&Err);
+  ASSERT_FALSE(Flat.isNull()) << Err;
+  EXPECT_TRUE(Nat::proveEq(Flat, Nat::var("r") * n(32) + Nat::var("c")));
+}
+
+TEST(IndexSpace, GroupIndexing) {
+  // group::<8> of [32]: element (g, r) is original 8g + r.
+  IndexSpace S = IndexSpace::fromDims({n(32)});
+  std::string Err;
+  ASSERT_TRUE(S.applyView(View::group(n(8)), &Err)) << Err;
+  EXPECT_EQ(S.rank(), 2u);
+  EXPECT_TRUE(Nat::proveEq(S.logicalDim(0), n(4)));
+  EXPECT_TRUE(Nat::proveEq(S.logicalDim(1), n(8)));
+  ASSERT_TRUE(S.bindOuter(Nat::var("g"), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("r"), &Err));
+  Nat Flat = S.flatten(&Err);
+  EXPECT_TRUE(Nat::proveEq(Flat, Nat::var("g") * n(8) + Nat::var("r")));
+}
+
+TEST(IndexSpace, ReverseIndexing) {
+  IndexSpace S = IndexSpace::fromDims({n(32)});
+  std::string Err;
+  ASSERT_TRUE(S.applyView(View::reverse(), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("i"), &Err));
+  Nat Flat = S.flatten(&Err);
+  EXPECT_TRUE(Nat::proveEq(Flat, n(31) - Nat::var("i")));
+}
+
+TEST(IndexSpace, TransposeIndexing) {
+  IndexSpace S = IndexSpace::fromDims({n(8), n(32)});
+  std::string Err;
+  ASSERT_TRUE(S.applyView(View::transpose(), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("c"), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("r"), &Err));
+  Nat Flat = S.flatten(&Err);
+  EXPECT_TRUE(Nat::proveEq(Flat, Nat::var("r") * n(32) + Nat::var("c")));
+}
+
+TEST(IndexSpace, SplitParts) {
+  IndexSpace Fst = IndexSpace::fromDims({n(32)});
+  std::string Err;
+  ASSERT_TRUE(Fst.takeSplitPart(n(12), true, &Err));
+  EXPECT_TRUE(Nat::proveEq(Fst.logicalDim(0), n(12)));
+  ASSERT_TRUE(Fst.bindOuter(Nat::var("i"), &Err));
+  EXPECT_TRUE(Nat::proveEq(Fst.flatten(&Err), Nat::var("i")));
+
+  IndexSpace Snd = IndexSpace::fromDims({n(32)});
+  ASSERT_TRUE(Snd.takeSplitPart(n(12), false, &Err));
+  EXPECT_TRUE(Nat::proveEq(Snd.logicalDim(0), n(20)));
+  ASSERT_TRUE(Snd.bindOuter(Nat::var("i"), &Err));
+  EXPECT_TRUE(Nat::proveEq(Snd.flatten(&Err), Nat::var("i") + n(12)));
+}
+
+TEST(IndexSpace, GroupByRowMatchesListing1) {
+  // The Listing 2 access tmp.group_by_row::<32,4>[[thread]][i] must lower
+  // to the (fixed) Listing 1 index (ty + 8*i) * 32 + tx.
+  IndexSpace S = IndexSpace::fromDims({n(32), n(32)});
+  std::string Err;
+  // group_by_row<32,4> = group::<8>.transpose.map(transpose)
+  ASSERT_TRUE(S.applyView(View::group(n(8)), &Err)) << Err;
+  ASSERT_TRUE(S.applyView(View::transpose(), &Err)) << Err;
+  ASSERT_TRUE(S.applyView(View::map({View::transpose()}), &Err)) << Err;
+  // Shape must be [8][32][4]: thread-Y, thread-X, loop i.
+  ASSERT_EQ(S.rank(), 3u);
+  EXPECT_TRUE(Nat::proveEq(S.logicalDim(0), n(8)));
+  EXPECT_TRUE(Nat::proveEq(S.logicalDim(1), n(32)));
+  EXPECT_TRUE(Nat::proveEq(S.logicalDim(2), n(4)));
+  // Select (ty, tx) then index i.
+  ASSERT_TRUE(S.bindOuter(Nat::var("ty"), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("tx"), &Err));
+  ASSERT_TRUE(S.bindOuter(Nat::var("i"), &Err));
+  Nat Flat = S.flatten(&Err);
+  ASSERT_FALSE(Flat.isNull()) << Err;
+  Nat Expected = (Nat::var("ty") + n(8) * Nat::var("i")) * n(32) +
+                 Nat::var("tx");
+  EXPECT_TRUE(Nat::proveEq(Flat, Expected))
+      << "got " << Flat.str() << ", want " << Expected.simplified().str();
+}
+
+TEST(IndexSpace, ViewBeyondRankFails) {
+  IndexSpace S = IndexSpace::fromDims({n(8)});
+  std::string Err;
+  EXPECT_FALSE(S.applyView(View::map({View::transpose()}), &Err));
+}
+
+TEST(IndexSpace, FlattenRequiresScalar) {
+  IndexSpace S = IndexSpace::fromDims({n(8)});
+  std::string Err;
+  EXPECT_TRUE(S.flatten(&Err).isNull());
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: views are permutations (injectivity is the safety basis)
+//===----------------------------------------------------------------------===//
+
+struct ViewCase {
+  const char *Name;
+  std::vector<long long> Dims;
+  ViewChain Chain;
+};
+
+class ViewPermutationTest : public ::testing::TestWithParam<int> {};
+
+std::vector<ViewCase> permutationCases() {
+  return {
+      {"group8", {32}, {View::group(n(8))}},
+      {"reverse", {64}, {View::reverse()}},
+      {"transpose", {8, 32}, {View::transpose()}},
+      {"group_rev", {24}, {View::group(n(6)), View::map({View::reverse()})}},
+      {"group_by_row",
+       {32, 32},
+       {View::group(n(8)), View::transpose(), View::map({View::transpose()})}},
+      {"tile",
+       {16, 16},
+       {View::group(n(4)), View::map({View::map({View::group(n(4))})}),
+        View::map({View::transpose()})}},
+      {"rev_of_group", {30}, {View::group(n(5)), View::reverse()}},
+      {"double_transpose", {6, 10}, {View::transpose(), View::transpose()}},
+  };
+}
+
+TEST_P(ViewPermutationTest, EveryElementReachedExactlyOnce) {
+  ViewCase C = permutationCases()[GetParam()];
+  std::vector<Nat> Dims;
+  long long Total = 1;
+  for (long long D : C.Dims) {
+    Dims.push_back(n(D));
+    Total *= D;
+  }
+  IndexSpace Base = IndexSpace::fromDims(Dims);
+  std::string Err;
+  for (const View &V : C.Chain)
+    ASSERT_TRUE(Base.applyView(V, &Err)) << C.Name << ": " << Err;
+
+  // Enumerate the full logical index space and collect flat indices.
+  std::vector<long long> Extents;
+  for (unsigned I = 0; I != Base.rank(); ++I) {
+    auto E = Base.logicalDim(I).evaluate({});
+    ASSERT_TRUE(E.has_value());
+    Extents.push_back(*E);
+  }
+  long long LogicalTotal = 1;
+  for (long long E : Extents)
+    LogicalTotal *= E;
+  ASSERT_EQ(LogicalTotal, Total) << C.Name << ": views must preserve size";
+
+  std::set<long long> Seen;
+  std::vector<long long> Idx(Extents.size(), 0);
+  for (long long Count = 0; Count != LogicalTotal; ++Count) {
+    IndexSpace S = Base;
+    for (unsigned I = 0; I != Idx.size(); ++I)
+      ASSERT_TRUE(S.bindOuter(n(Idx[I]), &Err));
+    Nat Flat = S.flatten(&Err);
+    ASSERT_FALSE(Flat.isNull()) << Err;
+    auto V = Flat.evaluate({});
+    ASSERT_TRUE(V.has_value());
+    EXPECT_GE(*V, 0) << C.Name;
+    EXPECT_LT(*V, Total) << C.Name;
+    EXPECT_TRUE(Seen.insert(*V).second)
+        << C.Name << ": duplicate flat index " << *V;
+    // Advance the multi-index.
+    for (int I = Idx.size() - 1; I >= 0; --I) {
+      if (++Idx[I] < Extents[I])
+        break;
+      Idx[I] = 0;
+    }
+  }
+  EXPECT_EQ(Seen.size(), static_cast<size_t>(Total)) << C.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllViews, ViewPermutationTest,
+                         ::testing::Range(0, 8));
+
+} // namespace

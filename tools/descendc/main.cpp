@@ -1,0 +1,104 @@
+//===- tools/descendc/main.cpp - The Descend compiler driver ----------------===//
+//
+// Usage:
+//   descendc INPUT.descend [--emit=cuda|sim|check|ast] [-D name=value]...
+//            [-o OUTPUT]
+//
+// --emit=check only type-checks (default); cuda/sim write generated code to
+// OUTPUT (or stdout). -D instantiates generic nat parameters, mirroring the
+// launch-site instantiation of Section 3.5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace descend;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: descendc INPUT.descend [--emit=cuda|sim|check] "
+               "[-D name=value]... [-o OUTPUT]\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  std::string Input, Output, Emit = "check", FnSuffix;
+  CompileOptions Options;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+    } else if (Arg.rfind("--fn-suffix=", 0) == 0) {
+      FnSuffix = Arg.substr(12);
+    } else if (Arg == "-D" && I + 1 < argc) {
+      std::string Def = argv[++I];
+      size_t Eq = Def.find('=');
+      if (Eq == std::string::npos)
+        return usage();
+      Options.Defines[Def.substr(0, Eq)] = std::atoll(Def.c_str() + Eq + 1);
+    } else if (Arg.rfind("-D", 0) == 0 && Arg.size() > 2) {
+      size_t Eq = Arg.find('=');
+      if (Eq == std::string::npos)
+        return usage();
+      Options.Defines[Arg.substr(2, Eq - 2)] = std::atoll(Arg.c_str() + Eq + 1);
+    } else if (Arg == "-o" && I + 1 < argc) {
+      Output = argv[++I];
+    } else if (!Arg.empty() && Arg[0] != '-' && Input.empty()) {
+      Input = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (Input.empty())
+    return usage();
+  if (Emit != "check" && Emit != "cuda" && Emit != "sim")
+    return usage();
+
+  std::ifstream In(Input);
+  if (!In) {
+    std::fprintf(stderr, "descendc: error: cannot open '%s'\n",
+                 Input.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  Compiler C;
+  bool Ok = C.compile(Input, SS.str(), Options);
+  std::string Rendered = C.renderDiagnostics();
+  if (!Rendered.empty())
+    std::fprintf(stderr, "%s", Rendered.c_str());
+  if (!Ok)
+    return 1;
+
+  std::string Code, Error;
+  if (Emit == "cuda")
+    Code = C.emitCudaCode(&Error);
+  else if (Emit == "sim")
+    Code = C.emitSimCode(&Error, FnSuffix);
+  else
+    return 0;
+
+  if (!Error.empty()) {
+    std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Output.empty()) {
+    std::fwrite(Code.data(), 1, Code.size(), stdout);
+    return 0;
+  }
+  std::ofstream OutFile(Output);
+  if (!OutFile) {
+    std::fprintf(stderr, "descendc: error: cannot write '%s'\n",
+                 Output.c_str());
+    return 1;
+  }
+  OutFile << Code;
+  return 0;
+}
