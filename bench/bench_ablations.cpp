@@ -15,7 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 #include "sim/Sim.h"
 #include "views/IndexSpace.h"
 
@@ -185,19 +185,27 @@ fn transpose(input: & gpu.global [[f64;2048];2048],
 void BM_CompileTranspose(benchmark::State &State) {
   std::string Src = transposeSource();
   for (auto _ : State) {
-    Compiler C;
-    bool Ok = C.compile("bench.descend", Src);
+    CompilerInvocation Inv;
+    Inv.BufferName = "bench.descend";
+    Inv.RunUntil = Stage::Typecheck;
+    Session S(Inv);
+    bool Ok = S.run(Src).Ok;
     benchmark::DoNotOptimize(Ok);
   }
 }
 BENCHMARK(BM_CompileTranspose);
 
 void BM_EmitCudaTranspose(benchmark::State &State) {
-  Compiler C;
-  C.compile("bench.descend", transposeSource());
+  CompilerInvocation Inv;
+  Inv.BufferName = "bench.descend";
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  S.run(transposeSource());
+  const codegen::Backend *Cuda =
+      codegen::BackendRegistry::instance().lookup("cuda");
   for (auto _ : State) {
-    std::string Code = C.emitCudaCode();
-    benchmark::DoNotOptimize(Code);
+    codegen::GenResult R = Cuda->emit(*S.module(), codegen::BackendOptions());
+    benchmark::DoNotOptimize(R.Code);
   }
 }
 BENCHMARK(BM_EmitCudaTranspose);
@@ -217,9 +225,11 @@ void BM_TypecheckScaling(benchmark::State &State) {
   Src << "    }\n  }\n}\n";
   std::string S = Src.str();
   for (auto _ : State) {
-    Compiler C;
-    bool Ok = C.compile("scale.descend", S);
-    if (!Ok) {
+    CompilerInvocation Inv;
+    Inv.BufferName = "scale.descend";
+    Inv.RunUntil = Stage::Typecheck;
+    Session Sess(Inv);
+    if (!Sess.run(S).Ok) {
       State.SkipWithError("program unexpectedly rejected");
       return;
     }

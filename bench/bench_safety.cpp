@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <chrono>
 #include <cstdio>
@@ -152,14 +152,17 @@ int main() {
       "--------\n");
   int Correct = 0;
   for (const CaseRow &R : Rows) {
-    auto T0 = std::chrono::steady_clock::now();
-    Compiler C;
-    bool Ok = C.compile(R.Id + ".descend", R.Source);
-    auto T1 = std::chrono::steady_clock::now();
-    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    CompilerInvocation Inv;
+    Inv.BufferName = R.Id + ".descend";
+    Inv.RunUntil = Stage::Typecheck;
+    Session S(Inv);
+    CompileResult Res = S.run(R.Source);
+    double Ms = 0;
+    for (const StageTiming &T : Res.Timings)
+      Ms += T.Millis;
     bool AsExpected = R.ShouldPass
-                          ? Ok
-                          : (!Ok && C.diagnostics().contains(R.Expected));
+                          ? Res.Ok
+                          : (!Res.Ok && S.diagnostics().contains(R.Expected));
     if (AsExpected)
       ++Correct;
     std::printf("%-4s %-38s %-10s %-9s %8.2fms\n", R.Id.c_str(),

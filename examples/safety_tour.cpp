@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <cstdio>
 #include <vector>
@@ -124,14 +124,16 @@ int main() {
   int Caught = 0;
   for (const Case &C : Cases) {
     std::printf("=== %s: %s ===\n", C.Id, C.Title);
-    Compiler Comp;
-    bool Ok = Comp.compile(std::string(C.Id) + ".descend", C.Source);
-    if (Ok) {
+    CompilerInvocation Inv;
+    Inv.BufferName = std::string(C.Id) + ".descend";
+    Inv.RunUntil = Stage::Typecheck;
+    Session S(Inv);
+    if (S.run(C.Source).Ok) {
       std::printf("UNEXPECTEDLY ACCEPTED\n\n");
       continue;
     }
     ++Caught;
-    std::printf("%s\n", Comp.renderDiagnostics().c_str());
+    std::printf("%s\n", S.renderDiagnostics().c_str());
   }
   std::printf("summary: %d/%zu unsafe programs rejected at compile time\n",
               Caught, Cases.size());

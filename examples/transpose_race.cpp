@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 #include "sim/Sim.h"
 
 #include "gen_transpose_example.h"
@@ -78,9 +78,12 @@ int main() {
   std::printf("(CUDA compiles this silently; the behaviour is undefined)\n\n");
 
   std::printf("== 2. The same pattern in Descend is rejected statically ==\n");
-  Compiler C;
-  if (!C.compile("buggy.descend", BuggyDescend))
-    std::printf("%s\n", C.renderDiagnostics().c_str());
+  CompilerInvocation Inv;
+  Inv.BufferName = "buggy.descend";
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  if (!S.run(BuggyDescend).Ok)
+    std::printf("%s\n", S.renderDiagnostics().c_str());
   else
     std::printf("unexpectedly accepted!\n");
 

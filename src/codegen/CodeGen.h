@@ -1,52 +1,35 @@
-//===- codegen/CodeGen.h - Descend code generation --------------*- C++ -*-===//
+//===- codegen/CodeGen.h - Deprecated code-generation entry points -*- C++ -*-===//
 //
-// Part of the Descend reproduction. Translates well-typed Descend modules
-// (Section 5):
-//
-//  * CUDA backend: GPU grid functions become __global__ kernels; sched
-//    disappears (the bound execution resource becomes blockIdx/threadIdx),
-//    selections and views compile to raw indices (lowered through
-//    views/IndexSpace and normalized by the nat simplifier), split becomes
-//    an if/else over coordinates, sync becomes __syncthreads(). CPU
-//    functions become host C++ using the CUDA runtime API.
-//
-//  * Sim backend: the same lowering, but kernels are emitted as
-//    phase-structured C++ against sim/Sim.h, with sync compiled into a
-//    phase boundary. for-nat loops containing sync are unrolled (their
-//    ranges are statically evaluated). This is the backend the Figure 8
-//    reproduction compiles and measures.
-//
-// Code generation assumes the module already passed the TypeChecker and
-// that generic functions were instantiated (Driver::defineNat); remaining
-// inconsistencies are internal errors.
+// Part of the Descend reproduction. DEPRECATED: this header predates the
+// pluggable backend registry and is kept so out-of-tree users of the
+// original two-function API keep compiling. New code should resolve a
+// backend through codegen::BackendRegistry (codegen/Backend.h) or drive
+// the whole pipeline through driver::Session (driver/Pipeline.h).
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_CODEGEN_CODEGEN_H
 #define DESCEND_CODEGEN_CODEGEN_H
 
-#include "ast/Item.h"
+#include "codegen/Backend.h"
 
-#include <optional>
 #include <string>
 
 namespace descend {
 
-class DiagnosticEngine;
+class Module;
 
-/// Result of a code generation run.
-struct GenResult {
-  bool Ok = false;
-  std::string Code;
-  std::string Error; // set when !Ok
-};
+/// Result of a code generation run (now codegen::GenResult).
+using GenResult = codegen::GenResult;
 
 /// Emits CUDA C++ for the whole module (kernels + host functions).
+/// Deprecated: use BackendRegistry::instance().lookup("cuda").
 GenResult emitCuda(const Module &M);
 
 /// Emits simulator C++ (one inline launch function per GPU grid function)
 /// into a self-contained header. \p FnSuffix is appended to every emitted
 /// function name so multiple instantiations can coexist in one binary.
+/// Deprecated: use BackendRegistry::instance().lookup("sim").
 GenResult emitSim(const Module &M, const std::string &FnSuffix = "");
 
 } // namespace descend

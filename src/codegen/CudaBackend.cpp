@@ -1,0 +1,255 @@
+//===- codegen/CudaBackend.cpp - CUDA backend --------------------------------===//
+//
+// The `cuda` backend (Section 5): GPU grid functions become __global__
+// kernels; sched disappears (the bound execution resource becomes
+// blockIdx/threadIdx), selections and views compile to raw indices, split
+// becomes an if/else over coordinates, sync becomes __syncthreads(). CPU
+// functions become host C++ using the CUDA runtime API.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Backend.h"
+#include "codegen/Lowerer.h"
+
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace descend;
+using namespace descend::codegen;
+
+namespace {
+
+/// Minimal host-side emitter for cpu.thread functions: covers the memory
+/// API of Section 3.4 and kernel launches of Section 3.5.
+class HostEmitter {
+public:
+  HostEmitter(const Module &M, std::ostringstream &OS) : M(M), OS(OS) {}
+
+  bool emit(const FnDef &Fn) {
+    OS << "void " << Fn.Name << "(";
+    for (size_t I = 0; I != Fn.Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      emitParam(Fn.Params[I]);
+    }
+    OS << ") {\n";
+    bool Ok = emitBlock(*cast<BlockExpr>(Fn.Body.get()), 1);
+    OS << "}\n";
+    return Ok;
+  }
+
+  std::string Error;
+
+private:
+  const Module &M;
+  std::ostringstream &OS;
+  std::map<std::string, std::string> VarTypes; // host vars -> C type
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  void indent(unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      OS << "  ";
+  }
+
+  void emitParam(const FnParam &P) {
+    std::vector<Nat> Dims;
+    ScalarKind Elem = ScalarKind::F64;
+    if (const auto *Ref = dyn_cast<RefType>(P.Ty.get());
+        Ref && arrayNest(Ref->Pointee, Dims, Elem)) {
+      OS << (Ref->Own == Ownership::Shrd ? "const " : "")
+         << cppScalarType(Elem) << " *" << P.Name;
+      return;
+    }
+    if (const auto *S = dyn_cast<ScalarType>(P.Ty.get())) {
+      OS << cppScalarType(S->Scalar) << " " << P.Name;
+      return;
+    }
+    OS << "/*unsupported*/ int " << P.Name;
+  }
+
+  bool emitBlock(const BlockExpr &Blk, unsigned Depth) {
+    for (const ExprPtr &S : Blk.Stmts)
+      if (!emitStmt(*S, Depth))
+        return false;
+    return true;
+  }
+
+  bool emitStmt(const Expr &E, unsigned Depth) {
+    switch (E.kind()) {
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(&E);
+      return emitLet(*L, Depth);
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(&E);
+      return emitCall(*C, Depth, /*LetName=*/"");
+    }
+    case ExprKind::Block:
+      indent(Depth);
+      OS << "{\n";
+      if (!emitBlock(*cast<BlockExpr>(&E), Depth + 1))
+        return false;
+      indent(Depth);
+      OS << "}\n";
+      return true;
+    default:
+      return fail("unsupported host statement: " + exprToString(E));
+    }
+  }
+
+  bool emitLet(const LetExpr &L, unsigned Depth) {
+    const auto *C = dyn_cast<CallExpr>(L.Init.get());
+    if (C)
+      return emitCall(*C, Depth, L.Name);
+    return fail("unsupported host let initializer: " +
+                exprToString(*L.Init));
+  }
+
+  std::string argName(const Expr &E) {
+    if (const auto *B = dyn_cast<BorrowExpr>(&E))
+      return cast<PlaceExpr>(B->Place.get())->rootVar();
+    if (const auto *P = dyn_cast<PlaceExpr>(&E))
+      return P->rootVar();
+    return "";
+  }
+
+  bool emitCall(const CallExpr &C, unsigned Depth, const std::string &Let) {
+    if (C.Callee == "CpuHeap::new") {
+      const auto *Init = dyn_cast<ArrayInitExpr>(C.Args[0].get());
+      if (!Init)
+        return fail("CpuHeap::new expects an array initializer");
+      const auto *ElemTy =
+          dyn_cast_if_present<ScalarType>(Init->Elem->Ty.get());
+      std::string CT = ElemTy ? cppScalarType(ElemTy->Scalar) : "double";
+      indent(Depth);
+      OS << "std::vector<" << CT << "> " << Let << "("
+         << Init->Count.simplified().str() << ", "
+         << exprToString(*Init->Elem) << ");\n";
+      VarTypes[Let] = CT;
+      return true;
+    }
+    if (C.Callee == "GpuGlobal::alloc_copy") {
+      std::string Src = argName(*C.Args[0]);
+      std::string CT = VarTypes.count(Src) ? VarTypes[Src] : "double";
+      indent(Depth);
+      OS << CT << " *" << Let << ";\n";
+      indent(Depth);
+      OS << "cudaMalloc(&" << Let << ", " << Src << ".size() * sizeof(" << CT
+         << "));\n";
+      indent(Depth);
+      OS << "cudaMemcpy(" << Let << ", " << Src << ".data(), " << Src
+         << ".size() * sizeof(" << CT << "), cudaMemcpyHostToDevice);\n";
+      VarTypes[Let] = CT;
+      return true;
+    }
+    if (C.Callee == "copy_mem_to_host" || C.Callee == "copy_to_gpu") {
+      bool ToHost = C.Callee == "copy_mem_to_host";
+      std::string Dst = argName(*C.Args[0]);
+      std::string Src = argName(*C.Args[1]);
+      std::string CT = VarTypes.count(ToHost ? Dst : Src)
+                           ? VarTypes[ToHost ? Dst : Src]
+                           : "double";
+      indent(Depth);
+      if (ToHost)
+        OS << "cudaMemcpy(" << Dst << ".data(), " << Src << ", " << Dst
+           << ".size() * sizeof(" << CT << "), cudaMemcpyDeviceToHost);\n";
+      else
+        OS << "cudaMemcpy(" << Dst << ", " << Src << ".data(), " << Src
+           << ".size() * sizeof(" << CT << "), cudaMemcpyHostToDevice);\n";
+      return true;
+    }
+    if (C.IsLaunch) {
+      auto DimOf = [&](const Dim &D) {
+        auto Get = [&](Axis A) -> std::string {
+          return D.hasAxis(A) ? D.extent(A).simplified().str() : "1";
+        };
+        return "dim3(" + Get(Axis::X) + ", " + Get(Axis::Y) + ", " +
+               Get(Axis::Z) + ")";
+      };
+      indent(Depth);
+      OS << C.Callee << "<<<" << DimOf(C.LaunchGrid) << ", "
+         << DimOf(C.LaunchBlock) << ">>>(";
+      for (size_t I = 0; I != C.Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << argName(*C.Args[I]);
+      }
+      OS << ");\n";
+      indent(Depth);
+      OS << "cudaDeviceSynchronize();\n";
+      return true;
+    }
+    return fail("unsupported host call: " + C.Callee);
+  }
+};
+
+class CudaBackend final : public Backend {
+public:
+  const char *name() const override { return "cuda"; }
+  const char *description() const override {
+    return "CUDA C++ (__global__ kernels + host functions)";
+  }
+  GenResult emit(const Module &M, const BackendOptions &Opts) const override;
+};
+
+GenResult CudaBackend::emit(const Module &M, const BackendOptions &) const {
+  GenResult R;
+  std::ostringstream OS;
+  OS << "// Generated by descendc --emit=cuda. Do not edit.\n";
+  OS << "#include <cstdint>\n#include <cstdio>\n#include <vector>\n";
+  OS << "#include <cuda_runtime.h>\n\n";
+
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isGpuFn())
+      continue;
+    Lowerer L(M, LowerTarget::Cuda);
+    if (!L.runKernel(Fn)) {
+      R.Error = "while lowering `" + Fn.Name + "`: " + L.Error;
+      return R;
+    }
+    OS << "/// " << Fn.signature() << "\n";
+    OS << "__global__ void " << Fn.Name << "(";
+    for (size_t I = 0; I != Fn.Params.size(); ++I) {
+      if (I)
+        OS << ", ";
+      const auto *Ref = cast<RefType>(Fn.Params[I].Ty.get());
+      std::vector<Nat> Dims;
+      ScalarKind Elem = ScalarKind::F64;
+      arrayNest(Ref->Pointee, Dims, Elem);
+      OS << (Ref->Own == Ownership::Shrd ? "const " : "")
+         << cppScalarType(Elem) << " *" << Fn.Params[I].Name;
+    }
+    OS << ") {\n" << L.CudaBody << "}\n\n";
+  }
+
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isCpuFn())
+      continue;
+    HostEmitter H(M, OS);
+    if (!H.emit(Fn)) {
+      R.Error = "while emitting host `" + Fn.Name + "`: " + H.Error;
+      return R;
+    }
+    OS << "\n";
+  }
+
+  R.Ok = true;
+  R.Code = OS.str();
+  return R;
+}
+
+} // namespace
+
+namespace descend::codegen {
+std::unique_ptr<Backend> createCudaBackend() {
+  return std::make_unique<CudaBackend>();
+}
+} // namespace descend::codegen

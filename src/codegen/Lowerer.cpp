@@ -1,0 +1,747 @@
+//===- codegen/Lowerer.cpp - Shared kernel lowering --------------------------===//
+
+#include "codegen/Lowerer.h"
+
+#include "support/StringUtils.h"
+#include "views/IndexSpace.h"
+
+#include <cassert>
+
+using namespace descend;
+using namespace descend::codegen;
+
+const char *descend::codegen::cppScalarType(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I32:
+    return "int32_t";
+  case ScalarKind::I64:
+    return "int64_t";
+  case ScalarKind::U32:
+    return "uint32_t";
+  case ScalarKind::U64:
+    return "uint64_t";
+  case ScalarKind::F32:
+    return "float";
+  case ScalarKind::F64:
+    return "double";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Unit:
+    return "void";
+  }
+  return "void";
+}
+
+bool descend::codegen::containsPow(const Nat &N) {
+  if (N.isNull())
+    return false;
+  if (N.kind() == NatKind::Pow)
+    return true;
+  switch (N.kind()) {
+  case NatKind::Lit:
+  case NatKind::Var:
+    return false;
+  default:
+    return containsPow(N.lhs()) || containsPow(N.rhs());
+  }
+}
+
+std::string descend::codegen::floatLiteral(double V, ScalarKind K) {
+  std::string S = strfmt("%.17g", V);
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  if (K == ScalarKind::F32)
+    S += "f";
+  return S;
+}
+
+bool descend::codegen::arrayNest(const TypeRef &T, std::vector<Nat> &Dims,
+                                 ScalarKind &Elem) {
+  const DataType *Cur = T.get();
+  while (true) {
+    if (const auto *A = dyn_cast<ArrayType>(Cur)) {
+      Dims.push_back(A->Size);
+      Cur = A->Elem.get();
+      continue;
+    }
+    if (const auto *A = dyn_cast<ArrayViewType>(Cur)) {
+      Dims.push_back(A->Size);
+      Cur = A->Elem.get();
+      continue;
+    }
+    if (const auto *S = dyn_cast<ScalarType>(Cur)) {
+      Elem = S->Scalar;
+      return true;
+    }
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes and small helpers
+//===----------------------------------------------------------------------===//
+
+bool Lowerer::fail(const std::string &Msg) {
+  if (Error.empty())
+    Error = Msg;
+  return false;
+}
+
+void Lowerer::line(const std::string &S) {
+  for (unsigned I = 0; I != Indent; ++I)
+    Out << "  ";
+  Out << S << "\n";
+}
+
+void Lowerer::pushScope() { Scopes.emplace_back(); }
+
+void Lowerer::popScope() {
+  for (const std::string &N : Scopes.back())
+    Syms[N].pop_back();
+  while (!LiveLocals.empty() && LiveLocals.back().ScopeDepth >= Scopes.size())
+    LiveLocals.pop_back();
+  Scopes.pop_back();
+}
+
+Sym &Lowerer::bind(const std::string &Name, Sym S) {
+  Scopes.back().push_back(Name);
+  auto &Stack = Syms[Name];
+  Stack.push_back(std::move(S));
+  return Stack.back();
+}
+
+Sym *Lowerer::lookup(const std::string &Name) {
+  auto It = Syms.find(Name);
+  if (It == Syms.end() || It->second.empty())
+    return nullptr;
+  return &It->second.back();
+}
+
+/// Raw coordinate variable for (stage, axis).
+std::string Lowerer::axisVarName(unsigned Stage, Axis A) const {
+  if (B == LowerTarget::Cuda) {
+    std::string Base = Stage == 0 ? "blockIdx." : "threadIdx.";
+    return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
+  }
+  std::string Base = Stage == 0 ? "_b" : "_t";
+  return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
+}
+
+/// Local coordinate of the forall at op index \p OpIdx in \p Exec: the
+/// raw coordinate minus the snd-split offsets accumulated before it.
+Nat Lowerer::coordinateFor(const ExecResource &Exec, unsigned OpIdx) {
+  const ExecOp &Op = Exec.ops()[OpIdx];
+  Nat Coord = Nat::var(axisVarName(Op.Stage, Op.Ax));
+  for (unsigned I = 0; I != OpIdx; ++I) {
+    const ExecOp &Prev = Exec.ops()[I];
+    if (Prev.Stage == Op.Stage && Prev.Ax == Op.Ax &&
+        Prev.Kind == ExecOpKind::SplitSnd)
+      Coord = Coord - Prev.Pos;
+  }
+  return Coord;
+}
+
+Nat Lowerer::exprToNat(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Literal: {
+    const auto *L = cast<LiteralExpr>(&E);
+    return Nat::lit(L->IntValue);
+  }
+  case ExprKind::PlaceVar: {
+    const auto *V = cast<PlaceVar>(&E);
+    if (Sym *S = lookup(V->Name); S && S->K == Sym::NatVar)
+      return S->ConstVal ? S->ConstVal : Nat::var(V->Name);
+    return Nat();
+  }
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(&E);
+    Nat L = exprToNat(*Bin->Lhs);
+    Nat R = exprToNat(*Bin->Rhs);
+    if (!L || !R)
+      return Nat();
+    switch (Bin->Op) {
+    case BinOpKind::Add:
+      return L + R;
+    case BinOpKind::Sub:
+      return L - R;
+    case BinOpKind::Mul:
+      return L * R;
+    case BinOpKind::Div:
+      return L / R;
+    case BinOpKind::Mod:
+      return L % R;
+    default:
+      return Nat();
+    }
+  }
+  default:
+    return Nat();
+  }
+}
+
+/// Substitutes unrolled loop constants into a nat from the source.
+Nat Lowerer::substLoopConsts(Nat N) {
+  if (!N)
+    return N;
+  std::vector<std::string> Vars;
+  N.collectVars(Vars);
+  std::map<std::string, Nat> Subst;
+  for (const std::string &V : Vars)
+    if (Sym *S = lookup(V); S && S->K == Sym::NatVar && S->ConstVal)
+      Subst[V] = S->ConstVal;
+  return Subst.empty() ? N : N.substitute(Subst);
+}
+
+std::string Lowerer::natToCpp(const Nat &N) {
+  Nat S = N.simplified();
+  if (containsPow(S)) {
+    fail("internal: unfolded 2^i expression reached code generation: " +
+         S.str());
+    return "0";
+  }
+  return S.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Places
+//===----------------------------------------------------------------------===//
+
+std::optional<Lowerer::LPlace> Lowerer::lowerPlace(const PlaceExpr &P) {
+  // Collect root-to-leaf chain.
+  std::vector<const PlaceExpr *> Chain;
+  for (const PlaceExpr *Cur = &P; Cur; Cur = basePlace(Cur))
+    Chain.push_back(Cur);
+  std::reverse(Chain.begin(), Chain.end());
+
+  const auto *RootVar = dyn_cast<PlaceVar>(Chain[0]);
+  assert(RootVar && "place chain must start at a variable");
+  Sym *Root = lookup(RootVar->Name);
+  if (!Root) {
+    fail("internal: unknown symbol `" + RootVar->Name + "`");
+    return std::nullopt;
+  }
+
+  LPlace Result;
+  if (Root->K == Sym::NatVar) {
+    Result.K = LPlace::NatValue;
+    Result.NatVal = Root->ConstVal ? Root->ConstVal
+                                   : Nat::var(RootVar->Name);
+    return Result;
+  }
+  if (Root->K == Sym::Local) {
+    Result.K = LPlace::Local;
+    Result.Root = Root;
+    return Result;
+  }
+  if (Root->K == Sym::ExecVar) {
+    fail("internal: execution resource used as value");
+    return std::nullopt;
+  }
+
+  Result.K = Root->K == Sym::GlobalBuf ? LPlace::Global : LPlace::Shared;
+  Result.Root = Root;
+
+  IndexSpace Space = IndexSpace::fromDims(Root->Dims);
+  // Pending split view: a split must be followed by .fst/.snd.
+  std::optional<Nat> PendingSplit;
+
+  for (size_t I = 1; I != Chain.size(); ++I) {
+    const PlaceExpr *Step = Chain[I];
+    std::string Err;
+    switch (Step->kind()) {
+    case ExprKind::PlaceDeref:
+      break; // references were resolved to buffers
+    case ExprKind::PlaceView: {
+      const auto *V = cast<PlaceView>(Step);
+      std::vector<Nat> Args;
+      for (const Nat &A : V->NatArgs)
+        Args.push_back(substLoopConsts(A).simplified());
+      auto Resolved = Views.resolve(V->ViewName, Args, &Err);
+      if (!Resolved) {
+        fail(Err);
+        return std::nullopt;
+      }
+      for (const View &Prim : *Resolved) {
+        if (Prim.Kind == ViewKind::SplitView) {
+          if (PendingSplit) {
+            fail("internal: split view without projection");
+            return std::nullopt;
+          }
+          PendingSplit = Prim.Arg;
+          continue;
+        }
+        if (PendingSplit) {
+          fail("internal: split view without projection");
+          return std::nullopt;
+        }
+        if (!Space.applyView(Prim, &Err)) {
+          fail(Err);
+          return std::nullopt;
+        }
+      }
+      break;
+    }
+    case ExprKind::PlaceProj: {
+      const auto *Proj = cast<PlaceProj>(Step);
+      if (!PendingSplit) {
+        fail("tuple projections outside split views are not supported in "
+             "kernels");
+        return std::nullopt;
+      }
+      if (!Space.takeSplitPart(*PendingSplit, Proj->Which == 0, &Err)) {
+        fail(Err);
+        return std::nullopt;
+      }
+      PendingSplit.reset();
+      break;
+    }
+    case ExprKind::PlaceSelect: {
+      const auto *Sel = cast<PlaceSelect>(Step);
+      Sym *ExecSym = lookup(Sel->ExecName);
+      if (!ExecSym || ExecSym->K != Sym::ExecVar) {
+        fail("internal: unknown execution resource `" + Sel->ExecName +
+             "`");
+        return std::nullopt;
+      }
+      for (unsigned OpIdx = ExecSym->OpsBegin; OpIdx != ExecSym->OpsEnd;
+           ++OpIdx) {
+        Nat Coord = coordinateFor(ExecSym->Exec, OpIdx);
+        if (!Space.bindOuter(Coord, &Err)) {
+          fail(Err);
+          return std::nullopt;
+        }
+      }
+      break;
+    }
+    case ExprKind::PlaceIndex: {
+      const auto *Idx = cast<PlaceIndex>(Step);
+      Nat N = exprToNat(*Idx->Index);
+      if (!N) {
+        fail("kernel indices must be static or loop-variable expressions: "
+             + exprToString(*Idx->Index));
+        return std::nullopt;
+      }
+      if (!Space.bindOuter(substLoopConsts(N), &Err)) {
+        fail(Err);
+        return std::nullopt;
+      }
+      break;
+    }
+    default:
+      fail("unsupported place step in kernel");
+      return std::nullopt;
+    }
+  }
+
+  std::string Err;
+  Result.Index = Space.flatten(&Err);
+  if (Result.Index.isNull()) {
+    fail(Err);
+    return std::nullopt;
+  }
+  return Result;
+}
+
+std::string Lowerer::placeLoad(const LPlace &P) {
+  switch (P.K) {
+  case LPlace::NatValue:
+    return natToCpp(P.NatVal);
+  case LPlace::Local:
+    return P.Root->CppName;
+  case LPlace::Global:
+    if (B == LowerTarget::Cuda)
+      return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
+    return P.Root->CppName + ".load(_b, " + natToCpp(P.Index) + ")";
+  case LPlace::Shared:
+    if (B == LowerTarget::Cuda)
+      return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
+    return strfmt("_b.sharedLoad<%s>(%zu, %s)",
+                  cppScalarType(P.Root->Elem), P.Root->ByteBase,
+                  natToCpp(P.Index).c_str());
+  }
+  return "0";
+}
+
+bool Lowerer::placeStore(const LPlace &P, const std::string &Value) {
+  switch (P.K) {
+  case LPlace::NatValue:
+    return fail("cannot assign to a loop variable");
+  case LPlace::Local:
+    line(P.Root->CppName + " = " + Value + ";");
+    return true;
+  case LPlace::Global:
+    if (B == LowerTarget::Cuda)
+      line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
+           ";");
+    else
+      line(P.Root->CppName + ".store(_b, " + natToCpp(P.Index) + ", " +
+           Value + ");");
+    return true;
+  case LPlace::Shared:
+    if (B == LowerTarget::Cuda)
+      line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
+           ";");
+    else
+      line(strfmt("_b.sharedStore<%s>(%zu, %s, %s);",
+                  cppScalarType(P.Root->Elem), P.Root->ByteBase,
+                  natToCpp(P.Index).c_str(), Value.c_str()));
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions & statements
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> Lowerer::genExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Literal: {
+    const auto *L = cast<LiteralExpr>(&E);
+    switch (L->Scalar) {
+    case ScalarKind::Bool:
+      return std::string(L->BoolValue ? "true" : "false");
+    case ScalarKind::F32:
+    case ScalarKind::F64:
+      return floatLiteral(L->FloatValue, L->Scalar);
+    case ScalarKind::Unit:
+      return std::string("/*unit*/0");
+    default:
+      return std::to_string(L->IntValue);
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(&E);
+    auto L = genExpr(*Bin->Lhs);
+    auto R = genExpr(*Bin->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    return "(" + *L + " " + binOpSpelling(Bin->Op) + " " + *R + ")";
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    auto S = genExpr(*U->Sub);
+    if (!S)
+      return std::nullopt;
+    return std::string(U->Op == UnOpKind::Neg ? "-" : "!") + *S;
+  }
+  default:
+    if (const auto *P = dyn_cast<PlaceExpr>(&E)) {
+      auto LP = lowerPlace(*P);
+      if (!LP)
+        return std::nullopt;
+      return placeLoad(*LP);
+    }
+    fail("unsupported expression in kernel: " + exprToString(E));
+    return std::nullopt;
+  }
+}
+
+bool Lowerer::containsSyncOrSplit(const Expr &E) {
+  if (isa<SyncExpr>(&E) || isa<SplitExpr>(&E))
+    return true;
+  bool Found = false;
+  forEachChild(const_cast<Expr &>(E),
+               [&](Expr &C) { Found = Found || containsSyncOrSplit(C); });
+  return Found;
+}
+
+void Lowerer::phaseBreak() {
+  if (B == LowerTarget::Cuda) {
+    line("__syncthreads();");
+    return;
+  }
+  // Registers do not survive the phase boundary: spill phase-spanning
+  // locals to their per-thread arena slot and reload at the start of the
+  // next phase (one load/store per local per phase, as a handwritten
+  // kernel would do).
+  for (const LiveLocal &L : LiveLocals)
+    line(strfmt("_b.shared<%s>(_locals_base + %zu)[_lin] = %s;",
+                cppScalarType(L.Elem), L.Off, L.CppName.c_str()));
+  Phases.push_back(Out.str());
+  Out.str("");
+  for (const LiveLocal &L : LiveLocals)
+    line(strfmt("%s %s = _b.shared<%s>(_locals_base + %zu)[_lin];",
+                cppScalarType(L.Elem), L.CppName.c_str(),
+                cppScalarType(L.Elem), L.Off));
+}
+
+bool Lowerer::genStmt(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Block: {
+    const auto *Blk = cast<BlockExpr>(&E);
+    pushScope();
+    for (const ExprPtr &S : Blk->Stmts)
+      if (!genStmt(*S))
+        return false;
+    popScope();
+    return true;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(&E);
+    if (const auto *A = dyn_cast<AllocExpr>(L->Init.get())) {
+      std::vector<Nat> Dims;
+      ScalarKind Elem = ScalarKind::F64;
+      if (!arrayNest(A->AllocTy, Dims, Elem))
+        return fail("alloc type must be an array of scalars");
+      size_t Bytes = 1;
+      for (const Nat &D : Dims) {
+        auto V = D.evaluate({});
+        if (!V)
+          return fail("shared allocation sizes must be concrete");
+        Bytes *= *V;
+      }
+      size_t ElemSize = Elem == ScalarKind::F32 ? 4
+                        : Elem == ScalarKind::Bool ? 1
+                                                   : 8;
+      Bytes *= ElemSize;
+      Sym S;
+      S.K = Sym::SharedBuf;
+      S.CppName = L->Name;
+      S.Elem = Elem;
+      S.Dims = Dims;
+      S.ByteBase = (SharedBytes + 7) & ~size_t(7);
+      SharedBytes = S.ByteBase + Bytes;
+      if (B == LowerTarget::Cuda) {
+        size_t Total = Bytes / ElemSize;
+        line(strfmt("__shared__ %s %s[%zu];", cppScalarType(Elem),
+                    L->Name.c_str(), Total));
+      }
+      bind(L->Name, std::move(S));
+      return true;
+    }
+    // Scalar thread-local binding.
+    const auto *Scalar = dyn_cast_if_present<ScalarType>(
+        L->Init->Ty ? L->Init->Ty.get()
+                    : (L->Annotation ? L->Annotation.get() : nullptr));
+    if (!Scalar)
+      return fail("only scalar lets and shared allocations are supported "
+                  "inside kernels: let " +
+                  L->Name);
+    auto Init = genExpr(*L->Init);
+    if (!Init)
+      return false;
+    Sym S;
+    S.K = Sym::Local;
+    S.CppName = B == LowerTarget::Cuda
+                    ? L->Name
+                    : strfmt("%s_%u", L->Name.c_str(), NextLocalUid++);
+    S.Elem = Scalar->Scalar;
+    // Per-thread arena region for phase-spanning state (sim): each var
+    // gets 8 * ThreadsPerBlock bytes after the shared allocations.
+    S.LocalOff = ((LocalBytesPerThread + 7) & ~size_t(7));
+    LocalBytesPerThread = S.LocalOff + 8;
+    S.LocalOff = S.LocalOff * ThreadsPerBlock;
+    const Sym &Bound = bind(L->Name, std::move(S));
+    line(strfmt("%s %s = %s;", cppScalarType(Bound.Elem),
+                Bound.CppName.c_str(), Init->c_str()));
+    if (B == LowerTarget::Sim)
+      LiveLocals.push_back(LiveLocal{Bound.CppName, Bound.Elem,
+                                     Bound.LocalOff,
+                                     (unsigned)Scopes.size()});
+    return true;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(&E);
+    auto Value = genExpr(*A->Rhs);
+    if (!Value)
+      return false;
+    auto LP = lowerPlace(*A->Lhs);
+    if (!LP)
+      return false;
+    return placeStore(*LP, *Value);
+  }
+  case ExprKind::Sched: {
+    const auto *S = cast<SchedExpr>(&E);
+    Sym *Target = lookup(S->Target);
+    if (!Target || Target->K != Sym::ExecVar)
+      return fail("internal: unknown sched target");
+    ExecResource Child = Target->Exec;
+    for (Axis A : S->Axes) {
+      auto Next = Child.forall(A);
+      if (!Next)
+        return fail("internal: invalid sched");
+      Child = *Next;
+    }
+    pushScope();
+    Sym Binder;
+    Binder.K = Sym::ExecVar;
+    Binder.CppName = S->Binder;
+    Binder.Exec = Child;
+    Binder.OpsBegin = Target->Exec.numOps();
+    Binder.OpsEnd = Child.numOps();
+    bind(S->Binder, std::move(Binder));
+    ExecResource Saved = CurExec;
+    CurExec = Child;
+    bool Ok = genStmt(*S->Body);
+    CurExec = Saved;
+    popScope();
+    return Ok;
+  }
+  case ExprKind::Split: {
+    const auto *S = cast<SplitExpr>(&E);
+    Sym *Target = lookup(S->Target);
+    if (!Target || Target->K != Sym::ExecVar)
+      return fail("internal: unknown split target");
+    Nat Pos = substLoopConsts(S->Position).simplified();
+    auto Fst = Target->Exec.split(S->SplitAxis, Pos, true);
+    auto Snd = Target->Exec.split(S->SplitAxis, Pos, false);
+    if (!Fst || !Snd)
+      return fail("internal: invalid split");
+    // Guard: local coordinate along the split axis at the split's stage.
+    unsigned Stage = Fst->ops().back().Stage;
+    Nat Coord = Nat::var(axisVarName(Stage, S->SplitAxis));
+    for (const ExecOp &Op : Target->Exec.ops())
+      if (Op.Stage == Stage && Op.Ax == S->SplitAxis &&
+          Op.Kind == ExecOpKind::SplitSnd)
+        Coord = Coord - Op.Pos;
+    line("if (" + natToCpp(Coord) + " < " + natToCpp(Pos) + ") {");
+    ++Indent;
+    {
+      pushScope();
+      Sym Binder;
+      Binder.K = Sym::ExecVar;
+      Binder.CppName = S->FstName;
+      Binder.Exec = *Fst;
+      Binder.OpsBegin = Target->Exec.numOps();
+      Binder.OpsEnd = Fst->numOps();
+      bind(S->FstName, std::move(Binder));
+      ExecResource Saved = CurExec;
+      CurExec = *Fst;
+      bool Ok = genStmt(*S->FstBody);
+      CurExec = Saved;
+      popScope();
+      if (!Ok)
+        return false;
+    }
+    --Indent;
+    line("} else {");
+    ++Indent;
+    {
+      pushScope();
+      Sym Binder;
+      Binder.K = Sym::ExecVar;
+      Binder.CppName = S->SndName;
+      Binder.Exec = *Snd;
+      Binder.OpsBegin = Target->Exec.numOps();
+      Binder.OpsEnd = Snd->numOps();
+      bind(S->SndName, std::move(Binder));
+      ExecResource Saved = CurExec;
+      CurExec = *Snd;
+      bool Ok = genStmt(*S->SndBody);
+      CurExec = Saved;
+      popScope();
+      if (!Ok)
+        return false;
+    }
+    --Indent;
+    line("}");
+    return true;
+  }
+  case ExprKind::Sync:
+    phaseBreak();
+    return true;
+  case ExprKind::ForNat: {
+    const auto *F = cast<ForNatExpr>(&E);
+    Nat Lo = substLoopConsts(F->Lo).simplified();
+    Nat Hi = substLoopConsts(F->Hi).simplified();
+    // Loops whose body synchronizes (sim: phase boundaries) or splits
+    // the hierarchy (iteration-dependent split positions like n/2^s)
+    // are unrolled; their ranges are statically evaluated (Fig. 5).
+    bool NeedUnroll = containsSyncOrSplit(*F->Body);
+    if (NeedUnroll) {
+      if (!Lo.isLit() || !Hi.isLit())
+        return fail("loops containing sync or split need static bounds, "
+                    "got [" +
+                    Lo.str() + ".." + Hi.str() + "]");
+      for (long long V = Lo.litValue(); V < Hi.litValue(); ++V) {
+        pushScope();
+        Sym S;
+        S.K = Sym::NatVar;
+        S.CppName = F->Var;
+        S.ConstVal = Nat::lit(V);
+        bind(F->Var, std::move(S));
+        bool Ok = genStmt(*F->Body);
+        popScope();
+        if (!Ok)
+          return false;
+      }
+      return true;
+    }
+    line(strfmt("for (long long %s = %s; %s < %s; ++%s) {",
+                F->Var.c_str(), natToCpp(Lo).c_str(), F->Var.c_str(),
+                natToCpp(Hi).c_str(), F->Var.c_str()));
+    ++Indent;
+    pushScope();
+    Sym S;
+    S.K = Sym::NatVar;
+    S.CppName = F->Var;
+    bind(F->Var, std::move(S));
+    bool Ok = genStmt(*F->Body);
+    popScope();
+    --Indent;
+    line("}");
+    return Ok;
+  }
+  default:
+    return fail("unsupported statement in kernel: " + exprToString(E));
+  }
+}
+
+bool Lowerer::runKernel(const FnDef &Fn) {
+  Phases.clear();
+  CudaBody.clear();
+  SharedBytes = 0;
+  LocalBytesPerThread = 0;
+  Out.str("");
+  Syms.clear();
+  Scopes.clear();
+
+  auto Threads = Fn.Exec.BlockDim.total().evaluate({});
+  if (!Threads)
+    return fail("kernel block dimensions must be concrete; instantiate "
+                "generic sizes first (--define)");
+  ThreadsPerBlock = *Threads;
+
+  pushScope();
+  ExecResource Grid =
+      ExecResource::gpuGrid(Fn.ExecName, Fn.Exec.GridDim, Fn.Exec.BlockDim);
+  Sym ExecSym;
+  ExecSym.K = Sym::ExecVar;
+  ExecSym.CppName = Fn.ExecName;
+  ExecSym.Exec = Grid;
+  bind(Fn.ExecName, std::move(ExecSym));
+  CurExec = Grid;
+
+  for (const FnParam &P : Fn.Params) {
+    const auto *Ref = dyn_cast<RefType>(P.Ty.get());
+    if (!Ref)
+      return fail("kernel parameters must be references to global "
+                  "memory: " +
+                  P.Name);
+    std::vector<Nat> Dims;
+    ScalarKind Elem = ScalarKind::F64;
+    if (!arrayNest(Ref->Pointee, Dims, Elem))
+      return fail("kernel parameter must reference an array of scalars: " +
+                  P.Name);
+    Sym S;
+    S.K = Sym::GlobalBuf;
+    S.CppName = P.Name;
+    S.Elem = Elem;
+    S.Dims = std::move(Dims);
+    S.Uniq = Ref->Own == Ownership::Uniq;
+    bind(P.Name, std::move(S));
+  }
+
+  bool Ok = Fn.Body ? genStmt(*Fn.Body) : true;
+  popScope();
+  if (!Ok)
+    return false;
+
+  if (B == LowerTarget::Sim)
+    Phases.push_back(Out.str());
+  else
+    CudaBody = Out.str();
+  return true;
+}

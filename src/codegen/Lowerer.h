@@ -1,0 +1,135 @@
+//===- codegen/Lowerer.h - Shared kernel lowering ---------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The lowering core shared by the CUDA
+// and simulator backends (Section 5): sched disappears into coordinate
+// variables, selections and views compile to raw indices (through
+// views/IndexSpace, normalized by the nat simplifier), split becomes an
+// if/else over coordinates, sync becomes a barrier (CUDA) or a phase
+// boundary (sim). Backends differ only in how memory accesses and the
+// surrounding function shells are spelled, which the LowerTarget selects.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_CODEGEN_LOWERER_H
+#define DESCEND_CODEGEN_LOWERER_H
+
+#include "ast/Item.h"
+#include "exec/ExecResource.h"
+#include "views/View.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace descend {
+namespace codegen {
+
+/// Which backend the Lowerer emits for.
+enum class LowerTarget { Cuda, Sim };
+
+/// C++ spelling of a Descend scalar type.
+const char *cppScalarType(ScalarKind K);
+
+/// True when the Nat contains an unfolded Pow node (cannot be printed as
+/// C++; '^' means xor there).
+bool containsPow(const Nat &N);
+
+/// C++ literal for a float value of kind \p K (F32 gets the 'f' suffix).
+std::string floatLiteral(double V, ScalarKind K);
+
+/// Extracts the array-nest dimensions and element scalar type of a kernel
+/// parameter / allocation type.
+bool arrayNest(const TypeRef &T, std::vector<Nat> &Dims, ScalarKind &Elem);
+
+/// A lowering-time symbol.
+struct Sym {
+  enum Kind { GlobalBuf, SharedBuf, Local, ExecVar, NatVar } K = Local;
+  std::string CppName;
+  ScalarKind Elem = ScalarKind::F64;
+  std::vector<Nat> Dims;    // GlobalBuf / SharedBuf
+  size_t ByteBase = 0;      // SharedBuf: offset in the shared arena
+  size_t LocalOff = 0;      // Local: offset in the per-thread arena region
+  bool Uniq = false;        // GlobalBuf: unique reference?
+  // ExecVar:
+  ExecResource Exec = ExecResource::cpuThread();
+  unsigned OpsBegin = 0, OpsEnd = 0;
+  // NatVar:
+  Nat ConstVal; // set while unrolled
+};
+
+/// Lowers one GPU grid function into a linear CUDA body or a sequence of
+/// simulator phases.
+class Lowerer {
+public:
+  Lowerer(const Module &Mod, LowerTarget B) : Mod(Mod), B(B) {
+    Views.addModuleViews(Mod);
+  }
+
+  bool runKernel(const FnDef &Fn);
+
+  // Results for the kernel just lowered.
+  std::vector<std::string> Phases;      // sim: per-phase body lines
+  std::string CudaBody;                 // cuda: linear body
+  size_t SharedBytes = 0;               // shared allocations
+  size_t LocalBytesPerThread = 0;       // per-thread register arena
+  std::string Error;
+
+private:
+  const Module &Mod;
+  LowerTarget B;
+  ViewRegistry Views;
+
+  std::map<std::string, std::vector<Sym>> Syms;
+  std::vector<std::vector<std::string>> Scopes;
+  ExecResource CurExec = ExecResource::cpuThread();
+  unsigned ThreadsPerBlock = 1;
+  unsigned NextLocalUid = 0;
+  /// Live phase-spanning locals: (C++ name, element type, arena offset).
+  struct LiveLocal {
+    std::string CppName;
+    ScalarKind Elem;
+    size_t Off;
+    unsigned ScopeDepth;
+  };
+  std::vector<LiveLocal> LiveLocals;
+
+  std::ostringstream Out; // current phase (sim) or whole body (cuda)
+  unsigned Indent = 1;
+
+  bool fail(const std::string &Msg);
+  void line(const std::string &S);
+
+  void pushScope();
+  void popScope();
+  Sym &bind(const std::string &Name, Sym S);
+  Sym *lookup(const std::string &Name);
+
+  std::string axisVarName(unsigned Stage, Axis A) const;
+  Nat coordinateFor(const ExecResource &Exec, unsigned OpIdx);
+  Nat exprToNat(const Expr &E);
+  Nat substLoopConsts(Nat N);
+  std::string natToCpp(const Nat &N);
+
+  struct LPlace {
+    enum Kind { Global, Shared, Local, NatValue } K = Global;
+    const Sym *Root = nullptr;
+    Nat Index;   // flat element index
+    Nat NatVal;  // NatValue
+  };
+
+  std::optional<LPlace> lowerPlace(const PlaceExpr &P);
+  std::string placeLoad(const LPlace &P);
+  bool placeStore(const LPlace &P, const std::string &Value);
+
+  std::optional<std::string> genExpr(const Expr &E);
+  static bool containsSyncOrSplit(const Expr &E);
+  void phaseBreak();
+  bool genStmt(const Expr &E);
+};
+
+} // namespace codegen
+} // namespace descend
+
+#endif // DESCEND_CODEGEN_LOWERER_H

@@ -1,119 +1,22 @@
-//===- driver/Compiler.cpp ---------------------------------------------------===//
+//===- driver/Compiler.cpp - Deprecated compilation facade -------------------===//
 
 #include "driver/Compiler.h"
 
 #include "codegen/CodeGen.h"
-#include "parser/Parser.h"
-#include "typeck/TypeChecker.h"
 
 using namespace descend;
-
-namespace {
-
-void substituteInExpr(Expr &E, const std::map<std::string, Nat> &Subst) {
-  switch (E.kind()) {
-  case ExprKind::PlaceView: {
-    auto *V = cast<PlaceView>(&E);
-    for (Nat &N : V->NatArgs)
-      N = N.substitute(Subst);
-    break;
-  }
-  case ExprKind::ForNat: {
-    auto *F = cast<ForNatExpr>(&E);
-    F->Lo = F->Lo.substitute(Subst);
-    F->Hi = F->Hi.substitute(Subst);
-    break;
-  }
-  case ExprKind::Split: {
-    auto *S = cast<SplitExpr>(&E);
-    S->Position = S->Position.substitute(Subst);
-    break;
-  }
-  case ExprKind::Alloc: {
-    auto *A = cast<AllocExpr>(&E);
-    TypeSubst TS;
-    TS.Nats = Subst;
-    A->AllocTy = substituteType(A->AllocTy, TS);
-    break;
-  }
-  case ExprKind::ArrayInit: {
-    auto *A = cast<ArrayInitExpr>(&E);
-    A->Count = A->Count.substitute(Subst);
-    break;
-  }
-  case ExprKind::Let: {
-    auto *L = cast<LetExpr>(&E);
-    if (L->Annotation) {
-      TypeSubst TS;
-      TS.Nats = Subst;
-      L->Annotation = substituteType(L->Annotation, TS);
-    }
-    break;
-  }
-  case ExprKind::Call: {
-    auto *C = cast<CallExpr>(&E);
-    TypeSubst TS;
-    TS.Nats = Subst;
-    for (GenericArg &G : C->Generics) {
-      if (G.Kind == ParamKind::Nat && G.N)
-        G.N = G.N.substitute(Subst);
-      if (G.Kind == ParamKind::DataType && G.T)
-        G.T = substituteType(G.T, TS);
-    }
-    C->LaunchGrid = C->LaunchGrid.substitute(Subst);
-    C->LaunchBlock = C->LaunchBlock.substitute(Subst);
-    break;
-  }
-  default:
-    break;
-  }
-  forEachChild(E, [&](Expr &C) { substituteInExpr(C, Subst); });
-}
-
-} // namespace
-
-void descend::instantiateNats(Module &M,
-                              const std::map<std::string, long long> &Defs) {
-  if (Defs.empty())
-    return;
-  std::map<std::string, Nat> Subst;
-  for (const auto &[Name, Value] : Defs)
-    Subst[Name] = Nat::lit(Value);
-  TypeSubst TS;
-  TS.Nats = Subst;
-
-  for (auto &Fn : M.Fns) {
-    for (FnParam &P : Fn->Params)
-      P.Ty = substituteType(P.Ty, TS);
-    Fn->Exec.GridDim = Fn->Exec.GridDim.substitute(Subst);
-    Fn->Exec.BlockDim = Fn->Exec.BlockDim.substitute(Subst);
-    if (Fn->RetTy)
-      Fn->RetTy = substituteType(Fn->RetTy, TS);
-    if (Fn->Body)
-      substituteInExpr(*Fn->Body, Subst);
-    std::erase_if(Fn->Generics, [&](const GenericParam &G) {
-      return G.Kind == ParamKind::Nat && Defs.count(G.Name);
-    });
-  }
-}
-
-Compiler::Compiler() : Diags(SM) {}
 
 bool Compiler::compile(const std::string &BufferName,
                        const std::string &Source,
                        const CompileOptions &Options) {
-  uint32_t Id = SM.addBuffer(BufferName, Source);
-  Parser P(SM, Id, Diags);
-  Mod = P.parseModule();
-  if (Diags.hasErrors())
-    return false;
-  instantiateNats(*Mod, Options.Defines);
-  TypeChecker TC(SM, Diags);
-  return TC.check(*Mod);
+  S.invocation().BufferName = BufferName;
+  S.invocation().Defines = Options.Defines;
+  S.invocation().RunUntil = Stage::Typecheck;
+  return S.run(Source).Ok;
 }
 
 std::string Compiler::emitCudaCode(std::string *Error) const {
-  GenResult R = emitCuda(*Mod);
+  GenResult R = emitCuda(*S.module());
   if (!R.Ok && Error)
     *Error = R.Error;
   return R.Ok ? R.Code : std::string();
@@ -121,7 +24,7 @@ std::string Compiler::emitCudaCode(std::string *Error) const {
 
 std::string Compiler::emitSimCode(std::string *Error,
                                   const std::string &FnSuffix) const {
-  GenResult R = emitSim(*Mod, FnSuffix);
+  GenResult R = emitSim(*S.module(), FnSuffix);
   if (!R.Ok && Error)
     *Error = R.Error;
   return R.Ok ? R.Code : std::string();

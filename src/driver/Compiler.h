@@ -1,20 +1,19 @@
-//===- driver/Compiler.h - End-to-end compilation pipeline ------*- C++ -*-===//
+//===- driver/Compiler.h - Deprecated compilation facade --------*- C++ -*-===//
 //
-// Part of the Descend reproduction. The public facade library users and
-// the descendc tool drive: source text -> parse -> (optional) generic size
-// instantiation -> type check -> code generation.
+// Part of the Descend reproduction. DEPRECATED: this facade predates the
+// staged pipeline API and is kept so out-of-tree users keep compiling; it
+// is now a thin shim over driver::Session (driver/Pipeline.h), which new
+// code should use directly — it exposes per-stage control, per-stage
+// timings and the pluggable backend registry.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_DRIVER_COMPILER_H
 #define DESCEND_DRIVER_COMPILER_H
 
-#include "ast/Item.h"
-#include "support/Diagnostics.h"
-#include "support/SourceManager.h"
+#include "driver/Pipeline.h"
 
 #include <map>
-#include <memory>
 #include <string>
 
 namespace descend {
@@ -28,23 +27,24 @@ struct CompileOptions {
 
 /// One compilation session. Owns the source manager and diagnostics so
 /// rendered messages can point into the source.
+/// Deprecated: use Session.
 class Compiler {
 public:
-  Compiler();
+  Compiler() = default;
 
   /// Parses and type-checks \p Source. Returns true on success; the module
   /// remains available either way (it may be partially usable).
   bool compile(const std::string &BufferName, const std::string &Source,
                const CompileOptions &Options = {});
 
-  Module *module() { return Mod.get(); }
-  const Module *module() const { return Mod.get(); }
+  Module *module() { return S.module(); }
+  const Module *module() const { return S.module(); }
 
-  DiagnosticEngine &diagnostics() { return Diags; }
-  const DiagnosticEngine &diagnostics() const { return Diags; }
+  DiagnosticEngine &diagnostics() { return S.diagnostics(); }
+  const DiagnosticEngine &diagnostics() const { return S.diagnostics(); }
 
   /// Renders all collected diagnostics.
-  std::string renderDiagnostics() const { return Diags.renderAll(); }
+  std::string renderDiagnostics() const { return S.renderDiagnostics(); }
 
   /// Code generation (compile() must have succeeded).
   std::string emitCudaCode(std::string *Error = nullptr) const;
@@ -52,15 +52,8 @@ public:
                           const std::string &FnSuffix = "") const;
 
 private:
-  SourceManager SM;
-  DiagnosticEngine Diags;
-  std::unique_ptr<Module> Mod;
+  Session S;
 };
-
-/// Substitutes nat variables by literals everywhere in the module (types,
-/// dimensions, view arguments, loop bounds, split positions) and removes
-/// the instantiated generic parameters.
-void instantiateNats(Module &M, const std::map<std::string, long long> &Defs);
 
 } // namespace descend
 

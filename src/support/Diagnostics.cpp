@@ -82,6 +82,10 @@ const char *descend::diagCodeHeadline(DiagCode Code) {
     return "view applied to incompatible shape";
   case DiagCode::NatCannotProve:
     return "cannot statically prove size constraint";
+  case DiagCode::UnknownBackend:
+    return "unknown code-generation backend";
+  case DiagCode::BackendFailed:
+    return "code generation failed";
   }
   return "unknown diagnostic";
 }

@@ -70,6 +70,9 @@ enum class DiagCode {
   ViewShapeMismatch,
   // Nat solving.
   NatCannotProve,
+  // Driver / pipeline.
+  UnknownBackend,
+  BackendFailed,
 };
 
 /// Returns the canonical headline for \p Code, e.g. "conflicting memory

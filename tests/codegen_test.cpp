@@ -1,8 +1,8 @@
 //===- tests/codegen_test.cpp - CUDA/sim backend tests --------------------===//
 
-#include "codegen/CodeGen.h"
+#include "codegen/Backend.h"
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -18,18 +18,31 @@ struct Gen {
 Gen generate(const std::string &Src,
              std::map<std::string, long long> Defines = {}) {
   Gen G;
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines = std::move(Defines);
-  if (!C.compile("t.descend", Src, Options)) {
-    G.Error = C.renderDiagnostics();
+  CompilerInvocation Inv;
+  Inv.BufferName = "t.descend";
+  Inv.Defines = std::move(Defines);
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  if (!S.run(Src).Ok) {
+    G.Error = S.renderDiagnostics();
     return G;
   }
-  G.Cuda = C.emitCudaCode(&G.Error);
-  if (!G.Error.empty())
+  const codegen::BackendRegistry &R = codegen::BackendRegistry::instance();
+  codegen::GenResult Cuda =
+      R.lookup("cuda")->emit(*S.module(), codegen::BackendOptions());
+  if (!Cuda.Ok) {
+    G.Error = Cuda.Error;
     return G;
-  G.Sim = C.emitSimCode(&G.Error);
-  G.Ok = G.Error.empty();
+  }
+  G.Cuda = std::move(Cuda.Code);
+  codegen::GenResult Sim =
+      R.lookup("sim")->emit(*S.module(), codegen::BackendOptions());
+  if (!Sim.Ok) {
+    G.Error = Sim.Error;
+    return G;
+  }
+  G.Sim = std::move(Sim.Code);
+  G.Ok = true;
   return G;
 }
 
@@ -224,8 +237,11 @@ fn k(arr: &uniq gpu.global [f64; 256])
 }
 
 TEST(SimGen, RequiresConcreteDimensions) {
-  Compiler C;
-  ASSERT_TRUE(C.compile("t.descend", R"(
+  CompilerInvocation Inv;
+  Inv.BufferName = "t.descend";
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(R"(
 fn k<n: nat>(arr: &uniq gpu.global [f64; n])
 -[grid: gpu.grid<X<1>, X<n>>]-> () {
   sched(X) block in grid {
@@ -234,11 +250,12 @@ fn k<n: nat>(arr: &uniq gpu.global [f64; n])
     }
   }
 }
-)"));
-  std::string Error;
-  std::string Code = C.emitSimCode(&Error);
-  EXPECT_TRUE(Code.empty());
-  EXPECT_NE(Error.find("--define"), std::string::npos) << Error;
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Reached, Stage::Typecheck);
+  EXPECT_TRUE(R.Artifact.empty());
+  EXPECT_NE(S.renderDiagnostics().find("--define"), std::string::npos)
+      << S.renderDiagnostics();
 }
 
 TEST(SimGen, UnrollsSyncLoops) {

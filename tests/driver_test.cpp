@@ -1,4 +1,11 @@
 //===- tests/driver_test.cpp - Compiler facade tests ----------------------===//
+//
+// Exercises the DEPRECATED Compiler facade on purpose: it is kept as a
+// shim over the staged pipeline (driver/Pipeline.h) for out-of-tree users,
+// and these expectations pin down that the shim keeps behaving exactly
+// like the original facade. New-API coverage lives in pipeline_test.cpp.
+//
+//===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
 

@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -16,6 +16,20 @@
 using namespace descend;
 
 namespace {
+
+/// Type-checks \p Source with \p Defines through the staged pipeline.
+bool checks(const std::string &File, const std::string &Source,
+            std::map<std::string, long long> Defines, std::string *Rendered) {
+  CompilerInvocation Inv;
+  Inv.BufferName = File;
+  Inv.Defines = std::move(Defines);
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  bool Ok = S.run(Source).Ok;
+  if (Rendered)
+    *Rendered = S.renderDiagnostics();
+  return Ok;
+}
 
 std::string readKernel(const std::string &Name) {
   std::ifstream In(std::string(DESCEND_KERNEL_DIR "/") + Name);
@@ -39,28 +53,33 @@ class ShippedKernelTest : public ::testing::TestWithParam<KernelCase> {};
 
 TEST_P(ShippedKernelTest, GenericCheckMatchesProvability) {
   KernelCase K = GetParam();
-  Compiler C;
-  bool Ok = C.compile(K.File, readKernel(K.File));
-  EXPECT_EQ(Ok, K.GenericOk) << C.renderDiagnostics();
+  std::string Rendered;
+  bool Ok = checks(K.File, readKernel(K.File), {}, &Rendered);
+  EXPECT_EQ(Ok, K.GenericOk) << Rendered;
 }
 
 TEST_P(ShippedKernelTest, ChecksAndEmitsInstantiated) {
   KernelCase K = GetParam();
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines[K.DefineName] = K.DefineValue;
-  ASSERT_TRUE(C.compile(K.File, readKernel(K.File), Options))
-      << C.renderDiagnostics();
-  std::string Error;
-  std::string Cuda = C.emitCudaCode(&Error);
-  EXPECT_TRUE(Error.empty()) << Error;
-  EXPECT_FALSE(Cuda.empty());
-  std::string Sim = C.emitSimCode(&Error);
-  EXPECT_TRUE(Error.empty()) << Error;
-  EXPECT_FALSE(Sim.empty());
+  CompilerInvocation Inv;
+  Inv.BufferName = K.File;
+  Inv.Defines[K.DefineName] = K.DefineValue;
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  ASSERT_TRUE(S.run(readKernel(K.File)).Ok) << S.renderDiagnostics();
+
+  const codegen::BackendRegistry &R = codegen::BackendRegistry::instance();
+  codegen::GenResult Cuda =
+      R.lookup("cuda")->emit(*S.module(), codegen::BackendOptions());
+  EXPECT_TRUE(Cuda.Ok) << Cuda.Error;
+  EXPECT_FALSE(Cuda.Code.empty());
+  codegen::GenResult Sim =
+      R.lookup("sim")->emit(*S.module(), codegen::BackendOptions());
+  EXPECT_TRUE(Sim.Ok) << Sim.Error;
+  EXPECT_FALSE(Sim.Code.empty());
   // Generated code carries no view machinery and no unfolded powers.
-  EXPECT_EQ(Sim.find("group"), Sim.find("group_by") /* only in comments */);
-  EXPECT_EQ(Cuda.find(" ^ "), std::string::npos);
+  EXPECT_EQ(Sim.Code.find("group"),
+            Sim.Code.find("group_by") /* only in comments */);
+  EXPECT_EQ(Cuda.Code.find(" ^ "), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -77,12 +96,14 @@ TEST(ShippedKernels, TransposeWithoutSyncFails) {
   size_t Pos = Src.find("sync;");
   ASSERT_NE(Pos, std::string::npos);
   Src.erase(Pos, 5);
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["n"] = 256;
-  EXPECT_FALSE(C.compile("transpose.descend", Src, Options));
-  EXPECT_TRUE(C.diagnostics().contains(DiagCode::ConflictingMemoryAccess))
-      << C.renderDiagnostics();
+  CompilerInvocation Inv;
+  Inv.BufferName = "transpose.descend";
+  Inv.Defines["n"] = 256;
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  EXPECT_FALSE(S.run(Src).Ok);
+  EXPECT_TRUE(S.diagnostics().contains(DiagCode::ConflictingMemoryAccess))
+      << S.renderDiagnostics();
 }
 
 TEST(ShippedKernels, ReduceWithWrongSplitFails) {
@@ -93,10 +114,7 @@ TEST(ShippedKernels, ReduceWithWrongSplitFails) {
   size_t Pos = Src.find(From);
   ASSERT_NE(Pos, std::string::npos);
   Src.replace(Pos, From.size(), "split(X) block at 256 / 2^s");
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["nb"] = 8;
-  EXPECT_FALSE(C.compile("reduce.descend", Src, Options))
+  EXPECT_FALSE(checks("reduce.descend", Src, {{"nb", 8}}, nullptr))
       << "overlapping reduction halves must be rejected";
 }
 
@@ -106,12 +124,14 @@ TEST(ShippedKernels, MatmulNeedsBothSyncs) {
   size_t Pos = Src.find("sync;");
   ASSERT_NE(Pos, std::string::npos);
   Src.erase(Pos, 5);
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["nt"] = 2;
-  EXPECT_FALSE(C.compile("matmul.descend", Src, Options));
-  EXPECT_TRUE(C.diagnostics().contains(DiagCode::ConflictingMemoryAccess))
-      << C.renderDiagnostics();
+  CompilerInvocation Inv;
+  Inv.BufferName = "matmul.descend";
+  Inv.Defines["nt"] = 2;
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  EXPECT_FALSE(S.run(Src).Ok);
+  EXPECT_TRUE(S.diagnostics().contains(DiagCode::ConflictingMemoryAccess))
+      << S.renderDiagnostics();
 }
 
 } // namespace

@@ -1,16 +1,20 @@
 //===- tools/descendc/main.cpp - The Descend compiler driver ----------------===//
 //
 // Usage:
-//   descendc INPUT.descend [--emit=cuda|sim|check|ast] [-D name=value]...
-//            [-o OUTPUT]
+//   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
+//            [--fn-suffix=SUFFIX] [--time-passes] [-o OUTPUT]
+//   descendc --list-backends
 //
-// --emit=check only type-checks (default); cuda/sim write generated code to
-// OUTPUT (or stdout). -D instantiates generic nat parameters, mirroring the
-// launch-site instantiation of Section 3.5.
+// --emit=check only type-checks (default); any registered backend name
+// (ast, cuda, sim, ...) runs the full pipeline and writes the artifact to
+// OUTPUT (or stdout). -D instantiates generic nat parameters, mirroring
+// the launch-site instantiation of Section 3.5. --time-passes reports the
+// wall-clock time of every executed stage. --list-backends prints the
+// registered backend names.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <cstdio>
 #include <cstring>
@@ -20,33 +24,60 @@
 using namespace descend;
 
 static int usage() {
+  std::string Emits = "check";
+  for (const std::string &Name : codegen::BackendRegistry::instance().names())
+    Emits += "|" + Name;
   std::fprintf(stderr,
-               "usage: descendc INPUT.descend [--emit=cuda|sim|check] "
-               "[-D name=value]... [-o OUTPUT]\n");
+               "usage: descendc INPUT.descend [--emit=%s] "
+               "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
+               "[-o OUTPUT]\n"
+               "       descendc --list-backends\n\n"
+               "backends:\n",
+               Emits.c_str());
+  for (const std::string &Name :
+       codegen::BackendRegistry::instance().names()) {
+    const codegen::Backend *B =
+        codegen::BackendRegistry::instance().lookup(Name);
+    std::fprintf(stderr, "  %-6s %s\n", Name.c_str(), B->description());
+  }
   return 2;
 }
 
+static int listBackends() {
+  std::string Line;
+  for (const std::string &Name :
+       codegen::BackendRegistry::instance().names())
+    Line += Line.empty() ? Name : " " + Name;
+  std::printf("%s\n", Line.c_str());
+  return 0;
+}
+
 int main(int argc, char **argv) {
-  std::string Input, Output, Emit = "check", FnSuffix;
-  CompileOptions Options;
+  std::string Input, Output, Emit = "check";
+  bool TimePasses = false;
+  CompilerInvocation Inv;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--emit=", 0) == 0) {
+    if (Arg == "--list-backends") {
+      return listBackends();
+    } else if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
     } else if (Arg.rfind("--fn-suffix=", 0) == 0) {
-      FnSuffix = Arg.substr(12);
+      Inv.FnSuffix = Arg.substr(12);
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
     } else if (Arg == "-D" && I + 1 < argc) {
       std::string Def = argv[++I];
       size_t Eq = Def.find('=');
       if (Eq == std::string::npos)
         return usage();
-      Options.Defines[Def.substr(0, Eq)] = std::atoll(Def.c_str() + Eq + 1);
+      Inv.Defines[Def.substr(0, Eq)] = std::atoll(Def.c_str() + Eq + 1);
     } else if (Arg.rfind("-D", 0) == 0 && Arg.size() > 2) {
       size_t Eq = Arg.find('=');
       if (Eq == std::string::npos)
         return usage();
-      Options.Defines[Arg.substr(2, Eq - 2)] = std::atoll(Arg.c_str() + Eq + 1);
+      Inv.Defines[Arg.substr(2, Eq - 2)] = std::atoll(Arg.c_str() + Eq + 1);
     } else if (Arg == "-o" && I + 1 < argc) {
       Output = argv[++I];
     } else if (!Arg.empty() && Arg[0] != '-' && Input.empty()) {
@@ -57,8 +88,17 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usage();
-  if (Emit != "check" && Emit != "cuda" && Emit != "sim")
-    return usage();
+  if (Emit == "check") {
+    Inv.RunUntil = Stage::Typecheck;
+  } else {
+    Inv.RunUntil = Stage::Codegen;
+    Inv.BackendName = Emit;
+    if (!codegen::BackendRegistry::instance().lookup(Emit)) {
+      std::fprintf(stderr, "descendc: error: unknown backend '%s'\n",
+                   Emit.c_str());
+      return usage();
+    }
+  }
 
   std::ifstream In(Input);
   if (!In) {
@@ -69,28 +109,29 @@ int main(int argc, char **argv) {
   std::stringstream SS;
   SS << In.rdbuf();
 
-  Compiler C;
-  bool Ok = C.compile(Input, SS.str(), Options);
-  std::string Rendered = C.renderDiagnostics();
+  Inv.BufferName = Input;
+  Session S(Inv);
+  CompileResult R = S.run(SS.str());
+
+  std::string Rendered = S.renderDiagnostics();
   if (!Rendered.empty())
     std::fprintf(stderr, "%s", Rendered.c_str());
-  if (!Ok)
-    return 1;
 
-  std::string Code, Error;
-  if (Emit == "cuda")
-    Code = C.emitCudaCode(&Error);
-  else if (Emit == "sim")
-    Code = C.emitSimCode(&Error, FnSuffix);
-  else
+  if (TimePasses) {
+    std::fprintf(stderr, "descendc: pass timings for '%s' (stage reached: "
+                         "%s)\n",
+                 Input.c_str(), stageName(R.Reached));
+    for (const StageTiming &T : R.Timings)
+      std::fprintf(stderr, "  %-12s %9.3f ms\n", stageName(T.S), T.Millis);
+  }
+
+  if (!R.Ok)
+    return 1;
+  if (Emit == "check")
     return 0;
 
-  if (!Error.empty()) {
-    std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
-    return 1;
-  }
   if (Output.empty()) {
-    std::fwrite(Code.data(), 1, Code.size(), stdout);
+    std::fwrite(R.Artifact.data(), 1, R.Artifact.size(), stdout);
     return 0;
   }
   std::ofstream OutFile(Output);
@@ -99,6 +140,6 @@ int main(int argc, char **argv) {
                  Output.c_str());
     return 1;
   }
-  OutFile << Code;
+  OutFile << R.Artifact;
   return 0;
 }

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Builds and runs the benchmark binaries, writing machine-readable
+# BENCH_<name>.json files (one per bench) next to the raw logs.
+#
+# Usage: tools/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build directory (default: build)
+#   OUT_DIR    where BENCH_*.json and *.log land (default: bench-results)
+#
+# Set DESCEND_BENCH_QUICK=1 to skip the (slow) Figure 8 run.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+ROOT_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT_DIR"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_safety bench_fig8 >/dev/null
+HAVE_ABLATIONS=0
+if cmake --build "$BUILD_DIR" -j --target bench_ablations >/dev/null 2>&1; then
+  HAVE_ABLATIONS=1
+fi
+
+mkdir -p "$OUT_DIR"
+
+#===---------------------------------------------------------------------===#
+# bench_safety: compile-time verdict table -> BENCH_safety.json
+#===---------------------------------------------------------------------===#
+
+echo "== bench_safety =="
+"$BUILD_DIR/bench_safety" | tee "$OUT_DIR/bench_safety.log"
+python3 - "$OUT_DIR/bench_safety.log" "$OUT_DIR/BENCH_safety.json" <<'PY'
+import json, re, sys
+log = open(sys.argv[1]).read()
+rows = []
+for m in re.finditer(
+    r"^(S\d+|P\d+)\s+(.*?)\s+(accept|reject)\s+(accepted|rejected|WRONG)"
+    r"\s+([0-9.]+)ms$", log, re.M):
+    rows.append({"id": m.group(1), "case": m.group(2).strip(),
+                 "expect": m.group(3), "verdict": m.group(4),
+                 "compile_ms": float(m.group(5))})
+summary = re.search(r"(\d+)/(\d+) verdicts as the paper describes", log)
+json.dump({"bench": "safety", "unit": "ms", "rows": rows,
+           "correct": int(summary.group(1)) if summary else None,
+           "total": int(summary.group(2)) if summary else None},
+          open(sys.argv[2], "w"), indent=2)
+PY
+echo "-> $OUT_DIR/BENCH_safety.json"
+
+#===---------------------------------------------------------------------===#
+# bench_fig8: handwritten-vs-generated table -> BENCH_fig8.json
+#===---------------------------------------------------------------------===#
+
+if [ "${DESCEND_BENCH_QUICK:-0}" != "1" ]; then
+  echo "== bench_fig8 (this takes a while) =="
+  "$BUILD_DIR/bench_fig8" | tee "$OUT_DIR/bench_fig8.log"
+  python3 - "$OUT_DIR/bench_fig8.log" "$OUT_DIR/BENCH_fig8.json" <<'PY'
+import json, re, sys
+log = open(sys.argv[1]).read()
+rows = []
+for m in re.finditer(
+    r"^(Reduce|Transpose|Scan|MM)\s+(small|medium|large)\s+"
+    r"([0-9.]+)\s+([0-9.]+)\s+([0-9.]+)x$", log, re.M):
+    rows.append({"bench": m.group(1), "size": m.group(2),
+                 "cuda_ms": float(m.group(3)),
+                 "descend_ms": float(m.group(4)),
+                 "relative": float(m.group(5))})
+mean = re.search(r"^Mean\s+([0-9.]+)x$", log, re.M)
+json.dump({"bench": "fig8", "unit": "ms", "rows": rows,
+           "geomean_relative": float(mean.group(1)) if mean else None},
+          open(sys.argv[2], "w"), indent=2)
+PY
+  echo "-> $OUT_DIR/BENCH_fig8.json"
+else
+  echo "== bench_fig8 skipped (DESCEND_BENCH_QUICK=1) =="
+fi
+
+#===---------------------------------------------------------------------===#
+# bench_ablations: google-benchmark native JSON -> BENCH_ablations.json
+#===---------------------------------------------------------------------===#
+
+if [ "$HAVE_ABLATIONS" = "1" ]; then
+  echo "== bench_ablations =="
+  "$BUILD_DIR/bench_ablations" \
+    --benchmark_out="$OUT_DIR/BENCH_ablations.json" \
+    --benchmark_out_format=json | tee "$OUT_DIR/bench_ablations.log"
+  echo "-> $OUT_DIR/BENCH_ablations.json"
+else
+  echo "== bench_ablations skipped (google-benchmark not available) =="
+fi
+
+echo "all benches done; results in $OUT_DIR/"
