@@ -1,0 +1,87 @@
+//===- bench/bench_matmul_sweep.cpp - Matmul tile-count sweep ----------------===//
+//
+// Sweeps the Figure 8 matmul over tile counts nt = 4 / 16 / 32 and
+// reports the handwritten-vs-generated relative runtime per nt. This is
+// the regression guard for the phase-program IR: with the tile loop kept
+// as host-side loop structure the generated code size is independent of
+// nt, so the ratio must stay flat instead of collapsing at nt >= 16 the
+// way the unrolling lowerer did (2-6x slower, see ROADMAP history).
+//
+// Output rows are parsed by tools/run_benches.sh into
+// BENCH_matmul_sweep.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/handwritten.h"
+
+// Generated at build time by descendc --emit=sim from kernels/matmul.descend.
+#include "gen_fig8_matmul_large.h"  // nt=32, suffix _large
+#include "gen_fig8_matmul_small.h"  // nt=16, suffix _small
+#include "gen_matmul_small.h"       // nt=4, unsuffixed
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+using namespace descend;
+using sim::GpuDevice;
+
+namespace {
+
+double medianMs(const std::function<void()> &Fn, int Reps) {
+  std::vector<double> T;
+  T.reserve(Reps);
+  Fn(); // warm-up
+  for (int I = 0; I != Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    T.push_back(std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  std::sort(T.begin(), T.end());
+  return T[T.size() / 2];
+}
+
+template <typename GenFn>
+void runSweepPoint(unsigned NT, GenFn Gen, int Reps) {
+  GpuDevice Dev;
+  const unsigned N = NT * 16;
+  auto A = Dev.alloc<double>((size_t)N * N);
+  auto B = Dev.alloc<double>((size_t)N * N);
+  auto CH = Dev.alloc<double>((size_t)N * N);
+  auto CG = Dev.alloc<double>((size_t)N * N);
+  for (size_t I = 0; I != (size_t)N * N; ++I) {
+    A.data()[I] = static_cast<double>((I * 7) % 13) - 6.0;
+    B.data()[I] = static_cast<double>((I * 11) % 9) - 4.0;
+  }
+
+  hand::matmul(Dev, A, B, CH, NT);
+  Gen(Dev, A, B, CG);
+  for (size_t I = 0; I != (size_t)N * N; ++I)
+    if (CH.data()[I] != CG.data()[I]) {
+      std::fprintf(stderr, "matmul nt=%u: generated != handwritten!\n", NT);
+      std::exit(1);
+    }
+
+  double HandMs = medianMs([&] { hand::matmul(Dev, A, B, CH, NT); }, Reps);
+  double GenMs = medianMs([&] { Gen(Dev, A, B, CG); }, Reps);
+  std::printf("MMsweep    nt=%-4u %12.3f %14.3f %9.3fx\n", NT, HandMs,
+              GenMs, HandMs / GenMs);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Matmul nt sweep: handwritten vs Descend-generated "
+              "(relative = CUDA/Descend; flat ~1.0 = loop-preserving "
+              "lowering holds)\n\n");
+  std::printf("%-10s %-7s %12s %14s %10s\n", "benchmark", "size",
+              "CUDA [ms]", "Descend [ms]", "relative");
+  runSweepPoint(4, descend::gen::matmul, 51);
+  runSweepPoint(16, descend::gen::matmul_small, 21);
+  runSweepPoint(32, descend::gen::matmul_large, 11);
+  return 0;
+}

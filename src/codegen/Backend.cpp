@@ -2,8 +2,6 @@
 
 #include "codegen/Backend.h"
 
-#include "codegen/CodeGen.h"
-
 #include <algorithm>
 
 using namespace descend;
@@ -59,20 +57,4 @@ std::vector<std::string> BackendRegistry::names() const {
   for (const Entry &E : Backends)
     Out.push_back(E.Name);
   return Out;
-}
-
-//===----------------------------------------------------------------------===//
-// Deprecated free-function entry points (pre-registry API)
-//===----------------------------------------------------------------------===//
-
-GenResult descend::emitCuda(const Module &M) {
-  const Backend *B = BackendRegistry::instance().lookup("cuda");
-  return B->emit(M, BackendOptions());
-}
-
-GenResult descend::emitSim(const Module &M, const std::string &FnSuffix) {
-  const Backend *B = BackendRegistry::instance().lookup("sim");
-  BackendOptions Opts;
-  Opts.FnSuffix = FnSuffix;
-  return B->emit(M, Opts);
 }

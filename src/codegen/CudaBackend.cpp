@@ -3,8 +3,11 @@
 // The `cuda` backend (Section 5): GPU grid functions become __global__
 // kernels; sched disappears (the bound execution resource becomes
 // blockIdx/threadIdx), selections and views compile to raw indices, split
-// becomes an if/else over coordinates, sync becomes __syncthreads(). CPU
-// functions become host C++ using the CUDA runtime API.
+// becomes an if/else over coordinates, sync becomes __syncthreads(). A
+// for-nat whose body merely synchronizes keeps its loop structure — a
+// real `for` with __syncthreads() inside — and only split-containing or
+// 2^i-striding loops are unrolled (see codegen/Lowerer.h). CPU functions
+// become host C++ using the CUDA runtime API.
 //
 //===----------------------------------------------------------------------===//
 

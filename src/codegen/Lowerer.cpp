@@ -6,6 +6,7 @@
 #include "views/IndexSpace.h"
 
 #include <cassert>
+#include <cctype>
 
 using namespace descend;
 using namespace descend::codegen;
@@ -88,11 +89,7 @@ bool Lowerer::fail(const std::string &Msg) {
   return false;
 }
 
-void Lowerer::line(const std::string &S) {
-  for (unsigned I = 0; I != Indent; ++I)
-    Out << "  ";
-  Out << S << "\n";
-}
+void Lowerer::line(const std::string &S) { Out << renderLine(S); }
 
 void Lowerer::pushScope() { Scopes.emplace_back(); }
 
@@ -438,13 +435,128 @@ std::optional<std::string> Lowerer::genExpr(const Expr &E) {
   }
 }
 
-bool Lowerer::containsSyncOrSplit(const Expr &E) {
-  if (isa<SyncExpr>(&E) || isa<SplitExpr>(&E))
+bool Lowerer::containsKind(const Expr &E, ExprKind K) {
+  if (E.kind() == K)
     return true;
   bool Found = false;
   forEachChild(const_cast<Expr &>(E),
-               [&](Expr &C) { Found = Found || containsSyncOrSplit(C); });
+               [&](Expr &C) { Found = Found || containsKind(C, K); });
   return Found;
+}
+
+/// True when \p N contains an unfolded Pow node mentioning \p Var (e.g.
+/// 2^(s+1) for loop variable s). Such nats only fold to printable C++
+/// once the variable is a known constant.
+static bool powMentionsVar(const Nat &N, const std::string &Var) {
+  if (N.isNull())
+    return false;
+  switch (N.kind()) {
+  case NatKind::Lit:
+  case NatKind::Var:
+    return false;
+  case NatKind::Pow: {
+    std::vector<std::string> Vars;
+    N.collectVars(Vars);
+    for (const std::string &V : Vars)
+      if (V == Var)
+        return true;
+    return false;
+  }
+  default:
+    return powMentionsVar(N.lhs(), Var) || powMentionsVar(N.rhs(), Var);
+  }
+}
+
+/// True when any nat inside \p E (view arguments, split positions, loop
+/// bounds) raises to a power of \p Var. A nested for-nat that rebinds the
+/// same name shadows it.
+static bool usesPowOfVar(const Expr &E, const std::string &Var) {
+  if (const auto *V = dyn_cast<PlaceView>(&E)) {
+    for (const Nat &A : V->NatArgs)
+      if (powMentionsVar(A, Var))
+        return true;
+  } else if (const auto *S = dyn_cast<SplitExpr>(&E)) {
+    if (powMentionsVar(S->Position, Var))
+      return true;
+  } else if (const auto *F = dyn_cast<ForNatExpr>(&E)) {
+    if (powMentionsVar(F->Lo, Var) || powMentionsVar(F->Hi, Var))
+      return true;
+    if (F->Var == Var)
+      return false; // shadowed in the body
+  }
+  bool Found = false;
+  forEachChild(const_cast<Expr &>(E),
+               [&](Expr &C) { Found = Found || usesPowOfVar(C, Var); });
+  return Found;
+}
+
+/// Counts occurrences of identifier \p Name in \p S (token boundaries on
+/// both sides).
+static size_t countIdent(const std::string &S, const std::string &Name) {
+  auto IsIdent = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  };
+  size_t Count = 0;
+  for (size_t Pos = S.find(Name); Pos != std::string::npos;
+       Pos = S.find(Name, Pos + 1)) {
+    bool LeftOk = Pos == 0 || !IsIdent(S[Pos - 1]);
+    bool RightOk =
+        Pos + Name.size() == S.size() || !IsIdent(S[Pos + Name.size()]);
+    Count += LeftOk && RightOk;
+  }
+  return Count;
+}
+
+/// The exact text line() emits for \p S, including indentation — line()
+/// delegates here, so recorded reload/spill lines (localLine) match the
+/// emitted text byte for byte.
+std::string Lowerer::renderLine(const std::string &S) const {
+  std::string R;
+  for (unsigned I = 0; I != Indent; ++I)
+    R += "  ";
+  R += S;
+  R += "\n";
+  return R;
+}
+
+/// Emits a reload/spill line for the local \p CppName and records its
+/// exact text so pushStraightPhase can elide it if the phase turns out
+/// never to touch the local.
+void Lowerer::localLine(const std::string &S, const std::string &CppName) {
+  PhaseLocalLines[CppName].push_back(renderLine(S));
+  line(S);
+}
+
+/// Removes the reload/spill lines of any phase-spanning local the phase
+/// never touches: the arena slot already holds the right value, so
+/// round-tripping it is dead work (the handwritten kernels only touch a
+/// spilled accumulator in the phases that use it). Lines are identified
+/// by exact match against what localLine recorded for this phase.
+std::string Lowerer::elideDeadSpills(std::string Phase) const {
+  for (const auto &[Name, Recorded] : PhaseLocalLines) {
+    // Usage = identifier occurrences outside the recorded lines. Each
+    // recorded line mentions the name exactly once.
+    size_t RecordedUses = 0;
+    for (const std::string &L : Recorded)
+      if (Phase.find(L) != std::string::npos)
+        ++RecordedUses;
+    if (countIdent(Phase, Name) != RecordedUses)
+      continue; // really used somewhere
+    for (const std::string &L : Recorded) {
+      size_t Pos = Phase.find(L);
+      if (Pos != std::string::npos)
+        Phase.erase(Pos, L.size());
+    }
+  }
+  return Phase;
+}
+
+/// Closes the current phase body and appends it as a StraightPhase to the
+/// innermost open node list.
+void Lowerer::pushStraightPhase() {
+  NodeStack.back()->push_back(PhaseNode::straight(elideDeadSpills(Out.str())));
+  Out.str("");
+  PhaseLocalLines.clear();
 }
 
 void Lowerer::phaseBreak() {
@@ -455,16 +567,27 @@ void Lowerer::phaseBreak() {
   // Registers do not survive the phase boundary: spill phase-spanning
   // locals to their per-thread arena slot and reload at the start of the
   // next phase (one load/store per local per phase, as a handwritten
-  // kernel would do).
+  // kernel would do). Phases that never touch a local get the pair
+  // elided again in pushStraightPhase.
   for (const LiveLocal &L : LiveLocals)
-    line(strfmt("_b.shared<%s>(_locals_base + %zu)[_lin] = %s;",
-                cppScalarType(L.Elem), L.Off, L.CppName.c_str()));
-  Phases.push_back(Out.str());
-  Out.str("");
+    localLine(strfmt("_b.shared<%s>(_locals_base + %zu)[_lin] = %s;",
+                     cppScalarType(L.Elem), L.Off, L.CppName.c_str()),
+              L.CppName);
+  pushStraightPhase();
   for (const LiveLocal &L : LiveLocals)
-    line(strfmt("%s %s = _b.shared<%s>(_locals_base + %zu)[_lin];",
-                cppScalarType(L.Elem), L.CppName.c_str(),
-                cppScalarType(L.Elem), L.Off));
+    localLine(strfmt("%s %s = _b.shared<%s>(_locals_base + %zu)[_lin];",
+                     cppScalarType(L.Elem), L.CppName.c_str(),
+                     cppScalarType(L.Elem), L.Off),
+              L.CppName);
+  PhaseContentMark = Out.str().size();
+}
+
+/// Phase boundary at a PhaseLoop edge: a barrier is only needed when the
+/// pending phase has real content beyond the reload preamble; a bare
+/// preamble flows into whatever phase starts next.
+void Lowerer::softPhaseBreak() {
+  if (Out.str().size() > PhaseContentMark)
+    phaseBreak();
 }
 
 bool Lowerer::genStmt(const Expr &E) {
@@ -646,15 +769,23 @@ bool Lowerer::genStmt(const Expr &E) {
     const auto *F = cast<ForNatExpr>(&E);
     Nat Lo = substLoopConsts(F->Lo).simplified();
     Nat Hi = substLoopConsts(F->Hi).simplified();
-    // Loops whose body synchronizes (sim: phase boundaries) or splits
-    // the hierarchy (iteration-dependent split positions like n/2^s)
-    // are unrolled; their ranges are statically evaluated (Fig. 5).
-    bool NeedUnroll = containsSyncOrSplit(*F->Body);
+    // Only loops whose nat arithmetic must fold iteration by iteration
+    // are unrolled (their ranges are statically evaluated, Fig. 5): a
+    // body that splits the hierarchy (split positions like n/2^(s+1)
+    // change shape per iteration) or strides views by 2^i of the loop
+    // variable. A loop that merely synchronizes keeps its structure — a
+    // PhaseLoop in the simulator's phase program, a plain `for` with
+    // __syncthreads() inside for CUDA — so its bounds stay symbolic.
+    bool HasSplit = containsKind(*F->Body, ExprKind::Split);
+    bool NeedUnroll = HasSplit || usesPowOfVar(*F->Body, F->Var);
     if (NeedUnroll) {
       if (!Lo.isLit() || !Hi.isLit())
-        return fail("loops containing sync or split need static bounds, "
-                    "got [" +
-                    Lo.str() + ".." + Hi.str() + "]");
+        return fail(std::string(HasSplit
+                        ? "loops containing split need static bounds "
+                          "(split positions change per iteration)"
+                        : "loops striding views by 2^" + F->Var +
+                              " need static bounds") +
+                    ", got [" + Lo.str() + ".." + Hi.str() + "]");
       for (long long V = Lo.litValue(); V < Hi.litValue(); ++V) {
         pushScope();
         Sym S;
@@ -669,6 +800,10 @@ bool Lowerer::genStmt(const Expr &E) {
       }
       return true;
     }
+    if (!checkLoopBounds(Lo, Hi))
+      return false;
+    if (B == LowerTarget::Sim && containsKind(*F->Body, ExprKind::Sync))
+      return genPhaseLoop(*F, std::move(Lo), std::move(Hi));
     line(strfmt("for (long long %s = %s; %s < %s; ++%s) {",
                 F->Var.c_str(), natToCpp(Lo).c_str(), F->Var.c_str(),
                 natToCpp(Hi).c_str(), F->Var.c_str()));
@@ -689,14 +824,65 @@ bool Lowerer::genStmt(const Expr &E) {
   }
 }
 
+/// A symbolic loop bound may only reference enclosing loop variables
+/// (which the emitted code declares); a free size variable or an
+/// unfolded 2^i means the kernel was not fully instantiated.
+bool Lowerer::checkLoopBounds(const Nat &Lo, const Nat &Hi) {
+  if (containsPow(Lo) || containsPow(Hi))
+    return fail("loop bounds contain an uninstantiated 2^i expression: [" +
+                Lo.str() + ".." + Hi.str() + "]; instantiate generic sizes "
+                "first (--define)");
+  std::vector<std::string> Vars;
+  Lo.collectVars(Vars);
+  Hi.collectVars(Vars);
+  for (const std::string &V : Vars) {
+    Sym *S = lookup(V);
+    if (!S || S->K != Sym::NatVar)
+      return fail("loop bounds reference the uninstantiated size variable "
+                  "`" + V + "`: [" + Lo.str() + ".." + Hi.str() +
+                  "]; instantiate generic sizes first (--define)");
+  }
+  return true;
+}
+
+/// Lowers a sync-containing for-nat into a PhaseLoop node (sim target):
+/// the pending phase is closed, the body's phases are collected as the
+/// loop's children with the loop variable left symbolic, and the runtime
+/// binds it per iteration through BlockCtx::loopVar(Slot).
+bool Lowerer::genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi) {
+  softPhaseBreak();
+  PhaseNode LoopNode = PhaseNode::loop(F.Var, LoopDepth, std::move(Lo),
+                                       std::move(Hi));
+  NodeStack.push_back(&LoopNode.Children);
+  ++LoopDepth;
+  pushScope();
+  Sym S;
+  S.K = Sym::NatVar;
+  S.CppName = F.Var; // no ConstVal: the variable stays symbolic
+  bind(F.Var, std::move(S));
+  bool Ok = genStmt(*F.Body);
+  popScope();
+  --LoopDepth;
+  if (Ok)
+    softPhaseBreak(); // close a trailing partial phase inside the loop
+  NodeStack.pop_back();
+  NodeStack.back()->push_back(std::move(LoopNode));
+  return Ok;
+}
+
 bool Lowerer::runKernel(const FnDef &Fn) {
-  Phases.clear();
+  Program.clear();
   CudaBody.clear();
   SharedBytes = 0;
   LocalBytesPerThread = 0;
   Out.str("");
   Syms.clear();
   Scopes.clear();
+  NodeStack.clear();
+  NodeStack.push_back(&Program.Nodes);
+  LoopDepth = 0;
+  PhaseContentMark = 0;
+  PhaseLocalLines.clear();
 
   auto Threads = Fn.Exec.BlockDim.total().evaluate({});
   if (!Threads)
@@ -739,9 +925,13 @@ bool Lowerer::runKernel(const FnDef &Fn) {
   if (!Ok)
     return false;
 
-  if (B == LowerTarget::Sim)
-    Phases.push_back(Out.str());
-  else
+  if (B == LowerTarget::Sim) {
+    // Close the trailing phase; keep at least one so an empty kernel
+    // still launches with a well-formed (no-op) program.
+    if (Out.str().size() > PhaseContentMark || Program.Nodes.empty())
+      pushStraightPhase();
+  } else {
     CudaBody = Out.str();
+  }
   return true;
 }

@@ -8,12 +8,21 @@
 // boundary (sim). Backends differ only in how memory accesses and the
 // surrounding function shells are spelled, which the LowerTarget selects.
 //
+// For the simulator the result is a structured phase program
+// (codegen/PhaseIR.h): a `for` whose body synchronizes becomes one
+// PhaseLoop with a constant number of StraightPhase children instead of
+// O(trip count) unrolled phase bodies, and its bounds need not be
+// literals. Only loops whose nat arithmetic must fold per iteration —
+// split positions or 2^i strides mentioning the loop variable — are
+// still unrolled (and those genuinely require static bounds).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_CODEGEN_LOWERER_H
 #define DESCEND_CODEGEN_LOWERER_H
 
 #include "ast/Item.h"
+#include "codegen/PhaseIR.h"
 #include "exec/ExecResource.h"
 #include "views/View.h"
 
@@ -70,7 +79,7 @@ public:
   bool runKernel(const FnDef &Fn);
 
   // Results for the kernel just lowered.
-  std::vector<std::string> Phases;      // sim: per-phase body lines
+  PhaseProgramIR Program;               // sim: structured phase program
   std::string CudaBody;                 // cuda: linear body
   size_t SharedBytes = 0;               // shared allocations
   size_t LocalBytesPerThread = 0;       // per-thread register arena
@@ -98,6 +107,19 @@ private:
   std::ostringstream Out; // current phase (sim) or whole body (cuda)
   unsigned Indent = 1;
 
+  /// Phase-program construction (sim): the innermost node list under
+  /// construction (Program.Nodes at the bottom, then the Children of each
+  /// open PhaseLoop), the PhaseLoop nesting depth (= next slot), and the
+  /// Out length right after the current phase's reload preamble (content
+  /// beyond the mark means the phase is non-empty).
+  std::vector<std::vector<PhaseNode> *> NodeStack;
+  unsigned LoopDepth = 0;
+  size_t PhaseContentMark = 0;
+  /// The exact reload/spill lines emitted into the current phase, per
+  /// local C++ name — recorded by the emitter itself so dead pairs can be
+  /// elided by exact-line match (no pattern matching on generated text).
+  std::map<std::string, std::vector<std::string>> PhaseLocalLines;
+
   bool fail(const std::string &Msg);
   void line(const std::string &S);
 
@@ -124,8 +146,15 @@ private:
   bool placeStore(const LPlace &P, const std::string &Value);
 
   std::optional<std::string> genExpr(const Expr &E);
-  static bool containsSyncOrSplit(const Expr &E);
+  static bool containsKind(const Expr &E, ExprKind K);
+  std::string renderLine(const std::string &S) const;
+  void localLine(const std::string &S, const std::string &CppName);
+  std::string elideDeadSpills(std::string Phase) const;
+  void pushStraightPhase();
   void phaseBreak();
+  void softPhaseBreak();
+  bool checkLoopBounds(const Nat &Lo, const Nat &Hi);
+  bool genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi);
   bool genStmt(const Expr &E);
 };
 

@@ -1,0 +1,101 @@
+//===- codegen/PhaseIR.h - Structured phase-program IR ----------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The phase-program IR is the structured
+// result of lowering one GPU grid function for the simulator backend
+// (Section 5, Fig. 5): instead of a flat list of per-phase body strings, a
+// kernel becomes a tree of
+//
+//   StraightPhase  one barrier-delimited phase body (C++ lines), run for
+//                  every thread of a block before the next node starts;
+//   PhaseLoop      a host-side loop (variable, lo/hi Nat bounds, slot)
+//                  whose children run once per iteration.
+//
+// A `for` loop whose body synchronizes therefore keeps its loop structure
+// (one PhaseLoop, O(1) phase bodies) instead of being unrolled into O(n)
+// distinct phases, and loop bounds no longer need to be literals: the
+// simulator runtime (sim::PhaseProgram / sim::launchProgram) walks the
+// same shape host-side, binding the loop variable per iteration, while
+// the CUDA backend emits a real `for` with __syncthreads() inside.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_CODEGEN_PHASEIR_H
+#define DESCEND_CODEGEN_PHASEIR_H
+
+#include "nat/Nat.h"
+
+#include <string>
+#include <vector>
+
+namespace descend {
+
+class Module;
+
+namespace codegen {
+
+/// One node of a phase program.
+struct PhaseNode {
+  enum Kind { Straight, Loop };
+  Kind K = Straight;
+
+  // Straight: the phase body as indented C++ lines (one statement per
+  // line, `\n`-terminated), referencing _b/_t/_lin and any enclosing
+  // PhaseLoop variables.
+  std::string Body;
+
+  // Loop:
+  std::string Var;  ///< source loop-variable name (spelled in bodies)
+  unsigned Slot = 0;///< runtime loop-variable slot (= nesting depth)
+  Nat Lo, Hi;       ///< half-open bounds [Lo..Hi); need not be literals
+  std::vector<PhaseNode> Children;
+
+  static PhaseNode straight(std::string Body) {
+    PhaseNode N;
+    N.K = Straight;
+    N.Body = std::move(Body);
+    return N;
+  }
+  static PhaseNode loop(std::string Var, unsigned Slot, Nat Lo, Nat Hi) {
+    PhaseNode N;
+    N.K = Loop;
+    N.Var = std::move(Var);
+    N.Slot = Slot;
+    N.Lo = std::move(Lo);
+    N.Hi = std::move(Hi);
+    return N;
+  }
+};
+
+/// The phase program of one lowered kernel: a sequence of nodes executed
+/// in order within every block.
+struct PhaseProgramIR {
+  std::vector<PhaseNode> Nodes;
+
+  /// Number of StraightPhase nodes in the whole tree — the number of
+  /// distinct phase bodies the backend emits. Independent of loop trip
+  /// counts (the point of the IR).
+  unsigned straightCount() const;
+
+  /// Deepest PhaseLoop nesting (0 = no loops).
+  unsigned maxLoopDepth() const;
+
+  /// Human-readable tree, e.g.
+  ///   phase #0 (3 lines)
+  ///   loop t in [0..nt) slot 0
+  ///     phase #1 (5 lines)
+  /// Used by `descendc --dump-phase-ir`.
+  std::string dump() const;
+
+  void clear() { Nodes.clear(); }
+};
+
+/// Lowers every GPU grid function of \p M (which must have passed the
+/// type checker) and renders the phase-program IR of each, separated by
+/// blank lines. On failure returns false with the lowering error in
+/// \p Error. Backs `descendc --dump-phase-ir`.
+bool dumpPhasePrograms(const Module &M, std::string &Out, std::string &Error);
+
+} // namespace codegen
+} // namespace descend
+
+#endif // DESCEND_CODEGEN_PHASEIR_H

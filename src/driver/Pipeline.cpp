@@ -191,10 +191,9 @@ codegen::GenResult Session::emit(const codegen::BackendRegistry &Registry) {
 }
 
 CompileResult Session::run(const std::string &Source) {
-  // A fresh run re-measures from the start: repeated runs on one session
-  // (the deprecated Compiler facade recompiles this way) must not report
-  // the previous run's stage or timings. Diagnostics accumulate for the
-  // session lifetime, exactly like the original facade.
+  // A fresh run re-measures from the start: repeated runs on one
+  // long-lived session must not report the previous run's stage or
+  // timings. Diagnostics accumulate for the session lifetime.
   Reached = Stage::None;
   Timings.clear();
 

@@ -18,9 +18,6 @@
 // backend and unknown names produce a driver diagnostic instead of a
 // crash.
 //
-// The pre-redesign `Compiler` facade (driver/Compiler.h) remains as a
-// deprecated shim over this API.
-//
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_DRIVER_PIPELINE_H

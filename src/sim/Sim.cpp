@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstring>
 #include <thread>
 
@@ -127,6 +128,79 @@ std::vector<RaceReport> GpuDevice::findRaces() const {
     I = J;
   }
   return Reports;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase programs
+//===----------------------------------------------------------------------===//
+
+PhaseProgram &PhaseProgram::straightBlock(BlockPhase Fn) {
+  Node N;
+  N.Fn = std::move(Fn);
+  (OpenBodies.empty() ? Nodes : OpenBodies.back()).push_back(std::move(N));
+  return *this;
+}
+
+PhaseProgram &PhaseProgram::loopBegin(unsigned Slot, Bound Lo, Bound Hi) {
+  assert(Slot < BlockCtx::MaxLoopSlots && "loop slot out of range");
+  Node N;
+  N.Slot = Slot;
+  N.Lo = std::move(Lo);
+  N.Hi = std::move(Hi);
+  OpenHeaders.push_back(std::move(N));
+  OpenBodies.emplace_back();
+  return *this;
+}
+
+PhaseProgram &PhaseProgram::loopBegin(unsigned Slot, long long Lo,
+                                      long long Hi) {
+  return loopBegin(
+      Slot, [Lo](const BlockCtx &) { return Lo; },
+      [Hi](const BlockCtx &) { return Hi; });
+}
+
+PhaseProgram &PhaseProgram::loopEnd() {
+  assert(!OpenHeaders.empty() && "loopEnd() without matching loopBegin()");
+  Node N = std::move(OpenHeaders.back());
+  OpenHeaders.pop_back();
+  N.Body = std::move(OpenBodies.back());
+  OpenBodies.pop_back();
+  (OpenBodies.empty() ? Nodes : OpenBodies.back()).push_back(std::move(N));
+  return *this;
+}
+
+const std::vector<PhaseProgram::Node> &PhaseProgram::nodes() const {
+  assert(OpenHeaders.empty() && "program has an unclosed loopBegin()");
+  return Nodes;
+}
+
+namespace {
+
+void runProgramNodes(const std::vector<PhaseProgram::Node> &Nodes,
+                     BlockCtx &B, unsigned &PhaseIdx) {
+  for (const PhaseProgram::Node &N : Nodes) {
+    if (N.Fn) {
+      B.CurPhase = PhaseIdx++;
+      N.Fn(B);
+      continue;
+    }
+    const long long Lo = N.Lo(B), Hi = N.Hi(B);
+    for (long long V = Lo; V < Hi; ++V) {
+      B.LoopVars[N.Slot] = V;
+      runProgramNodes(N.Body, B, PhaseIdx);
+    }
+  }
+}
+
+} // namespace
+
+void descend::sim::launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
+                                 size_t SharedBytes,
+                                 const PhaseProgram &Prog) {
+  detail::runBlocks(Dev, Grid, Block, SharedBytes, [&](BlockCtx &B) {
+    unsigned PhaseIdx = 0;
+    runProgramNodes(Prog.nodes(), B, PhaseIdx);
+  });
 }
 
 void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,

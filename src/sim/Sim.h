@@ -8,12 +8,17 @@
 //  * A launch runs a grid of independent blocks; blocks are distributed
 //    over a worker pool (they may not synchronize with each other, exactly
 //    as in CUDA).
-//  * A kernel is a sequence of *phases*; a phase runs for every thread of
-//    a block before the next phase starts. A phase boundary is therefore a
-//    __syncthreads() barrier. Descend only admits structured barriers
-//    (sync at block scope), so every well-typed Descend program maps onto
-//    this representation; handwritten kernels are written in the same
-//    style, mirroring how __syncthreads() partitions a CUDA kernel.
+//  * A kernel is a *phase program*: a sequence of phases and host-side
+//    loops over phases (PhaseProgram, the runtime mirror of the
+//    compiler's phase-program IR). A phase runs for every thread of a
+//    block before the next phase starts, so a phase boundary is a
+//    __syncthreads() barrier; a loop node binds a per-block loop
+//    variable (BlockCtx::loopVar) and runs its children once per
+//    iteration. Descend only admits structured barriers (sync at block
+//    scope), so every well-typed Descend program maps onto this
+//    representation; handwritten kernels are written in the same style
+//    through the variadic launchPhases, mirroring how __syncthreads()
+//    partitions a CUDA kernel.
 //  * Shared memory is a per-block arena living across the block's phases.
 //
 // Observability (both off by default; the hot path pays one predicted
@@ -86,6 +91,13 @@ struct BlockCtx {
   unsigned SharedBufferId = 0; // logical id for race logging
   unsigned CurThread = 0;      // linear id of the executing thread
   unsigned CurPhase = 0;
+
+  /// Host-side phase-loop variables (PhaseProgram loop nodes), one slot
+  /// per nesting level. Block-local, so parallel block execution may sit
+  /// at different iterations.
+  static constexpr unsigned MaxLoopSlots = 16;
+  long long LoopVars[MaxLoopSlots] = {};
+  long long loopVar(unsigned Slot) const { return LoopVars[Slot]; }
 
   unsigned linear() const { return (Z * GridDim.Y + Y) * GridDim.X + X; }
 
@@ -228,9 +240,84 @@ void runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                const std::function<void(BlockCtx &)> &RunBlock);
 } // namespace detail
 
-/// Launches a phase-structured kernel: each Phase must be callable as
-/// phase(BlockCtx&, ThreadCtx&). Within a block, every phase runs over all
-/// threads before the next one starts (the __syncthreads() barrier).
+/// A phase program: the host-side runtime mirror of the compiler's
+/// phase-program IR (codegen/PhaseIR.h). Straight nodes are phases run
+/// over every thread of a block; loop nodes bind a per-block loop
+/// variable slot and run their children once per iteration, so a kernel
+/// with a sync-containing loop is a constant number of phase lambdas plus
+/// loop structure instead of one lambda per unrolled iteration.
+///
+/// Built once per launch with the fluent builder (generated code calls
+/// straight()/loopBegin()/loopEnd() in emission order), then executed by
+/// launchProgram.
+class PhaseProgram {
+public:
+  /// A stored phase runs once per block execution with the thread loop
+  /// inside (see straight()).
+  using BlockPhase = std::function<void(BlockCtx &)>;
+  /// Loop bounds are evaluated per entry, per block: they may read outer
+  /// loop variables through the BlockCtx.
+  using Bound = std::function<long long(const BlockCtx &)>;
+
+  struct Node {
+    BlockPhase Fn; // straight phase; null for loop nodes
+    unsigned Slot = 0;
+    Bound Lo, Hi; // half-open [Lo..Hi)
+    std::vector<Node> Body;
+  };
+
+  /// Appends a phase to the innermost open loop (or the top level).
+  /// \p Fn is a per-thread callable phase(BlockCtx&, ThreadCtx&); the
+  /// thread loop is wrapped around it *before* type erasure, so the
+  /// per-thread calls stay direct (inlinable) and only one erased call is
+  /// paid per phase per block — the launchPhases fast path, preserved.
+  template <typename ThreadFn> PhaseProgram &straight(ThreadFn Fn) {
+    return straightBlock([Fn = std::move(Fn)](BlockCtx &B) mutable {
+      const Dim3 Block = B.BlockDim;
+      ThreadCtx T;
+      for (T.Z = 0; T.Z != Block.Z; ++T.Z)
+        for (T.Y = 0; T.Y != Block.Y; ++T.Y)
+          for (T.X = 0; T.X != Block.X; ++T.X) {
+            B.CurThread = (T.Z * Block.Y + T.Y) * Block.X + T.X;
+            Fn(B, T);
+          }
+    });
+  }
+
+  /// Appends a phase that drives the block itself (the thread loop, if
+  /// any, is the callee's business).
+  PhaseProgram &straightBlock(BlockPhase Fn);
+
+  /// Opens a loop over BlockCtx::loopVar(\p Slot); nodes appended until
+  /// the matching loopEnd() run once per iteration.
+  PhaseProgram &loopBegin(unsigned Slot, Bound Lo, Bound Hi);
+  /// Convenience overload for literal bounds.
+  PhaseProgram &loopBegin(unsigned Slot, long long Lo, long long Hi);
+  PhaseProgram &loopEnd();
+
+  /// The completed program (every loopBegin matched by a loopEnd).
+  const std::vector<Node> &nodes() const;
+
+private:
+  std::vector<Node> Nodes;           // completed top-level nodes
+  std::vector<Node> OpenHeaders;     // loop nodes under construction
+  std::vector<std::vector<Node>> OpenBodies; // their pending children
+};
+
+/// Launches a phase program: within each block the program's nodes run in
+/// order — every phase over all threads before the next node starts (the
+/// __syncthreads() barrier), loop bodies once per iteration with the loop
+/// variable bound in the BlockCtx.
+void launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
+                   const PhaseProgram &Prog);
+
+/// Launches a straight-line phase-structured kernel: each Phase must be
+/// callable as phase(BlockCtx&, ThreadCtx&). Within a block, every phase
+/// runs over all threads before the next one starts (the __syncthreads()
+/// barrier). The phase calls are direct (no type erasure), which keeps
+/// handwritten baseline kernels and loop-free generated kernels on the
+/// fastest path; kernels with host-side loop structure go through
+/// PhaseProgram / launchProgram instead.
 template <typename... Phases>
 void launchPhases(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                   Phases &&...PhaseFns) {

@@ -2,9 +2,13 @@
 
 #include "codegen/Backend.h"
 
+#include "codegen/PhaseIR.h"
 #include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 using namespace descend;
 
@@ -258,7 +262,17 @@ fn k<n: nat>(arr: &uniq gpu.global [f64; n])
       << S.renderDiagnostics();
 }
 
-TEST(SimGen, UnrollsSyncLoops) {
+/// Counts the phase lambdas of a generated sim artifact.
+size_t phaseLambdaCount(const std::string &Sim) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Sim.find("[&](BlockCtx", Pos)) != std::string::npos) {
+    ++Count;
+    ++Pos;
+  }
+  return Count;
+}
+
+TEST(SimGen, SyncLoopsBecomePhaseLoops) {
   Gen G = generate(R"(
 fn k(arr: &uniq gpu.global [f64; 256])
 -[grid: gpu.grid<X<1>, X<256>>]-> () {
@@ -274,14 +288,183 @@ fn k(arr: &uniq gpu.global [f64; 256])
 }
 )");
   ASSERT_TRUE(G.Ok) << G.Error;
-  // Three iterations -> at least three phase lambdas; no residual loop.
-  size_t Count = 0, Pos = 0;
-  while ((Pos = G.Sim.find("[&](BlockCtx", Pos)) != std::string::npos) {
-    ++Count;
-    ++Pos;
+  // The loop survives as host-side structure: one phase lambda inside a
+  // loopBegin/loopEnd pair, not three unrolled copies.
+  EXPECT_EQ(phaseLambdaCount(G.Sim), 1u) << G.Sim;
+  EXPECT_NE(G.Sim.find("_prog.loopBegin(0"), std::string::npos) << G.Sim;
+  EXPECT_NE(G.Sim.find("return 3; }"), std::string::npos) << G.Sim;
+  EXPECT_NE(G.Sim.find("_prog.loopEnd();"), std::string::npos) << G.Sim;
+  EXPECT_NE(G.Sim.find("launchProgram"), std::string::npos) << G.Sim;
+}
+
+TEST(SimGen, LoopFreeKernelsKeepVariadicLaunch) {
+  // Straight-line kernels stay on the direct launchPhases path (no type
+  // erasure in the per-thread calls).
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      tmp[[thread]] = arr.group::<256>[[block]][[thread]];
+      sync;
+      arr.group::<256>[[block]][[thread]] = tmp.rev[[thread]]
+    }
   }
-  EXPECT_GE(Count, 3u) << G.Sim;
-  EXPECT_EQ(G.Sim.find("for (long long s"), std::string::npos) << G.Sim;
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Sim.find("launchPhases"), std::string::npos) << G.Sim;
+  EXPECT_EQ(G.Sim.find("PhaseProgram"), std::string::npos) << G.Sim;
+}
+
+TEST(SimGen, IterationDependentBoundsAreLegal) {
+  // The inner bound depends on the outer loop variable: impossible to
+  // unroll, lowered as nested PhaseLoops with the bound read from the
+  // block's loop-variable slots at runtime.
+  Gen G = generate(R"(
+fn k(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      for s in [0..4] {
+        for u in [0..s+1] {
+          tmp[[thread]] = arr.group::<256>[[block]][[thread]];
+          sync
+        }
+      }
+    }
+  }
+}
+)");
+  ASSERT_TRUE(G.Ok) << G.Error;
+  EXPECT_NE(G.Sim.find("_prog.loopBegin(1"), std::string::npos) << G.Sim;
+  EXPECT_NE(G.Sim.find("const long long s = _b.loopVar(0); (void)s; "
+                       "return 1 + s;"),
+            std::string::npos)
+      << G.Sim;
+}
+
+TEST(SimGen, SplitLoopsKeepPreciseStaticBoundsDiagnostic) {
+  // Split positions (and part shapes) change per iteration, so loops
+  // containing split are genuinely static: symbolic bounds stay an error,
+  // now with a diagnostic naming the reason.
+  CompilerInvocation Inv;
+  Inv.BufferName = "t.descend";
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(R"(
+fn k<m: nat>(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    for s in [0..m] {
+      split(X) block at 128 {
+        lo => { sched(X) t in lo { arr.split::<128>.fst[[t]] = 0.0 } },
+        hi => { sched(X) t in hi { arr.split::<128>.snd[[t]] = 1.0 } }
+      }
+    }
+  }
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  std::string Rendered = S.renderDiagnostics();
+  EXPECT_NE(Rendered.find("loops containing split need static bounds"),
+            std::string::npos)
+      << Rendered;
+  EXPECT_NE(Rendered.find("[0..m]"), std::string::npos) << Rendered;
+}
+
+TEST(SimGen, UninstantiatedLoopBoundIsDiagnosed) {
+  // A free size variable in a sync-loop bound cannot be emitted (nothing
+  // declares it in the generated code): it must be a clean diagnostic
+  // pointing at --define, not silently uncompilable output.
+  CompilerInvocation Inv;
+  Inv.BufferName = "t.descend";
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(R"(
+fn k<m: nat>(arr: &uniq gpu.global [f64; 256])
+-[grid: gpu.grid<X<1>, X<256>>]-> () {
+  sched(X) block in grid {
+    let tmp = alloc::<gpu.shared, [f64; 256]>();
+    sched(X) thread in block {
+      for s in [0..m] {
+        tmp[[thread]] = arr.group::<256>[[block]][[thread]];
+        sync
+      }
+    }
+  }
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  std::string Rendered = S.renderDiagnostics();
+  EXPECT_NE(Rendered.find("uninstantiated size variable `m`"),
+            std::string::npos)
+      << Rendered;
+  EXPECT_NE(Rendered.find("--define"), std::string::npos) << Rendered;
+}
+
+//===----------------------------------------------------------------------===//
+// The Figure 8 matmul through the phase-program IR
+//===----------------------------------------------------------------------===//
+
+std::string readKernelFile(const std::string &Name) {
+  std::ifstream In(std::string(DESCEND_KERNEL_DIR "/") + Name);
+  EXPECT_TRUE(In.good()) << "missing kernel " << Name;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Compiles kernels/matmul.descend at tile count \p Nt and returns the
+/// sim artifact.
+std::string matmulSim(long long Nt) {
+  Gen G = generate(readKernelFile("matmul.descend"), {{"nt", Nt}});
+  EXPECT_TRUE(G.Ok) << G.Error;
+  return G.Sim;
+}
+
+TEST(SimGen, MatmulPhaseCountIndependentOfNt) {
+  std::string Small = matmulSim(4);
+  std::string Large = matmulSim(32);
+  // Constant number of phase lambdas (init, tile load, mac, write back)
+  // regardless of the tile count; only the loop bound differs.
+  EXPECT_EQ(phaseLambdaCount(Small), 4u) << Small;
+  EXPECT_EQ(phaseLambdaCount(Large), 4u) << Large;
+  EXPECT_NE(Small.find("return 4; }"), std::string::npos) << Small;
+  EXPECT_NE(Large.find("return 32; }"), std::string::npos) << Large;
+}
+
+TEST(PhaseIR, DumpPrintsLoopBounds) {
+  CompilerInvocation Inv;
+  Inv.BufferName = "matmul.descend";
+  Inv.Defines["nt"] = 4;
+  Inv.RunUntil = Stage::Typecheck;
+  Session S(Inv);
+  ASSERT_TRUE(S.run(readKernelFile("matmul.descend")).Ok)
+      << S.renderDiagnostics();
+  std::string Dump, Error;
+  ASSERT_TRUE(codegen::dumpPhasePrograms(*S.module(), Dump, Error)) << Error;
+  EXPECT_NE(Dump.find("straight phases: 4"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("max loop depth: 1"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("loop t in [0..4) slot 0"), std::string::npos) << Dump;
+}
+
+TEST(CudaGen, MatmulTileLoopKeepsSyncthreads) {
+  Gen G = generate(readKernelFile("matmul.descend"), {{"nt", 4}});
+  ASSERT_TRUE(G.Ok) << G.Error;
+  // The tile loop survives as a real for with the barriers inside, the
+  // way a CUDA programmer writes it — no unrolled copies.
+  size_t LoopPos = G.Cuda.find("for (long long t = 0; t < 4; ++t) {");
+  ASSERT_NE(LoopPos, std::string::npos) << G.Cuda;
+  size_t SyncPos = G.Cuda.find("__syncthreads();", LoopPos);
+  size_t ClosePos = G.Cuda.find("\n  }", LoopPos);
+  ASSERT_NE(SyncPos, std::string::npos) << G.Cuda;
+  ASSERT_NE(ClosePos, std::string::npos) << G.Cuda;
+  EXPECT_LT(SyncPos, ClosePos) << "__syncthreads() must sit inside the "
+                                  "tile loop:\n"
+                               << G.Cuda;
 }
 
 } // namespace

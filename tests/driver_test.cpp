@@ -1,13 +1,15 @@
-//===- tests/driver_test.cpp - Compiler facade tests ----------------------===//
+//===- tests/driver_test.cpp - Driver-level Session tests -----------------===//
 //
-// Exercises the DEPRECATED Compiler facade on purpose: it is kept as a
-// shim over the staged pipeline (driver/Pipeline.h) for out-of-tree users,
-// and these expectations pin down that the shim keeps behaving exactly
-// like the original facade. New-API coverage lives in pipeline_test.cpp.
+// Driver-level expectations over the Session API: instantiation
+// behaviour, symbolic checking, diagnostics rendering and the fn-suffix
+// plumbing. These pins predate the staged pipeline (they covered the
+// removed `Compiler` facade) and were migrated 1:1 to Session so the
+// behaviour the facade guaranteed stays guaranteed. Pipeline-shape
+// coverage (stage order, timings, registry) lives in pipeline_test.cpp.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
+#include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -27,13 +29,22 @@ fn scale<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
 }
 )";
 
+/// Type-checks \p Source with \p Defines; the session is returned through
+/// \p S for inspection.
+bool check(Session &S, const std::string &BufferName,
+           const std::string &Source,
+           std::map<std::string, long long> Defines = {}) {
+  S.invocation().BufferName = BufferName;
+  S.invocation().Defines = std::move(Defines);
+  S.invocation().RunUntil = Stage::Typecheck;
+  return S.run(Source).Ok;
+}
+
 TEST(Driver, CompileAndInstantiate) {
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["nb"] = 4;
-  ASSERT_TRUE(C.compile("k.descend", PolyKernel, Options))
-      << C.renderDiagnostics();
-  const FnDef *Fn = C.module()->findFn("scale");
+  Session S;
+  ASSERT_TRUE(check(S, "k.descend", PolyKernel, {{"nb", 4}}))
+      << S.renderDiagnostics();
+  const FnDef *Fn = S.module()->findFn("scale");
   ASSERT_NE(Fn, nullptr);
   EXPECT_TRUE(Fn->Generics.empty()) << "nb should be instantiated away";
   EXPECT_TRUE(Nat::proveEq(Fn->Exec.GridDim.X, Nat::lit(4)));
@@ -46,13 +57,13 @@ TEST(Driver, CompileAndInstantiate) {
 TEST(Driver, GenericKernelChecksSymbolically) {
   // Without defines, the polymorphic kernel still checks (Section 3.5:
   // polymorphism over grid sizes).
-  Compiler C;
-  EXPECT_TRUE(C.compile("k.descend", PolyKernel)) << C.renderDiagnostics();
+  Session S;
+  EXPECT_TRUE(check(S, "k.descend", PolyKernel)) << S.renderDiagnostics();
 }
 
 TEST(Driver, DiagnosticsRenderWithSource) {
-  Compiler C;
-  EXPECT_FALSE(C.compile("bad.descend", R"(
+  Session S;
+  EXPECT_FALSE(check(S, "bad.descend", R"(
 fn k(arr: &uniq gpu.global [f64; 4096])
 -[grid: gpu.grid<X<16>, X<256>>]-> () {
   sched(X) block in grid {
@@ -63,19 +74,22 @@ fn k(arr: &uniq gpu.global [f64; 4096])
   }
 }
 )"));
-  std::string R = C.renderDiagnostics();
+  std::string R = S.renderDiagnostics();
   EXPECT_NE(R.find("error: conflicting memory access"), std::string::npos);
   EXPECT_NE(R.find("bad.descend:"), std::string::npos);
   EXPECT_NE(R.find("rev[[thread]]"), std::string::npos) << R;
 }
 
 TEST(Driver, SimSuffixAppendsToNames) {
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["nb"] = 2;
-  ASSERT_TRUE(C.compile("k.descend", PolyKernel, Options));
-  std::string Code = C.emitSimCode(nullptr, "_tiny");
-  EXPECT_NE(Code.find("inline void scale_tiny("), std::string::npos);
+  CompilerInvocation Inv;
+  Inv.BufferName = "k.descend";
+  Inv.Defines["nb"] = 2;
+  Inv.BackendName = "sim";
+  Inv.FnSuffix = "_tiny";
+  Session S(Inv);
+  CompileResult R = S.run(PolyKernel);
+  ASSERT_TRUE(R.Ok) << S.renderDiagnostics();
+  EXPECT_NE(R.Artifact.find("inline void scale_tiny("), std::string::npos);
 }
 
 TEST(Driver, InstantiateNatsHandlesAllPositions) {
@@ -92,23 +106,22 @@ fn k<n: nat>(arr: &uniq gpu.global [f64; n*64])
   }
 }
 )";
-  Compiler C;
-  CompileOptions Options;
-  Options.Defines["n"] = 3;
-  ASSERT_TRUE(C.compile("k.descend", Src, Options))
-      << C.renderDiagnostics();
+  CompilerInvocation Inv;
+  Inv.BufferName = "k.descend";
+  Inv.Defines["n"] = 3;
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(Src);
+  ASSERT_TRUE(R.Ok) << S.renderDiagnostics();
   // Loop bound and view arguments were substituted: emitting sim code
   // succeeds with fully concrete dimensions.
-  std::string Error;
-  std::string Code = C.emitSimCode(&Error);
-  EXPECT_TRUE(Error.empty()) << Error;
-  EXPECT_NE(Code.find("i < 3"), std::string::npos) << Code;
+  EXPECT_NE(R.Artifact.find("i < 3"), std::string::npos) << R.Artifact;
 }
 
 TEST(Driver, ParseErrorsShortCircuit) {
-  Compiler C;
-  EXPECT_FALSE(C.compile("broken.descend", "fn ("));
-  EXPECT_TRUE(C.diagnostics().hasErrors());
+  Session S;
+  EXPECT_FALSE(check(S, "broken.descend", "fn ("));
+  EXPECT_TRUE(S.diagnostics().hasErrors());
 }
 
 } // namespace

@@ -2,15 +2,12 @@
 //
 // Covers the staged pipeline (CompilerInvocation/Session/CompileResult)
 // and the pluggable backend registry: stage short-circuiting, per-stage
-// timings, backend lookup (including the unknown-name diagnostic), the
-// ast backend, and equivalence of the deprecated Compiler shim with the
-// registry backends.
+// timings, backend lookup (including the unknown-name diagnostic) and the
+// ast backend.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
-
-#include "driver/Compiler.h"
 
 #include <gtest/gtest.h>
 
@@ -174,8 +171,8 @@ TEST(Pipeline, TimingsCoverAllFourStages) {
 }
 
 TEST(Pipeline, RerunDoesNotReportStaleState) {
-  // The deprecated Compiler facade recompiles through one long-lived
-  // session; a second run must not inherit the first run's stage/timings.
+  // Long-lived sessions recompile in place; a second run must not
+  // inherit the first run's stage/timings.
   Session S(scaleVecInvocation("cuda"));
   CompileResult First = S.run(ScaleVec);
   ASSERT_TRUE(First.Ok);
@@ -252,32 +249,6 @@ fn k<n: nat>(arr: &uniq gpu.global [f64; n])
   EXPECT_EQ(R.Reached, Stage::Typecheck);
   EXPECT_TRUE(S.diagnostics().contains(DiagCode::BackendFailed))
       << S.renderDiagnostics();
-}
-
-//===----------------------------------------------------------------------===//
-// Deprecated Compiler shim
-//===----------------------------------------------------------------------===//
-
-TEST(CompilerShim, MatchesRegistryBackends) {
-  CompileOptions Options;
-  Options.Defines["nb"] = 4;
-  Compiler C;
-  ASSERT_TRUE(C.compile("k.descend", ScaleVec, Options))
-      << C.renderDiagnostics();
-  std::string ShimCuda = C.emitCudaCode();
-  std::string ShimSim = C.emitSimCode(nullptr, "_s");
-
-  Session S(scaleVecInvocation("cuda"));
-  CompileResult R = S.run(ScaleVec);
-  ASSERT_TRUE(R.Ok);
-  EXPECT_EQ(ShimCuda, R.Artifact) << "shim and registry cuda output differ";
-
-  CompilerInvocation SimInv = scaleVecInvocation("sim");
-  SimInv.FnSuffix = "_s";
-  Session S2(SimInv);
-  CompileResult R2 = S2.run(ScaleVec);
-  ASSERT_TRUE(R2.Ok);
-  EXPECT_EQ(ShimSim, R2.Artifact) << "shim and registry sim output differ";
 }
 
 } // namespace

@@ -220,6 +220,99 @@ TEST(Sim, ParallelBlockExecutionMatchesSequential) {
   }
 }
 
+TEST(Sim, ProgramLoopBindsLoopVarPerIteration) {
+  // Accumulate the loop variable per thread: loopVar(0) must be bound
+  // before each iteration's phases run.
+  GpuDevice Dev;
+  auto Out = Dev.alloc<long long>(64);
+  PhaseProgram Prog;
+  Prog.loopBegin(0, 0, 5);
+  Prog.straight([&](BlockCtx &B, ThreadCtx &T) {
+    size_t I = B.X * 32 + T.X;
+    Out.store(B, I, Out.load(B, I) + B.loopVar(0));
+  });
+  Prog.loopEnd();
+  launchProgram(Dev, Dim3{2}, Dim3{32}, 0, Prog);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Out.data()[I], 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(Sim, ProgramLoopBoundsReadOuterLoopVars) {
+  // Triangular nest: inner bound = outer var + 1; total iterations of a
+  // [0..4) outer loop are 1+2+3+4 = 10.
+  GpuDevice Dev;
+  auto Out = Dev.alloc<int>(1);
+  PhaseProgram Prog;
+  Prog.loopBegin(0, 0, 4);
+  Prog.loopBegin(
+      1, [](const BlockCtx &) -> long long { return 0; },
+      [](const BlockCtx &B) -> long long { return B.loopVar(0) + 1; });
+  Prog.straight([&](BlockCtx &B, ThreadCtx &) {
+    Out.store(B, 0, Out.load(B, 0) + 1);
+  });
+  Prog.loopEnd();
+  Prog.loopEnd();
+  launchProgram(Dev, Dim3{1}, Dim3{1}, 0, Prog);
+  EXPECT_EQ(Out.data()[0], 10);
+}
+
+TEST(Sim, ProgramPhasesActAsBarriersAcrossIterations) {
+  // Ping-pong through shared memory inside a program loop: phase
+  // boundaries must order iterations exactly like unrolled phases, and
+  // the race detector must see distinct phases per iteration.
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  auto Buf = Dev.alloc<int>(256);
+  for (int I = 0; I != 256; ++I)
+    Buf.data()[I] = I;
+  PhaseProgram Prog;
+  Prog.loopBegin(0, 0, 3);
+  Prog.straight([&](BlockCtx &B, ThreadCtx &T) {
+    B.sharedStore<int>(0, 255 - T.X, Buf.load(B, T.X));
+  });
+  Prog.straight([&](BlockCtx &B, ThreadCtx &T) {
+    Buf.store(B, T.X, B.sharedLoad<int>(0, T.X));
+  });
+  Prog.loopEnd();
+  launchProgram(Dev, Dim3{1}, Dim3{256}, 256 * sizeof(int), Prog);
+  // Three reversals = one reversal.
+  for (int I = 0; I != 256; ++I)
+    EXPECT_EQ(Buf.data()[I], 255 - I);
+  EXPECT_TRUE(Dev.findRaces().empty());
+}
+
+TEST(Sim, ProgramMatchesEquivalentUnrolledPhases) {
+  // The same kernel as launchPhases straight-line phases and as a
+  // PhaseProgram loop must produce identical memory.
+  auto Run = [](GpuDevice &Dev, GpuDevice::Buffer<double> Buf, bool Loop) {
+    if (!Loop) {
+      auto Phase = [&](BlockCtx &B, ThreadCtx &T) {
+        size_t I = B.X * 64 + T.X;
+        Buf.store(B, I, Buf.load(B, I) * 2.0 + 1.0);
+      };
+      launchPhases(Dev, Dim3{2}, Dim3{64}, 0, Phase, Phase, Phase);
+      return;
+    }
+    PhaseProgram Prog;
+    Prog.loopBegin(0, 0, 3);
+    Prog.straight([&](BlockCtx &B, ThreadCtx &T) {
+      size_t I = B.X * 64 + T.X;
+      Buf.store(B, I, Buf.load(B, I) * 2.0 + 1.0);
+    });
+    Prog.loopEnd();
+    launchProgram(Dev, Dim3{2}, Dim3{64}, 0, Prog);
+  };
+  GpuDevice DevA, DevB;
+  auto BufA = DevA.alloc<double>(128);
+  auto BufB = DevB.alloc<double>(128);
+  for (int I = 0; I != 128; ++I)
+    BufA.data()[I] = BufB.data()[I] = I * 0.25;
+  Run(DevA, BufA, false);
+  Run(DevB, BufB, true);
+  for (int I = 0; I != 128; ++I)
+    EXPECT_EQ(BufA.data()[I], BufB.data()[I]);
+}
+
 TEST(Sim, ClearLogsResets) {
   GpuDevice Dev;
   Dev.setRaceDetection(true);

@@ -2,18 +2,22 @@
 //
 // Usage:
 //   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
-//            [--fn-suffix=SUFFIX] [--time-passes] [-o OUTPUT]
+//            [--fn-suffix=SUFFIX] [--time-passes] [--dump-phase-ir]
+//            [-o OUTPUT]
 //   descendc --list-backends
 //
 // --emit=check only type-checks (default); any registered backend name
 // (ast, cuda, sim, ...) runs the full pipeline and writes the artifact to
 // OUTPUT (or stdout). -D instantiates generic nat parameters, mirroring
 // the launch-site instantiation of Section 3.5. --time-passes reports the
-// wall-clock time of every executed stage. --list-backends prints the
-// registered backend names.
+// wall-clock time of every executed stage. --dump-phase-ir type-checks,
+// lowers every kernel for the simulator and prints the structured phase
+// program (StraightPhase / PhaseLoop tree, see codegen/PhaseIR.h) instead
+// of an artifact. --list-backends prints the registered backend names.
 //
 //===----------------------------------------------------------------------===//
 
+#include "codegen/PhaseIR.h"
 #include "driver/Pipeline.h"
 
 #include <cstdio>
@@ -30,7 +34,7 @@ static int usage() {
   std::fprintf(stderr,
                "usage: descendc INPUT.descend [--emit=%s] "
                "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
-               "[-o OUTPUT]\n"
+               "[--dump-phase-ir] [-o OUTPUT]\n"
                "       descendc --list-backends\n\n"
                "backends:\n",
                Emits.c_str());
@@ -54,7 +58,7 @@ static int listBackends() {
 
 int main(int argc, char **argv) {
   std::string Input, Output, Emit = "check";
-  bool TimePasses = false;
+  bool TimePasses = false, DumpPhaseIR = false;
   CompilerInvocation Inv;
 
   for (int I = 1; I < argc; ++I) {
@@ -67,6 +71,8 @@ int main(int argc, char **argv) {
       Inv.FnSuffix = Arg.substr(12);
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg == "--dump-phase-ir") {
+      DumpPhaseIR = true;
     } else if (Arg == "-D" && I + 1 < argc) {
       std::string Def = argv[++I];
       size_t Eq = Def.find('=');
@@ -88,7 +94,13 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usage();
-  if (Emit == "check") {
+  if (DumpPhaseIR && Emit != "check") {
+    std::fprintf(stderr, "descendc: error: --dump-phase-ir cannot be "
+                         "combined with --emit=%s\n",
+                 Emit.c_str());
+    return usage();
+  }
+  if (Emit == "check" || DumpPhaseIR) {
     Inv.RunUntil = Stage::Typecheck;
   } else {
     Inv.RunUntil = Stage::Codegen;
@@ -127,11 +139,20 @@ int main(int argc, char **argv) {
 
   if (!R.Ok)
     return 1;
-  if (Emit == "check")
+
+  std::string Payload = R.Artifact;
+  if (DumpPhaseIR) {
+    std::string Error;
+    if (!codegen::dumpPhasePrograms(*S.module(), Payload, Error)) {
+      std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
+      return 1;
+    }
+  } else if (Emit == "check") {
     return 0;
+  }
 
   if (Output.empty()) {
-    std::fwrite(R.Artifact.data(), 1, R.Artifact.size(), stdout);
+    std::fwrite(Payload.data(), 1, Payload.size(), stdout);
     return 0;
   }
   std::ofstream OutFile(Output);
@@ -140,6 +161,6 @@ int main(int argc, char **argv) {
                  Output.c_str());
     return 1;
   }
-  OutFile << R.Artifact;
+  OutFile << Payload;
   return 0;
 }

@@ -16,7 +16,8 @@ ROOT_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT_DIR"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_safety bench_fig8 >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_safety bench_fig8 \
+    bench_matmul_sweep >/dev/null
 HAVE_ABLATIONS=0
 if cmake --build "$BUILD_DIR" -j --target bench_ablations >/dev/null 2>&1; then
   HAVE_ABLATIONS=1
@@ -75,6 +76,29 @@ PY
 else
   echo "== bench_fig8 skipped (DESCEND_BENCH_QUICK=1) =="
 fi
+
+#===---------------------------------------------------------------------===#
+# bench_matmul_sweep: matmul nt=4/16/32 ratios -> BENCH_matmul_sweep.json
+# (the phase-program IR regression guard: ratios must stay flat over nt)
+#===---------------------------------------------------------------------===#
+
+echo "== bench_matmul_sweep =="
+"$BUILD_DIR/bench_matmul_sweep" | tee "$OUT_DIR/bench_matmul_sweep.log"
+python3 - "$OUT_DIR/bench_matmul_sweep.log" \
+          "$OUT_DIR/BENCH_matmul_sweep.json" <<'PY'
+import json, re, sys
+log = open(sys.argv[1]).read()
+rows = []
+for m in re.finditer(
+    r"^MMsweep\s+nt=(\d+)\s+([0-9.]+)\s+([0-9.]+)\s+([0-9.]+)x$", log, re.M):
+    rows.append({"bench": "MM", "nt": int(m.group(1)),
+                 "cuda_ms": float(m.group(2)),
+                 "descend_ms": float(m.group(3)),
+                 "relative": float(m.group(4))})
+json.dump({"bench": "matmul_sweep", "unit": "ms", "rows": rows},
+          open(sys.argv[2], "w"), indent=2)
+PY
+echo "-> $OUT_DIR/BENCH_matmul_sweep.json"
 
 #===---------------------------------------------------------------------===#
 # bench_ablations: google-benchmark native JSON -> BENCH_ablations.json
