@@ -12,6 +12,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,26 @@ struct CaseRow {
   bool ShouldPass; // positive control cases
   std::string Source;
 };
+
+#ifndef DESCEND_PROGRAM_DIR
+#define DESCEND_PROGRAM_DIR "programs"
+#endif
+
+/// Loads a programs/*.descend fixture (the H and host-P rows are the
+/// single-source fixtures the hostgen tests also use). An unreadable
+/// fixture is a configuration error, not a verdict: abort loudly.
+std::string programSource(const std::string &Name) {
+  std::string Path = std::string(DESCEND_PROGRAM_DIR) + "/" + Name;
+  std::ifstream In(Path);
+  if (!In.good()) {
+    std::fprintf(stderr, "bench_safety: cannot open fixture '%s'\n",
+                 Path.c_str());
+    std::exit(1);
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
 
 const char *ScaleVecPoly = R"(
 fn scale_vec<n: nat>(vec: &uniq gpu.global [f64; n])
@@ -58,8 +81,8 @@ fn kernel(arr: &uniq gpu.global [f64; 4096])
   sched(X) block in grid {
     split(X) block at 32 { a => { sync }, b => { } } } }
 )"});
-  Out.push_back({"S3", "swapped copy direction", DiagCode::MismatchedTypes,
-                 false, R"(
+  Out.push_back({"S3", "swapped copy direction",
+                 DiagCode::TransferDirectionMismatch, false, R"(
 fn host() -[t: cpu.thread]-> () {
   let h_vec = CpuHeap::new([0.0; 1024]);
   let d_vec = GpuGlobal::alloc_copy(&h_vec);
@@ -116,6 +139,20 @@ fn transpose(input: & gpu.global [[f64;2048];2048],
           .group_by_row::<32,4>[[thread]][i] =
           tmp.transpose.group_by_row::<32,4>[[thread]][i] } } } }
 )"});
+  // Host-program rows (Fig. 1 / Sections 2.3, 3.4, 3.5): complete
+  // programs whose *host* side carries the bug. Always-reject.
+  Out.push_back({"H1", "host: swapped copy direction (Fig. 1)",
+                 DiagCode::TransferDirectionMismatch, false,
+                 programSource("bad_swapped_copy.descend")});
+  Out.push_back({"H2", "host: size-mismatched transfer",
+                 DiagCode::TransferSizeMismatch, false,
+                 programSource("bad_size_mismatch.descend")});
+  Out.push_back({"H3", "host: wrong launch configuration",
+                 DiagCode::LaunchConfigMismatch, false,
+                 programSource("bad_launch_config.descend")});
+  Out.push_back({"H4", "host: device pointer deref on CPU",
+                 DiagCode::CannotDereference, false,
+                 programSource("bad_host_deref.descend")});
   // Positive controls: the corrected programs must pass.
   Out.push_back({"P1", "correct per-block reverse (out-of-place)",
                  DiagCode::ConflictingMemoryAccess, true, R"(
@@ -135,6 +172,12 @@ fn host() -[t: cpu.thread]-> () {
   let d_vec = GpuGlobal::alloc_copy(&h);
   scale_vec::<<<X<1>, X<1024>>>>(&uniq d_vec) }
 )"});
+  Out.push_back({"P3", "host: quickstart program (kernel + driver)",
+                 DiagCode::LaunchConfigMismatch, true,
+                 programSource("quickstart_host.descend")});
+  Out.push_back({"P4", "host: reduction program with CPU finish",
+                 DiagCode::LaunchConfigMismatch, true,
+                 programSource("reduction_host.descend")});
   return Out;
 }
 

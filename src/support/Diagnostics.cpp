@@ -76,6 +76,10 @@ const char *descend::diagCodeHeadline(DiagCode Code) {
     return "mismatched launch configuration";
   case DiagCode::SelectShapeMismatch:
     return "selection does not match execution resource shape";
+  case DiagCode::TransferDirectionMismatch:
+    return "mismatched transfer direction";
+  case DiagCode::TransferSizeMismatch:
+    return "mismatched transfer size";
   case DiagCode::ViewSideConditionFailed:
     return "view side condition not satisfied";
   case DiagCode::ViewShapeMismatch:

@@ -65,6 +65,9 @@ enum class DiagCode {
   SplitOutOfBounds,
   LaunchConfigMismatch,
   SelectShapeMismatch,
+  // Host programs (Sections 2.3 / 3.4): CPU<->GPU transfer checking.
+  TransferDirectionMismatch,
+  TransferSizeMismatch,
   // Views.
   ViewSideConditionFailed,
   ViewShapeMismatch,

@@ -1532,6 +1532,25 @@ struct TypeChecker::Impl {
                                   : MemoryKind::CpuMem;
       const auto *Dst = dyn_cast<RefType>(ArgTys[0].get());
       const auto *Src = dyn_cast<RefType>(ArgTys[1].get());
+      // The Section 2.3 bug class: both arguments are references, but the
+      // memory spaces are the wrong way around (swapped cudaMemcpy
+      // arguments). Report it as a transfer-direction error, not a generic
+      // type mismatch.
+      if (Dst && Src && Dst->Mem.Kind == WantSrc && Src->Mem.Kind == WantDst) {
+        Diags
+            .error(DiagCode::TransferDirectionMismatch, C.Range,
+                   strfmt("arguments to `%s` are swapped", C.Callee.c_str()))
+            .note(C.Args[0]->Range,
+                  strfmt("destination must live in `%s`, found `%s`",
+                         Memory(WantDst).str().c_str(),
+                         Dst->Mem.str().c_str()))
+            .note(strfmt("`%s` copies %s; pass the %s buffer first",
+                         C.Callee.c_str(),
+                         ToHost ? "gpu.global -> cpu.mem"
+                                : "cpu.mem -> gpu.global",
+                         ToHost ? "host" : "device"));
+        return nullptr;
+      }
       if (!Dst || Dst->Mem.Kind != WantDst || Dst->Own != Ownership::Uniq) {
         Diags
             .error(DiagCode::MismatchedTypes, C.Args[0]->Range,
@@ -1548,6 +1567,22 @@ struct TypeChecker::Impl {
             .note(strfmt("expected reference to `%s`, found `%s`",
                          Memory(WantSrc).str().c_str(),
                          ArgTys[1]->str().c_str()));
+        return nullptr;
+      }
+      // Element-count agreement via the Nat solver: same element type but
+      // unprovably-equal sizes is the out-of-bounds memcpy of Section 2.3.
+      const auto *DstArr = dyn_cast<ArrayType>(Dst->Pointee.get());
+      const auto *SrcArr = dyn_cast<ArrayType>(Src->Pointee.get());
+      if (DstArr && SrcArr && DataType::equal(DstArr->Elem, SrcArr->Elem) &&
+          !Nat::proveEq(DstArr->Size, SrcArr->Size)) {
+        Diags
+            .error(DiagCode::TransferSizeMismatch, C.Range,
+                   strfmt("cannot transfer `%s` elements into a buffer of "
+                          "`%s`",
+                          SrcArr->Size.str().c_str(),
+                          DstArr->Size.str().c_str()))
+            .note("both sides of a transfer must have a provably equal "
+                  "element count");
         return nullptr;
       }
       if (!DataType::equal(Dst->Pointee, Src->Pointee)) {

@@ -1,0 +1,143 @@
+//===- tests/descendc_cli_test.cpp - descendc command-line behaviour --------===//
+//
+// Drives the installed descendc binary as a subprocess and checks the
+// command-line contract: exit code 0 for successful compilations, 1 for
+// rejected programs / IO failures, 2 for driver misuse (unknown flags,
+// malformed -D arguments), each with a diagnostic naming the offending
+// argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stderr;
+  std::string Stdout;
+};
+
+/// Runs `descendc <args>`, capturing both streams.
+RunResult runDescendc(const std::string &Args) {
+  static int Counter = 0;
+  std::string Base = ::testing::TempDir() + "descendc_cli_" +
+                     std::to_string(Counter++);
+  std::string OutFile = Base + ".out", ErrFile = Base + ".err";
+  std::string Cmd = std::string(DESCENDC_BIN) + " " + Args + " > " + OutFile +
+                    " 2> " + ErrFile;
+  int Status = std::system(Cmd.c_str());
+
+  RunResult R;
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  };
+  R.Stdout = Slurp(OutFile);
+  R.Stderr = Slurp(ErrFile);
+  std::remove(OutFile.c_str());
+  std::remove(ErrFile.c_str());
+  return R;
+}
+
+std::string kernel(const std::string &Name) {
+  return std::string(DESCEND_KERNEL_DIR) + "/" + Name;
+}
+std::string program(const std::string &Name) {
+  return std::string(DESCEND_PROGRAM_DIR) + "/" + Name;
+}
+
+TEST(DescendcCli, SuccessfulCheckExitsZero) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") + " --emit=check");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+}
+
+TEST(DescendcCli, HostProgramEmitsSimDriver) {
+  RunResult R =
+      runDescendc(program("quickstart_host.descend") + " --emit=sim -D nb=4");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stdout.find("inline void run("), std::string::npos)
+      << R.Stdout;
+}
+
+TEST(DescendcCli, RejectedProgramExitsOne) {
+  RunResult R = runDescendc(program("bad_swapped_copy.descend"));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("arguments to `copy_mem_to_host` are swapped"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, MissingInputFileExitsOne) {
+  RunResult R = runDescendc("/nonexistent/no_such_file.descend");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("cannot open"), std::string::npos) << R.Stderr;
+}
+
+TEST(DescendcCli, UnknownFlagExitsTwoWithDiagnostic) {
+  RunResult R =
+      runDescendc(kernel("scale_vec.descend") + " --frobnicate");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("unrecognized option '--frobnicate'"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, MalformedDefineMissingValueExitsTwo) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") + " -D nb");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("malformed -D argument 'nb'"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, MalformedDefineNonIntegerExitsTwo) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") + " -D nb=eight");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("'eight' is not an integer"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, InlineDefineFormIsValidatedToo) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") + " -Dnb=");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("malformed -D"), std::string::npos) << R.Stderr;
+
+  RunResult Ok = runDescendc(kernel("scale_vec.descend") +
+                             " -Dnb=4 --emit=check");
+  EXPECT_EQ(Ok.ExitCode, 0) << Ok.Stderr;
+}
+
+TEST(DescendcCli, ExtraPositionalArgumentExitsTwo) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") + " " +
+                            kernel("reduce.descend"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("unexpected extra input"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, MissingInputArgumentExitsTwo) {
+  RunResult R = runDescendc("--emit=check");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("no input file"), std::string::npos) << R.Stderr;
+}
+
+TEST(DescendcCli, ListBackendsPrintsRegistry) {
+  RunResult R = runDescendc("--list-backends");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("cuda"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("sim"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("ast"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- tests/runtime_test.cpp - Host runtime API tests ----------------------===//
+//
+// Dedicated tests for runtime/HostRuntime.h: the checked CPU<->GPU
+// transfer and launch-configuration API that handwritten host code uses
+// (and that the hostgen-generated sim drivers call into). The checks here
+// are the *runtime* mirror of what the type checker proves statically for
+// .descend host programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HostRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace descend;
+
+namespace {
+
+TEST(HostRuntime, HostBufferConstructionAndAccess) {
+  rt::HostBuffer<double> Fill(16, 2.5);
+  EXPECT_EQ(Fill.size(), 16u);
+  EXPECT_EQ(Fill[15], 2.5);
+
+  rt::HostBuffer<int> FromVec(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(FromVec.size(), 3u);
+  EXPECT_EQ(FromVec[2], 3);
+
+  FromVec[0] = 7;
+  EXPECT_EQ(FromVec.data()[0], 7);
+}
+
+TEST(HostRuntime, HostBufferIndexIsBoundsChecked) {
+  rt::HostBuffer<double> B(4, 0.0);
+  EXPECT_THROW(B[4], std::out_of_range);
+}
+
+TEST(HostRuntime, AllocCopyRoundTrips) {
+  sim::GpuDevice Dev;
+  rt::HostBuffer<double> Host(64, 0.0);
+  for (size_t I = 0; I != Host.size(); ++I)
+    Host[I] = static_cast<double>(I);
+
+  auto Buf = rt::allocCopy(Dev, Host);
+  ASSERT_EQ(Buf.size(), Host.size());
+  EXPECT_EQ(Buf.data()[63], 63.0);
+
+  rt::HostBuffer<double> Back(64, -1.0);
+  rt::copyToHost(Back, Buf);
+  for (size_t I = 0; I != Back.size(); ++I)
+    EXPECT_EQ(Back[I], static_cast<double>(I));
+}
+
+TEST(HostRuntime, CopyToGpuHappyPath) {
+  sim::GpuDevice Dev;
+  auto Buf = Dev.alloc<double>(8);
+  rt::HostBuffer<double> Host(8, 3.25);
+  rt::copyToGpu(Buf, Host);
+  EXPECT_EQ(Buf.data()[7], 3.25);
+}
+
+TEST(HostRuntime, CopyToHostSizeMismatchThrows) {
+  sim::GpuDevice Dev;
+  auto Buf = Dev.alloc<double>(32);
+  rt::HostBuffer<double> TooSmall(16, 0.0);
+  EXPECT_THROW(rt::copyToHost(TooSmall, Buf), std::runtime_error);
+  rt::HostBuffer<double> TooBig(64, 0.0);
+  EXPECT_THROW(rt::copyToHost(TooBig, Buf), std::runtime_error);
+}
+
+TEST(HostRuntime, CopyToGpuSizeMismatchThrows) {
+  sim::GpuDevice Dev;
+  auto Buf = Dev.alloc<double>(16);
+  rt::HostBuffer<double> Host(32, 0.0);
+  EXPECT_THROW(rt::copyToGpu(Buf, Host), std::runtime_error);
+}
+
+TEST(HostRuntime, CheckLaunchConfigAcceptsExactCover) {
+  EXPECT_NO_THROW(
+      rt::checkLaunchConfig(sim::Dim3{16}, sim::Dim3{256}, 16 * 256));
+  EXPECT_NO_THROW(
+      rt::checkLaunchConfig(sim::Dim3{4, 4}, sim::Dim3{8, 8}, 1024));
+}
+
+TEST(HostRuntime, CheckLaunchConfigRejectsMismatch) {
+  // The Section 2.3 bug: 1 block of 8192 threads for 2^20 elements.
+  EXPECT_THROW(rt::checkLaunchConfig(sim::Dim3{1}, sim::Dim3{8192}, 1u << 20),
+               std::runtime_error);
+  try {
+    rt::checkLaunchConfig(sim::Dim3{2}, sim::Dim3{128}, 512);
+    FAIL() << "expected launch configuration mismatch";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find("launch configuration mismatch"),
+              std::string::npos);
+    EXPECT_NE(std::string(E.what()).find("256 threads for 512 elements"),
+              std::string::npos);
+  }
+}
+
+TEST(HostRuntime, TransfersComposeIntoAWorkingPipeline) {
+  // The handwritten equivalent of a generated driver: stage, "launch"
+  // (host-side transform standing in for a kernel), copy back.
+  sim::GpuDevice Dev;
+  rt::HostBuffer<double> Host(128, 1.0);
+  auto Buf = rt::allocCopy(Dev, Host);
+  for (size_t I = 0; I != Buf.size(); ++I)
+    Buf.data()[I] *= 2.0;
+  rt::copyToHost(Host, Buf);
+  double Sum = std::accumulate(Host.data(), Host.data() + Host.size(), 0.0);
+  EXPECT_EQ(Sum, 256.0);
+}
+
+} // namespace

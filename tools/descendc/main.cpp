@@ -21,6 +21,7 @@
 #include "driver/Pipeline.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -45,6 +46,36 @@ static int usage() {
     std::fprintf(stderr, "  %-6s %s\n", Name.c_str(), B->description());
   }
   return 2;
+}
+
+/// Reports a command-line error and the usage block; exit code 2
+/// distinguishes driver misuse from compilation failures (exit code 1).
+static int usageError(const std::string &Msg) {
+  std::fprintf(stderr, "descendc: error: %s\n", Msg.c_str());
+  return usage();
+}
+
+/// Parses "name=integer" into \p Defines. Rejects a missing '=', an empty
+/// name and a non-integer value instead of silently mis-reading them.
+static bool parseDefine(const std::string &Def,
+                        std::map<std::string, long long> &Defines,
+                        std::string &Err) {
+  size_t Eq = Def.find('=');
+  if (Eq == std::string::npos || Eq == 0) {
+    Err = "malformed -D argument '" + Def + "': expected name=value";
+    return false;
+  }
+  std::string Name = Def.substr(0, Eq);
+  std::string Value = Def.substr(Eq + 1);
+  char *End = nullptr;
+  long long V = std::strtoll(Value.c_str(), &End, 10);
+  if (Value.empty() || End == Value.c_str() || *End != '\0') {
+    Err = "malformed -D argument '" + Def + "': '" + Value +
+          "' is not an integer";
+    return false;
+  }
+  Defines[Name] = V;
+  return true;
 }
 
 static int listBackends() {
@@ -73,27 +104,31 @@ int main(int argc, char **argv) {
       TimePasses = true;
     } else if (Arg == "--dump-phase-ir") {
       DumpPhaseIR = true;
-    } else if (Arg == "-D" && I + 1 < argc) {
-      std::string Def = argv[++I];
-      size_t Eq = Def.find('=');
-      if (Eq == std::string::npos)
-        return usage();
-      Inv.Defines[Def.substr(0, Eq)] = std::atoll(Def.c_str() + Eq + 1);
+    } else if (Arg == "-D") {
+      if (I + 1 >= argc)
+        return usageError("-D expects an argument: -D name=value");
+      std::string Err;
+      if (!parseDefine(argv[++I], Inv.Defines, Err))
+        return usageError(Err);
     } else if (Arg.rfind("-D", 0) == 0 && Arg.size() > 2) {
-      size_t Eq = Arg.find('=');
-      if (Eq == std::string::npos)
-        return usage();
-      Inv.Defines[Arg.substr(2, Eq - 2)] = std::atoll(Arg.c_str() + Eq + 1);
-    } else if (Arg == "-o" && I + 1 < argc) {
+      std::string Err;
+      if (!parseDefine(Arg.substr(2), Inv.Defines, Err))
+        return usageError(Err);
+    } else if (Arg == "-o") {
+      if (I + 1 >= argc)
+        return usageError("-o expects an output path");
       Output = argv[++I];
-    } else if (!Arg.empty() && Arg[0] != '-' && Input.empty()) {
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      if (!Input.empty())
+        return usageError("unexpected extra input '" + Arg +
+                          "' (input is already '" + Input + "')");
       Input = Arg;
     } else {
-      return usage();
+      return usageError("unrecognized option '" + Arg + "'");
     }
   }
   if (Input.empty())
-    return usage();
+    return usageError("no input file");
   if (DumpPhaseIR && Emit != "check") {
     std::fprintf(stderr, "descendc: error: --dump-phase-ir cannot be "
                          "combined with --emit=%s\n",

@@ -36,7 +36,7 @@ import json, re, sys
 log = open(sys.argv[1]).read()
 rows = []
 for m in re.finditer(
-    r"^(S\d+|P\d+)\s+(.*?)\s+(accept|reject)\s+(accepted|rejected|WRONG)"
+    r"^([SPH]\d+)\s+(.*?)\s+(accept|reject)\s+(accepted|rejected|WRONG)"
     r"\s+([0-9.]+)ms$", log, re.M):
     rows.append({"id": m.group(1), "case": m.group(2).strip(),
                  "expect": m.group(3), "verdict": m.group(4),
@@ -113,5 +113,37 @@ if [ "$HAVE_ABLATIONS" = "1" ]; then
 else
   echo "== bench_ablations skipped (google-benchmark not available) =="
 fi
+
+#===---------------------------------------------------------------------===#
+# Provenance stamping: every BENCH_*.json carries the git SHA, a UTC
+# timestamp and the compiler version, so the accumulated perf trajectory
+# is attributable per commit.
+#===---------------------------------------------------------------------===#
+
+GIT_SHA="$(git -C "$ROOT_DIR" rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=""
+if ! git -C "$ROOT_DIR" diff --quiet HEAD 2>/dev/null; then
+  GIT_DIRTY="-dirty"
+fi
+STAMP_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+CXX_BIN="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+    "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1)"
+COMPILER_VERSION="unknown"
+if [ -n "$CXX_BIN" ] && [ -x "$CXX_BIN" ]; then
+  COMPILER_VERSION="$("$CXX_BIN" --version 2>/dev/null | head -n1)"
+fi
+
+python3 - "$OUT_DIR" "$GIT_SHA$GIT_DIRTY" "$STAMP_UTC" "$COMPILER_VERSION" <<'PY'
+import glob, json, sys
+out_dir, sha, stamp, compiler = sys.argv[1:5]
+for path in sorted(glob.glob(out_dir + "/BENCH_*.json")):
+    with open(path) as f:
+        data = json.load(f)
+    data["meta"] = {"git_sha": sha, "timestamp_utc": stamp,
+                    "compiler": compiler}
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+    print(f"stamped {path} @ {sha[:12]}")
+PY
 
 echo "all benches done; results in $OUT_DIR/"
