@@ -180,14 +180,17 @@ fn host() -[t: cpu.thread]-> () {
   ASSERT_TRUE(G.Ok) << G.Error;
   EXPECT_NE(G.Cuda.find("std::vector<double> h(1024, 1"), std::string::npos)
       << G.Cuda;
-  EXPECT_NE(G.Cuda.find("cudaMalloc(&d, h.size() * sizeof(double));"),
-            std::string::npos);
+  EXPECT_NE(G.Cuda.find("cudaMalloc(&d, sizeof(double) * (1024));"),
+            std::string::npos)
+      << G.Cuda;
   EXPECT_NE(G.Cuda.find("cudaMemcpyHostToDevice"), std::string::npos);
   EXPECT_NE(G.Cuda.find("scale_vec<<<dim3(4, 1, 1), dim3(256, 1, 1)>>>(d);"),
             std::string::npos)
       << G.Cuda;
   EXPECT_NE(G.Cuda.find("cudaMemcpy(h.data(), d"), std::string::npos);
   EXPECT_NE(G.Cuda.find("cudaDeviceSynchronize();"), std::string::npos);
+  // hostgen releases every device allocation before returning.
+  EXPECT_NE(G.Cuda.find("cudaFree(d);"), std::string::npos) << G.Cuda;
 }
 
 TEST(SimGen, PhasesSplitAtSync) {

@@ -218,12 +218,45 @@ fn host() -[t: cpu.thread]-> () {
 }
 )");
   EXPECT_FALSE(R.Ok);
-  ASSERT_TRUE(R.Diags->contains(DiagCode::MismatchedTypes))
+  ASSERT_TRUE(R.Diags->contains(DiagCode::TransferDirectionMismatch))
       << R.Diags->renderAll();
   std::string Msg = R.Diags->renderAll();
-  EXPECT_NE(Msg.find("expected unique reference to `cpu.mem`"),
+  EXPECT_NE(Msg.find("arguments to `copy_mem_to_host` are swapped"),
             std::string::npos)
       << Msg;
+  EXPECT_NE(Msg.find("destination must live in `cpu.mem`"),
+            std::string::npos)
+      << Msg;
+}
+
+TEST(Typeck, TransferSizeMismatchIsTargeted) {
+  auto R = checkProgram(R"(
+fn host() -[t: cpu.thread]-> () {
+  let h_big = CpuHeap::new([1.0; 2048]);
+  let d_vec = GpuGlobal::alloc_copy(&h_big);
+  let h_small = CpuHeap::new([0.0; 1024]);
+  copy_mem_to_host(&uniq h_small, &d_vec)
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  ASSERT_TRUE(R.Diags->contains(DiagCode::TransferSizeMismatch))
+      << R.Diags->renderAll();
+  std::string Msg = R.Diags->renderAll();
+  EXPECT_NE(Msg.find("cannot transfer `2048` elements"), std::string::npos)
+      << Msg;
+}
+
+TEST(Typeck, CopyToGpuDirectionChecked) {
+  auto R = checkProgram(R"(
+fn host() -[t: cpu.thread]-> () {
+  let h_vec = CpuHeap::new([0.0; 1024]);
+  let d_vec = GpuGlobal::alloc_copy(&h_vec);
+  copy_to_gpu(&uniq h_vec, &d_vec)
+}
+)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Diags->contains(DiagCode::TransferDirectionMismatch))
+      << R.Diags->renderAll();
 }
 
 TEST(Typeck, CorrectMemcpyChecks) {
