@@ -2,60 +2,14 @@
 
 #include "codegen/Lowerer.h"
 
+#include "kir/Passes.h"
 #include "support/StringUtils.h"
 #include "views/IndexSpace.h"
 
 #include <cassert>
-#include <cctype>
 
 using namespace descend;
 using namespace descend::codegen;
-
-const char *descend::codegen::cppScalarType(ScalarKind K) {
-  switch (K) {
-  case ScalarKind::I32:
-    return "int32_t";
-  case ScalarKind::I64:
-    return "int64_t";
-  case ScalarKind::U32:
-    return "uint32_t";
-  case ScalarKind::U64:
-    return "uint64_t";
-  case ScalarKind::F32:
-    return "float";
-  case ScalarKind::F64:
-    return "double";
-  case ScalarKind::Bool:
-    return "bool";
-  case ScalarKind::Unit:
-    return "void";
-  }
-  return "void";
-}
-
-bool descend::codegen::containsPow(const Nat &N) {
-  if (N.isNull())
-    return false;
-  if (N.kind() == NatKind::Pow)
-    return true;
-  switch (N.kind()) {
-  case NatKind::Lit:
-  case NatKind::Var:
-    return false;
-  default:
-    return containsPow(N.lhs()) || containsPow(N.rhs());
-  }
-}
-
-std::string descend::codegen::floatLiteral(double V, ScalarKind K) {
-  std::string S = strfmt("%.17g", V);
-  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
-      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
-    S += ".0";
-  if (K == ScalarKind::F32)
-    S += "f";
-  return S;
-}
 
 bool descend::codegen::arrayNest(const TypeRef &T, std::vector<Nat> &Dims,
                                  ScalarKind &Elem) {
@@ -89,7 +43,7 @@ bool Lowerer::fail(const std::string &Msg) {
   return false;
 }
 
-void Lowerer::line(const std::string &S) { Out << renderLine(S); }
+void Lowerer::emit(kir::Stmt S) { ListStack.back()->push_back(std::move(S)); }
 
 void Lowerer::pushScope() { Scopes.emplace_back(); }
 
@@ -115,12 +69,9 @@ Sym *Lowerer::lookup(const std::string &Name) {
   return &It->second.back();
 }
 
-/// Raw coordinate variable for (stage, axis).
+/// Raw coordinate variable for (stage, axis). Target-independent: the
+/// CUDA printer maps _bx/_tx/... to blockIdx/threadIdx spelling.
 std::string Lowerer::axisVarName(unsigned Stage, Axis A) const {
-  if (B == LowerTarget::Cuda) {
-    std::string Base = Stage == 0 ? "blockIdx." : "threadIdx.";
-    return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
-  }
   std::string Base = Stage == 0 ? "_b" : "_t";
   return Base + (A == Axis::X ? "x" : A == Axis::Y ? "y" : "z");
 }
@@ -188,16 +139,6 @@ Nat Lowerer::substLoopConsts(Nat N) {
     if (Sym *S = lookup(V); S && S->K == Sym::NatVar && S->ConstVal)
       Subst[V] = S->ConstVal;
   return Subst.empty() ? N : N.substitute(Subst);
-}
-
-std::string Lowerer::natToCpp(const Nat &N) {
-  Nat S = N.simplified();
-  if (containsPow(S)) {
-    fail("internal: unfolded 2^i expression reached code generation: " +
-         S.str());
-    return "0";
-  }
-  return S.str();
 }
 
 //===----------------------------------------------------------------------===//
@@ -340,49 +281,39 @@ std::optional<Lowerer::LPlace> Lowerer::lowerPlace(const PlaceExpr &P) {
   return Result;
 }
 
-std::string Lowerer::placeLoad(const LPlace &P) {
-  switch (P.K) {
-  case LPlace::NatValue:
-    return natToCpp(P.NatVal);
-  case LPlace::Local:
-    return P.Root->CppName;
-  case LPlace::Global:
-    if (B == LowerTarget::Cuda)
-      return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
-    return P.Root->CppName + ".load(_b, " + natToCpp(P.Index) + ")";
-  case LPlace::Shared:
-    if (B == LowerTarget::Cuda)
-      return P.Root->CppName + "[" + natToCpp(P.Index) + "]";
-    return strfmt("_b.sharedLoad<%s>(%zu, %s)",
-                  cppScalarType(P.Root->Elem), P.Root->ByteBase,
-                  natToCpp(P.Index).c_str());
-  }
-  return "0";
+kir::MemRef Lowerer::memRefFor(const Sym &Root) const {
+  kir::MemRef Ref;
+  Ref.Space = Root.K == Sym::GlobalBuf ? kir::MemSpace::Global
+                                       : kir::MemSpace::Shared;
+  Ref.Name = Root.CppName;
+  Ref.Elem = Root.Elem;
+  Ref.ByteBase = Root.ByteBase;
+  return Ref;
 }
 
-bool Lowerer::placeStore(const LPlace &P, const std::string &Value) {
+kir::ExprPtr Lowerer::placeLoad(const LPlace &P) {
+  switch (P.K) {
+  case LPlace::NatValue:
+    return kir::Expr::natVal(P.NatVal);
+  case LPlace::Local:
+    return kir::Expr::varRef(P.Root->CppName);
+  case LPlace::Global:
+  case LPlace::Shared:
+    return kir::Expr::load(memRefFor(*P.Root), P.Index);
+  }
+  return nullptr;
+}
+
+bool Lowerer::placeStore(const LPlace &P, kir::ExprPtr Value) {
   switch (P.K) {
   case LPlace::NatValue:
     return fail("cannot assign to a loop variable");
   case LPlace::Local:
-    line(P.Root->CppName + " = " + Value + ";");
+    emit(kir::Stmt::assign(P.Root->CppName, std::move(Value)));
     return true;
   case LPlace::Global:
-    if (B == LowerTarget::Cuda)
-      line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
-           ";");
-    else
-      line(P.Root->CppName + ".store(_b, " + natToCpp(P.Index) + ", " +
-           Value + ");");
-    return true;
   case LPlace::Shared:
-    if (B == LowerTarget::Cuda)
-      line(P.Root->CppName + "[" + natToCpp(P.Index) + "] = " + Value +
-           ";");
-    else
-      line(strfmt("_b.sharedStore<%s>(%zu, %s, %s);",
-                  cppScalarType(P.Root->Elem), P.Root->ByteBase,
-                  natToCpp(P.Index).c_str(), Value.c_str()));
+    emit(kir::Stmt::store(memRefFor(*P.Root), P.Index, std::move(Value)));
     return true;
   }
   return false;
@@ -392,46 +323,84 @@ bool Lowerer::placeStore(const LPlace &P, const std::string &Value) {
 // Expressions & statements
 //===----------------------------------------------------------------------===//
 
-std::optional<std::string> Lowerer::genExpr(const Expr &E) {
+namespace {
+
+kir::BinOp mapBinOp(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+    return kir::BinOp::Add;
+  case BinOpKind::Sub:
+    return kir::BinOp::Sub;
+  case BinOpKind::Mul:
+    return kir::BinOp::Mul;
+  case BinOpKind::Div:
+    return kir::BinOp::Div;
+  case BinOpKind::Mod:
+    return kir::BinOp::Mod;
+  case BinOpKind::Eq:
+    return kir::BinOp::Eq;
+  case BinOpKind::Ne:
+    return kir::BinOp::Ne;
+  case BinOpKind::Lt:
+    return kir::BinOp::Lt;
+  case BinOpKind::Le:
+    return kir::BinOp::Le;
+  case BinOpKind::Gt:
+    return kir::BinOp::Gt;
+  case BinOpKind::Ge:
+    return kir::BinOp::Ge;
+  case BinOpKind::And:
+    return kir::BinOp::And;
+  case BinOpKind::Or:
+    return kir::BinOp::Or;
+  }
+  return kir::BinOp::Add;
+}
+
+} // namespace
+
+kir::ExprPtr Lowerer::genExpr(const Expr &E) {
   switch (E.kind()) {
   case ExprKind::Literal: {
     const auto *L = cast<LiteralExpr>(&E);
     switch (L->Scalar) {
     case ScalarKind::Bool:
-      return std::string(L->BoolValue ? "true" : "false");
+      return kir::Expr::boolLit(L->BoolValue);
     case ScalarKind::F32:
     case ScalarKind::F64:
-      return floatLiteral(L->FloatValue, L->Scalar);
+      return kir::Expr::floatLit(L->FloatValue, L->Scalar);
     case ScalarKind::Unit:
-      return std::string("/*unit*/0");
+      return kir::Expr::unitLit();
     default:
-      return std::to_string(L->IntValue);
+      return kir::Expr::intLit(L->IntValue, L->Scalar);
     }
   }
   case ExprKind::Binary: {
     const auto *Bin = cast<BinaryExpr>(&E);
-    auto L = genExpr(*Bin->Lhs);
-    auto R = genExpr(*Bin->Rhs);
+    kir::ExprPtr L = genExpr(*Bin->Lhs);
+    kir::ExprPtr R = genExpr(*Bin->Rhs);
     if (!L || !R)
-      return std::nullopt;
-    return "(" + *L + " " + binOpSpelling(Bin->Op) + " " + *R + ")";
+      return nullptr;
+    return kir::Expr::binary(mapBinOp(Bin->Op), std::move(L), std::move(R));
   }
   case ExprKind::Unary: {
     const auto *U = cast<UnaryExpr>(&E);
-    auto S = genExpr(*U->Sub);
+    kir::ExprPtr S = genExpr(*U->Sub);
     if (!S)
-      return std::nullopt;
-    return std::string(U->Op == UnOpKind::Neg ? "-" : "!") + *S;
+      return nullptr;
+    return kir::Expr::unary(U->Op == UnOpKind::Neg ? kir::UnOp::Neg
+                                                   : kir::UnOp::Not,
+                            std::move(S));
   }
   default:
     if (const auto *P = dyn_cast<PlaceExpr>(&E)) {
       auto LP = lowerPlace(*P);
       if (!LP)
-        return std::nullopt;
+        return nullptr;
       return placeLoad(*LP);
     }
     fail("unsupported expression in kernel: " + exprToString(E));
-    return std::nullopt;
+    return nullptr;
   }
 }
 
@@ -444,10 +413,11 @@ bool Lowerer::containsKind(const Expr &E, ExprKind K) {
   return Found;
 }
 
-/// True when \p N contains an unfolded Pow node mentioning \p Var (e.g.
-/// 2^(s+1) for loop variable s). Such nats only fold to printable C++
-/// once the variable is a known constant.
-static bool powMentionsVar(const Nat &N, const std::string &Var) {
+/// True when \p N contains a Pow node mentioning \p Var that cannot be
+/// printed as a shift (base is not the literal 2). Such nats only fold to
+/// printable C++ once the variable is a known constant; `2^i` strides
+/// print as `(1ll << i)` and stay symbolic.
+static bool nonShiftablePowMentionsVar(const Nat &N, const std::string &Var) {
   if (N.isNull())
     return false;
   switch (N.kind()) {
@@ -455,6 +425,8 @@ static bool powMentionsVar(const Nat &N, const std::string &Var) {
   case NatKind::Var:
     return false;
   case NatKind::Pow: {
+    if (N.lhs().isLit() && N.lhs().litValue() == 2)
+      return nonShiftablePowMentionsVar(N.rhs(), Var);
     std::vector<std::string> Vars;
     N.collectVars(Vars);
     for (const std::string &V : Vars)
@@ -463,130 +435,98 @@ static bool powMentionsVar(const Nat &N, const std::string &Var) {
     return false;
   }
   default:
-    return powMentionsVar(N.lhs(), Var) || powMentionsVar(N.rhs(), Var);
+    return nonShiftablePowMentionsVar(N.lhs(), Var) ||
+           nonShiftablePowMentionsVar(N.rhs(), Var);
   }
 }
 
 /// True when any nat inside \p E (view arguments, split positions, loop
-/// bounds) raises to a power of \p Var. A nested for-nat that rebinds the
-/// same name shadows it.
-static bool usesPowOfVar(const Expr &E, const std::string &Var) {
+/// bounds) raises a non-2 base to a power of \p Var. A nested for-nat
+/// that rebinds the same name shadows it.
+static bool usesNonShiftablePowOfVar(const Expr &E, const std::string &Var) {
   if (const auto *V = dyn_cast<PlaceView>(&E)) {
     for (const Nat &A : V->NatArgs)
-      if (powMentionsVar(A, Var))
+      if (nonShiftablePowMentionsVar(A, Var))
         return true;
   } else if (const auto *S = dyn_cast<SplitExpr>(&E)) {
-    if (powMentionsVar(S->Position, Var))
+    if (nonShiftablePowMentionsVar(S->Position, Var))
       return true;
   } else if (const auto *F = dyn_cast<ForNatExpr>(&E)) {
-    if (powMentionsVar(F->Lo, Var) || powMentionsVar(F->Hi, Var))
+    if (nonShiftablePowMentionsVar(F->Lo, Var) ||
+        nonShiftablePowMentionsVar(F->Hi, Var))
       return true;
     if (F->Var == Var)
       return false; // shadowed in the body
   }
   bool Found = false;
   forEachChild(const_cast<Expr &>(E),
-               [&](Expr &C) { Found = Found || usesPowOfVar(C, Var); });
+               [&](Expr &C) { Found = Found || usesNonShiftablePowOfVar(C, Var); });
   return Found;
 }
 
-/// Counts occurrences of identifier \p Name in \p S (token boundaries on
-/// both sides).
-static size_t countIdent(const std::string &S, const std::string &Name) {
-  auto IsIdent = [](char C) {
-    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
-  };
-  size_t Count = 0;
-  for (size_t Pos = S.find(Name); Pos != std::string::npos;
-       Pos = S.find(Name, Pos + 1)) {
-    bool LeftOk = Pos == 0 || !IsIdent(S[Pos - 1]);
-    bool RightOk =
-        Pos + Name.size() == S.size() || !IsIdent(S[Pos + Name.size()]);
-    Count += LeftOk && RightOk;
-  }
-  return Count;
+//===----------------------------------------------------------------------===//
+// Phase construction (sim)
+//===----------------------------------------------------------------------===//
+
+/// True when the pending phase has statements beyond the spill/reload
+/// preamble.
+bool Lowerer::phaseHasContent() const {
+  for (const kir::Stmt &S : PhaseBuf)
+    if (!S.SpillReload)
+      return true;
+  return false;
 }
 
-/// The exact text line() emits for \p S, including indentation — line()
-/// delegates here, so recorded reload/spill lines (localLine) match the
-/// emitted text byte for byte.
-std::string Lowerer::renderLine(const std::string &S) const {
-  std::string R;
-  for (unsigned I = 0; I != Indent; ++I)
-    R += "  ";
-  R += S;
-  R += "\n";
-  return R;
-}
-
-/// Emits a reload/spill line for the local \p CppName and records its
-/// exact text so pushStraightPhase can elide it if the phase turns out
-/// never to touch the local.
-void Lowerer::localLine(const std::string &S, const std::string &CppName) {
-  PhaseLocalLines[CppName].push_back(renderLine(S));
-  line(S);
-}
-
-/// Removes the reload/spill lines of any phase-spanning local the phase
-/// never touches: the arena slot already holds the right value, so
-/// round-tripping it is dead work (the handwritten kernels only touch a
-/// spilled accumulator in the phases that use it). Lines are identified
-/// by exact match against what localLine recorded for this phase.
-std::string Lowerer::elideDeadSpills(std::string Phase) const {
-  for (const auto &[Name, Recorded] : PhaseLocalLines) {
-    // Usage = identifier occurrences outside the recorded lines. Each
-    // recorded line mentions the name exactly once.
-    size_t RecordedUses = 0;
-    for (const std::string &L : Recorded)
-      if (Phase.find(L) != std::string::npos)
-        ++RecordedUses;
-    if (countIdent(Phase, Name) != RecordedUses)
-      continue; // really used somewhere
-    for (const std::string &L : Recorded) {
-      size_t Pos = Phase.find(L);
-      if (Pos != std::string::npos)
-        Phase.erase(Pos, L.size());
-    }
-  }
-  return Phase;
-}
-
-/// Closes the current phase body and appends it as a StraightPhase to the
-/// innermost open node list.
-void Lowerer::pushStraightPhase() {
-  NodeStack.back()->push_back(PhaseNode::straight(elideDeadSpills(Out.str())));
-  Out.str("");
-  PhaseLocalLines.clear();
+/// Closes the pending phase: elides dead spill/reload pairs and appends
+/// the body as a StraightPhase to the innermost open node list — unless
+/// the body came out empty (a trailing or doubled sync orders nothing, so
+/// the no-op phase is dropped; \p KeepEmpty forces a node for otherwise
+/// empty kernels).
+void Lowerer::closePhase(bool KeepEmpty) {
+  kir::elideDeadSpillPairs(PhaseBuf);
+  if (!PhaseBuf.empty() || KeepEmpty)
+    NodeStack.back()->push_back(PhaseNode::straight(std::move(PhaseBuf)));
+  PhaseBuf.clear();
 }
 
 void Lowerer::phaseBreak() {
   if (B == LowerTarget::Cuda) {
-    line("__syncthreads();");
+    emit(kir::Stmt::barrier());
+    return;
+  }
+  if (ListStack.size() != 1) {
+    fail("internal: sync inside a divergent or structured context");
     return;
   }
   // Registers do not survive the phase boundary: spill phase-spanning
   // locals to their per-thread arena slot and reload at the start of the
   // next phase (one load/store per local per phase, as a handwritten
   // kernel would do). Phases that never touch a local get the pair
-  // elided again in pushStraightPhase.
+  // elided again in closePhase.
+  auto ArenaRef = [&](const LiveLocal &L) {
+    kir::MemRef Ref;
+    Ref.Space = kir::MemSpace::Arena;
+    Ref.Name = L.CppName;
+    Ref.Elem = L.Elem;
+    Ref.ByteBase = L.Off;
+    return Ref;
+  };
   for (const LiveLocal &L : LiveLocals)
-    localLine(strfmt("_b.shared<%s>(_locals_base + %zu)[_lin] = %s;",
-                     cppScalarType(L.Elem), L.Off, L.CppName.c_str()),
-              L.CppName);
-  pushStraightPhase();
+    emit(kir::Stmt::store(ArenaRef(L), Nat::var("_lin"),
+                          kir::Expr::varRef(L.CppName),
+                          /*SpillReload=*/true));
+  closePhase();
   for (const LiveLocal &L : LiveLocals)
-    localLine(strfmt("%s %s = _b.shared<%s>(_locals_base + %zu)[_lin];",
-                     cppScalarType(L.Elem), L.CppName.c_str(),
-                     cppScalarType(L.Elem), L.Off),
-              L.CppName);
-  PhaseContentMark = Out.str().size();
+    emit(kir::Stmt::let(L.CppName, L.Elem,
+                        kir::Expr::load(ArenaRef(L), Nat::var("_lin")),
+                        /*SpillReload=*/true));
 }
 
 /// Phase boundary at a PhaseLoop edge: a barrier is only needed when the
 /// pending phase has real content beyond the reload preamble; a bare
 /// preamble flows into whatever phase starts next.
 void Lowerer::softPhaseBreak() {
-  if (Out.str().size() > PhaseContentMark)
+  if (phaseHasContent())
     phaseBreak();
 }
 
@@ -608,17 +548,17 @@ bool Lowerer::genStmt(const Expr &E) {
       ScalarKind Elem = ScalarKind::F64;
       if (!arrayNest(A->AllocTy, Dims, Elem))
         return fail("alloc type must be an array of scalars");
-      size_t Bytes = 1;
+      size_t Elems = 1;
       for (const Nat &D : Dims) {
         auto V = D.evaluate({});
         if (!V)
           return fail("shared allocation sizes must be concrete");
-        Bytes *= *V;
+        Elems *= *V;
       }
       size_t ElemSize = Elem == ScalarKind::F32 ? 4
                         : Elem == ScalarKind::Bool ? 1
                                                    : 8;
-      Bytes *= ElemSize;
+      size_t Bytes = Elems * ElemSize;
       Sym S;
       S.K = Sym::SharedBuf;
       S.CppName = L->Name;
@@ -626,11 +566,8 @@ bool Lowerer::genStmt(const Expr &E) {
       S.Dims = Dims;
       S.ByteBase = (SharedBytes + 7) & ~size_t(7);
       SharedBytes = S.ByteBase + Bytes;
-      if (B == LowerTarget::Cuda) {
-        size_t Total = Bytes / ElemSize;
-        line(strfmt("__shared__ %s %s[%zu];", cppScalarType(Elem),
-                    L->Name.c_str(), Total));
-      }
+      SharedDecls.push_back(SharedDecl{L->Name, Elem, Elems});
+      BufferSpaces[L->Name] = kir::MemSpace::Shared;
       bind(L->Name, std::move(S));
       return true;
     }
@@ -642,14 +579,12 @@ bool Lowerer::genStmt(const Expr &E) {
       return fail("only scalar lets and shared allocations are supported "
                   "inside kernels: let " +
                   L->Name);
-    auto Init = genExpr(*L->Init);
+    kir::ExprPtr Init = genExpr(*L->Init);
     if (!Init)
       return false;
     Sym S;
     S.K = Sym::Local;
-    S.CppName = B == LowerTarget::Cuda
-                    ? L->Name
-                    : strfmt("%s_%u", L->Name.c_str(), NextLocalUid++);
+    S.CppName = strfmt("%s_%u", L->Name.c_str(), NextLocalUid++);
     S.Elem = Scalar->Scalar;
     // Per-thread arena region for phase-spanning state (sim): each var
     // gets 8 * ThreadsPerBlock bytes after the shared allocations.
@@ -657,8 +592,7 @@ bool Lowerer::genStmt(const Expr &E) {
     LocalBytesPerThread = S.LocalOff + 8;
     S.LocalOff = S.LocalOff * ThreadsPerBlock;
     const Sym &Bound = bind(L->Name, std::move(S));
-    line(strfmt("%s %s = %s;", cppScalarType(Bound.Elem),
-                Bound.CppName.c_str(), Init->c_str()));
+    emit(kir::Stmt::let(Bound.CppName, Bound.Elem, std::move(Init)));
     if (B == LowerTarget::Sim)
       LiveLocals.push_back(LiveLocal{Bound.CppName, Bound.Elem,
                                      Bound.LocalOff,
@@ -667,13 +601,13 @@ bool Lowerer::genStmt(const Expr &E) {
   }
   case ExprKind::Assign: {
     const auto *A = cast<AssignExpr>(&E);
-    auto Value = genExpr(*A->Rhs);
+    kir::ExprPtr Value = genExpr(*A->Rhs);
     if (!Value)
       return false;
     auto LP = lowerPlace(*A->Lhs);
     if (!LP)
       return false;
-    return placeStore(*LP, *Value);
+    return placeStore(*LP, std::move(Value));
   }
   case ExprKind::Sched: {
     const auto *S = cast<SchedExpr>(&E);
@@ -719,9 +653,10 @@ bool Lowerer::genStmt(const Expr &E) {
       if (Op.Stage == Stage && Op.Ax == S->SplitAxis &&
           Op.Kind == ExecOpKind::SplitSnd)
         Coord = Coord - Op.Pos;
-    line("if (" + natToCpp(Coord) + " < " + natToCpp(Pos) + ") {");
-    ++Indent;
+    emit(kir::Stmt::ifLt(Coord.simplified(), Pos));
+    kir::Stmt &IfStmt = ListStack.back()->back();
     {
+      ListStack.push_back(&IfStmt.Then);
       pushScope();
       Sym Binder;
       Binder.K = Sym::ExecVar;
@@ -735,13 +670,12 @@ bool Lowerer::genStmt(const Expr &E) {
       bool Ok = genStmt(*S->FstBody);
       CurExec = Saved;
       popScope();
+      ListStack.pop_back();
       if (!Ok)
         return false;
     }
-    --Indent;
-    line("} else {");
-    ++Indent;
     {
+      ListStack.push_back(&IfStmt.Else);
       pushScope();
       Sym Binder;
       Binder.K = Sym::ExecVar;
@@ -755,16 +689,15 @@ bool Lowerer::genStmt(const Expr &E) {
       bool Ok = genStmt(*S->SndBody);
       CurExec = Saved;
       popScope();
+      ListStack.pop_back();
       if (!Ok)
         return false;
     }
-    --Indent;
-    line("}");
     return true;
   }
   case ExprKind::Sync:
     phaseBreak();
-    return true;
+    return Error.empty();
   case ExprKind::ForNat: {
     const auto *F = cast<ForNatExpr>(&E);
     Nat Lo = substLoopConsts(F->Lo).simplified();
@@ -772,19 +705,20 @@ bool Lowerer::genStmt(const Expr &E) {
     // Only loops whose nat arithmetic must fold iteration by iteration
     // are unrolled (their ranges are statically evaluated, Fig. 5): a
     // body that splits the hierarchy (split positions like n/2^(s+1)
-    // change shape per iteration) or strides views by 2^i of the loop
-    // variable. A loop that merely synchronizes keeps its structure — a
+    // change shape per iteration) or raises a non-2 base to a power of
+    // the loop variable. A loop that merely synchronizes — or strides
+    // views by 2^i, which prints as a shift — keeps its structure: a
     // PhaseLoop in the simulator's phase program, a plain `for` with
-    // __syncthreads() inside for CUDA — so its bounds stay symbolic.
+    // __syncthreads() inside for CUDA, so its bounds stay symbolic.
     bool HasSplit = containsKind(*F->Body, ExprKind::Split);
-    bool NeedUnroll = HasSplit || usesPowOfVar(*F->Body, F->Var);
+    bool NeedUnroll = HasSplit || usesNonShiftablePowOfVar(*F->Body, F->Var);
     if (NeedUnroll) {
       if (!Lo.isLit() || !Hi.isLit())
         return fail(std::string(HasSplit
                         ? "loops containing split need static bounds "
                           "(split positions change per iteration)"
-                        : "loops striding views by 2^" + F->Var +
-                              " need static bounds") +
+                        : "loops raising a non-2 base to a power of " +
+                              F->Var + " need static bounds") +
                     ", got [" + Lo.str() + ".." + Hi.str() + "]");
       for (long long V = Lo.litValue(); V < Hi.litValue(); ++V) {
         pushScope();
@@ -804,10 +738,9 @@ bool Lowerer::genStmt(const Expr &E) {
       return false;
     if (B == LowerTarget::Sim && containsKind(*F->Body, ExprKind::Sync))
       return genPhaseLoop(*F, std::move(Lo), std::move(Hi));
-    line(strfmt("for (long long %s = %s; %s < %s; ++%s) {",
-                F->Var.c_str(), natToCpp(Lo).c_str(), F->Var.c_str(),
-                natToCpp(Hi).c_str(), F->Var.c_str()));
-    ++Indent;
+    emit(kir::Stmt::forLoop(F->Var, std::move(Lo), std::move(Hi)));
+    kir::Stmt &ForStmt = ListStack.back()->back();
+    ListStack.push_back(&ForStmt.Body);
     pushScope();
     Sym S;
     S.K = Sym::NatVar;
@@ -815,8 +748,7 @@ bool Lowerer::genStmt(const Expr &E) {
     bind(F->Var, std::move(S));
     bool Ok = genStmt(*F->Body);
     popScope();
-    --Indent;
-    line("}");
+    ListStack.pop_back();
     return Ok;
   }
   default:
@@ -825,11 +757,11 @@ bool Lowerer::genStmt(const Expr &E) {
 }
 
 /// A symbolic loop bound may only reference enclosing loop variables
-/// (which the emitted code declares); a free size variable or an
-/// unfolded 2^i means the kernel was not fully instantiated.
+/// (which the emitted code declares); a free size variable or a pow that
+/// cannot print as a shift means the kernel was not fully instantiated.
 bool Lowerer::checkLoopBounds(const Nat &Lo, const Nat &Hi) {
-  if (containsPow(Lo) || containsPow(Hi))
-    return fail("loop bounds contain an uninstantiated 2^i expression: [" +
+  if (kir::containsNonShiftablePow(Lo) || kir::containsNonShiftablePow(Hi))
+    return fail("loop bounds contain an unprintable pow expression: [" +
                 Lo.str() + ".." + Hi.str() + "]; instantiate generic sizes "
                 "first (--define)");
   std::vector<std::string> Vars;
@@ -850,6 +782,9 @@ bool Lowerer::checkLoopBounds(const Nat &Lo, const Nat &Hi) {
 /// loop's children with the loop variable left symbolic, and the runtime
 /// binds it per iteration through BlockCtx::loopVar(Slot).
 bool Lowerer::genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi) {
+  if (ListStack.size() != 1)
+    return fail("internal: sync-containing loop inside a divergent or "
+                "structured context");
   softPhaseBreak();
   PhaseNode LoopNode = PhaseNode::loop(F.Var, LoopDepth, std::move(Lo),
                                        std::move(Hi));
@@ -870,19 +805,89 @@ bool Lowerer::genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi) {
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Pass pipeline & verification
+//===----------------------------------------------------------------------===//
+
+bool Lowerer::runPasses() {
+  if (B == LowerTarget::Cuda) {
+    kir::elideRedundantBarriers(Body, /*IsKernelTopLevel=*/true);
+    kir::cseIndexes(Body);
+    return true;
+  }
+  // Dead spill pairs and empty phases were already handled per phase at
+  // closePhase(); CSE runs per straight phase (each is its own scope).
+  std::function<void(std::vector<PhaseNode> &)> Walk =
+      [&](std::vector<PhaseNode> &Nodes) {
+        for (PhaseNode &N : Nodes) {
+          if (N.K == PhaseNode::Straight)
+            kir::cseIndexes(N.Body);
+          else
+            Walk(N.Children);
+        }
+      };
+  Walk(Program.Nodes);
+  return true;
+}
+
+bool Lowerer::verifyKernel() {
+  kir::VerifyOptions Opts;
+  Opts.DefinedVars = {"_bx", "_by", "_bz", "_tx", "_ty", "_tz", "_lin"};
+  Opts.Buffers = BufferSpaces;
+  Opts.CheckBuffers = true;
+
+  std::string Err;
+  if (B == LowerTarget::Cuda) {
+    Opts.AllowBarriers = true;
+    if (!kir::verify(Body, Opts, Err))
+      return fail("internal: kir verify: " + Err);
+    return true;
+  }
+  // Phase bodies carry no barriers (the boundary is the barrier); phases
+  // under a PhaseLoop additionally see the loop variables.
+  Opts.AllowBarriers = false;
+  std::function<bool(const std::vector<PhaseNode> &,
+                     std::vector<std::string> &)>
+      Walk = [&](const std::vector<PhaseNode> &Nodes,
+                 std::vector<std::string> &Enclosing) -> bool {
+    for (const PhaseNode &N : Nodes) {
+      if (N.K == PhaseNode::Straight) {
+        kir::VerifyOptions PhaseOpts = Opts;
+        PhaseOpts.DefinedVars.insert(PhaseOpts.DefinedVars.end(),
+                                     Enclosing.begin(), Enclosing.end());
+        if (!kir::verify(N.Body, PhaseOpts, Err))
+          return fail("internal: kir verify: " + Err);
+        continue;
+      }
+      Enclosing.push_back(N.Var);
+      bool Ok = Walk(N.Children, Enclosing);
+      Enclosing.pop_back();
+      if (!Ok)
+        return false;
+    }
+    return true;
+  };
+  std::vector<std::string> Enclosing;
+  return Walk(Program.Nodes, Enclosing);
+}
+
 bool Lowerer::runKernel(const FnDef &Fn) {
   Program.clear();
-  CudaBody.clear();
+  Body.clear();
+  SharedDecls.clear();
   SharedBytes = 0;
   LocalBytesPerThread = 0;
-  Out.str("");
   Syms.clear();
   Scopes.clear();
+  LiveLocals.clear();
+  NextLocalUid = 0;
+  ListStack.clear();
+  PhaseBuf.clear();
   NodeStack.clear();
   NodeStack.push_back(&Program.Nodes);
+  ListStack.push_back(B == LowerTarget::Sim ? &PhaseBuf : &Body);
   LoopDepth = 0;
-  PhaseContentMark = 0;
-  PhaseLocalLines.clear();
+  BufferSpaces.clear();
 
   auto Threads = Fn.Exec.BlockDim.total().evaluate({});
   if (!Threads)
@@ -917,6 +922,7 @@ bool Lowerer::runKernel(const FnDef &Fn) {
     S.Elem = Elem;
     S.Dims = std::move(Dims);
     S.Uniq = Ref->Own == Ownership::Uniq;
+    BufferSpaces[P.Name] = kir::MemSpace::Global;
     bind(P.Name, std::move(S));
   }
 
@@ -926,12 +932,15 @@ bool Lowerer::runKernel(const FnDef &Fn) {
     return false;
 
   if (B == LowerTarget::Sim) {
-    // Close the trailing phase; keep at least one so an empty kernel
-    // still launches with a well-formed (no-op) program.
-    if (Out.str().size() > PhaseContentMark || Program.Nodes.empty())
-      pushStraightPhase();
-  } else {
-    CudaBody = Out.str();
+    // Close the trailing phase; a bare reload preamble left over from a
+    // loop edge is dead at kernel end. Keep at least one phase so an
+    // empty kernel still launches with a well-formed (no-op) program.
+    if (phaseHasContent())
+      closePhase();
+    PhaseBuf.clear();
+    if (Program.Nodes.empty())
+      closePhase(/*KeepEmpty=*/true);
   }
-  return true;
+
+  return runPasses() && verifyKernel();
 }

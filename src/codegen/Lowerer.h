@@ -5,16 +5,26 @@
 // variables, selections and views compile to raw indices (through
 // views/IndexSpace, normalized by the nat simplifier), split becomes an
 // if/else over coordinates, sync becomes a barrier (CUDA) or a phase
-// boundary (sim). Backends differ only in how memory accesses and the
-// surrounding function shells are spelled, which the LowerTarget selects.
+// boundary (sim). The result is *typed kernel IR* (kir::Stmt), never
+// text: the backends print the same IR with their own access spelling
+// (kir::CppStyle), and coordinates are the target-independent variables
+// _bx/_by/_bz/_tx/_ty/_tz (the CUDA printer maps them to
+// blockIdx/threadIdx).
 //
 // For the simulator the result is a structured phase program
 // (codegen/PhaseIR.h): a `for` whose body synchronizes becomes one
 // PhaseLoop with a constant number of StraightPhase children instead of
 // O(trip count) unrolled phase bodies, and its bounds need not be
 // literals. Only loops whose nat arithmetic must fold per iteration —
-// split positions or 2^i strides mentioning the loop variable — are
-// still unrolled (and those genuinely require static bounds).
+// split positions mentioning the loop variable, or pow strides that
+// cannot print as shifts — are still unrolled (and those genuinely
+// require static bounds). `2^i` strides of the loop variable print as
+// `(1ll << i)` and no longer force unrolling.
+//
+// After building, runKernel() runs the KIR pass pipeline (kir/Passes.h:
+// index CSE, redundant-barrier and dead-spill elision, empty phases
+// dropped at construction) and structurally checks the result with
+// kir::verify().
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,11 +34,11 @@
 #include "ast/Item.h"
 #include "codegen/PhaseIR.h"
 #include "exec/ExecResource.h"
+#include "kir/KIR.h"
 #include "views/View.h"
 
 #include <map>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,14 +49,18 @@ namespace codegen {
 enum class LowerTarget { Cuda, Sim };
 
 /// C++ spelling of a Descend scalar type.
-const char *cppScalarType(ScalarKind K);
-
-/// True when the Nat contains an unfolded Pow node (cannot be printed as
-/// C++; '^' means xor there).
-bool containsPow(const Nat &N);
+inline const char *cppScalarType(ScalarKind K) {
+  return kir::cppScalarType(K);
+}
 
 /// C++ literal for a float value of kind \p K (F32 gets the 'f' suffix).
-std::string floatLiteral(double V, ScalarKind K);
+inline std::string floatLiteral(double V, ScalarKind K) {
+  return kir::floatLiteral(V, K);
+}
+
+/// True when the Nat contains any unfolded Pow node (hostgen sizes must
+/// be fully folded; kernel indices print 2^i as shifts instead).
+inline bool containsPow(const Nat &N) { return kir::containsPow(N); }
 
 /// Extracts the array-nest dimensions and element scalar type of a kernel
 /// parameter / allocation type.
@@ -68,8 +82,16 @@ struct Sym {
   Nat ConstVal; // set while unrolled
 };
 
-/// Lowers one GPU grid function into a linear CUDA body or a sequence of
-/// simulator phases.
+/// One gpu.shared allocation of the kernel, printed by the CUDA backend
+/// as a `__shared__` declaration in the function shell.
+struct SharedDecl {
+  std::string Name;
+  ScalarKind Elem = ScalarKind::F64;
+  size_t Elems = 0;
+};
+
+/// Lowers one GPU grid function into typed kernel IR: a linear statement
+/// body (CUDA) or a phase program (sim).
 class Lowerer {
 public:
   Lowerer(const Module &Mod, LowerTarget B) : Mod(Mod), B(B) {
@@ -80,7 +102,8 @@ public:
 
   // Results for the kernel just lowered.
   PhaseProgramIR Program;               // sim: structured phase program
-  std::string CudaBody;                 // cuda: linear body
+  std::vector<kir::Stmt> Body;          // cuda: linear kernel body
+  std::vector<SharedDecl> SharedDecls;  // cuda shell: __shared__ decls
   size_t SharedBytes = 0;               // shared allocations
   size_t LocalBytesPerThread = 0;       // per-thread register arena
   std::string Error;
@@ -104,24 +127,23 @@ private:
   };
   std::vector<LiveLocal> LiveLocals;
 
-  std::ostringstream Out; // current phase (sim) or whole body (cuda)
-  unsigned Indent = 1;
+  /// Statement-list construction: the innermost open list (the current
+  /// phase body for sim / the kernel body for cuda at the bottom, then
+  /// the Then/Else/Body of each open if or for).
+  std::vector<std::vector<kir::Stmt> *> ListStack;
+  std::vector<kir::Stmt> PhaseBuf; // sim: phase body under construction
 
   /// Phase-program construction (sim): the innermost node list under
   /// construction (Program.Nodes at the bottom, then the Children of each
-  /// open PhaseLoop), the PhaseLoop nesting depth (= next slot), and the
-  /// Out length right after the current phase's reload preamble (content
-  /// beyond the mark means the phase is non-empty).
+  /// open PhaseLoop) and the PhaseLoop nesting depth (= next slot).
   std::vector<std::vector<PhaseNode> *> NodeStack;
   unsigned LoopDepth = 0;
-  size_t PhaseContentMark = 0;
-  /// The exact reload/spill lines emitted into the current phase, per
-  /// local C++ name — recorded by the emitter itself so dead pairs can be
-  /// elided by exact-line match (no pattern matching on generated text).
-  std::map<std::string, std::vector<std::string>> PhaseLocalLines;
+
+  /// Buffers the lowered kernel may touch, for kir::verify().
+  std::map<std::string, kir::MemSpace> BufferSpaces;
 
   bool fail(const std::string &Msg);
-  void line(const std::string &S);
+  void emit(kir::Stmt S);
 
   void pushScope();
   void popScope();
@@ -132,7 +154,6 @@ private:
   Nat coordinateFor(const ExecResource &Exec, unsigned OpIdx);
   Nat exprToNat(const Expr &E);
   Nat substLoopConsts(Nat N);
-  std::string natToCpp(const Nat &N);
 
   struct LPlace {
     enum Kind { Global, Shared, Local, NatValue } K = Global;
@@ -142,20 +163,21 @@ private:
   };
 
   std::optional<LPlace> lowerPlace(const PlaceExpr &P);
-  std::string placeLoad(const LPlace &P);
-  bool placeStore(const LPlace &P, const std::string &Value);
+  kir::ExprPtr placeLoad(const LPlace &P);
+  bool placeStore(const LPlace &P, kir::ExprPtr Value);
+  kir::MemRef memRefFor(const Sym &Root) const;
 
-  std::optional<std::string> genExpr(const Expr &E);
+  kir::ExprPtr genExpr(const Expr &E);
   static bool containsKind(const Expr &E, ExprKind K);
-  std::string renderLine(const std::string &S) const;
-  void localLine(const std::string &S, const std::string &CppName);
-  std::string elideDeadSpills(std::string Phase) const;
-  void pushStraightPhase();
+  bool phaseHasContent() const;
+  void closePhase(bool KeepEmpty = false);
   void phaseBreak();
   void softPhaseBreak();
   bool checkLoopBounds(const Nat &Lo, const Nat &Hi);
   bool genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi);
   bool genStmt(const Expr &E);
+  bool runPasses();
+  bool verifyKernel();
 };
 
 } // namespace codegen

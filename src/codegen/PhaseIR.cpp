@@ -33,7 +33,7 @@ unsigned depthOf(const std::vector<PhaseNode> &Nodes) {
 }
 
 void dumpNodes(const std::vector<PhaseNode> &Nodes, unsigned Indent,
-               unsigned &PhaseIdx, std::ostringstream &OS) {
+               unsigned &PhaseIdx, bool FullStmts, std::ostringstream &OS) {
   auto Pad = [&] {
     for (unsigned I = 0; I != Indent; ++I)
       OS << "  ";
@@ -41,16 +41,19 @@ void dumpNodes(const std::vector<PhaseNode> &Nodes, unsigned Indent,
   for (const PhaseNode &Node : Nodes) {
     Pad();
     if (Node.K == PhaseNode::Straight) {
-      unsigned Lines = 0;
-      for (char C : Node.Body)
-        Lines += C == '\n';
-      OS << "phase #" << PhaseIdx++ << " (" << Lines << " lines)\n";
+      if (FullStmts) {
+        OS << "phase #" << PhaseIdx++ << ":\n";
+        OS << kir::dump(Node.Body, Indent + 1);
+      } else {
+        OS << "phase #" << PhaseIdx++ << " (" << Node.Body.size()
+           << " stmts)\n";
+      }
       continue;
     }
     OS << "loop " << Node.Var << " in [" << Node.Lo.simplified().str()
        << ".." << Node.Hi.simplified().str() << ") slot " << Node.Slot
        << "\n";
-    dumpNodes(Node.Children, Indent + 1, PhaseIdx, OS);
+    dumpNodes(Node.Children, Indent + 1, PhaseIdx, FullStmts, OS);
   }
 }
 
@@ -63,7 +66,14 @@ unsigned PhaseProgramIR::maxLoopDepth() const { return depthOf(Nodes); }
 std::string PhaseProgramIR::dump() const {
   std::ostringstream OS;
   unsigned PhaseIdx = 0;
-  dumpNodes(Nodes, 0, PhaseIdx, OS);
+  dumpNodes(Nodes, 0, PhaseIdx, /*FullStmts=*/false, OS);
+  return OS.str();
+}
+
+std::string PhaseProgramIR::dumpStmts() const {
+  std::ostringstream OS;
+  unsigned PhaseIdx = 0;
+  dumpNodes(Nodes, 0, PhaseIdx, /*FullStmts=*/true, OS);
   return OS.str();
 }
 
@@ -83,6 +93,29 @@ bool codegen::dumpPhasePrograms(const Module &M, std::string &Out,
        << L.Program.straightCount() << ", max loop depth: "
        << L.Program.maxLoopDepth() << ")\n";
     OS << L.Program.dump() << "\n";
+  }
+  Out = OS.str();
+  return true;
+}
+
+bool codegen::dumpKernelIRs(const Module &M, std::string &Out,
+                            std::string &Error) {
+  std::ostringstream OS;
+  for (const auto &FnPtr : M.Fns) {
+    const FnDef &Fn = *FnPtr;
+    if (!Fn.isGpuFn())
+      continue;
+    // The phase-structured (sim-target) lowering: the canonical KIR view.
+    Lowerer L(M, LowerTarget::Sim);
+    if (!L.runKernel(Fn)) {
+      Error = "while lowering `" + Fn.Name + "`: " + L.Error;
+      return false;
+    }
+    OS << "kir for `" << Fn.Name << "` (straight phases: "
+       << L.Program.straightCount() << ", max loop depth: "
+       << L.Program.maxLoopDepth() << ", shared bytes: " << L.SharedBytes
+       << ", local bytes/thread: " << L.LocalBytesPerThread << ")\n";
+    OS << L.Program.dumpStmts() << "\n";
   }
   Out = OS.str();
   return true;

@@ -2,11 +2,11 @@
 //
 // Part of the Descend reproduction. The phase-program IR is the structured
 // result of lowering one GPU grid function for the simulator backend
-// (Section 5, Fig. 5): instead of a flat list of per-phase body strings, a
-// kernel becomes a tree of
+// (Section 5, Fig. 5): a kernel becomes a tree of
 //
-//   StraightPhase  one barrier-delimited phase body (C++ lines), run for
-//                  every thread of a block before the next node starts;
+//   StraightPhase  one barrier-delimited phase body — a vector of typed
+//                  kernel-IR statements (kir::Stmt), run for every thread
+//                  of a block before the next node starts;
 //   PhaseLoop      a host-side loop (variable, lo/hi Nat bounds, slot)
 //                  whose children run once per iteration.
 //
@@ -17,11 +17,17 @@
 // same shape host-side, binding the loop variable per iteration, while
 // the CUDA backend emits a real `for` with __syncthreads() inside.
 //
+// Since the phase-bodies-are-typed-IR refactor, nothing in here is a
+// string: backends print the same kir::Stmt vectors with their own
+// spelling (kir::CppStyle), and passes (kir/Passes.h) rewrite them before
+// any printing happens.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_CODEGEN_PHASEIR_H
 #define DESCEND_CODEGEN_PHASEIR_H
 
+#include "kir/KIR.h"
 #include "nat/Nat.h"
 
 #include <string>
@@ -38,10 +44,10 @@ struct PhaseNode {
   enum Kind { Straight, Loop };
   Kind K = Straight;
 
-  // Straight: the phase body as indented C++ lines (one statement per
-  // line, `\n`-terminated), referencing _b/_t/_lin and any enclosing
+  // Straight: the phase body as typed kernel-IR statements, referencing
+  // the coordinate variables (_bx/_tx/..., _lin) and any enclosing
   // PhaseLoop variables.
-  std::string Body;
+  std::vector<kir::Stmt> Body;
 
   // Loop:
   std::string Var;  ///< source loop-variable name (spelled in bodies)
@@ -49,7 +55,7 @@ struct PhaseNode {
   Nat Lo, Hi;       ///< half-open bounds [Lo..Hi); need not be literals
   std::vector<PhaseNode> Children;
 
-  static PhaseNode straight(std::string Body) {
+  static PhaseNode straight(std::vector<kir::Stmt> Body) {
     PhaseNode N;
     N.K = Straight;
     N.Body = std::move(Body);
@@ -80,11 +86,16 @@ struct PhaseProgramIR {
   unsigned maxLoopDepth() const;
 
   /// Human-readable tree, e.g.
-  ///   phase #0 (3 lines)
+  ///   phase #0 (3 stmts)
   ///   loop t in [0..nt) slot 0
-  ///     phase #1 (5 lines)
+  ///     phase #1 (5 stmts)
   /// Used by `descendc --dump-phase-ir`.
   std::string dump() const;
+
+  /// Like dump(), but every phase body is rendered statement by statement
+  /// in the backend-neutral kir::dump spelling. Used by `--dump-kir` and
+  /// the ast backend's `// kir:` block.
+  std::string dumpStmts() const;
 
   void clear() { Nodes.clear(); }
 };
@@ -94,6 +105,11 @@ struct PhaseProgramIR {
 /// blank lines. On failure returns false with the lowering error in
 /// \p Error. Backs `descendc --dump-phase-ir`.
 bool dumpPhasePrograms(const Module &M, std::string &Out, std::string &Error);
+
+/// Like dumpPhasePrograms, but renders every phase body of the
+/// phase-structured (sim-target) lowering as the backend-neutral
+/// kernel-IR statement dump. Backs `descendc --dump-kir`.
+bool dumpKernelIRs(const Module &M, std::string &Out, std::string &Error);
 
 } // namespace codegen
 } // namespace descend

@@ -1,0 +1,358 @@
+//===- kir/Passes.cpp - KIR optimization passes -------------------------------===//
+
+#include "kir/Passes.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace descend;
+using namespace descend::kir;
+
+//===----------------------------------------------------------------------===//
+// Shared walking helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies \p Fn to every expression of \p S (pre-order), recursing into
+/// nested statements.
+template <typename ExprFn> void forEachExpr(Stmt &S, ExprFn Fn) {
+  std::function<void(Expr &)> Walk = [&](Expr &E) {
+    Fn(E);
+    if (E.Lhs)
+      Walk(*E.Lhs);
+    if (E.Rhs)
+      Walk(*E.Rhs);
+    if (E.Sub)
+      Walk(*E.Sub);
+  };
+  if (S.Value)
+    Walk(*S.Value);
+  for (Stmt &C : S.Then)
+    forEachExpr(C, Fn);
+  for (Stmt &C : S.Else)
+    forEachExpr(C, Fn);
+  for (Stmt &C : S.Body)
+    forEachExpr(C, Fn);
+}
+
+template <typename ExprFn> void forEachExpr(const Stmt &S, ExprFn Fn) {
+  forEachExpr(const_cast<Stmt &>(S), [&](Expr &E) { Fn(const_cast<const Expr &>(E)); });
+}
+
+/// Collects every identifier the statement tree mentions (loop variables,
+/// let names, variable references, buffer names, free Nat variables), so
+/// freshly invented names cannot collide.
+void collectUsedNames(const std::vector<Stmt> &Stmts,
+                      std::set<std::string> &Out) {
+  auto AddNatVars = [&](const Nat &N) {
+    if (N.isNull())
+      return;
+    std::vector<std::string> Vars;
+    N.collectVars(Vars);
+    Out.insert(Vars.begin(), Vars.end());
+  };
+  for (const Stmt &S : Stmts) {
+    if (!S.Name.empty())
+      Out.insert(S.Name);
+    if (!S.Ref.Name.empty())
+      Out.insert(S.Ref.Name);
+    AddNatVars(S.Index);
+    AddNatVars(S.CondL);
+    AddNatVars(S.CondR);
+    AddNatVars(S.Lo);
+    AddNatVars(S.Hi);
+    forEachExpr(S, [&](const Expr &E) {
+      if (!E.Name.empty())
+        Out.insert(E.Name);
+      if (!E.Ref.Name.empty())
+        Out.insert(E.Ref.Name);
+      AddNatVars(E.N);
+      AddNatVars(E.Index);
+    });
+    collectUsedNames(S.Then, Out);
+    collectUsedNames(S.Else, Out);
+    collectUsedNames(S.Body, Out);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Index CSE
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Canonical key of an index Nat; empty when the index is too trivial to
+/// be worth hoisting (a literal or a lone variable).
+std::string indexKey(const Nat &N) {
+  if (N.isNull())
+    return "";
+  Nat S = N.simplified();
+  if (S.isLit() || S.kind() == NatKind::Var)
+    return "";
+  return S.str();
+}
+
+/// Counts Load/Store index occurrences of this list's straight-line
+/// region: immediate statements plus if-branches (same iteration scope);
+/// for-bodies are separate regions handled by their own cseList call.
+void countIndexes(const std::vector<Stmt> &Stmts,
+                  std::map<std::string, unsigned> &Count,
+                  std::vector<std::pair<std::string, Nat>> &Order) {
+  auto Note = [&](const Nat &N) {
+    std::string Key = indexKey(N);
+    if (Key.empty())
+      return;
+    if (++Count[Key] == 1)
+      Order.emplace_back(Key, N.simplified());
+  };
+  std::function<void(const std::vector<Stmt> &)> Walk =
+      [&](const std::vector<Stmt> &List) {
+        for (const Stmt &S : List) {
+          if (S.K == StmtKind::For)
+            continue; // separate region (may rebind the loop variable)
+          if (S.K == StmtKind::Store)
+            Note(S.Index);
+          if (S.Value) {
+            std::function<void(const Expr &)> WalkE = [&](const Expr &E) {
+              if (E.K == ExprKind::Load)
+                Note(E.Index);
+              if (E.Lhs)
+                WalkE(*E.Lhs);
+              if (E.Rhs)
+                WalkE(*E.Rhs);
+              if (E.Sub)
+                WalkE(*E.Sub);
+            };
+            WalkE(*S.Value);
+          }
+          Walk(S.Then);
+          Walk(S.Else);
+        }
+      };
+  Walk(Stmts);
+}
+
+/// Replaces every Load/Store index matching \p Key by \p Repl. Recurses
+/// into nested regions (the replacement variable stays in scope there),
+/// but stops at any for that rebinds a variable the key mentions: a
+/// textually identical index under a shadowing loop variable denotes a
+/// different value.
+void replaceIndex(std::vector<Stmt> &Stmts, const std::string &Key,
+                  const Nat &Repl,
+                  const std::vector<std::string> &KeyVars) {
+  std::function<void(Expr &)> WalkE = [&](Expr &E) {
+    if (E.K == ExprKind::Load && indexKey(E.Index) == Key)
+      E.Index = Repl;
+    if (E.Lhs)
+      WalkE(*E.Lhs);
+    if (E.Rhs)
+      WalkE(*E.Rhs);
+    if (E.Sub)
+      WalkE(*E.Sub);
+  };
+  for (Stmt &S : Stmts) {
+    if (S.K == StmtKind::Store && indexKey(S.Index) == Key)
+      S.Index = Repl;
+    if (S.Value)
+      WalkE(*S.Value);
+    replaceIndex(S.Then, Key, Repl, KeyVars);
+    replaceIndex(S.Else, Key, Repl, KeyVars);
+    if (S.K == StmtKind::For &&
+        std::find(KeyVars.begin(), KeyVars.end(), S.Name) != KeyVars.end())
+      continue; // shadowed: the inner occurrences mean something else
+    replaceIndex(S.Body, Key, Repl, KeyVars);
+  }
+}
+
+unsigned cseList(std::vector<Stmt> &Stmts, std::set<std::string> &Used,
+                 unsigned &NextId) {
+  unsigned Changed = 0;
+
+  std::map<std::string, unsigned> Count;
+  std::vector<std::pair<std::string, Nat>> Order;
+  countIndexes(Stmts, Count, Order);
+
+  std::vector<Stmt> Hoisted;
+  for (const auto &[Key, Value] : Order) {
+    if (Count[Key] < 2)
+      continue;
+    std::string Name;
+    do {
+      Name = "_i" + std::to_string(NextId++);
+    } while (Used.count(Name));
+    Used.insert(Name);
+    std::vector<std::string> KeyVars;
+    Value.collectVars(KeyVars);
+    replaceIndex(Stmts, Key, Nat::var(Name), KeyVars);
+    Hoisted.push_back(Stmt::letIndex(Name, Value));
+    ++Changed;
+  }
+  // The hoisted lets go to the front of the region: every variable an
+  // index mentions is already in scope at region entry.
+  if (!Hoisted.empty())
+    Stmts.insert(Stmts.begin(), std::make_move_iterator(Hoisted.begin()),
+                 std::make_move_iterator(Hoisted.end()));
+
+  // For-bodies are their own straight-line regions (their indexes may
+  // mention the loop variable, which is not in scope here).
+  for (Stmt &S : Stmts) {
+    if (S.K == StmtKind::For)
+      Changed += cseList(S.Body, Used, NextId);
+    // If-branches were counted as part of this region, but a for nested
+    // inside a branch still needs its own region pass.
+    std::function<void(std::vector<Stmt> &)> Nested =
+        [&](std::vector<Stmt> &List) {
+          for (Stmt &C : List) {
+            if (C.K == StmtKind::For)
+              Changed += cseList(C.Body, Used, NextId);
+            Nested(C.Then);
+            Nested(C.Else);
+          }
+        };
+    Nested(S.Then);
+    Nested(S.Else);
+  }
+  return Changed;
+}
+
+} // namespace
+
+unsigned kir::cseIndexes(std::vector<Stmt> &Stmts) {
+  std::set<std::string> Used;
+  collectUsedNames(Stmts, Used);
+  unsigned NextId = 0;
+  return cseList(Stmts, Used, NextId);
+}
+
+//===----------------------------------------------------------------------===//
+// Redundant-barrier elimination
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when the statement (or anything nested in it) reads or writes
+/// shared/global memory. Arena slots are per-thread and never need a
+/// barrier.
+bool touchesSharedMemory(const Stmt &S) {
+  if (S.K == StmtKind::Store && S.Ref.Space != MemSpace::Arena)
+    return true;
+  bool Found = false;
+  forEachExpr(S, [&](const Expr &E) {
+    if (E.K == ExprKind::Load && E.Ref.Space != MemSpace::Arena)
+      Found = true;
+  });
+  if (Found)
+    return true;
+  for (const auto *List : {&S.Then, &S.Else, &S.Body})
+    for (const Stmt &C : *List)
+      if (touchesSharedMemory(C))
+        return true;
+  return false;
+}
+
+unsigned elideBarriersIn(std::vector<Stmt> &Stmts, bool IsKernelTopLevel) {
+  unsigned Removed = 0;
+
+  // Pass 1: a barrier with a previous barrier in this list and no
+  // shared/global access in between orders nothing the previous one did
+  // not already order — drop it. (This also holds inside loop bodies:
+  // the kept barrier separates everything across the back edge too.)
+  bool SeenBarrier = false;
+  bool AccessSinceBarrier = false;
+  for (auto It = Stmts.begin(); It != Stmts.end();) {
+    if (It->K == StmtKind::Barrier) {
+      if (SeenBarrier && !AccessSinceBarrier) {
+        It = Stmts.erase(It);
+        ++Removed;
+        continue;
+      }
+      SeenBarrier = true;
+      AccessSinceBarrier = false;
+      ++It;
+      continue;
+    }
+    AccessSinceBarrier |= touchesSharedMemory(*It);
+    ++It;
+  }
+
+  // Pass 2: nothing executes after the end of the kernel body, so a
+  // trailing barrier there is dead. (Not valid inside a loop body: the
+  // next iteration runs after it.)
+  if (IsKernelTopLevel)
+    while (!Stmts.empty() && Stmts.back().K == StmtKind::Barrier) {
+      Stmts.pop_back();
+      ++Removed;
+    }
+
+  for (Stmt &S : Stmts) {
+    Removed += elideBarriersIn(S.Body, /*IsKernelTopLevel=*/false);
+    Removed += elideBarriersIn(S.Then, /*IsKernelTopLevel=*/false);
+    Removed += elideBarriersIn(S.Else, /*IsKernelTopLevel=*/false);
+  }
+  return Removed;
+}
+
+} // namespace
+
+unsigned kir::elideRedundantBarriers(std::vector<Stmt> &Stmts,
+                                     bool IsKernelTopLevel) {
+  return elideBarriersIn(Stmts, IsKernelTopLevel);
+}
+
+//===----------------------------------------------------------------------===//
+// Dead spill-pair elision
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counts the non-SpillReload uses of local \p Name in \p Stmts.
+unsigned countRealUses(const std::vector<Stmt> &Stmts,
+                       const std::string &Name) {
+  unsigned Uses = 0;
+  for (const Stmt &S : Stmts) {
+    if (S.SpillReload)
+      continue;
+    if ((S.K == StmtKind::Assign || S.K == StmtKind::Let) && S.Name == Name)
+      ++Uses;
+    forEachExpr(S, [&](const Expr &E) {
+      if (E.K == ExprKind::VarRef && E.Name == Name)
+        ++Uses;
+    });
+    Uses += countRealUses(S.Then, Name);
+    Uses += countRealUses(S.Else, Name);
+    Uses += countRealUses(S.Body, Name);
+  }
+  return Uses;
+}
+
+} // namespace
+
+unsigned kir::elideDeadSpillPairs(std::vector<Stmt> &PhaseBody) {
+  // Phase-edge statements only occur at the top level of a phase body.
+  std::set<std::string> Candidates;
+  for (const Stmt &S : PhaseBody)
+    if (S.SpillReload)
+      Candidates.insert(S.K == StmtKind::Store ? S.Ref.Name : S.Name);
+
+  unsigned Removed = 0;
+  for (const std::string &Name : Candidates) {
+    if (countRealUses(PhaseBody, Name) != 0)
+      continue;
+    for (auto It = PhaseBody.begin(); It != PhaseBody.end();) {
+      bool Mine = It->SpillReload &&
+                  (It->K == StmtKind::Store ? It->Ref.Name : It->Name) == Name;
+      if (Mine) {
+        It = PhaseBody.erase(It);
+        ++Removed;
+      } else {
+        ++It;
+      }
+    }
+  }
+  return Removed;
+}

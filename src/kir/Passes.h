@@ -1,0 +1,53 @@
+//===- kir/Passes.h - KIR optimization passes -------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Small rewrites over the typed kernel
+// IR, run by the Lowerer after a kernel is built and before any backend
+// prints it (this is what a statement IR buys over concatenated strings):
+//
+//   cseIndexes             hoists flat-index computations that repeat
+//                          within one straight-line region into
+//                          `const long long _iN = ...;` index lets;
+//   elideRedundantBarriers drops a barrier when no shared/global memory
+//                          access happened since the previous one (it
+//                          orders nothing), and trailing barriers at the
+//                          end of the kernel body;
+//   elideDeadSpillPairs    removes the phase-edge reload/spill pair of a
+//                          phase-spanning local in a phase that never
+//                          otherwise touches it (the arena slot already
+//                          holds the value).
+//
+// Every pass returns the number of rewrites so tests (and --time-passes
+// style tooling) can observe what happened.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_KIR_PASSES_H
+#define DESCEND_KIR_PASSES_H
+
+#include "kir/KIR.h"
+
+namespace descend {
+namespace kir {
+
+/// Hoists Load/Store index Nats that occur at least twice in the same
+/// statement list (recursing into if-branches; for-bodies form their own
+/// region) into LetIndex statements named `_i<N>`, renaming every
+/// occurrence. Fresh names avoid everything already used in \p Stmts.
+/// Returns the number of hoisted indexes.
+unsigned cseIndexes(std::vector<Stmt> &Stmts);
+
+/// Removes barriers that order nothing: a barrier with no shared/global
+/// access since the previous barrier in the same list, and (when
+/// \p IsKernelTopLevel) barriers trailing at the very end of the body.
+/// Returns the number of removed barriers.
+unsigned elideRedundantBarriers(std::vector<Stmt> &Stmts,
+                                bool IsKernelTopLevel = true);
+
+/// Removes the SpillReload-marked statements of every local that has no
+/// other use in \p PhaseBody. Returns the number of removed statements.
+unsigned elideDeadSpillPairs(std::vector<Stmt> &PhaseBody);
+
+} // namespace kir
+} // namespace descend
+
+#endif // DESCEND_KIR_PASSES_H

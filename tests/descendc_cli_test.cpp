@@ -132,6 +132,30 @@ TEST(DescendcCli, MissingInputArgumentExitsTwo) {
   EXPECT_NE(R.Stderr.find("no input file"), std::string::npos) << R.Stderr;
 }
 
+TEST(DescendcCli, DumpKirPrintsKernelStatements) {
+  RunResult R = runDescendc(kernel("matmul.descend") + " --dump-kir -D nt=4");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stdout.find("kir for `matmul`"), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("loop t in [0..4) slot 0"), std::string::npos)
+      << R.Stdout;
+  // Full statements, not just phase counts: typed stores with a memory
+  // space and the spill/reload markers.
+  EXPECT_NE(R.Stdout.find("st shared "), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("st.spill arena "), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("ld global "), std::string::npos) << R.Stdout;
+}
+
+TEST(DescendcCli, DumpKirRejectsEmitCombination) {
+  RunResult R = runDescendc(kernel("matmul.descend") +
+                            " --dump-kir --emit=cuda -D nt=4");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--dump-kir cannot be combined"),
+            std::string::npos)
+      << R.Stderr;
+}
+
 TEST(DescendcCli, ListBackendsPrintsRegistry) {
   RunResult R = runDescendc("--list-backends");
   EXPECT_EQ(R.ExitCode, 0);

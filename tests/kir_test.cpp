@@ -1,0 +1,390 @@
+//===- tests/kir_test.cpp - Typed kernel IR unit tests --------------------===//
+//
+// Builder/printer round-trips over hand-built KIR, the kir::verify()
+// structural checker rejecting malformed IR, and unit tests for the pass
+// pipeline (index CSE, redundant-barrier elimination, dead spill-pair
+// elision, pow-of-2 shift emission).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/KIR.h"
+#include "kir/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace descend;
+using namespace descend::kir;
+
+namespace {
+
+MemRef globalBuf(const std::string &Name,
+                 ScalarKind Elem = ScalarKind::F64) {
+  MemRef R;
+  R.Space = MemSpace::Global;
+  R.Name = Name;
+  R.Elem = Elem;
+  return R;
+}
+
+MemRef sharedBuf(const std::string &Name, size_t ByteBase = 0,
+                 ScalarKind Elem = ScalarKind::F64) {
+  MemRef R;
+  R.Space = MemSpace::Shared;
+  R.Name = Name;
+  R.Elem = Elem;
+  R.ByteBase = ByteBase;
+  return R;
+}
+
+Nat tid() { return Nat::var("_tx"); }
+
+VerifyOptions kernelCtx() {
+  VerifyOptions Opts;
+  Opts.DefinedVars = {"_bx", "_by", "_bz", "_tx", "_ty", "_tz", "_lin"};
+  Opts.Buffers = {{"arr", MemSpace::Global}, {"tmp", MemSpace::Shared}};
+  Opts.CheckBuffers = true;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Builders and printers
+//===----------------------------------------------------------------------===//
+
+TEST(KirPrint, CudaSpellingOfLoadsAndStores) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(
+      globalBuf("arr"), Nat::var("_bx") * Nat::lit(256) + tid(),
+      Expr::binary(BinOp::Mul, Expr::load(globalBuf("arr"), tid()),
+                   Expr::floatLit(3.0, ScalarKind::F64))));
+  std::string Out, Err;
+  ASSERT_TRUE(printStmts(S, CudaStyle(), 1, Out, Err)) << Err;
+  EXPECT_EQ(Out, "  arr[blockIdx.x * 256 + threadIdx.x] = "
+                 "(arr[threadIdx.x] * 3.0);\n");
+}
+
+TEST(KirPrint, SimSpellingOfLoadsAndStores) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(sharedBuf("tmp"), tid(),
+                          Expr::load(globalBuf("arr"), tid())));
+  std::string Out, Err;
+  ASSERT_TRUE(printStmts(S, SimStyle(), 3, Out, Err)) << Err;
+  EXPECT_EQ(Out,
+            "      _b.sharedStore<double>(0, _tx, arr.load(_b, _tx));\n");
+}
+
+TEST(KirPrint, ArenaSpillSpelling) {
+  MemRef Slot;
+  Slot.Space = MemSpace::Arena;
+  Slot.Name = "acc_0";
+  Slot.Elem = ScalarKind::F64;
+  Slot.ByteBase = 0;
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(Slot, Nat::var("_lin"), Expr::varRef("acc_0"),
+                          /*SpillReload=*/true));
+  S.push_back(Stmt::let("acc_0", ScalarKind::F64,
+                        Expr::load(Slot, Nat::var("_lin")),
+                        /*SpillReload=*/true));
+  std::string Out, Err;
+  ASSERT_TRUE(printStmts(S, SimStyle(), 1, Out, Err)) << Err;
+  EXPECT_EQ(Out,
+            "  _b.shared<double>(_locals_base + 0)[_lin] = acc_0;\n"
+            "  double acc_0 = _b.shared<double>(_locals_base + 0)[_lin];\n");
+  // Arena slots do not exist on real hardware: the CUDA printer refuses.
+  std::string CudaOut, CudaErr;
+  EXPECT_FALSE(printStmts(S, CudaStyle(), 1, CudaOut, CudaErr));
+  EXPECT_NE(CudaErr.find("arena"), std::string::npos) << CudaErr;
+}
+
+TEST(KirPrint, ControlFlowAndBarriers) {
+  std::vector<Stmt> S;
+  Stmt If = Stmt::ifLt(tid(), Nat::lit(32));
+  If.Then.push_back(Stmt::store(globalBuf("arr"), tid(),
+                                Expr::floatLit(0.0, ScalarKind::F64)));
+  S.push_back(std::move(If));
+  Stmt For = Stmt::forLoop("t", Nat::lit(0), Nat::lit(4));
+  For.Body.push_back(Stmt::barrier());
+  S.push_back(std::move(For));
+  std::string Out, Err;
+  ASSERT_TRUE(printStmts(S, CudaStyle(), 1, Out, Err)) << Err;
+  EXPECT_NE(Out.find("  if (threadIdx.x < 32) {\n"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("  for (long long t = 0; t < 4; ++t) {\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("    __syncthreads();\n"), std::string::npos) << Out;
+}
+
+TEST(KirPrint, PowOfTwoEmitsAsShift) {
+  // 2^s strides print as shifts instead of forcing loop unrolling.
+  Nat N = Nat::lit(256) / Nat::pow(Nat::lit(2), Nat::var("s") + Nat::lit(1));
+  std::string Err;
+  EXPECT_EQ(natToCpp(N, SimStyle(), &Err), "256 / (1ll << (1 + s))");
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(natToCpp(Nat::pow(Nat::lit(2), Nat::var("s")), SimStyle()),
+            "(1ll << s)");
+  EXPECT_FALSE(containsNonShiftablePow(N));
+  // Non-2 bases stay unprintable.
+  Nat Bad = Nat::pow(Nat::lit(3), Nat::var("s"));
+  EXPECT_TRUE(containsNonShiftablePow(Bad));
+  std::string BadErr;
+  natToCpp(Bad, SimStyle(), &BadErr);
+  EXPECT_NE(BadErr.find("non-2 base"), std::string::npos) << BadErr;
+}
+
+TEST(KirDump, RoundTripMentionsEveryStmt) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::letIndex("_i0", Nat::var("_bx") * Nat::lit(16) + tid()));
+  S.push_back(Stmt::let("x_0", ScalarKind::F64,
+                        Expr::load(globalBuf("arr"), Nat::var("_i0"))));
+  S.push_back(Stmt::assign("x_0", Expr::unary(UnOp::Neg,
+                                              Expr::varRef("x_0"))));
+  S.push_back(Stmt::store(sharedBuf("tmp"), Nat::var("_i0"),
+                          Expr::varRef("x_0")));
+  std::string D = dump(S);
+  EXPECT_NE(D.find("idx _i0 = _bx * 16 + _tx"), std::string::npos) << D;
+  EXPECT_NE(D.find("let double x_0 = ld global arr[_i0]"),
+            std::string::npos)
+      << D;
+  EXPECT_NE(D.find("x_0 = -x_0"), std::string::npos) << D;
+  EXPECT_NE(D.find("st shared tmp[_i0] = x_0"), std::string::npos) << D;
+}
+
+//===----------------------------------------------------------------------===//
+// verify()
+//===----------------------------------------------------------------------===//
+
+TEST(KirVerify, AcceptsWellFormedKernelBody) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::let("x_0", ScalarKind::F64,
+                        Expr::load(globalBuf("arr"), tid())));
+  S.push_back(Stmt::store(sharedBuf("tmp"), tid(), Expr::varRef("x_0")));
+  std::string Err;
+  EXPECT_TRUE(verify(S, kernelCtx(), Err)) << Err;
+}
+
+TEST(KirVerify, RejectsStoreToIndexVariable) {
+  // A "buffer" that is actually a Nat/index variable is not memory.
+  std::vector<Stmt> S;
+  S.push_back(Stmt::letIndex("i", tid() * Nat::lit(2)));
+  S.push_back(Stmt::store(globalBuf("i"), Nat::lit(0),
+                          Expr::floatLit(1.0, ScalarKind::F64)));
+  std::string Err;
+  EXPECT_FALSE(verify(S, kernelCtx(), Err));
+  EXPECT_NE(Err.find("non-memory name `i`"), std::string::npos) << Err;
+}
+
+TEST(KirVerify, RejectsBarrierInDivergentBranch) {
+  VerifyOptions Opts = kernelCtx();
+  Opts.AllowBarriers = true;
+  std::vector<Stmt> S;
+  Stmt If = Stmt::ifLt(tid(), Nat::lit(32));
+  If.Then.push_back(Stmt::barrier());
+  S.push_back(std::move(If));
+  std::string Err;
+  EXPECT_FALSE(verify(S, Opts, Err));
+  EXPECT_NE(Err.find("thread-divergent"), std::string::npos) << Err;
+}
+
+TEST(KirVerify, RejectsBarrierInPhaseBody) {
+  // Sim phase bodies carry no barriers: the phase boundary is the barrier.
+  std::vector<Stmt> S;
+  S.push_back(Stmt::barrier());
+  std::string Err;
+  EXPECT_FALSE(verify(S, kernelCtx(), Err));
+  EXPECT_NE(Err.find("does not admit barriers"), std::string::npos) << Err;
+}
+
+TEST(KirVerify, RejectsUndefinedVariablesAndBuffers) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::assign("nope", Expr::floatLit(1.0, ScalarKind::F64)));
+  std::string Err;
+  EXPECT_FALSE(verify(S, kernelCtx(), Err));
+  EXPECT_NE(Err.find("undefined variable `nope`"), std::string::npos) << Err;
+
+  std::vector<Stmt> S2;
+  S2.push_back(Stmt::store(globalBuf("ghost"), tid(),
+                           Expr::floatLit(0.0, ScalarKind::F64)));
+  EXPECT_FALSE(verify(S2, kernelCtx(), Err));
+  EXPECT_NE(Err.find("unknown buffer `ghost`"), std::string::npos) << Err;
+
+  std::vector<Stmt> S3;
+  S3.push_back(Stmt::store(globalBuf("arr"), Nat::var("q"),
+                           Expr::floatLit(0.0, ScalarKind::F64)));
+  EXPECT_FALSE(verify(S3, kernelCtx(), Err));
+  EXPECT_NE(Err.find("undefined variable `q`"), std::string::npos) << Err;
+}
+
+TEST(KirVerify, RejectsSpaceMismatchAndRedefinition) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(sharedBuf("arr"), tid(),
+                          Expr::floatLit(0.0, ScalarKind::F64)));
+  std::string Err;
+  EXPECT_FALSE(verify(S, kernelCtx(), Err));
+  EXPECT_NE(Err.find("accessed as shared"), std::string::npos) << Err;
+
+  std::vector<Stmt> S2;
+  S2.push_back(Stmt::let("x_0", ScalarKind::F64,
+                         Expr::floatLit(0.0, ScalarKind::F64)));
+  S2.push_back(Stmt::let("x_0", ScalarKind::F64,
+                         Expr::floatLit(1.0, ScalarKind::F64)));
+  EXPECT_FALSE(verify(S2, kernelCtx(), Err));
+  EXPECT_NE(Err.find("redefinition"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Passes
+//===----------------------------------------------------------------------===//
+
+TEST(KirPasses, CseHoistsRepeatedIndexes) {
+  std::vector<Stmt> S;
+  Nat Idx = Nat::var("_bx") * Nat::lit(256) + tid();
+  S.push_back(Stmt::store(
+      globalBuf("arr"), Idx,
+      Expr::binary(BinOp::Mul, Expr::load(globalBuf("arr"), Idx),
+                   Expr::floatLit(3.0, ScalarKind::F64))));
+  EXPECT_EQ(cseIndexes(S), 1u);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0].K, StmtKind::LetIndex);
+  EXPECT_EQ(S[0].Name, "_i0");
+  EXPECT_TRUE(Nat::proveEq(S[1].Index, Nat::var("_i0")));
+  std::string Out, Err;
+  ASSERT_TRUE(printStmts(S, CudaStyle(), 1, Out, Err)) << Err;
+  EXPECT_EQ(Out,
+            "  const long long _i0 = blockIdx.x * 256 + threadIdx.x;\n"
+            "  arr[_i0] = (arr[_i0] * 3.0);\n");
+}
+
+TEST(KirPasses, CseSkipsTrivialAndSingleUseIndexes) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(globalBuf("arr"), tid(),
+                          Expr::load(globalBuf("arr"), tid())));
+  S.push_back(Stmt::store(globalBuf("arr"), Nat::var("_bx") * Nat::lit(2),
+                          Expr::floatLit(0.0, ScalarKind::F64)));
+  // `_tx` is a lone variable, and the nontrivial index occurs once.
+  EXPECT_EQ(cseIndexes(S), 0u);
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(KirPasses, CseRespectsLoopRegions) {
+  // The repeated index mentions the loop variable: it must be hoisted
+  // inside the loop body, not above the loop.
+  std::vector<Stmt> S;
+  Stmt For = Stmt::forLoop("k", Nat::lit(0), Nat::lit(16));
+  Nat Idx = Nat::var("k") * Nat::lit(16) + tid();
+  For.Body.push_back(Stmt::store(
+      globalBuf("arr"), Idx, Expr::load(globalBuf("arr"), Idx)));
+  S.push_back(std::move(For));
+  EXPECT_EQ(cseIndexes(S), 1u);
+  ASSERT_EQ(S.size(), 1u);
+  ASSERT_EQ(S[0].Body.size(), 2u);
+  EXPECT_EQ(S[0].Body[0].K, StmtKind::LetIndex);
+}
+
+TEST(KirPasses, CseStopsAtShadowingLoops) {
+  // An inner for that rebinds `s` makes the textually identical index
+  // mean a different value: the hoisted outer `_i0` must not leak in.
+  std::vector<Stmt> S;
+  Nat Idx = Nat::var("s") * Nat::lit(2) + Nat::lit(1);
+  S.push_back(Stmt::store(globalBuf("arr"), Idx,
+                          Expr::load(globalBuf("arr"), Idx)));
+  Stmt Inner = Stmt::forLoop("s", Nat::lit(0), Nat::lit(2));
+  Inner.Body.push_back(Stmt::store(globalBuf("arr"), Idx,
+                                   Expr::load(globalBuf("arr"), Idx)));
+  S.push_back(std::move(Inner));
+  // Outer region hoists its pair; the shadowed inner region hoists its
+  // own pair under a distinct name.
+  EXPECT_EQ(cseIndexes(S), 2u);
+  ASSERT_EQ(S.size(), 3u);
+  ASSERT_EQ(S[0].K, StmtKind::LetIndex);
+  const Stmt &InnerFor = S[2];
+  ASSERT_EQ(InnerFor.K, StmtKind::For);
+  ASSERT_EQ(InnerFor.Body.size(), 2u);
+  EXPECT_EQ(InnerFor.Body[0].K, StmtKind::LetIndex);
+  EXPECT_NE(InnerFor.Body[0].Name, S[0].Name);
+  EXPECT_TRUE(Nat::proveEq(InnerFor.Body[1].Index,
+                           Nat::var(InnerFor.Body[0].Name)));
+}
+
+TEST(KirPrint, SimStyleRefusesBarriers) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::barrier());
+  std::string Out, Err;
+  EXPECT_FALSE(printStmts(S, SimStyle(), 1, Out, Err));
+  EXPECT_NE(Err.find("barrier"), std::string::npos) << Err;
+}
+
+TEST(KirPasses, BarrierElimDropsAdjacentAndTrailing) {
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(sharedBuf("tmp"), tid(),
+                          Expr::floatLit(1.0, ScalarKind::F64)));
+  S.push_back(Stmt::barrier());
+  S.push_back(Stmt::barrier()); // nothing since the previous barrier
+  S.push_back(Stmt::store(sharedBuf("tmp"), tid(),
+                          Expr::floatLit(2.0, ScalarKind::F64)));
+  S.push_back(Stmt::barrier()); // trailing at kernel end
+  EXPECT_EQ(elideRedundantBarriers(S, /*IsKernelTopLevel=*/true), 2u);
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[1].K, StmtKind::Barrier);
+}
+
+TEST(KirPasses, BarrierElimKeepsLoopCarriedBarriers) {
+  // The matmul shape: barriers inside a loop body guard the tile reuse
+  // across iterations; with shared accesses in between both must stay,
+  // and a loop-trailing barrier is NOT a kernel-trailing one.
+  std::vector<Stmt> S;
+  Stmt For = Stmt::forLoop("t", Nat::lit(0), Nat::lit(4));
+  For.Body.push_back(Stmt::store(sharedBuf("tmp"), tid(),
+                                 Expr::load(globalBuf("arr"), tid())));
+  For.Body.push_back(Stmt::barrier());
+  For.Body.push_back(Stmt::let(
+      "x_0", ScalarKind::F64, Expr::load(sharedBuf("tmp"), tid())));
+  For.Body.push_back(Stmt::barrier());
+  S.push_back(std::move(For));
+  EXPECT_EQ(elideRedundantBarriers(S, /*IsKernelTopLevel=*/true), 0u);
+  EXPECT_EQ(S[0].Body.size(), 4u);
+}
+
+TEST(KirPasses, DeadSpillPairsAreElided) {
+  MemRef Slot;
+  Slot.Space = MemSpace::Arena;
+  Slot.Name = "acc_0";
+  Slot.Elem = ScalarKind::F64;
+  std::vector<Stmt> Phase;
+  Phase.push_back(Stmt::let("acc_0", ScalarKind::F64,
+                            Expr::load(Slot, Nat::var("_lin")),
+                            /*SpillReload=*/true));
+  Phase.push_back(Stmt::store(sharedBuf("tmp"), tid(),
+                              Expr::floatLit(0.0, ScalarKind::F64)));
+  Phase.push_back(Stmt::store(Slot, Nat::var("_lin"),
+                              Expr::varRef("acc_0"),
+                              /*SpillReload=*/true));
+  // The phase never touches acc_0 outside the pair: both go.
+  EXPECT_EQ(elideDeadSpillPairs(Phase), 2u);
+  ASSERT_EQ(Phase.size(), 1u);
+  EXPECT_EQ(Phase[0].K, StmtKind::Store);
+
+  // A phase that really uses the local keeps the pair.
+  std::vector<Stmt> Live;
+  Live.push_back(Stmt::let("acc_0", ScalarKind::F64,
+                           Expr::load(Slot, Nat::var("_lin")),
+                           /*SpillReload=*/true));
+  Live.push_back(Stmt::assign(
+      "acc_0", Expr::binary(BinOp::Add, Expr::varRef("acc_0"),
+                            Expr::load(sharedBuf("tmp"), tid()))));
+  Live.push_back(Stmt::store(Slot, Nat::var("_lin"),
+                             Expr::varRef("acc_0"),
+                             /*SpillReload=*/true));
+  EXPECT_EQ(elideDeadSpillPairs(Live), 0u);
+  EXPECT_EQ(Live.size(), 3u);
+}
+
+TEST(KirExpr, CloneIsDeep) {
+  ExprPtr E = Expr::binary(BinOp::Add, Expr::varRef("a"),
+                           Expr::load(globalBuf("arr"), tid()));
+  ExprPtr C = E->clone();
+  E->Lhs->Name = "b";
+  EXPECT_EQ(C->Lhs->Name, "a");
+  EXPECT_EQ(C->Rhs->Ref.Name, "arr");
+}
+
+} // namespace

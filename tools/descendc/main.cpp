@@ -3,7 +3,7 @@
 // Usage:
 //   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
 //            [--fn-suffix=SUFFIX] [--time-passes] [--dump-phase-ir]
-//            [-o OUTPUT]
+//            [--dump-kir] [-o OUTPUT]
 //   descendc --list-backends
 //
 // --emit=check only type-checks (default); any registered backend name
@@ -13,7 +13,9 @@
 // wall-clock time of every executed stage. --dump-phase-ir type-checks,
 // lowers every kernel for the simulator and prints the structured phase
 // program (StraightPhase / PhaseLoop tree, see codegen/PhaseIR.h) instead
-// of an artifact. --list-backends prints the registered backend names.
+// of an artifact; --dump-kir prints the same tree with every phase body
+// rendered statement by statement in the typed kernel IR (kir::dump).
+// --list-backends prints the registered backend names.
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,7 +37,7 @@ static int usage() {
   std::fprintf(stderr,
                "usage: descendc INPUT.descend [--emit=%s] "
                "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
-               "[--dump-phase-ir] [-o OUTPUT]\n"
+               "[--dump-phase-ir] [--dump-kir] [-o OUTPUT]\n"
                "       descendc --list-backends\n\n"
                "backends:\n",
                Emits.c_str());
@@ -89,7 +91,7 @@ static int listBackends() {
 
 int main(int argc, char **argv) {
   std::string Input, Output, Emit = "check";
-  bool TimePasses = false, DumpPhaseIR = false;
+  bool TimePasses = false, DumpPhaseIR = false, DumpKIR = false;
   CompilerInvocation Inv;
 
   for (int I = 1; I < argc; ++I) {
@@ -104,6 +106,8 @@ int main(int argc, char **argv) {
       TimePasses = true;
     } else if (Arg == "--dump-phase-ir") {
       DumpPhaseIR = true;
+    } else if (Arg == "--dump-kir") {
+      DumpKIR = true;
     } else if (Arg == "-D") {
       if (I + 1 >= argc)
         return usageError("-D expects an argument: -D name=value");
@@ -129,13 +133,13 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usageError("no input file");
-  if (DumpPhaseIR && Emit != "check") {
-    std::fprintf(stderr, "descendc: error: --dump-phase-ir cannot be "
+  if ((DumpPhaseIR || DumpKIR) && Emit != "check") {
+    std::fprintf(stderr, "descendc: error: --dump-%s cannot be "
                          "combined with --emit=%s\n",
-                 Emit.c_str());
+                 DumpPhaseIR ? "phase-ir" : "kir", Emit.c_str());
     return usage();
   }
-  if (Emit == "check" || DumpPhaseIR) {
+  if (Emit == "check" || DumpPhaseIR || DumpKIR) {
     Inv.RunUntil = Stage::Typecheck;
   } else {
     Inv.RunUntil = Stage::Codegen;
@@ -176,11 +180,21 @@ int main(int argc, char **argv) {
     return 1;
 
   std::string Payload = R.Artifact;
-  if (DumpPhaseIR) {
-    std::string Error;
-    if (!codegen::dumpPhasePrograms(*S.module(), Payload, Error)) {
-      std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
-      return 1;
+  if (DumpPhaseIR || DumpKIR) {
+    std::string Dump, Error;
+    if (DumpPhaseIR) {
+      if (!codegen::dumpPhasePrograms(*S.module(), Dump, Error)) {
+        std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
+        return 1;
+      }
+      Payload += Dump;
+    }
+    if (DumpKIR) {
+      if (!codegen::dumpKernelIRs(*S.module(), Dump, Error)) {
+        std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
+        return 1;
+      }
+      Payload += Dump;
     }
   } else if (Emit == "check") {
     return 0;

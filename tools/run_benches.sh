@@ -73,6 +73,25 @@ json.dump({"bench": "fig8", "unit": "ms", "rows": rows,
           open(sys.argv[2], "w"), indent=2)
 PY
   echo "-> $OUT_DIR/BENCH_fig8.json"
+
+  # Regression gate: the Fig. 8 geometric mean must not drop below 0.95x
+  # of the checked-in baseline (tools/bench_baseline.json). A real perf
+  # regression fails the bench job instead of silently shipping.
+  python3 - "$OUT_DIR/BENCH_fig8.json" "$ROOT_DIR/tools/bench_baseline.json" <<'PY'
+import json, sys
+measured = json.load(open(sys.argv[1])).get("geomean_relative")
+base = json.load(open(sys.argv[2]))
+baseline = base["fig8_geomean_relative"]
+min_ratio = base.get("min_ratio", 0.95)
+if measured is None:
+    sys.exit("bench gate: no geometric mean in BENCH_fig8.json")
+floor = baseline * min_ratio
+verdict = "PASS" if measured >= floor else "FAIL"
+print(f"bench gate: fig8 geomean {measured:.3f}x vs baseline "
+      f"{baseline:.3f}x (floor {floor:.3f}x) -> {verdict}")
+if measured < floor:
+    sys.exit(1)
+PY
 else
   echo "== bench_fig8 skipped (DESCEND_BENCH_QUICK=1) =="
 fi
