@@ -1,0 +1,251 @@
+//===- bench/bench_throughput.cpp - Launch-path throughput ------------------===//
+//
+// Measures the absolute throughput of the simulator launch path — the
+// number the ROADMAP's "as fast as the hardware allows" goal actually
+// cares about, complementing the Fig. 8 generated/handwritten *ratio*:
+//
+//  1. Small-launch rate: >= 4k launches of a tiny kernel, executed
+//     three ways — with a thread pool spawned and joined per launch (the
+//     pre-persistent-pool executor, reproduced here as the baseline),
+//     synchronously on the persistent worker pool, and enqueued over
+//     four sim::Streams. The pool/spawn ratio is the regression-gated
+//     speedup (tools/bench_baseline.json: throughput_min_speedup).
+//  2. Worker-count scaling sweep on a medium kernel.
+//  3. A mixed serving loop alternating the *generated* quickstart and
+//     reduction host drivers (sync and stream overloads), approximating
+//     a service handling small independent requests.
+//
+// Output lines are machine-parseable key=value rows prefixed with
+// THROUGHPUT; tools/run_benches.sh turns them into BENCH_throughput.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HostRuntime.h"
+#include "sim/Sim.h"
+
+#include "gen_quickstart_host.h"      // scale_vec + run          (nb=8)
+#include "gen_reduction_host_small.h" // reduce_small + run_small (nb=8)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace descend;
+using sim::BlockCtx;
+using sim::Dim3;
+using sim::GpuDevice;
+using sim::ThreadCtx;
+
+namespace {
+
+/// How many workers the measured devices use. Pinned (not hardware
+/// concurrency) so the spawn-vs-pool comparison is the same experiment
+/// on every machine; run_benches.sh stamps the value into the JSON.
+constexpr unsigned BenchWorkers = 4;
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// The seed executor, verbatim: spawn a worker pool per launch, join it,
+/// one block per atomic claim, one arena allocation per worker. This is
+/// the baseline the persistent pool is gated against.
+void spawnPerLaunchRunBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
+                             size_t SharedBytes,
+                             const std::function<void(BlockCtx &)> &RunBlock) {
+  const unsigned NumBlocks = Grid.total();
+  const unsigned NumWorkers = std::min(Dev.effectiveWorkers(), NumBlocks);
+
+  auto RunOne = [&](unsigned Linear, std::byte *Arena) {
+    BlockCtx B;
+    B.X = Linear % Grid.X;
+    B.Y = (Linear / Grid.X) % Grid.Y;
+    B.Z = Linear / (Grid.X * Grid.Y);
+    B.GridDim = Grid;
+    B.BlockDim = Block;
+    B.SharedArena = Arena;
+    B.SharedBytes = SharedBytes;
+    B.Dev = &Dev;
+    B.SharedBufferId = sim::detail::FirstSharedBufferId + Linear;
+    if (SharedBytes)
+      std::memset(Arena, 0, SharedBytes);
+    RunBlock(B);
+  };
+
+  std::atomic<unsigned> Next{0};
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Pool.emplace_back([&]() {
+      std::vector<std::byte> Arena(SharedBytes ? SharedBytes : 1);
+      while (true) {
+        unsigned L = Next.fetch_add(1, std::memory_order_relaxed);
+        if (L >= NumBlocks)
+          return;
+        RunOne(L, Arena.data());
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+template <typename BufT>
+void tinyPhase(BufT Buf, BlockCtx &B, ThreadCtx &T) {
+  size_t I = B.X * B.BlockDim.X + T.X;
+  Buf.store(B, I, Buf.load(B, I) + 1.0);
+}
+
+void report(const char *Section, const char *Mode, long long Count,
+            double Ms) {
+  std::printf("THROUGHPUT %s mode=%s count=%lld ms=%.3f rate=%.1f\n",
+              Section, Mode, Count, Ms, Count / (Ms / 1000.0));
+}
+
+//===----------------------------------------------------------------------===//
+// 1. Small-launch rate
+//===----------------------------------------------------------------------===//
+
+double smallLaunchRate(const char *Mode, int Launches, bool Emit = true) {
+  const unsigned Blocks = 8, Threads = 32;
+  GpuDevice Dev;
+  Dev.setWorkers(BenchWorkers);
+  auto Buf = Dev.alloc<double>(Blocks * Threads);
+
+  auto T0 = std::chrono::steady_clock::now();
+  if (std::strcmp(Mode, "spawn_per_launch") == 0) {
+    for (int L = 0; L != Launches; ++L)
+      spawnPerLaunchRunBlocks(Dev, Dim3{Blocks}, Dim3{Threads}, 0,
+                              [&](BlockCtx &B) {
+                                ThreadCtx T;
+                                for (T.X = 0; T.X != Threads; ++T.X) {
+                                  B.CurThread = T.X;
+                                  tinyPhase(Buf, B, T);
+                                }
+                              });
+  } else if (std::strcmp(Mode, "pool_sync") == 0) {
+    for (int L = 0; L != Launches; ++L)
+      launchPhases(Dev, Dim3{Blocks}, Dim3{Threads}, 0,
+                   [Buf](BlockCtx &B, ThreadCtx &T) { tinyPhase(Buf, B, T); });
+  } else { // pool_streams: four streams, each its own buffer
+    const int NumStreams = 4;
+    std::vector<GpuDevice::Buffer<double>> Bufs;
+    for (int S = 0; S != NumStreams; ++S)
+      Bufs.push_back(Dev.alloc<double>(Blocks * Threads));
+    std::vector<std::unique_ptr<sim::Stream>> Streams;
+    for (int S = 0; S != NumStreams; ++S)
+      Streams.push_back(std::make_unique<sim::Stream>(Dev));
+    T0 = std::chrono::steady_clock::now();
+    for (int L = 0; L != Launches; ++L) {
+      auto B = Bufs[L % NumStreams];
+      Streams[L % NumStreams]->enqueue([&Dev, B] {
+        launchPhases(Dev, Dim3{Blocks}, Dim3{Threads}, 0,
+                     [B](BlockCtx &Blk, ThreadCtx &T) {
+                       tinyPhase(B, Blk, T);
+                     });
+      });
+    }
+    for (auto &S : Streams)
+      S->synchronize();
+  }
+  double Ms = msSince(T0);
+  if (Emit)
+    report("small_launch", Mode, Launches, Ms);
+  return Launches / (Ms / 1000.0);
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Worker-count scaling sweep
+//===----------------------------------------------------------------------===//
+
+void workerSweep() {
+  const unsigned Blocks = 64, Threads = 256;
+  const size_t N = static_cast<size_t>(Blocks) * Threads;
+  const int Launches = 40;
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    GpuDevice Dev;
+    Dev.setWorkers(W);
+    auto In = Dev.alloc<double>(N);
+    auto Out = Dev.alloc<double>(Blocks);
+    for (size_t I = 0; I != N; ++I)
+      In.data()[I] = static_cast<double>(I % 97);
+    auto Run = [&] {
+      launchPhases(Dev, Dim3{Blocks}, Dim3{1}, 0,
+                   [In, Out, Threads](BlockCtx &B, ThreadCtx &) {
+                     double Sum = 0;
+                     for (size_t I = 0; I != Threads; ++I)
+                       Sum += In.load(B, B.X * Threads + I);
+                     Out.store(B, B.X, Sum);
+                   });
+    };
+    Run(); // warm-up (creates the pool)
+    auto T0 = std::chrono::steady_clock::now();
+    for (int L = 0; L != Launches; ++L)
+      Run();
+    double Ms = msSince(T0);
+    char Mode[32];
+    std::snprintf(Mode, sizeof(Mode), "workers_%u", W);
+    report("worker_sweep", Mode, Launches, Ms);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Mixed host-program serving loop (generated drivers)
+//===----------------------------------------------------------------------===//
+
+void servingLoop(bool Streamed, int Requests) {
+  const size_t NQ = 8 * 256;
+  GpuDevice Dev;
+  Dev.setWorkers(BenchWorkers);
+  rt::HostBuffer<double> QVec(NQ, 1.0);
+  rt::HostBuffer<double> RData(NQ, 0.5), RPartials(8, 0.0), RTotal(1, 0.0);
+
+  auto T0 = std::chrono::steady_clock::now();
+  if (Streamed) {
+    sim::Stream S(Dev);
+    for (int R = 0; R != Requests; ++R) {
+      if (R % 2 == 0)
+        descend::gen::run(S, QVec);
+      else
+        descend::gen::run_small(S, RData, RPartials, RTotal);
+    }
+  } else {
+    for (int R = 0; R != Requests; ++R) {
+      if (R % 2 == 0)
+        descend::gen::run(Dev, QVec);
+      else
+        descend::gen::run_small(Dev, RData, RPartials, RTotal);
+    }
+  }
+  report("serving", Streamed ? "generated_stream" : "generated_sync",
+         Requests, msSince(T0));
+}
+
+} // namespace
+
+int main() {
+  std::printf("Simulator launch-path throughput (workers=%u)\n",
+              BenchWorkers);
+  std::printf("(spawn_per_launch reproduces the pre-persistent-pool "
+              "executor; the pool/spawn ratio is the gated speedup)\n\n");
+
+  const int Launches = 4096;
+  smallLaunchRate("pool_sync", 256, /*Emit=*/false); // warm-up
+  double SpawnRate = smallLaunchRate("spawn_per_launch", Launches);
+  double PoolRate = smallLaunchRate("pool_sync", Launches);
+  double StreamRate = smallLaunchRate("pool_streams", Launches);
+
+  workerSweep();
+
+  servingLoop(/*Streamed=*/false, 512);
+  servingLoop(/*Streamed=*/true, 512);
+
+  std::printf("\nTHROUGHPUT speedup pool_vs_spawn=%.2f streams_vs_spawn="
+              "%.2f\n",
+              PoolRate / SpawnRate, StreamRate / SpawnRate);
+  return 0;
+}

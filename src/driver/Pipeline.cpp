@@ -130,7 +130,8 @@ template <typename Fn> bool Session::timed(Stage S, Fn &&Body) {
   bool Ok = Body();
   auto T1 = std::chrono::steady_clock::now();
   Timings.push_back(
-      {S, std::chrono::duration<double, std::milli>(T1 - T0).count()});
+      {S, std::chrono::duration<double, std::milli>(T1 - T0).count(),
+       /*Failed=*/!Ok});
   if (Ok)
     Reached = S;
   return Ok;

@@ -69,10 +69,13 @@ struct CompilerInvocation {
   Stage RunUntil = Stage::Codegen;
 };
 
-/// Wall-clock time of one executed stage.
+/// Wall-clock time of one executed stage. A stage that ran and failed is
+/// still timed, with Failed set — reporting tools must not present it as
+/// having been reached.
 struct StageTiming {
   Stage S = Stage::None;
   double Millis = 0.0;
+  bool Failed = false;
 };
 
 /// What a Session::run produced.

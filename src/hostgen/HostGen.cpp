@@ -33,7 +33,8 @@ class Emitter {
 public:
   Emitter(const Module &M, const FnDef &Fn, HostTarget T,
           const std::string &FnSuffix)
-      : M(M), Fn(Fn), T(T), FnSuffix(FnSuffix) {}
+      : M(M), Fn(Fn), T(T), Stream(T == HostTarget::SimStream),
+        FnSuffix(FnSuffix) {}
 
   HostGenResult run();
 
@@ -41,11 +42,38 @@ private:
   const Module &M;
   const FnDef &Fn;
   HostTarget T;
+  /// Emitting the asynchronous sim::Stream overload: device operations
+  /// enqueue, host-touching statements synchronize first.
+  bool Stream;
   const std::string &FnSuffix;
 
   std::ostringstream OS;
   std::string Error;
   unsigned Depth = 1;
+
+  /// Stream mode: operations are enqueued but not yet joined; the next
+  /// statement that touches host memory must synchronize first.
+  bool PendingAsync = false;
+
+  /// Stream mode: how many host-memory-touch points have been emitted so
+  /// far. Loop emission snapshots this to detect bodies that touch host
+  /// memory (see emitForNat's back-edge join).
+  unsigned HostTouches = 0;
+
+  bool isSim() const { return T != HostTarget::Cuda; }
+
+  /// Stream mode: joins the stream before a host-memory-touching
+  /// statement (no-op otherwise).
+  void syncIfPending() {
+    if (!Stream)
+      return;
+    ++HostTouches;
+    if (!PendingAsync)
+      return;
+    indent();
+    OS << "_stream.synchronize();\n";
+    PendingAsync = false;
+  }
 
   std::vector<std::map<std::string, HostVar>> Scopes;
   /// Device buffers allocated at function scope, in allocation order
@@ -204,19 +232,20 @@ bool Emitter::emitSignature() {
                 Fn.RetTy->str() + "`");
 
   OS << "/// " << Fn.signature() << "\n";
-  OS << (T == HostTarget::Sim ? "inline void " : "void ")
+  OS << (isSim() ? "inline void " : "void ")
      << hostFnEmitName(Fn, FnSuffix) << "(";
   bool First = true;
   auto Sep = [&]() {
     if (!First)
       OS << ",\n    ";
-    else if (T == HostTarget::Sim)
-      OS << ",\n    "; // after the device argument
+    else if (isSim())
+      OS << ",\n    "; // after the device/stream argument
     First = false;
   };
-  if (T == HostTarget::Sim) {
+  if (Stream)
+    OS << "descend::sim::Stream &_stream";
+  else if (isSim())
     OS << "descend::sim::GpuDevice &_dev";
-  }
 
   for (const FnParam &P : Fn.Params) {
     HostVar V;
@@ -235,7 +264,7 @@ bool Emitter::emitSignature() {
       if (Ref->Mem.Kind == MemoryKind::CpuMem) {
         V.K = HostVar::HostBuf;
         Sep();
-        if (T == HostTarget::Sim)
+        if (isSim())
           OS << (V.Shared ? "const descend::rt::HostBuffer<"
                           : "descend::rt::HostBuffer<")
              << cppScalarType(Elem) << "> &" << P.Name;
@@ -245,7 +274,7 @@ bool Emitter::emitSignature() {
       } else if (Ref->Mem.Kind == MemoryKind::GpuGlobal) {
         V.K = HostVar::DevBuf;
         Sep();
-        if (T == HostTarget::Sim)
+        if (isSim())
           OS << "descend::sim::GpuDevice::Buffer<" << cppScalarType(Elem)
              << "> " << P.Name;
         else
@@ -266,6 +295,14 @@ bool Emitter::emitSignature() {
     bind(P.Name, std::move(V));
   }
   OS << ") {\n";
+  if (Stream) {
+    // Enqueued launches capture the device by reference; the frame stays
+    // alive because stream drivers synchronize before returning.
+    indent();
+    OS << "descend::sim::GpuDevice &_dev = _stream.device();\n";
+    indent();
+    OS << "(void)_dev;\n";
+  }
   return true;
 }
 
@@ -284,6 +321,7 @@ bool Emitter::emitStmt(const Expr &E) {
     return emitCall(*cast<CallExpr>(&E));
   case ExprKind::Assign: {
     const auto *A = cast<AssignExpr>(&E);
+    syncIfPending(); // assignment may read/write host buffers
     auto L = placeCpp(*A->Lhs);
     auto R = exprCpp(*A->Rhs);
     if (!L || !R)
@@ -293,6 +331,7 @@ bool Emitter::emitStmt(const Expr &E) {
     return true;
   }
   case ExprKind::ForNat:
+    syncIfPending(); // the loop body may read host buffers
     return emitForNat(*cast<ForNatExpr>(&E));
   case ExprKind::Block: {
     indent();
@@ -325,9 +364,21 @@ bool Emitter::emitForNat(const ForNatExpr &F) {
   V.K = HostVar::LoopVar;
   V.Elem = ScalarKind::I64;
   bind(F.Var, std::move(V));
+  const unsigned TouchesBefore = HostTouches;
   bool Ok = F.Body->kind() == ExprKind::Block
                 ? emitBlock(*cast<BlockExpr>(F.Body.get()))
                 : emitStmt(*F.Body);
+  // Stream mode back edge: a body that both touches host memory and
+  // leaves operations pending would race with its own next iteration
+  // (the per-statement sync points were emitted against the *first*
+  // iteration's pending state). Join at the end of each iteration. A
+  // body with no host-touch points safely carries its pending
+  // operations across the back edge — the stream keeps them in order.
+  if (Ok && Stream && PendingAsync && HostTouches != TouchesBefore) {
+    indent();
+    OS << "_stream.synchronize();\n";
+    PendingAsync = false;
+  }
   popScope();
   --Depth;
   indent();
@@ -353,7 +404,7 @@ bool Emitter::emitLet(const LetExpr &L) {
     if (!N)
       return false;
     indent();
-    if (T == HostTarget::Sim)
+    if (isSim())
       OS << "descend::rt::HostBuffer<" << cppScalarType(Elem) << "> "
          << L.Name << "(" << *N << ", " << cppScalarType(Elem) << "{});\n";
     else
@@ -367,6 +418,7 @@ bool Emitter::emitLet(const LetExpr &L) {
     return true;
   }
   // Scalar let.
+  syncIfPending(); // the initializer may read host buffers
   auto Init = exprCpp(*L.Init);
   if (!Init)
     return false;
@@ -403,7 +455,7 @@ bool Emitter::emitAllocCall(const CallExpr &C, const std::string &Let) {
     if (!Fill || !N)
       return false;
     indent();
-    if (T == HostTarget::Sim)
+    if (isSim())
       OS << "descend::rt::HostBuffer<" << cppScalarType(Elem) << "> " << Let
          << "(" << *N << ", " << *Fill << ");\n";
     else
@@ -425,9 +477,15 @@ bool Emitter::emitAllocCall(const CallExpr &C, const std::string &Let) {
                 "buffer variable");
   const char *CT = cppScalarType(SrcVar->Elem);
   indent();
-  if (T == HostTarget::Sim) {
-    OS << "auto " << Let << " = descend::rt::allocCopy(_dev, " << Src
-       << ");\n";
+  if (isSim()) {
+    if (Stream) {
+      OS << "auto " << Let << " = descend::rt::allocCopyAsync(_stream, "
+         << Src << ");\n";
+      PendingAsync = true;
+    } else {
+      OS << "auto " << Let << " = descend::rt::allocCopy(_dev, " << Src
+         << ");\n";
+    }
   } else {
     auto N = natCpp(SrcVar->Count);
     if (!N)
@@ -465,9 +523,17 @@ bool Emitter::emitCall(const CallExpr &C) {
     if (!DstVar || !SrcVar)
       return fail("`" + C.Callee + "` expects buffer variable references");
     indent();
-    if (T == HostTarget::Sim) {
-      OS << (ToHost ? "descend::rt::copyToHost(" : "descend::rt::copyToGpu(")
-         << Dst << ", " << Src << ");\n";
+    if (isSim()) {
+      if (Stream) {
+        OS << (ToHost ? "descend::rt::copyToHostAsync(_stream, "
+                      : "descend::rt::copyToGpuAsync(_stream, ")
+           << Dst << ", " << Src << ");\n";
+        PendingAsync = true;
+      } else {
+        OS << (ToHost ? "descend::rt::copyToHost("
+                      : "descend::rt::copyToGpu(")
+           << Dst << ", " << Src << ");\n";
+      }
       return true;
     }
     const HostVar &HostSide = ToHost ? *DstVar : *SrcVar;
@@ -486,8 +552,13 @@ bool Emitter::emitCall(const CallExpr &C) {
     return true;
   }
 
-  // Plain call of another host function.
+  // Plain call of another host function. Stream mode threads the stream
+  // through, joining the caller's pending operations first (the callee
+  // may touch host memory in its first statement without a sync of its
+  // own); a callee with pending operations joins them before returning,
+  // so the caller resumes with a quiet stream either way.
   if (const FnDef *Callee = M.findFn(C.Callee); Callee && Callee->isCpuFn()) {
+    syncIfPending();
     std::vector<std::string> Args;
     for (const ExprPtr &A : C.Args) {
       std::string Name = argVar(*A);
@@ -509,11 +580,12 @@ bool Emitter::emitCall(const CallExpr &C) {
     }
     indent();
     OS << hostFnEmitName(*Callee, FnSuffix) << "(";
-    if (T == HostTarget::Sim)
-      OS << "_dev" << (Args.empty() ? "" : ", ");
+    if (isSim())
+      OS << (Stream ? "_stream" : "_dev") << (Args.empty() ? "" : ", ");
     for (size_t I = 0; I != Args.size(); ++I)
       OS << (I ? ", " : "") << Args[I];
     OS << ");\n";
+    PendingAsync = false;
     return true;
   }
   return fail("unsupported host call: " + C.Callee);
@@ -529,10 +601,22 @@ bool Emitter::emitLaunch(const CallExpr &C) {
     Args.push_back(Name);
   }
   indent();
-  if (T == HostTarget::Sim) {
+  if (isSim()) {
     // The generated simulator kernel lives in the same emitted namespace;
     // its signature already encodes the (statically checked) launch
-    // configuration.
+    // configuration. Stream mode enqueues the same call as a stream
+    // operation (buffer handles captured by value, the device by
+    // reference — the frame outlives the operation because stream
+    // drivers synchronize before returning).
+    if (Stream) {
+      OS << "_stream.enqueue([=, &_dev] { " << C.Callee << FnSuffix
+         << "(_dev";
+      for (const std::string &A : Args)
+        OS << ", " << A;
+      OS << "); });\n";
+      PendingAsync = true;
+      return true;
+    }
     OS << C.Callee << FnSuffix << "(_dev";
     for (const std::string &A : Args)
       OS << ", " << A;
@@ -577,6 +661,11 @@ HostGenResult Emitter::run() {
       indent();
       OS << "cudaFree(" << Buf << ");\n";
     }
+  // Stream drivers join before returning: enqueued operations may borrow
+  // this frame's locals, and the caller observes the same state as after
+  // the synchronous driver.
+  if (Ok)
+    syncIfPending();
   OS << "}\n";
   popScope();
   if (!Ok) {

@@ -7,12 +7,21 @@
 // checker proves the transfers and launches correct, this layer turns the
 // proven program into a runnable driver:
 //
-//   sim   C++ against runtime/HostRuntime.h + sim/Sim.h — rt::HostBuffer
-//         allocations, rt::allocCopy / rt::copyToHost transfers, and direct
-//         calls of the generated simulator kernels in the same header.
-//   cuda  CUDA runtime API host code — std::vector staging, cudaMalloc /
-//         cudaMemcpy with statically computed byte counts, real
-//         kernel<<<grid, block>>> launches and cudaFree cleanup.
+//   sim        C++ against runtime/HostRuntime.h + sim/Sim.h —
+//              rt::HostBuffer allocations, rt::allocCopy / rt::copyToHost
+//              transfers, and direct calls of the generated simulator
+//              kernels in the same header.
+//   simStream  the asynchronous overload of the same driver, taking a
+//              sim::Stream instead of a device: transfers enqueue through
+//              rt::*Async, launches enqueue as stream operations, and a
+//              stream synchronize is inserted before any statement that
+//              touches host memory (and before returning), so results are
+//              bit-identical to the synchronous driver while consecutive
+//              device operations pipeline with a single join.
+//   cuda       CUDA runtime API host code — std::vector staging,
+//              cudaMalloc / cudaMemcpy with statically computed byte
+//              counts, real kernel<<<grid, block>>> launches and cudaFree
+//              cleanup.
 //
 // A host function named `main` is emitted under the name `run` (plus the
 // invocation's function suffix), which is the entry point tests and
@@ -37,8 +46,9 @@
 namespace descend {
 namespace hostgen {
 
-/// Which host substrate to emit for.
-enum class HostTarget { Sim, Cuda };
+/// Which host substrate to emit for. SimStream emits the asynchronous
+/// sim::Stream overload of the sim driver (the sim backend emits both).
+enum class HostTarget { Sim, SimStream, Cuda };
 
 /// Result of emitting one host function.
 struct HostGenResult {

@@ -2,7 +2,9 @@
 //
 // Part of the Descend reproduction. The host API of Section 3.4/3.5 as a
 // C++ library over the simulator: heap allocation, CPU<->GPU transfer with
-// direction checking and kernel-launch configuration checking.
+// direction checking and kernel-launch configuration checking — each in a
+// synchronous form and an asynchronous form over sim::Stream (the
+// cudaMemcpyAsync analogue the generated stream drivers call).
 //
 // In Descend these mistakes are compile-time errors; this runtime is the
 // substrate equivalent for *handwritten* host code (and for demonstrating,
@@ -61,6 +63,50 @@ void copyToGpu(sim::GpuDevice::Buffer<T> &Dst, const HostBuffer<T> &Src) {
   if (Dst.size() != Src.size())
     throw std::runtime_error("copy_to_gpu: size mismatch");
   std::memcpy(Dst.data(), Src.data(), Src.size() * sizeof(T));
+}
+
+//===----------------------------------------------------------------------===//
+// Stream (asynchronous) variants — the cudaMemcpyAsync analogues. Sizes
+// are validated eagerly at enqueue time (same exceptions, same messages
+// as the synchronous calls); only the byte transfer itself is deferred
+// onto the stream, ordered after everything enqueued before it. The host
+// buffer must stay alive until the stream synchronizes.
+//===----------------------------------------------------------------------===//
+
+/// GpuGlobal::alloc_copy on a stream: the allocation happens immediately
+/// (the handle is usable in subsequently enqueued launches), the
+/// populating copy is enqueued.
+template <typename T>
+sim::GpuDevice::Buffer<T> allocCopyAsync(sim::Stream &S,
+                                         const HostBuffer<T> &Host) {
+  auto Buf = S.device().alloc<T>(Host.size());
+  T *Dst = Buf.data();
+  const T *Src = Host.data();
+  const size_t Bytes = Host.size() * sizeof(T);
+  S.enqueue([Dst, Src, Bytes] { std::memcpy(Dst, Src, Bytes); });
+  return Buf;
+}
+
+template <typename T>
+void copyToHostAsync(sim::Stream &S, HostBuffer<T> &Dst,
+                     const sim::GpuDevice::Buffer<T> &Src) {
+  if (Dst.size() != Src.size())
+    throw std::runtime_error("copy_mem_to_host: size mismatch");
+  T *D = Dst.data();
+  const T *So = Src.data();
+  const size_t Bytes = Src.size() * sizeof(T);
+  S.enqueue([D, So, Bytes] { std::memcpy(D, So, Bytes); });
+}
+
+template <typename T>
+void copyToGpuAsync(sim::Stream &S, sim::GpuDevice::Buffer<T> &Dst,
+                    const HostBuffer<T> &Src) {
+  if (Dst.size() != Src.size())
+    throw std::runtime_error("copy_to_gpu: size mismatch");
+  T *D = Dst.data();
+  const T *So = Src.data();
+  const size_t Bytes = Src.size() * sizeof(T);
+  S.enqueue([D, So, Bytes] { std::memcpy(D, So, Bytes); });
 }
 
 /// Checks a launch configuration against the element count a kernel

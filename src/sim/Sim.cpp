@@ -7,10 +7,147 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
-#include <thread>
 
 using namespace descend::sim;
+
+//===----------------------------------------------------------------------===//
+// Worker pool
+//===----------------------------------------------------------------------===//
+
+std::byte *detail::threadArena(size_t Bytes) {
+  thread_local std::vector<std::byte> Arena;
+  if (Arena.size() < Bytes)
+    Arena.resize(Bytes);
+  return Arena.data();
+}
+
+/// One unit of pool work: either the block-items of a parallelFor (Body
+/// set, borrowed from the caller's frame — the job completes before
+/// parallelFor returns) or a one-off submitted task (Task set).
+struct detail::WorkerPool::Job {
+  const std::function<void(unsigned)> *Body = nullptr;
+  std::function<void()> Task;
+  unsigned NumItems = 0;
+  unsigned Chunk = 1;
+  std::atomic<unsigned> Next{0};      // next unclaimed item
+  std::atomic<unsigned> Remaining{0}; // items not yet finished
+  std::mutex DoneM;
+  std::condition_variable DoneCV;
+  bool Done = false;
+
+  void runItem(unsigned I) {
+    if (Body)
+      (*Body)(I);
+    else
+      Task();
+  }
+};
+
+detail::WorkerPool::WorkerPool(unsigned ThreadCount) {
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I != ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+detail::WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> G(M);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void detail::WorkerPool::removeFromQueue(const std::shared_ptr<Job> &J) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = std::find(Queue.begin(), Queue.end(), J);
+  if (It != Queue.end())
+    Queue.erase(It);
+}
+
+/// Claims one run of items from \p J and executes it. Returns false when
+/// nothing was left to claim. The last finisher signals completion.
+bool detail::WorkerPool::claimAndRun(Job &J) {
+  const unsigned Begin = J.Next.fetch_add(J.Chunk, std::memory_order_relaxed);
+  if (Begin >= J.NumItems)
+    return false;
+  const unsigned End = std::min(Begin + J.Chunk, J.NumItems);
+  for (unsigned I = Begin; I != End; ++I)
+    J.runItem(I);
+  const unsigned Ran = End - Begin;
+  if (J.Remaining.fetch_sub(Ran, std::memory_order_acq_rel) == Ran) {
+    std::lock_guard<std::mutex> G(J.DoneM);
+    J.Done = true;
+    J.DoneCV.notify_all();
+  }
+  return true;
+}
+
+void detail::WorkerPool::workerLoop() {
+  std::unique_lock<std::mutex> L(M);
+  while (true) {
+    WorkCV.wait(L, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Stopping)
+        return; // drained: queued work always finishes before teardown
+      continue;
+    }
+    std::shared_ptr<Job> J = Queue.front();
+    L.unlock();
+    if (!claimAndRun(*J))
+      removeFromQueue(J); // exhausted; stop offering it to workers
+    L.lock();
+  }
+}
+
+void detail::WorkerPool::parallelFor(
+    unsigned NumItems, unsigned Chunk,
+    const std::function<void(unsigned)> &Body) {
+  if (NumItems == 0)
+    return;
+  auto J = std::make_shared<Job>();
+  J->Body = &Body;
+  J->NumItems = NumItems;
+  J->Chunk = std::max(1u, Chunk);
+  J->Remaining.store(NumItems, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> G(M);
+    Queue.push_back(J);
+  }
+  // Wake at most one worker per claimable chunk beyond the caller's own.
+  const unsigned Chunks = (NumItems + J->Chunk - 1) / J->Chunk;
+  if (Chunks > 1 && threadCount() > 0) {
+    const unsigned Wake = std::min(threadCount(), Chunks - 1);
+    if (Wake >= threadCount())
+      WorkCV.notify_all();
+    else
+      for (unsigned I = 0; I != Wake; ++I)
+        WorkCV.notify_one();
+  }
+  // The caller participates: small launches usually finish right here,
+  // without paying for a worker wake-up at all.
+  while (claimAndRun(*J))
+    ;
+  removeFromQueue(J);
+  std::unique_lock<std::mutex> L(J->DoneM);
+  J->DoneCV.wait(L, [&] { return J->Done; });
+}
+
+void detail::WorkerPool::submit(std::function<void()> Task) {
+  assert(threadCount() > 0 && "submit() needs at least one pool worker");
+  auto J = std::make_shared<Job>();
+  J->Task = std::move(Task);
+  J->NumItems = 1;
+  J->Remaining.store(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> G(M);
+    Queue.push_back(J);
+  }
+  WorkCV.notify_one();
+}
 
 std::string RaceReport::str() const {
   return descend::strfmt(
@@ -27,23 +164,79 @@ std::string BoundsReport::str() const {
 }
 
 GpuDevice::GpuDevice() = default;
-GpuDevice::~GpuDevice() = default;
+
+GpuDevice::~GpuDevice() {
+  // Streams created against this device must have been destroyed (each
+  // synchronizes on destruction); drain any still-pending work before the
+  // pool goes away.
+  deviceSynchronize();
+}
 
 unsigned GpuDevice::effectiveWorkers() const {
   if (RaceDetection)
     return 1;
   if (Workers != 0)
     return Workers;
+  // DESCEND_WORKERS pins the default machine-wide (run_benches.sh stamps
+  // it into the BENCH_*.json provenance, making numbers comparable
+  // across machines); otherwise use the hardware concurrency.
+  static const unsigned EnvWorkers = [] {
+    const char *E = std::getenv("DESCEND_WORKERS");
+    if (!E)
+      return 0L;
+    return std::max(0L, std::strtol(E, nullptr, 10));
+  }();
+  if (EnvWorkers != 0)
+    return EnvWorkers;
   unsigned HW = std::thread::hardware_concurrency();
   return HW ? HW : 1;
+}
+
+void GpuDevice::setWorkers(unsigned N) {
+  if (Workers == N)
+    return;
+  deviceSynchronize();
+  Workers = N;
+  Pool.reset(); // recreated lazily at the new size
+}
+
+detail::WorkerPool &GpuDevice::pool() {
+  // Streams reach this from several host threads and from pool workers;
+  // the mutex makes the lazy creation race-free. Resizing happens only in
+  // setWorkers (host-side, quiescent) — never here, where a pending
+  // stream operation may be the caller.
+  std::lock_guard<std::mutex> G(PoolM);
+  if (!Pool)
+    Pool = std::make_unique<detail::WorkerPool>(effectiveWorkers());
+  return *Pool;
+}
+
+void GpuDevice::asyncOpEnd() {
+  if (PendingOps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> G(SyncM);
+    SyncCV.notify_all();
+  }
+}
+
+void GpuDevice::deviceSynchronize() {
+  std::unique_lock<std::mutex> L(SyncM);
+  SyncCV.wait(L, [&] { return PendingOps.load(std::memory_order_acquire) ==
+                              0; });
 }
 
 std::byte *GpuDevice::allocRaw(size_t Bytes, unsigned &IdOut) {
   auto Mem = std::make_unique<std::byte[]>(Bytes);
   std::memset(Mem.get(), 0, Bytes);
+  // Several host threads may serve requests against one device (each
+  // with its own stream); allocation is off the launch hot path, so a
+  // mutex keeps the bookkeeping safe. Handed-out pointers are stable —
+  // the vector owns unique_ptrs, not the arrays themselves.
+  std::lock_guard<std::mutex> G(AllocM);
   Allocations.push_back(std::move(Mem));
   AllocationSizes.push_back(Bytes);
-  IdOut = Allocations.size(); // ids start at 1; 0+ reserved for shared
+  IdOut = Allocations.size(); // ids start at 1
+  assert(IdOut < detail::FirstSharedBufferId &&
+         "global buffer ids overran the reserved shared-memory id range");
   return Allocations.back().get();
 }
 
@@ -64,6 +257,9 @@ void GpuDevice::logBounds(unsigned BufferId, size_t Offset, size_t Size) {
   R.BufferId = BufferId;
   R.Offset = Offset;
   R.Size = Size;
+  // Unlike race logging, bounds checking does not force sequential
+  // execution, so violating blocks may report from pool workers.
+  std::lock_guard<std::mutex> G(BoundsM);
   BoundsViolations.push_back(R);
 }
 
@@ -207,7 +403,10 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
                        size_t SharedBytes,
                        const std::function<void(BlockCtx &)> &RunBlock) {
   const unsigned NumBlocks = Grid.total();
+  if (NumBlocks == 0)
+    return;
   const unsigned NumWorkers = std::min(Dev.effectiveWorkers(), NumBlocks);
+  const size_t ArenaBytes = SharedBytes ? SharedBytes : 1;
 
   auto RunOne = [&](unsigned Linear, std::byte *Arena) {
     BlockCtx B;
@@ -221,32 +420,83 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
     B.Dev = &Dev;
     // Shared arenas are per block instance: give each block its own
     // logical buffer id so the detector separates them.
-    B.SharedBufferId = 1000000000u + Linear;
+    B.SharedBufferId = FirstSharedBufferId + Linear;
     if (SharedBytes)
       std::memset(Arena, 0, SharedBytes);
     RunBlock(B);
   };
 
   if (NumWorkers <= 1) {
-    std::vector<std::byte> Arena(SharedBytes ? SharedBytes : 1);
+    std::byte *Arena = threadArena(ArenaBytes);
     for (unsigned L = 0; L != NumBlocks; ++L)
-      RunOne(L, Arena.data());
+      RunOne(L, Arena);
     return;
   }
 
-  std::atomic<unsigned> Next{0};
-  std::vector<std::thread> Pool;
-  Pool.reserve(NumWorkers);
-  for (unsigned W = 0; W != NumWorkers; ++W)
-    Pool.emplace_back([&]() {
-      std::vector<std::byte> Arena(SharedBytes ? SharedBytes : 1);
-      while (true) {
-        unsigned L = Next.fetch_add(1, std::memory_order_relaxed);
-        if (L >= NumBlocks)
-          return;
-        RunOne(L, Arena.data());
+  // Chunked claiming: around eight claims per worker amortizes the atomic
+  // on large grids while keeping the tail balanced; small grids fall back
+  // to one block per claim.
+  const unsigned Chunk = std::max(1u, NumBlocks / (NumWorkers * 8));
+  Dev.pool().parallelFor(NumBlocks, Chunk, [&](unsigned L) {
+    RunOne(L, threadArena(ArenaBytes));
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Streams
+//===----------------------------------------------------------------------===//
+
+void Stream::enqueue(std::function<void()> Op) {
+  // Sequential devices (including race detection, which forces one
+  // worker) execute immediately: deterministic, in order, on the calling
+  // thread — the behaviour the race-detector fixtures pin down.
+  if (Dev->effectiveWorkers() <= 1) {
+    Op();
+    return;
+  }
+  Dev->asyncOpBegin();
+  bool StartPump = false;
+  {
+    std::lock_guard<std::mutex> G(M);
+    Ops.push_back(std::move(Op));
+    if (!Running) {
+      Running = true;
+      StartPump = true;
+    }
+  }
+  if (StartPump)
+    Dev->pool().submit([this] { pump(); });
+}
+
+void Stream::pump() {
+  for (;;) {
+    std::function<void()> Op;
+    {
+      std::lock_guard<std::mutex> G(M);
+      if (Ops.empty()) {
+        Running = false;
+        CV.notify_all();
+        return;
       }
-    });
-  for (std::thread &T : Pool)
-    T.join();
+      Op = std::move(Ops.front());
+      Ops.pop_front();
+    }
+    Op();
+    Dev->asyncOpEnd();
+  }
+}
+
+void Stream::launch(Dim3 Grid, Dim3 Block, size_t SharedBytes,
+                    PhaseProgram Prog) {
+  Prog.nodes(); // structural check (every loopBegin closed) at enqueue
+  auto P = std::make_shared<const PhaseProgram>(std::move(Prog));
+  GpuDevice *D = Dev;
+  enqueue([D, Grid, Block, SharedBytes, P] {
+    launchProgram(*D, Grid, Block, SharedBytes, *P);
+  });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> L(M);
+  CV.wait(L, [&] { return Ops.empty() && !Running; });
 }

@@ -6,8 +6,11 @@
 //
 // Execution model:
 //  * A launch runs a grid of independent blocks; blocks are distributed
-//    over a worker pool (they may not synchronize with each other, exactly
-//    as in CUDA).
+//    over a persistent worker pool owned by the device (they may not
+//    synchronize with each other, exactly as in CUDA). Workers park on a
+//    condition variable between launches and claim *runs* of blocks per
+//    atomic claim, so a launch costs a wake-up, not a thread spawn, and
+//    large grids do not serialize on one counter.
 //  * A kernel is a *phase program*: a sequence of phases and host-side
 //    loops over phases (PhaseProgram, the runtime mirror of the
 //    compiler's phase-program IR). A phase runs for every thread of a
@@ -19,7 +22,12 @@
 //    representation; handwritten kernels are written in the same style
 //    through the variadic launchPhases, mirroring how __syncthreads()
 //    partitions a CUDA kernel.
-//  * Shared memory is a per-block arena living across the block's phases.
+//  * Shared memory is a per-block arena living across the block's phases;
+//    each executing thread caches one arena across launches.
+//  * Streams (class Stream) enqueue launches and host<->device copies
+//    asynchronously, in order per stream, overlapping across streams on
+//    the same pool — the CUDA async-launch model. The default,
+//    stream-less entry points stay synchronous and bit-identical.
 //
 // Observability (both off by default; the hot path pays one predicted
 // branch):
@@ -35,11 +43,16 @@
 #ifndef DESCEND_SIM_SIM_H
 #define DESCEND_SIM_SIM_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace descend::sim {
@@ -74,6 +87,61 @@ struct Access {
   unsigned Thread;
   uint16_t Phase;
   bool Write;
+};
+
+/// First logical buffer id of the per-block shared-memory range. Global
+/// buffer ids grow upward from 1 and GpuDevice::allocRaw asserts they
+/// never reach this base, so shared and global accesses can never alias
+/// in the race detector's log, no matter how long the device lives.
+constexpr unsigned FirstSharedBufferId = 0x80000000u;
+
+/// The calling thread's cached scratch arena, grown to at least \p Bytes.
+/// One arena per OS thread, reused across launches: block execution pays
+/// no allocator traffic after warm-up.
+std::byte *threadArena(size_t Bytes);
+
+/// A persistent pool of worker threads parked on a condition variable.
+/// Owned by a GpuDevice, created lazily at the first parallel launch and
+/// torn down with the device (or when setWorkers resizes it).
+///
+/// Work comes in two shapes: parallelFor distributes the blocks of one
+/// launch (the calling thread participates, so small grids finish without
+/// waiting for a wake-up), and submit runs a one-off task on some worker
+/// (the sequencers of asynchronous streams). Items of a parallelFor are
+/// claimed in runs of Chunk per atomic fetch_add; callers scale Chunk to
+/// the grid so a launch costs a handful of claims per worker instead of
+/// one per block.
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned ThreadCount);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Runs Body(I) for every I in [0, NumItems), distributing runs of
+  /// Chunk items over the pool. The calling thread claims chunks too;
+  /// returns once every item has finished.
+  void parallelFor(unsigned NumItems, unsigned Chunk,
+                   const std::function<void(unsigned)> &Body);
+
+  /// Enqueues \p Task to run asynchronously on some pool worker.
+  void submit(std::function<void()> Task);
+
+private:
+  struct Job;
+  void workerLoop();
+  bool claimAndRun(Job &J);
+  void removeFromQueue(const std::shared_ptr<Job> &J);
+
+  std::mutex M;
+  std::condition_variable WorkCV;
+  std::deque<std::shared_ptr<Job>> Queue; // jobs with unclaimed items
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
 };
 } // namespace detail
 
@@ -116,8 +184,10 @@ struct ThreadCtx {
   unsigned X = 0, Y = 0, Z = 0; // threadIdx
 };
 
-/// Simulated device: owns global-memory buffers and the observability
-/// state. One launch at a time.
+/// Simulated device: owns global-memory buffers, the persistent worker
+/// pool block execution runs on, and the observability state. Launches
+/// from the host are synchronous; streams (class Stream) overlap
+/// independent work on the same pool.
 class GpuDevice {
 public:
   GpuDevice();
@@ -136,9 +206,26 @@ public:
   void setBoundsChecking(bool On) { BoundsChecking = On; }
   bool boundsChecking() const { return BoundsChecking; }
 
-  /// Worker threads for block execution; 0 = hardware concurrency.
-  void setWorkers(unsigned N) { Workers = N; }
+  /// Worker threads for block execution; 0 = the DESCEND_WORKERS
+  /// environment variable if set, else hardware concurrency.
+  /// Synchronizes the device and tears down the current pool; the next
+  /// parallel launch recreates it at the new size. Host-side API — must
+  /// not be called from inside stream operations.
+  void setWorkers(unsigned N);
   unsigned effectiveWorkers() const;
+
+  /// The device's persistent worker pool, created lazily at the
+  /// effective worker count. Internal: launches reach it through
+  /// detail::runBlocks and streams through their sequencer tasks.
+  detail::WorkerPool &pool();
+
+  /// Blocks until every operation enqueued on any of this device's
+  /// streams has executed (cudaDeviceSynchronize).
+  void deviceSynchronize();
+
+  // Internal: stream-operation accounting (see class Stream).
+  void asyncOpBegin() { PendingOps.fetch_add(1, std::memory_order_relaxed); }
+  void asyncOpEnd();
 
   /// Analyzes the logged accesses of the last launch. One report per
   /// conflicting (buffer, offset) pair.
@@ -158,6 +245,14 @@ private:
   bool RaceDetection = false;
   bool BoundsChecking = false;
   unsigned Workers = 0;
+
+  std::unique_ptr<detail::WorkerPool> Pool;
+  std::mutex PoolM; // guards lazy pool creation
+  std::atomic<unsigned> PendingOps{0};
+  std::mutex SyncM;
+  std::condition_variable SyncCV;
+  std::mutex BoundsM; // bounds logging may run from parallel blocks
+  std::mutex AllocM;  // host threads may allocate concurrently
 
   std::vector<std::unique_ptr<std::byte[]>> Allocations;
   std::vector<size_t> AllocationSizes;
@@ -233,9 +328,10 @@ void BlockCtx::sharedStore(size_t Base, size_t I, T V) const {
 }
 
 namespace detail {
-/// Runs \p RunBlock once per block of the grid, distributing blocks over
-/// the device's worker pool and providing each call with a fresh shared
-/// arena.
+/// Runs \p RunBlock once per block of the grid, distributing chunked runs
+/// of blocks over the device's persistent worker pool and providing each
+/// call with a zeroed per-thread shared arena. Sequential (and exactly
+/// deterministic) when the device's effective worker count is 1.
 void runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                const std::function<void(BlockCtx &)> &RunBlock);
 } // namespace detail
@@ -310,6 +406,48 @@ private:
 /// variable bound in the BlockCtx.
 void launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                    const PhaseProgram &Prog);
+
+/// A CUDA-style stream: kernel launches and host<->device copies enqueue
+/// asynchronously and execute *in order within the stream* on the
+/// device's worker pool; independent streams overlap. synchronize()
+/// joins one stream, GpuDevice::deviceSynchronize() joins them all, and
+/// the destructor synchronizes, so enqueued closures may safely capture
+/// state that outlives the stream object.
+///
+/// On a single-worker device — including whenever race detection is
+/// enabled, which forces one worker — enqueued work runs immediately on
+/// the calling thread: execution stays sequential and deterministic, and
+/// findRaces() sees exactly the log a synchronous launch produces.
+class Stream {
+public:
+  explicit Stream(GpuDevice &Dev) : Dev(&Dev) {}
+  ~Stream() { synchronize(); }
+  Stream(const Stream &) = delete;
+  Stream &operator=(const Stream &) = delete;
+
+  GpuDevice &device() const { return *Dev; }
+
+  /// Enqueues an arbitrary host-side operation (a copy, a launch wrapped
+  /// in a closure, ...). The operation must not throw; anything it
+  /// captures must stay alive until the stream is synchronized. Runs
+  /// immediately when the device executes sequentially.
+  void enqueue(std::function<void()> Op);
+
+  /// Enqueues a phase-program launch (the stream-side launchProgram).
+  void launch(Dim3 Grid, Dim3 Block, size_t SharedBytes, PhaseProgram Prog);
+
+  /// Blocks until every operation enqueued so far has executed.
+  void synchronize();
+
+private:
+  void pump(); // drains Ops in order; runs on a pool worker
+
+  GpuDevice *Dev;
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Ops;
+  bool Running = false; // a pump task is active on the pool
+};
 
 /// Launches a straight-line phase-structured kernel: each Phase must be
 /// callable as phase(BlockCtx&, ThreadCtx&). Within a block, every phase

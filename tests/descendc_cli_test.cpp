@@ -58,6 +58,40 @@ std::string program(const std::string &Name) {
   return std::string(DESCEND_PROGRAM_DIR) + "/" + Name;
 }
 
+TEST(DescendcCli, HelpPrintsUsageToStdoutAndExitsZero) {
+  for (const char *Flag : {"--help", "-h"}) {
+    RunResult R = runDescendc(Flag);
+    EXPECT_EQ(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Stdout.find("usage: descendc"), std::string::npos)
+        << R.Stdout;
+    EXPECT_NE(R.Stdout.find("backends:"), std::string::npos) << R.Stdout;
+    EXPECT_TRUE(R.Stderr.empty()) << R.Stderr;
+  }
+}
+
+TEST(DescendcCli, TimePassesMarksFailedStage) {
+  // Codegen on the uninstantiated matmul fails (unfolded sizes); the
+  // timing table must not present the codegen row as having been
+  // reached.
+  RunResult R = runDescendc(kernel("matmul.descend") +
+                            " --emit=cuda --time-passes -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("stage reached: typecheck"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find("codegen"), std::string::npos) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("(failed)"), std::string::npos) << R.Stderr;
+}
+
+TEST(DescendcCli, TimePassesHasNoFailedMarkOnSuccess) {
+  RunResult R = runDescendc(kernel("matmul.descend") +
+                            " --emit=cuda --time-passes -D nt=4 "
+                            "-o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("stage reached: codegen"), std::string::npos)
+      << R.Stderr;
+  EXPECT_EQ(R.Stderr.find("(failed)"), std::string::npos) << R.Stderr;
+}
+
 TEST(DescendcCli, SuccessfulCheckExitsZero) {
   RunResult R = runDescendc(kernel("scale_vec.descend") + " --emit=check");
   EXPECT_EQ(R.ExitCode, 0) << R.Stderr;

@@ -150,6 +150,93 @@ fn scale_vec<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
 }
 
 //===----------------------------------------------------------------------===//
+// Stream overloads (the asynchronous sim drivers)
+//===----------------------------------------------------------------------===//
+
+TEST(HostGenStream, EmitsAsyncOverloadWithSingleJoin) {
+  Outcome O = compileProgram("reduction_host.descend", "sim", {{"nb", 8}});
+  ASSERT_TRUE(O.Ok) << O.Rendered;
+  // The stream overload sits next to the synchronous driver...
+  EXPECT_NE(O.Artifact.find("inline void run(descend::sim::Stream &_stream"),
+            std::string::npos)
+      << O.Artifact;
+  // ...transfers enqueue, the launch is a stream operation...
+  EXPECT_NE(O.Artifact.find("descend::rt::allocCopyAsync(_stream, data)"),
+            std::string::npos)
+      << O.Artifact;
+  EXPECT_NE(O.Artifact.find("_stream.enqueue([=, &_dev] { reduce(_dev, "
+                            "d_in, d_out); });"),
+            std::string::npos)
+      << O.Artifact;
+  EXPECT_NE(
+      O.Artifact.find("descend::rt::copyToHostAsync(_stream, partials"),
+      std::string::npos)
+      << O.Artifact;
+  // ...and exactly one join sits before the CPU finish reads partials.
+  std::string StreamPart = O.Artifact.substr(
+      O.Artifact.find("inline void run(descend::sim::Stream &_stream"));
+  size_t FirstSync = StreamPart.find("_stream.synchronize();");
+  ASSERT_NE(FirstSync, std::string::npos) << StreamPart;
+  EXPECT_LT(FirstSync, StreamPart.find("total[0] = 0.0;")) << StreamPart;
+  EXPECT_EQ(StreamPart.find("_stream.synchronize();", FirstSync + 1),
+            std::string::npos)
+      << "expected a single join in the reduction stream driver\n"
+      << StreamPart;
+}
+
+TEST(HostGenStream, LoopBodyMixingHostAndDeviceOpsJoinsPerIteration) {
+  // A host loop whose body touches host memory *and* enqueues device
+  // work must join at the end of every iteration: otherwise iteration
+  // N+1's host write races with iteration N's still-pending async copy.
+  CompilerInvocation Inv;
+  Inv.BufferName = "pipeline.descend";
+  Inv.Defines["nb"] = 4;
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(R"(
+fn scale<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
+-[grid: gpu.grid<X<nb>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 3.0
+    }
+  }
+}
+fn main<nb: nat>(staging: &uniq cpu.mem [f64; nb*256],
+                 ticks: &uniq cpu.mem [f64; 4])
+-[t: cpu.thread]-> () {
+  let d = GpuGlobal::alloc_copy(&*staging);
+  for r in [0..3] {
+    (*ticks)[0] = 1.0;
+    copy_to_gpu(&uniq d, &*staging);
+    scale::<<<X<nb>, X<256>>>>(&uniq d)
+  }
+}
+)");
+  ASSERT_TRUE(R.Ok) << S.renderDiagnostics();
+  // Inside the loop of the stream overload: the host store must be
+  // preceded (via the back-edge join) by a synchronize, i.e. the loop
+  // body ends with one.
+  size_t StreamFn =
+      R.Artifact.find("inline void run(descend::sim::Stream &_stream");
+  ASSERT_NE(StreamFn, std::string::npos) << R.Artifact;
+  std::string StreamPart = R.Artifact.substr(StreamFn);
+  size_t Loop = StreamPart.find("for (long long r = 0; r != 3; ++r) {");
+  ASSERT_NE(Loop, std::string::npos) << StreamPart;
+  size_t LoopEnd = StreamPart.find("  }\n", Loop);
+  ASSERT_NE(LoopEnd, std::string::npos);
+  std::string Body = StreamPart.substr(Loop, LoopEnd - Loop);
+  size_t LastSync = Body.rfind("_stream.synchronize();");
+  ASSERT_NE(LastSync, std::string::npos)
+      << "loop body must join before its back edge\n"
+      << Body;
+  EXPECT_GT(LastSync, Body.find("scale(_dev, d)"))
+      << "the join must come after the enqueued launch\n"
+      << Body;
+}
+
+//===----------------------------------------------------------------------===//
 // The cuda host golden
 //===----------------------------------------------------------------------===//
 

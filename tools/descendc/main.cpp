@@ -5,6 +5,7 @@
 //            [--fn-suffix=SUFFIX] [--time-passes] [--dump-phase-ir]
 //            [--dump-kir] [-o OUTPUT]
 //   descendc --list-backends
+//   descendc --help | -h
 //
 // --emit=check only type-checks (default); any registered backend name
 // (ast, cuda, sim, ...) runs the full pipeline and writes the artifact to
@@ -30,23 +31,28 @@
 
 using namespace descend;
 
-static int usage() {
+static void printUsage(std::FILE *Out) {
   std::string Emits = "check";
   for (const std::string &Name : codegen::BackendRegistry::instance().names())
     Emits += "|" + Name;
-  std::fprintf(stderr,
+  std::fprintf(Out,
                "usage: descendc INPUT.descend [--emit=%s] "
                "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
                "[--dump-phase-ir] [--dump-kir] [-o OUTPUT]\n"
-               "       descendc --list-backends\n\n"
+               "       descendc --list-backends\n"
+               "       descendc --help\n\n"
                "backends:\n",
                Emits.c_str());
   for (const std::string &Name :
        codegen::BackendRegistry::instance().names()) {
     const codegen::Backend *B =
         codegen::BackendRegistry::instance().lookup(Name);
-    std::fprintf(stderr, "  %-6s %s\n", Name.c_str(), B->description());
+    std::fprintf(Out, "  %-6s %s\n", Name.c_str(), B->description());
   }
+}
+
+static int usage() {
+  printUsage(stderr);
   return 2;
 }
 
@@ -96,7 +102,10 @@ int main(int argc, char **argv) {
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--list-backends") {
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (Arg == "--list-backends") {
       return listBackends();
     } else if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
@@ -172,8 +181,11 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "descendc: pass timings for '%s' (stage reached: "
                          "%s)\n",
                  Input.c_str(), stageName(R.Reached));
+    // A stage that ran but failed is timed too; mark it so the table
+    // agrees with the stage-reached label above.
     for (const StageTiming &T : R.Timings)
-      std::fprintf(stderr, "  %-12s %9.3f ms\n", stageName(T.S), T.Millis);
+      std::fprintf(stderr, "  %-12s %9.3f ms%s\n", stageName(T.S), T.Millis,
+                   T.Failed ? "  (failed)" : "");
   }
 
   if (!R.Ok)

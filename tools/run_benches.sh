@@ -17,7 +17,7 @@ cd "$ROOT_DIR"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_safety bench_fig8 \
-    bench_matmul_sweep >/dev/null
+    bench_matmul_sweep bench_throughput >/dev/null
 HAVE_ABLATIONS=0
 if cmake --build "$BUILD_DIR" -j --target bench_ablations >/dev/null 2>&1; then
   HAVE_ABLATIONS=1
@@ -120,6 +120,57 @@ PY
 echo "-> $OUT_DIR/BENCH_matmul_sweep.json"
 
 #===---------------------------------------------------------------------===#
+# bench_throughput: launch-path throughput -> BENCH_throughput.json
+# (absolute launch rate; gated on the persistent-pool vs spawn-per-launch
+# speedup so the executor can never quietly regress to per-launch spawns)
+#===---------------------------------------------------------------------===#
+
+echo "== bench_throughput =="
+"$BUILD_DIR/bench_throughput" | tee "$OUT_DIR/bench_throughput.log"
+python3 - "$OUT_DIR/bench_throughput.log" \
+          "$OUT_DIR/BENCH_throughput.json" <<'PY'
+import json, re, sys
+log = open(sys.argv[1]).read()
+rows = []
+for m in re.finditer(
+    r"^THROUGHPUT (\S+) mode=(\S+) count=(\d+) ms=([0-9.]+) "
+    r"rate=([0-9.]+)$", log, re.M):
+    rows.append({"section": m.group(1), "mode": m.group(2),
+                 "count": int(m.group(3)), "ms": float(m.group(4)),
+                 "rate_per_sec": float(m.group(5))})
+speed = re.search(
+    r"^THROUGHPUT speedup pool_vs_spawn=([0-9.]+) streams_vs_spawn="
+    r"([0-9.]+)$", log, re.M)
+# bench_throughput pins its own worker count (the spawn-vs-pool
+# comparison is the same experiment on every machine); record it.
+pinned = re.search(r"launch-path throughput \(workers=(\d+)\)", log)
+json.dump({"bench": "throughput", "unit": "ops/s", "rows": rows,
+           "workers": int(pinned.group(1)) if pinned else None,
+           "pool_vs_spawn_speedup": float(speed.group(1)) if speed else None,
+           "streams_vs_spawn_speedup":
+               float(speed.group(2)) if speed else None},
+          open(sys.argv[2], "w"), indent=2)
+PY
+echo "-> $OUT_DIR/BENCH_throughput.json"
+
+# Regression gate: the persistent pool must beat the per-launch-spawn
+# baseline by at least throughput_min_speedup (tools/bench_baseline.json)
+# on the small-launch rate.
+python3 - "$OUT_DIR/BENCH_throughput.json" \
+          "$ROOT_DIR/tools/bench_baseline.json" <<'PY'
+import json, sys
+measured = json.load(open(sys.argv[1])).get("pool_vs_spawn_speedup")
+floor = json.load(open(sys.argv[2])).get("throughput_min_speedup", 5.0)
+if measured is None:
+    sys.exit("bench gate: no pool_vs_spawn speedup in BENCH_throughput.json")
+verdict = "PASS" if measured >= floor else "FAIL"
+print(f"bench gate: throughput pool-vs-spawn {measured:.2f}x "
+      f"(floor {floor:.2f}x) -> {verdict}")
+if measured < floor:
+    sys.exit(1)
+PY
+
+#===---------------------------------------------------------------------===#
 # bench_ablations: google-benchmark native JSON -> BENCH_ablations.json
 #===---------------------------------------------------------------------===#
 
@@ -135,8 +186,13 @@ fi
 
 #===---------------------------------------------------------------------===#
 # Provenance stamping: every BENCH_*.json carries the git SHA, a UTC
-# timestamp and the compiler version, so the accumulated perf trajectory
-# is attributable per commit.
+# timestamp, the compiler version, and the execution-width facts — the
+# default simulator worker count the benches' devices ran with
+# (DESCEND_WORKERS is honored by GpuDevice::effectiveWorkers; otherwise
+# hardware concurrency) plus the hardware concurrency itself — so
+# throughput numbers are attributable per commit AND comparable across
+# machines. bench_throughput pins its own worker count and records it
+# inside BENCH_throughput.json.
 #===---------------------------------------------------------------------===#
 
 GIT_SHA="$(git -C "$ROOT_DIR" rev-parse HEAD 2>/dev/null || echo unknown)"
@@ -151,18 +207,22 @@ COMPILER_VERSION="unknown"
 if [ -n "$CXX_BIN" ] && [ -x "$CXX_BIN" ]; then
   COMPILER_VERSION="$("$CXX_BIN" --version 2>/dev/null | head -n1)"
 fi
+HW_CONCURRENCY="$(nproc 2>/dev/null || echo 1)"
+WORKERS="${DESCEND_WORKERS:-$HW_CONCURRENCY}"
 
-python3 - "$OUT_DIR" "$GIT_SHA$GIT_DIRTY" "$STAMP_UTC" "$COMPILER_VERSION" <<'PY'
+python3 - "$OUT_DIR" "$GIT_SHA$GIT_DIRTY" "$STAMP_UTC" "$COMPILER_VERSION" \
+          "$WORKERS" "$HW_CONCURRENCY" <<'PY'
 import glob, json, sys
-out_dir, sha, stamp, compiler = sys.argv[1:5]
+out_dir, sha, stamp, compiler, workers, hw = sys.argv[1:7]
 for path in sorted(glob.glob(out_dir + "/BENCH_*.json")):
     with open(path) as f:
         data = json.load(f)
     data["meta"] = {"git_sha": sha, "timestamp_utc": stamp,
-                    "compiler": compiler}
+                    "compiler": compiler, "workers": int(workers),
+                    "hardware_concurrency": int(hw)}
     with open(path, "w") as f:
         json.dump(data, f, indent=2)
-    print(f"stamped {path} @ {sha[:12]}")
+    print(f"stamped {path} @ {sha[:12]} (workers={workers}, hw={hw})")
 PY
 
 echo "all benches done; results in $OUT_DIR/"
