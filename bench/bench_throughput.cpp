@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/HostRuntime.h"
+#include "service/CompileService.h"
 #include "sim/Sim.h"
 
 #include "gen_quickstart_host.h"      // scale_vec + run          (nb=8)
@@ -30,6 +31,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -225,6 +229,90 @@ void servingLoop(bool Streamed, int Requests) {
          Requests, msSince(T0));
 }
 
+//===----------------------------------------------------------------------===//
+// 4. Compile service: cold vs warm latency and serving-loop hit rate
+//===----------------------------------------------------------------------===//
+
+std::string slurp(const char *Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Measures the CompileService the way descendd uses it: a set of
+/// programs compiled cold (distinct sources), then re-requested warm
+/// (cache probes), then a mixed serving loop. Emits the warm/cold
+/// speedup the baseline gates (service_min_hit_speedup).
+void compileServiceBench() {
+  std::string Sources[2] = {
+      slurp(DESCEND_PROGRAM_DIR "/quickstart_host.descend"),
+      slurp(DESCEND_PROGRAM_DIR "/reduction_host.descend")};
+  if (Sources[0].empty() || Sources[1].empty()) {
+    std::printf("THROUGHPUT service_summary skipped=1 (sources not "
+                "found)\n");
+    return;
+  }
+
+  service::CompileService Svc(/*Capacity=*/128);
+  auto Salted = [&](int I) {
+    service::CompileRequest Req;
+    Req.Source = "// request " + std::to_string(I) + "\n" + Sources[I % 2];
+    Req.Defines["nb"] = 8;
+    return Req;
+  };
+
+  // Cold: every request is a distinct key, so each pays the full
+  // parse -> typecheck -> bytecode pipeline.
+  const int Cold = 24;
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Cold; ++I) {
+    service::CompileReply Rep = Svc.compile(Salted(I));
+    if (!Rep.Ok) {
+      std::printf("THROUGHPUT service_summary skipped=1 (compile "
+                  "failed)\n");
+      std::fprintf(stderr, "%s\n", Rep.Diagnostics.c_str());
+      return;
+    }
+  }
+  double ColdMs = msSince(T0);
+  report("service", "cold_compile", Cold, ColdMs);
+
+  // Warm: the same keys again, many times over — every request is a
+  // cache probe.
+  const int Warm = 4096;
+  T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Warm; ++I)
+    Svc.compile(Salted(I % Cold));
+  double WarmMs = msSince(T0);
+  report("service", "warm_hit", Warm, WarmMs);
+
+  // Mixed serving loop: mostly warm probes with a trickle of new
+  // specializations, like a long-lived daemon serving editors.
+  service::ServiceStats Before = Svc.stats();
+  const int Mixed = 512;
+  T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Mixed; ++I) {
+    if (I % 16 == 15) {
+      service::CompileRequest Req = Salted(I % Cold);
+      Req.Defines["nb"] = 8 + I % 3; // new -D binding: a distinct entry
+      Svc.compile(Req);
+    } else {
+      Svc.compile(Salted(I % Cold));
+    }
+  }
+  double MixedMs = msSince(T0);
+  report("service", "mixed_serving", Mixed, MixedMs);
+  service::ServiceStats After = Svc.stats();
+
+  double HitRate =
+      static_cast<double>(After.Hits - Before.Hits) / Mixed;
+  double ColdPer = ColdMs / Cold, WarmPer = WarmMs / Warm;
+  std::printf("THROUGHPUT service_summary hit_rate=%.3f cold_ms=%.3f "
+              "warm_ms=%.4f warm_speedup=%.1f entries=%zu\n",
+              HitRate, ColdPer, WarmPer, ColdPer / WarmPer, After.Entries);
+}
+
 } // namespace
 
 int main() {
@@ -243,6 +331,8 @@ int main() {
 
   servingLoop(/*Streamed=*/false, 512);
   servingLoop(/*Streamed=*/true, 512);
+
+  compileServiceBench();
 
   std::printf("\nTHROUGHPUT speedup pool_vs_spawn=%.2f streams_vs_spawn="
               "%.2f\n",

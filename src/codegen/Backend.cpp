@@ -12,11 +12,13 @@ namespace descend::codegen {
 std::unique_ptr<Backend> createAstBackend();
 std::unique_ptr<Backend> createCudaBackend();
 std::unique_ptr<Backend> createSimBackend();
+std::unique_ptr<Backend> createVmBackend();
 
 void registerBuiltinBackends(BackendRegistry &R) {
   R.registerBackend(createAstBackend());
   R.registerBackend(createCudaBackend());
   R.registerBackend(createSimBackend());
+  R.registerBackend(createVmBackend());
 }
 } // namespace descend::codegen
 

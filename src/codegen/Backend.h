@@ -11,6 +11,7 @@
 //   cuda  CUDA C++ (kernels + host functions, Section 5)
 //   sim   phase-structured simulator C++ against sim/Sim.h
 //   ast   type-checked surface-syntax dump of the module
+//   vm    register bytecode for the in-process interpreter (vm/Interp.h)
 //
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,51 @@
+//===- codegen/VmBackend.cpp - Bytecode interpreter backend -----------------===//
+//
+// The fourth backend: `--emit=vm` compiles every kernel to register
+// bytecode and every cpu.thread function to host IR (vm/Bytecode.h) and
+// emits the human-readable disassembly as its textual artifact. The
+// executable artifact itself — the CompiledProgram — is produced by the
+// same vm::compile call; Session::executeMain and the compile service
+// invoke it directly and run the result on a sim::GpuDevice with no C++
+// compiler in the loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Backend.h"
+#include "vm/Bytecode.h"
+
+using namespace descend;
+using namespace descend::codegen;
+
+namespace {
+
+class VmBackend : public Backend {
+public:
+  const char *name() const override { return "vm"; }
+  const char *description() const override {
+    return "register bytecode for the in-process interpreter "
+           "(directly executable; artifact is the disassembly)";
+  }
+
+  GenResult emit(const Module &M, const BackendOptions &Opts) const override {
+    (void)Opts; // bytecode is never linked, so FnSuffix has no effect
+    GenResult R;
+    vm::CompileVmResult C = vm::compile(M);
+    if (!C.Ok) {
+      R.Error = C.Error;
+      return R;
+    }
+    R.Ok = true;
+    R.Code = vm::disassemble(*C.Program);
+    return R;
+  }
+};
+
+} // namespace
+
+namespace descend::codegen {
+
+std::unique_ptr<Backend> createVmBackend() {
+  return std::make_unique<VmBackend>();
+}
+
+} // namespace descend::codegen

@@ -5,8 +5,12 @@
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
 #include "typeck/TypeChecker.h"
+#include "vm/Interp.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 
 using namespace descend;
 
@@ -227,4 +231,123 @@ CompileResult Session::run(const std::string &Source) {
     return Finish(false);
   Result.Artifact = std::move(Gen.Code);
   return Finish(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Direct execution (the vm backend end-to-end)
+//===----------------------------------------------------------------------===//
+
+ExecuteResult Session::executeMain(const std::string &Source,
+                                   const std::vector<double> &ArgFills) {
+  ExecuteResult Out;
+
+  Stage SavedCutoff = Inv.RunUntil;
+  Inv.RunUntil = Stage::Typecheck;
+  CompileResult R = run(Source);
+  Inv.RunUntil = SavedCutoff;
+  if (!R.Ok) {
+    Out.Error = "compilation failed";
+    return Out;
+  }
+
+  vm::CompileVmResult C = vm::compile(*Mod);
+  if (!C.Ok) {
+    Out.Error = C.Error;
+    return Out;
+  }
+  const vm::HostFnIR *Main = C.Program->findHostFn("main");
+  if (!Main) {
+    Out.Error = "no host `fn main` to execute (define one under "
+                "`cpu.thread`)";
+    return Out;
+  }
+
+  sim::GpuDevice Dev;
+  std::vector<vm::HostVal> Args;
+  std::vector<std::shared_ptr<vm::HostArray>> Held; // observe results
+  for (size_t I = 0; I != Main->Params.size(); ++I) {
+    const vm::HostFnIR::Param &P = Main->Params[I];
+    double Fill = I < ArgFills.size()
+                      ? ArgFills[I]
+                      : (P.K == vm::HostFnIR::Param::Scalar ? 0.0 : 1.0);
+    switch (P.K) {
+    case vm::HostFnIR::Param::HostArr: {
+      auto Arr = vm::makeHostArray(P.Elem, P.Count, Fill);
+      Held.push_back(Arr);
+      Args.push_back(vm::HostVal::array(std::move(Arr)));
+      break;
+    }
+    case vm::HostFnIR::Param::DevArr:
+      Args.push_back(
+          vm::HostVal::dev(vm::allocDev(Dev, P.Elem, P.Count)));
+      break;
+    case vm::HostFnIR::Param::Scalar: {
+      vm::Value V;
+      if (P.Elem == ScalarKind::F32 || P.Elem == ScalarKind::F64)
+        V.F = Fill;
+      else
+        V.I = static_cast<long long>(Fill);
+      Args.push_back(vm::HostVal::scalar(P.Elem, V));
+      break;
+    }
+    }
+  }
+
+  vm::RunStatus St = vm::runHostFn(Dev, *C.Program, *Main, Args);
+  if (!St.Ok) {
+    Out.Error = St.Error;
+    return Out;
+  }
+
+  // Digest every host-array parameter: count, sum and the two endpoint
+  // elements, printed with enough digits to round-trip doubles exactly.
+  size_t ArrIdx = 0;
+  for (size_t I = 0; I != Main->Params.size(); ++I) {
+    const vm::HostFnIR::Param &P = Main->Params[I];
+    if (P.K != vm::HostFnIR::Param::HostArr)
+      continue;
+    const vm::HostArray &A = *Held[ArrIdx++];
+    double Sum = 0.0, First = 0.0, Last = 0.0;
+    for (size_t E = 0; E != A.Count; ++E) {
+      double D;
+      switch (A.Elem) {
+      case ScalarKind::F64: {
+        double X;
+        std::memcpy(&X, A.Bytes.data() + E * 8, 8);
+        D = X;
+        break;
+      }
+      case ScalarKind::F32: {
+        float X;
+        std::memcpy(&X, A.Bytes.data() + E * 4, 4);
+        D = X;
+        break;
+      }
+      case ScalarKind::I32: {
+        int32_t X;
+        std::memcpy(&X, A.Bytes.data() + E * 4, 4);
+        D = X;
+        break;
+      }
+      default: {
+        long long X = 0;
+        std::memcpy(&X, A.Bytes.data() + E * 8,
+                    std::min<size_t>(8, vm::scalarSize(A.Elem)));
+        D = static_cast<double>(X);
+        break;
+      }
+      }
+      Sum += D;
+      if (E == 0)
+        First = D;
+      Last = D;
+    }
+    char Line[256];
+    std::snprintf(Line, sizeof(Line),
+                  "RESULT %s n=%zu sum=%.17g first=%.17g last=%.17g\n",
+                  P.Name.c_str(), A.Count, Sum, First, Last);
+    Out.Output += Line;
+  }
+  Out.Ok = true;
+  return Out;
 }

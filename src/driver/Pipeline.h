@@ -96,6 +96,22 @@ struct CompileResult {
   std::vector<StageTiming> Timings;
 };
 
+/// What Session::executeMain produced: one process-internal end-to-end
+/// run (text -> vm bytecode -> interpreter) with no C++ compiler in the
+/// loop.
+struct ExecuteResult {
+  bool Ok = false;
+
+  /// Compile or runtime diagnostic when !Ok (pipeline diagnostics are
+  /// additionally available via Session::renderDiagnostics).
+  std::string Error;
+
+  /// One `RESULT <param> n=<count> sum=... first=... last=...` line per
+  /// host-array parameter of `main`, in declaration order — a stable,
+  /// comparable digest of the program's observable output.
+  std::string Output;
+};
+
 /// One compilation session: owns the source manager, the diagnostics and
 /// the module, and runs pipeline stages over them. Stages must be run in
 /// order; each returns false (or a failed GenResult) on error, with the
@@ -136,6 +152,15 @@ public:
   /// Runs all stages up to the invocation's RunUntil cutoff, stopping at
   /// the first failure.
   CompileResult run(const std::string &Source);
+
+  /// Compiles \p Source through the vm backend and executes its host
+  /// `fn main` on a private simulated device (`descendc --run`). Host
+  /// array parameters of `main` are allocated and filled with the
+  /// positionally matching entry of \p ArgFills (default 1.0); scalar
+  /// parameters take the matching entry as well (default 0). Ignores the
+  /// invocation's BackendName/RunUntil. Never throws.
+  ExecuteResult executeMain(const std::string &Source,
+                            const std::vector<double> &ArgFills = {});
 
   //===--------------------------------------------------------------------===//
   // State

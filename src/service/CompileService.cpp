@@ -1,0 +1,162 @@
+//===- service/CompileService.cpp - Long-lived compile service --------------===//
+
+#include "service/CompileService.h"
+
+#include "driver/Pipeline.h"
+
+#include <chrono>
+
+using namespace descend;
+using namespace descend::service;
+
+CompileService::CompileService(size_t Capacity)
+    : Capacity(Capacity ? Capacity : 1) {}
+
+std::string CompileService::makeKey(const CompileRequest &Req) {
+  // Collision-proof: the full source text is part of the key (the LRU
+  // bounds memory, so there is no need to risk a hash collision serving
+  // the wrong artifact). std::map keeps the defines sorted.
+  std::string Key = Req.Backend;
+  Key += '\x1f';
+  Key += Req.FnSuffix;
+  Key += '\x1f';
+  for (const auto &[Name, Value] : Req.Defines) {
+    Key += Name;
+    Key += '=';
+    Key += std::to_string(Value);
+    Key += ';';
+  }
+  Key += '\x1f';
+  Key += Req.Source;
+  return Key;
+}
+
+CompileReply CompileService::doCompile(const CompileRequest &Req) {
+  CompileReply Rep;
+  try {
+    CompilerInvocation Inv;
+    Inv.BufferName = Req.BufferName;
+    Inv.Defines = Req.Defines;
+    Inv.BackendName = Req.Backend;
+    Inv.FnSuffix = Req.FnSuffix;
+    // The vm backend's executable artifact comes from vm::compile — run
+    // the pipeline to typecheck and compile once, instead of letting
+    // emit() compile for the listing and then compiling again.
+    bool IsVm = Req.Backend == "vm";
+    Inv.RunUntil = IsVm ? Stage::Typecheck : Stage::Codegen;
+
+    Session S(Inv);
+    CompileResult R = S.run(Req.Source);
+    if (!R.Ok) {
+      Rep.Diagnostics = S.renderDiagnostics();
+      if (Rep.Diagnostics.empty())
+        Rep.Diagnostics = "compilation failed (no diagnostics rendered)";
+      return Rep;
+    }
+    if (IsVm) {
+      vm::CompileVmResult C = vm::compile(*S.module());
+      if (!C.Ok) {
+        Rep.Diagnostics = "vm: " + C.Error;
+        return Rep;
+      }
+      Rep.Program = C.Program;
+      Rep.Artifact = vm::disassemble(*C.Program);
+    } else {
+      Rep.Artifact = R.Artifact;
+    }
+    Rep.Ok = true;
+  } catch (const std::exception &E) {
+    Rep.Ok = false;
+    Rep.Program.reset();
+    Rep.Diagnostics =
+        std::string("internal error while serving compile request: ") +
+        E.what();
+  } catch (...) {
+    Rep.Ok = false;
+    Rep.Program.reset();
+    Rep.Diagnostics = "internal error while serving compile request";
+  }
+  return Rep;
+}
+
+CompileReply CompileService::compile(const CompileRequest &Req) {
+  auto T0 = std::chrono::steady_clock::now();
+  auto Elapsed = [&T0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - T0)
+        .count();
+  };
+
+  const std::string Key = makeKey(Req);
+  std::shared_future<CompileReply> Wait;
+  std::promise<CompileReply> Mine;
+  bool Owner = false;
+
+  {
+    std::lock_guard<std::mutex> G(M);
+    if (auto It = Cache.find(Key); It != Cache.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
+      ++Stats.Hits;
+      CompileReply Rep = It->second->second;
+      Rep.CacheHit = true;
+      Rep.CompileMs = Elapsed();
+      return Rep;
+    }
+    if (auto It = InFlight.find(Key); It != InFlight.end()) {
+      ++Stats.Coalesced;
+      Wait = It->second;
+    } else {
+      Owner = true;
+      InFlight.emplace(Key, Mine.get_future().share());
+    }
+  }
+
+  if (!Owner) {
+    // An identical compile is running; its result serves this request
+    // too (but it is not a cache hit — the latency is a cold compile's).
+    CompileReply Rep = Wait.get();
+    Rep.CacheHit = false;
+    Rep.CompileMs = Elapsed();
+    return Rep;
+  }
+
+  CompileReply Rep = doCompile(Req); // outside the lock; never throws
+
+  {
+    std::lock_guard<std::mutex> G(M);
+    InFlight.erase(Key);
+    if (Rep.Ok) {
+      ++Stats.Misses;
+      Lru.emplace_front(Key, Rep);
+      Cache[Key] = Lru.begin();
+      while (Lru.size() > Capacity) {
+        Cache.erase(Lru.back().first);
+        Lru.pop_back();
+        ++Stats.Evictions;
+      }
+    } else {
+      // Failures are never cached: a later identical request recompiles
+      // (the source may race with a fix) and the cache never serves a
+      // poisoned entry.
+      ++Stats.Failures;
+    }
+    Stats.Entries = Lru.size();
+  }
+
+  Mine.set_value(Rep); // always reached: doCompile never throws
+  Rep.CacheHit = false;
+  Rep.CompileMs = Elapsed();
+  return Rep;
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  return Stats;
+}
+
+void CompileService::clear() {
+  std::lock_guard<std::mutex> G(M);
+  Lru.clear();
+  Cache.clear();
+  Stats.Entries = 0;
+}

@@ -1,0 +1,111 @@
+//===- service/CompileService.h - Long-lived compile service ----*- C++ -*-===//
+//
+// Part of the Descend reproduction. A thread-safe, long-lived front end
+// for serving compile requests: each request carries source text, `-D`
+// nat bindings and a backend name; replies carry the textual artifact
+// and — for the vm backend — the directly executable CompiledProgram.
+// Successful results are cached in an LRU keyed by (backend, fn-suffix,
+// sorted defines, full source text), so re-requesting a kernel at the
+// same specialization is a cache probe instead of a recompile, and
+// requesting the same source at a different `-D` binding is a distinct
+// entry. Identical requests arriving concurrently are coalesced onto one
+// compilation (the others wait for its result).
+//
+// Error discipline: malformed or hostile sources produce a reply with
+// structured diagnostics; failures are never cached (they do not poison
+// the cache) and nothing ever throws across compile(). This is the
+// engine behind the `descendd` tool and the serving-loop rows of
+// bench_throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_SERVICE_COMPILESERVICE_H
+#define DESCEND_SERVICE_COMPILESERVICE_H
+
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace descend {
+namespace service {
+
+struct CompileRequest {
+  std::string Source;
+  std::map<std::string, long long> Defines; ///< -D nat bindings
+  std::string Backend = "vm";
+  std::string FnSuffix;
+  std::string BufferName = "<service>"; ///< diagnostics point here
+};
+
+struct CompileReply {
+  bool Ok = false;
+  bool CacheHit = false; ///< served from the LRU without compiling
+  double CompileMs = 0.0; ///< wall-clock serve time of this request
+
+  /// Rendered diagnostics when !Ok. Never empty on failure.
+  std::string Diagnostics;
+
+  /// The backend's textual artifact (vm: the disassembly listing).
+  std::string Artifact;
+
+  /// The executable artifact (vm backend only). Immutable and shared:
+  /// concurrent callers may launch it on their own devices.
+  std::shared_ptr<const vm::CompiledProgram> Program;
+};
+
+struct ServiceStats {
+  uint64_t Hits = 0;      ///< served from cache
+  uint64_t Misses = 0;    ///< compiled successfully (cold)
+  uint64_t Coalesced = 0; ///< waited on an identical in-flight compile
+  uint64_t Failures = 0;  ///< requests that produced diagnostics
+  uint64_t Evictions = 0; ///< entries dropped by the LRU policy
+  size_t Entries = 0;     ///< current cache size
+};
+
+/// The long-lived compile front end. All public members are thread-safe;
+/// compilation itself runs outside the cache lock, so concurrent
+/// requests for different keys compile in parallel.
+class CompileService {
+public:
+  /// \p Capacity: maximum cached artifacts before LRU eviction.
+  explicit CompileService(size_t Capacity = 64);
+
+  /// Serves one request. Never throws; every failure mode (parse errors,
+  /// type errors, unknown backend, internal faults) is a reply with
+  /// Diagnostics set.
+  CompileReply compile(const CompileRequest &Req);
+
+  ServiceStats stats() const;
+
+  /// Drops every cached artifact (stats keep accumulating).
+  void clear();
+
+private:
+  CompileReply doCompile(const CompileRequest &Req);
+  static std::string makeKey(const CompileRequest &Req);
+
+  const size_t Capacity;
+
+  mutable std::mutex M;
+  /// LRU list, most recent first; the map points into it.
+  std::list<std::pair<std::string, CompileReply>> Lru;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string, CompileReply>>::iterator>
+      Cache;
+  /// Identical requests currently compiling, for coalescing.
+  std::unordered_map<std::string, std::shared_future<CompileReply>> InFlight;
+  ServiceStats Stats;
+};
+
+} // namespace service
+} // namespace descend
+
+#endif // DESCEND_SERVICE_COMPILESERVICE_H

@@ -1,0 +1,243 @@
+//===- vm/Bytecode.h - KIR bytecode artifacts -------------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The `vm` backend makes kernels
+// *directly executable*: instead of printing KIR as C++ for a build-time
+// compiler, vm::compile() translates every lowered kernel of a module
+// into a compact register-style bytecode — a flat instruction vector with
+// a constant pool per phase body, mirroring the phase-program tree
+// (codegen/PhaseIR.h) node for node — plus a small host-statement IR for
+// the module's cpu.thread functions. The result is a self-contained,
+// immutable CompiledProgram artifact: it holds no pointers into the
+// Module it was compiled from, so a compile service can cache and share
+// it across threads, and the interpreter (vm/Interp.h) can launch it on
+// any sim::GpuDevice with zero C++ compilation in the loop.
+//
+// Every Nat is resolved at compile time: literals fold into the constant
+// pool, coordinate variables (_bx/_tx/.../_lin) become Coord
+// instructions, enclosing PhaseLoop variables become Slot reads
+// (BlockCtx::loopVar), and hoisted index lets (LetIndex) become ordinary
+// i64 registers — the same resolution the C++ printers perform, but into
+// instructions instead of text.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_VM_BYTECODE_H
+#define DESCEND_VM_BYTECODE_H
+
+#include "ast/Type.h" // ScalarKind
+#include "nat/Nat.h"
+#include "sim/Sim.h" // sim::Dim3
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+class Module;
+
+namespace vm {
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// Opcode of one bytecode instruction. Arithmetic comes in an integer
+/// (i64), a double, and a float-precision variant: the float variants
+/// round through `float` exactly like the generated C++ computing in
+/// `float` registers, so f32 kernels stay bit-identical to the compiled
+/// sim headers.
+enum class Op : uint8_t {
+  Const,  ///< r[A] = Consts[Imm]
+  Coord,  ///< r[A] = coordinate Imm (0 _bx, 1 _by, 2 _bz, 3 _tx, 4 _ty,
+          ///<                        5 _tz, 6 _lin)
+  Slot,   ///< r[A] = BlockCtx::loopVar(Imm)
+  Move,   ///< r[A] = r[B]
+
+  LoadGlobal,  ///< r[A] = buffers[Imm].load(_b, r[B]); elem kind in C
+  StoreGlobal, ///< buffers[Imm].store(_b, r[B], r[A])
+  LoadShared,  ///< r[A] = _b.sharedLoad<C>(Imm, r[B])
+  StoreShared, ///< _b.sharedStore<C>(Imm, r[B], r[A])
+  LoadArena,   ///< r[A] = _b.shared<C>(_locals_base + Imm)[r[B]] (unlogged)
+  StoreArena,  ///< _b.shared<C>(_locals_base + Imm)[r[B]] = r[A]
+
+  AddI, SubI, MulI, DivI, ModI, PowI, ///< r[A] = r[B] op r[C] (i64)
+  AddF, SubF, MulF, DivF,             ///< r[A] = r[B] op r[C] (double)
+  AddF32, SubF32, MulF32, DivF32,     ///< same at float precision
+
+  LtI, LeI, GtI, GeI, EqI, NeI, ///< r[A] = r[B] cmp r[C] (i64 -> 0/1)
+  LtF, LeF, GtF, GeF, EqF, NeF, ///< same over doubles
+
+  AndI, OrI, NotI, ///< logical, eager (KIR expressions are effect-free)
+  NegI, NegF, NegF32,
+  I2F,   ///< r[A] = (double)r[B].I
+  F2I,   ///< r[A] = (long long)r[B].F
+  F2F32, ///< r[A] = (double)(float)r[B].F — narrow after f32 arithmetic
+
+  Jmp,    ///< pc = Imm
+  Jz,     ///< if (r[A].I == 0) pc = Imm
+  Ret,    ///< end of a phase body
+  RetVal, ///< end of a bound program; result is r[A].I
+};
+
+const char *opName(Op O);
+
+/// One register value. The statically inferred kind of each register
+/// (integer vs floating) picks the union member; there are no runtime
+/// type tags.
+union Value {
+  long long I;
+  double F;
+};
+
+struct Instr {
+  Op K = Op::Ret;
+  uint16_t A = 0, B = 0, C = 0;
+  int32_t Imm = 0;
+};
+
+/// One executable code object: a phase body or a loop-bound program.
+struct Code {
+  std::vector<Instr> Instrs;
+  std::vector<Value> Consts;
+  unsigned NumRegs = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Kernels
+//===----------------------------------------------------------------------===//
+
+/// The bytecode mirror of one PhaseNode: straight nodes carry a phase
+/// body, loop nodes carry a loopVar slot, two bound programs and their
+/// children.
+struct VmNode {
+  enum Kind { Straight, Loop } K = Straight;
+  Code Body;         // Straight
+  unsigned Slot = 0; // Loop
+  Code Lo, Hi;       // Loop: RetVal programs over the BlockCtx
+  std::vector<VmNode> Children;
+};
+
+/// One compiled kernel: concrete launch geometry, arena layout, parameter
+/// schema, and the bytecode phase tree. Fully resolved — launching needs
+/// only a device and one buffer binding per parameter.
+struct VmKernel {
+  std::string Name;
+  sim::Dim3 Grid, Block;
+  size_t SharedBytes = 0; ///< raw shared allocations
+  size_t LocalsBase = 0;  ///< 8-aligned shared total (arena spill base)
+  size_t ArenaBytes = 0;  ///< LocalsBase + per-thread spill * threads
+
+  struct Param {
+    std::string Name;
+    ScalarKind Elem = ScalarKind::F64;
+    size_t Count = 0; ///< element count the kernel was instantiated for
+  };
+  std::vector<Param> Params;
+
+  std::vector<VmNode> Nodes;
+  unsigned StraightPhases = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Host-program IR
+//===----------------------------------------------------------------------===//
+
+/// A host-side scalar expression, compiled from the structural host
+/// fragment (hostgen's accepted language): literals, frame slots, host
+/// array indexing and arithmetic.
+struct HostExpr {
+  enum Kind { Lit, Slot, Index, Binary, Unary } K = Lit;
+  ScalarKind Ty = ScalarKind::F64; ///< result kind
+  Value LitV{};                    ///< Lit
+  unsigned SlotIdx = 0;            ///< Slot: scalar / loop var; Index: array
+  std::unique_ptr<HostExpr> L, R;  ///< Binary; Unary/Index use L
+  int BO = 0;                      ///< Binary: BinOpKind as int
+  int UO = 0;                      ///< Unary: UnOpKind as int
+};
+
+/// One statement of a compiled host function. Slot indices refer to the
+/// function's frame (parameters first, then locals in definition order).
+struct HostStmt {
+  enum Kind {
+    AllocHost,  ///< frame[Dst] = host array (Count x Elem, filled with Fill)
+    AllocCopy,  ///< frame[Dst] = device buffer copied from host frame[Src]
+    CopyToHost, ///< host frame[Dst] <- device frame[Src] (checked sizes)
+    CopyToGpu,  ///< device frame[Dst] <- host frame[Src]
+    Launch,     ///< launch Kernels[KernelIdx] with device buffers ArgSlots
+    LetScalar,  ///< frame[Dst] = eval(Fill)
+    Assign,     ///< frame[Dst][eval(Idx)] = eval(Fill); scalar slot if !Idx
+    ForNat,     ///< for frame[Dst] in [Lo..Hi) run Body
+    Call,       ///< HostFns[CalleeIdx](frame[ArgSlots]...)
+  } K = LetScalar;
+
+  unsigned Dst = 0, Src = 0;
+  ScalarKind Elem = ScalarKind::F64;
+  size_t Count = 0;              // AllocHost
+  std::unique_ptr<HostExpr> Fill; // AllocHost fill / LetScalar / Assign value
+  std::unique_ptr<HostExpr> Idx;  // Assign index (null: scalar target)
+  unsigned KernelIdx = 0;
+  std::vector<unsigned> ArgSlots; // Launch / Call
+  unsigned CalleeIdx = 0;         // Call
+  long long Lo = 0, Hi = 0;       // ForNat (bounds are instantiated nats)
+  std::vector<HostStmt> Body;     // ForNat
+};
+
+/// One compiled cpu.thread function.
+struct HostFnIR {
+  std::string Name; ///< source name (`main` stays `main` here)
+
+  struct Param {
+    enum Kind { HostArr, DevArr, Scalar } K = HostArr;
+    std::string Name;
+    ScalarKind Elem = ScalarKind::F64;
+    size_t Count = 0; ///< HostArr / DevArr element count
+  };
+  std::vector<Param> Params;
+
+  unsigned NumSlots = 0; ///< frame size (params occupy slots 0..N-1)
+  std::vector<HostStmt> Body;
+};
+
+//===----------------------------------------------------------------------===//
+// The compiled artifact
+//===----------------------------------------------------------------------===//
+
+/// The self-contained executable artifact of one module: every GPU kernel
+/// as bytecode, every host function as host IR. Immutable after compile;
+/// safe to share across threads (the compile service caches shared_ptrs
+/// to it).
+struct CompiledProgram {
+  std::vector<VmKernel> Kernels;
+  std::vector<HostFnIR> HostFns;
+
+  const VmKernel *findKernel(const std::string &Name) const;
+  const HostFnIR *findHostFn(const std::string &Name) const;
+};
+
+struct CompileVmResult {
+  bool Ok = false;
+  std::shared_ptr<const CompiledProgram> Program;
+  std::string Error; // set when !Ok
+};
+
+/// Compiles every GPU kernel and host function of \p M (which must have
+/// passed the type checker, with all nats instantiated) into bytecode.
+/// Never throws: malformed or uninstantiated modules produce an error
+/// result.
+CompileVmResult compile(const Module &M);
+
+/// Human-readable listing of a compiled program (the `--emit=vm`
+/// artifact): per kernel the geometry, parameters and a disassembly of
+/// every phase body; per host function its statement tree.
+std::string disassemble(const CompiledProgram &P);
+
+/// Element size of a scalar kind in both the vm's buffers and the
+/// generated C++ (same layout).
+size_t scalarSize(ScalarKind K);
+
+} // namespace vm
+} // namespace descend
+
+#endif // DESCEND_VM_BYTECODE_H

@@ -1,0 +1,113 @@
+//===- vm/Interp.h - Bytecode interpreter over the simulator ----*- C++ -*-===//
+//
+// Part of the Descend reproduction. Executes CompiledProgram artifacts
+// (vm/Bytecode.h) on a sim::GpuDevice: launchKernel builds a
+// sim::PhaseProgram whose phase bodies run the bytecode dispatch loop
+// per thread, so compiled-from-source kernels ride the same persistent
+// worker pool, phase barriers, loopVar slots, shared/arena memory and
+// race/bounds observability as the build-time-generated C++ — with zero
+// C++ compilation at runtime. runHostFn tree-walks a compiled
+// cpu.thread function (allocations, transfers, launches, scalar code)
+// on the calling thread.
+//
+// Error discipline: kernel runtime faults (division by zero, arena or
+// shared accesses outside the block's allocation, out-of-range global
+// accesses with bounds checking off) trip a shared trap flag and halt
+// the launch — they never throw on pool workers. Host-side faults
+// surface as a RunStatus error; nothing escapes these entry points as an
+// exception.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_VM_INTERP_H
+#define DESCEND_VM_INTERP_H
+
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace descend {
+namespace vm {
+
+/// Untyped handle to a device-global buffer allocated on a GpuDevice.
+/// Copyable; copies alias the same memory (like GpuDevice::Buffer).
+struct DevBuf {
+  ScalarKind Elem = ScalarKind::F64;
+  std::byte *Data = nullptr;
+  size_t Count = 0;
+  unsigned Id = 0; ///< race/bounds logging id (allocRaw)
+};
+
+/// Allocates a zero-initialized device buffer (GpuDevice::alloc, minus
+/// the compile-time element type).
+DevBuf allocDev(sim::GpuDevice &Dev, ScalarKind Elem, size_t Count);
+
+/// A host-heap array (rt::HostBuffer minus the compile-time element
+/// type). Shared by pointer across host frames — parameter passing has
+/// `HostBuffer<T>&` semantics.
+struct HostArray {
+  ScalarKind Elem = ScalarKind::F64;
+  size_t Count = 0;
+  std::vector<std::byte> Bytes;
+};
+
+/// One host frame slot: empty, a scalar, a host array, or a device
+/// buffer.
+struct HostVal {
+  enum Kind { None, Scalar, Array, Dev } K = None;
+  ScalarKind SK = ScalarKind::F64; ///< Scalar element kind
+  Value V{};                       ///< Scalar payload
+  std::shared_ptr<HostArray> Arr;  ///< Array payload
+  DevBuf DevB;                     ///< Dev payload
+
+  static HostVal scalar(ScalarKind SK, Value V) {
+    HostVal H;
+    H.K = Scalar;
+    H.SK = SK;
+    H.V = V;
+    return H;
+  }
+  static HostVal array(std::shared_ptr<HostArray> A) {
+    HostVal H;
+    H.K = Array;
+    H.Arr = std::move(A);
+    return H;
+  }
+  static HostVal dev(DevBuf D) {
+    HostVal H;
+    H.K = Dev;
+    H.DevB = D;
+    return H;
+  }
+};
+
+/// Allocates a host array of \p Count elements, every element set to
+/// \p Fill (interpreted per \p Elem).
+std::shared_ptr<HostArray> makeHostArray(ScalarKind Elem, size_t Count,
+                                         double Fill);
+
+struct RunStatus {
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Launches \p K on \p Dev with one device buffer per kernel parameter.
+/// Synchronous (like the generated sim launches); honors the device's
+/// race-detection and bounds-checking modes. Argument arity, element
+/// kinds and counts are validated against the kernel's parameter schema.
+RunStatus launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
+                       const std::vector<DevBuf> &Args);
+
+/// Runs host function \p Fn of \p P with \p Args bound to its
+/// parameters (validated against the parameter schema). Array arguments
+/// are shared, so caller-held HostVals observe all writes; scalars pass
+/// by value. Never throws.
+RunStatus runHostFn(sim::GpuDevice &Dev, const CompiledProgram &P,
+                    const HostFnIR &Fn, std::vector<HostVal> Args);
+
+} // namespace vm
+} // namespace descend
+
+#endif // DESCEND_VM_INTERP_H

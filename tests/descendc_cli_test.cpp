@@ -196,6 +196,88 @@ TEST(DescendcCli, ListBackendsPrintsRegistry) {
   EXPECT_NE(R.Stdout.find("cuda"), std::string::npos);
   EXPECT_NE(R.Stdout.find("sim"), std::string::npos);
   EXPECT_NE(R.Stdout.find("ast"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("vm"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// --run: end-to-end execution through the vm backend
+//===----------------------------------------------------------------------===//
+
+TEST(DescendcCli, RunExecutesQuickstartHostProgram) {
+  RunResult R = runDescendc("--run " + program("quickstart_host.descend") +
+                            " -D nb=8");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  // Default fill 1.0, scaled by 3.0 over nb*256 = 2048 elements.
+  EXPECT_NE(R.Stdout.find("RESULT host_vec n=2048 sum=6144"),
+            std::string::npos)
+      << R.Stdout;
+}
+
+TEST(DescendcCli, RunExecutesReductionHostProgramWithArgs) {
+  RunResult R = runDescendc("--run " + program("reduction_host.descend") +
+                            " -D nb=8 --args 0.5 0 0");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  // 2048 elements of 0.5: the partials sum to 1024, the total matches.
+  EXPECT_NE(R.Stdout.find("RESULT partials n=8 sum=1024"),
+            std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("RESULT total n=1 sum=1024"), std::string::npos)
+      << R.Stdout;
+}
+
+TEST(DescendcCli, RunOnRejectedProgramExitsOne) {
+  RunResult R =
+      runDescendc("--run " + program("bad_swapped_copy.descend") + " -D nb=8");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("arguments to `copy_mem_to_host` are swapped"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, RunWithoutDefinesReportsUninstantiatedGeometry) {
+  RunResult R = runDescendc("--run " + program("quickstart_host.descend"));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stderr.find("descendc: error:"), std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, RunRejectsEmitCombination) {
+  RunResult R = runDescendc("--run " + program("quickstart_host.descend") +
+                            " --emit=sim -D nb=8");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--run cannot be combined with --emit"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, RunRejectsOutputAndDumpFlags) {
+  RunResult R = runDescendc("--run " + program("quickstart_host.descend") +
+                            " -o /dev/null -D nb=8");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--run cannot be combined with -o"),
+            std::string::npos)
+      << R.Stderr;
+
+  RunResult D = runDescendc("--run " + program("quickstart_host.descend") +
+                            " --dump-kir -D nb=8");
+  EXPECT_EQ(D.ExitCode, 2);
+}
+
+TEST(DescendcCli, RunRejectsNonNumericArgs) {
+  RunResult R = runDescendc("--run " + program("quickstart_host.descend") +
+                            " -D nb=8 --args banana");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--args expects numbers, got 'banana'"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, ArgsWithoutRunExitsTwo) {
+  RunResult R = runDescendc(program("quickstart_host.descend") +
+                            " --args 1.0");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--args requires --run"), std::string::npos)
+      << R.Stderr;
 }
 
 } // namespace

@@ -44,7 +44,7 @@ CompilerInvocation scaleVecInvocation(const std::string &Backend) {
 TEST(BackendRegistry, BuiltinsRegisteredSorted) {
   std::vector<std::string> Names =
       codegen::BackendRegistry::instance().names();
-  EXPECT_EQ(Names, (std::vector<std::string>{"ast", "cuda", "sim"}));
+  EXPECT_EQ(Names, (std::vector<std::string>{"ast", "cuda", "sim", "vm"}));
   for (const std::string &N : Names) {
     const codegen::Backend *B =
         codegen::BackendRegistry::instance().lookup(N);

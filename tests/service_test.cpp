@@ -1,0 +1,230 @@
+//===- tests/service_test.cpp - CompileService robustness -------------------===//
+//
+// The compile service is a long-lived boundary: whatever arrives — every
+// negative fixture in programs/bad_*.descend, truncated sources, binary
+// garbage — must come back as a reply with structured diagnostics, never
+// as an exception across compile(), and must never be cached (a failure
+// must not poison the LRU). Also exercises concurrent compile requests
+// from many threads (the TSan job runs this test) including coalescing of
+// identical in-flight requests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace descend;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<std::string> badFixtures() {
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(DESCEND_PROGRAM_DIR)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind("bad_", 0) == 0 &&
+        Entry.path().extension() == ".descend")
+      Paths.push_back(Entry.path().string());
+  }
+  return Paths;
+}
+
+TEST(ServiceRobustness, EveryBadFixtureYieldsDiagnosticsAndNoCacheEntry) {
+  std::vector<std::string> Fixtures = badFixtures();
+  ASSERT_FALSE(Fixtures.empty())
+      << "no programs/bad_*.descend fixtures found";
+
+  service::CompileService Svc;
+  uint64_t ExpectedFailures = 0;
+  for (const std::string &Path : Fixtures) {
+    service::CompileRequest Req;
+    Req.Source = readFile(Path);
+    Req.Defines["nb"] = 8;
+    Req.BufferName = Path;
+    service::CompileReply Rep;
+    ASSERT_NO_THROW(Rep = Svc.compile(Req)) << Path;
+    EXPECT_FALSE(Rep.Ok) << Path << " unexpectedly compiled";
+    EXPECT_FALSE(Rep.Diagnostics.empty())
+        << Path << " failed without diagnostics";
+    EXPECT_FALSE(Rep.Program) << Path;
+    ++ExpectedFailures;
+
+    // A failure is never cached: the identical retry recompiles and the
+    // cache stays empty.
+    service::CompileReply Retry = Svc.compile(Req);
+    EXPECT_FALSE(Retry.Ok);
+    EXPECT_FALSE(Retry.CacheHit);
+    ++ExpectedFailures;
+  }
+
+  service::ServiceStats St = Svc.stats();
+  EXPECT_EQ(St.Failures, ExpectedFailures);
+  EXPECT_EQ(St.Entries, 0u) << "a failure poisoned the cache";
+  EXPECT_EQ(St.Hits, 0u);
+  EXPECT_EQ(St.Misses, 0u);
+}
+
+TEST(ServiceRobustness, HostileInputsNeverThrow) {
+  // Truncated and garbage inputs of every stripe; compile() must reply
+  // with diagnostics for each of them.
+  std::string Good = "fn scale<nb: nat>(v: &uniq gpu.global [f64; nb*256])\n"
+                     "-[grid: gpu.grid<X<nb>, X<256>>]-> () {\n"
+                     "  sched(X) block in grid {\n"
+                     "    sched(X) thread in block {\n"
+                     "      v.group::<256>[[block]][[thread]] = 1.0\n"
+                     "    }\n"
+                     "  }\n"
+                     "}\n";
+  std::vector<std::string> Hostile;
+  Hostile.push_back("");                          // empty
+  Hostile.push_back(std::string("\0\0\0\x7f", 4) + Good); // leading NULs
+  Hostile.push_back(std::string(4096, '('));      // deep nonsense nesting
+  Hostile.push_back("fn fn fn fn <<<<>>>> [f64; ]"); // token soup
+  for (size_t Cut = 1; Cut < Good.size(); Cut += 29)
+    Hostile.push_back(Good.substr(0, Cut));       // every truncation stride
+
+  service::CompileService Svc;
+  for (const std::string &Src : Hostile) {
+    service::CompileRequest Req;
+    Req.Source = Src;
+    Req.Defines["nb"] = 4;
+    service::CompileReply Rep;
+    ASSERT_NO_THROW(Rep = Svc.compile(Req));
+    if (!Rep.Ok)
+      EXPECT_FALSE(Rep.Diagnostics.empty());
+  }
+  // Nothing above may have poisoned the service for real work.
+  service::CompileRequest Req;
+  Req.Source = Good;
+  Req.Defines["nb"] = 4;
+  service::CompileReply Rep = Svc.compile(Req);
+  EXPECT_TRUE(Rep.Ok) << Rep.Diagnostics;
+}
+
+std::string tinyKernel(const char *Rhs) {
+  return std::string("fn scale<nb: nat>(v: &uniq gpu.global "
+                     "[f64; nb*256])\n"
+                     "-[grid: gpu.grid<X<nb>, X<256>>]-> () {\n"
+                     "  sched(X) block in grid {\n"
+                     "    sched(X) thread in block {\n"
+                     "      v.group::<256>[[block]][[thread]] = ") +
+         Rhs + "\n    }\n  }\n}\n";
+}
+
+TEST(ServiceRobustness, UnknownBackendIsADiagnosticNotACrash) {
+  service::CompileService Svc;
+  service::CompileRequest Req;
+  Req.Source = tinyKernel("4.0");
+  Req.Defines["nb"] = 2;
+  Req.Backend = "no-such-backend";
+  service::CompileReply Rep = Svc.compile(Req);
+  EXPECT_FALSE(Rep.Ok);
+  EXPECT_NE(Rep.Diagnostics.find("no-such-backend"), std::string::npos)
+      << Rep.Diagnostics;
+  EXPECT_EQ(Svc.stats().Entries, 0u);
+}
+
+TEST(ServiceConcurrency, ParallelMixedRequestsAreThreadSafe) {
+  // Many threads hammer the service with a mix of distinct
+  // specializations (distinct keys compile in parallel), repeats (cache
+  // hits) and bad sources (failures) — the TSan job runs this.
+  std::string Good = "fn scale<nb: nat>(v: &uniq gpu.global [f64; nb*256])\n"
+                     "-[grid: gpu.grid<X<nb>, X<256>>]-> () {\n"
+                     "  sched(X) block in grid {\n"
+                     "    sched(X) thread in block {\n"
+                     "      v.group::<256>[[block]][[thread]] = 2.0\n"
+                     "    }\n"
+                     "  }\n"
+                     "}\n";
+  service::CompileService Svc(/*Capacity=*/8);
+
+  const int Threads = 8, PerThread = 12;
+  std::vector<std::thread> Pool;
+  std::vector<int> OkCounts(Threads, 0), FailCounts(Threads, 0);
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        service::CompileRequest Req;
+        if (I % 4 == 3) {
+          // Unique per (thread, iteration): failures never coalesce, so
+          // the per-reply failure count below matches Stats.Failures.
+          Req.Source = "garbage ##### " + std::to_string(T * 100 + I);
+        } else {
+          Req.Source = Good;
+          // Only a handful of distinct keys: threads collide on purpose,
+          // exercising both the cache-hit path and in-flight coalescing.
+          Req.Defines["nb"] = 1 + (T + I) % 3;
+        }
+        service::CompileReply Rep = Svc.compile(Req);
+        if (Rep.Ok) {
+          ++OkCounts[T];
+          EXPECT_TRUE(Rep.Program);
+        } else {
+          ++FailCounts[T];
+          EXPECT_FALSE(Rep.Diagnostics.empty());
+        }
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  int Ok = 0, Fail = 0;
+  for (int T = 0; T != Threads; ++T) {
+    Ok += OkCounts[T];
+    Fail += FailCounts[T];
+  }
+  EXPECT_EQ(Ok, Threads * PerThread * 3 / 4);
+  EXPECT_EQ(Fail, Threads * PerThread / 4);
+
+  service::ServiceStats St = Svc.stats();
+  EXPECT_EQ(St.Hits + St.Misses + St.Coalesced,
+            static_cast<uint64_t>(Ok));
+  EXPECT_EQ(St.Failures, static_cast<uint64_t>(Fail));
+  EXPECT_LE(St.Entries, 8u);
+}
+
+TEST(ServiceConcurrency, IdenticalConcurrentRequestsCoalesce) {
+  // All threads ask for the same cold key at once: exactly one compiles,
+  // the rest either coalesce onto it or (having arrived later) hit the
+  // cache. Every reply must carry the same artifact.
+  std::string Src = tinyKernel("5.0");
+  service::CompileService Svc;
+
+  const int Threads = 8;
+  std::vector<std::thread> Pool;
+  std::vector<service::CompileReply> Replies(Threads);
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      service::CompileRequest Req;
+      Req.Source = Src;
+      Req.Defines["nb"] = 2;
+      Replies[T] = Svc.compile(Req);
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  for (int T = 0; T != Threads; ++T) {
+    EXPECT_TRUE(Replies[T].Ok) << Replies[T].Diagnostics;
+    EXPECT_EQ(Replies[T].Artifact, Replies[0].Artifact);
+  }
+  service::ServiceStats St = Svc.stats();
+  EXPECT_EQ(St.Misses, 1u) << "exactly one cold compile";
+  EXPECT_EQ(St.Hits + St.Coalesced, static_cast<uint64_t>(Threads - 1));
+}
+
+} // namespace

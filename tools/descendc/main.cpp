@@ -4,6 +4,7 @@
 //   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
 //            [--fn-suffix=SUFFIX] [--time-passes] [--dump-phase-ir]
 //            [--dump-kir] [-o OUTPUT]
+//   descendc --run INPUT.descend [-D name=value]... [--args N...]
 //   descendc --list-backends
 //   descendc --help | -h
 //
@@ -17,6 +18,12 @@
 // of an artifact; --dump-kir prints the same tree with every phase body
 // rendered statement by statement in the typed kernel IR (kir::dump).
 // --list-backends prints the registered backend names.
+//
+// --run compiles through the vm backend and executes the program's host
+// `fn main` in-process on a simulated device — no C++ compiler in the
+// loop. --args supplies one number per `main` parameter (fill value for
+// array parameters, value for scalars). Exit codes keep the driver
+// contract: 0 success, 1 compile/runtime diagnostic, 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +46,8 @@ static void printUsage(std::FILE *Out) {
                "usage: descendc INPUT.descend [--emit=%s] "
                "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
                "[--dump-phase-ir] [--dump-kir] [-o OUTPUT]\n"
+               "       descendc --run INPUT.descend [-D name=value]... "
+               "[--args N...]\n"
                "       descendc --list-backends\n"
                "       descendc --help\n\n"
                "backends:\n",
@@ -98,6 +107,8 @@ static int listBackends() {
 int main(int argc, char **argv) {
   std::string Input, Output, Emit = "check";
   bool TimePasses = false, DumpPhaseIR = false, DumpKIR = false;
+  bool Run = false, EmitSeen = false;
+  std::vector<double> RunArgs;
   CompilerInvocation Inv;
 
   for (int I = 1; I < argc; ++I) {
@@ -107,8 +118,23 @@ int main(int argc, char **argv) {
       return 0;
     } else if (Arg == "--list-backends") {
       return listBackends();
+    } else if (Arg == "--run") {
+      Run = true;
+    } else if (Arg == "--args") {
+      // Consumes the rest of the command line: one number per `main`
+      // parameter. (Values may be negative, so they cannot double as
+      // options anyway.)
+      for (++I; I < argc; ++I) {
+        std::string Val = argv[I];
+        char *End = nullptr;
+        double V = std::strtod(Val.c_str(), &End);
+        if (Val.empty() || End == Val.c_str() || *End != '\0')
+          return usageError("--args expects numbers, got '" + Val + "'");
+        RunArgs.push_back(V);
+      }
     } else if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
+      EmitSeen = true;
     } else if (Arg.rfind("--fn-suffix=", 0) == 0) {
       Inv.FnSuffix = Arg.substr(12);
     } else if (Arg == "--time-passes") {
@@ -142,6 +168,19 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usageError("no input file");
+  if (Run) {
+    if (EmitSeen)
+      return usageError("--run cannot be combined with --emit (it always "
+                        "executes through the vm backend)");
+    if (DumpPhaseIR || DumpKIR)
+      return usageError("--run cannot be combined with --dump-phase-ir or "
+                        "--dump-kir");
+    if (!Output.empty())
+      return usageError("--run cannot be combined with -o (results go to "
+                        "stdout)");
+  }
+  if (!RunArgs.empty() && !Run)
+    return usageError("--args requires --run");
   if ((DumpPhaseIR || DumpKIR) && Emit != "check") {
     std::fprintf(stderr, "descendc: error: --dump-%s cannot be "
                          "combined with --emit=%s\n",
@@ -170,6 +209,21 @@ int main(int argc, char **argv) {
   SS << In.rdbuf();
 
   Inv.BufferName = Input;
+
+  if (Run) {
+    Session S(Inv);
+    ExecuteResult E = S.executeMain(SS.str(), RunArgs);
+    std::string Rendered = S.renderDiagnostics();
+    if (!Rendered.empty())
+      std::fprintf(stderr, "%s", Rendered.c_str());
+    if (!E.Ok) {
+      std::fprintf(stderr, "descendc: error: %s\n", E.Error.c_str());
+      return 1;
+    }
+    std::fwrite(E.Output.data(), 1, E.Output.size(), stdout);
+    return 0;
+  }
+
   Session S(Inv);
   CompileResult R = S.run(SS.str());
 

@@ -1,0 +1,147 @@
+//===- tools/descendd/main.cpp - The Descend compile daemon -----------------===//
+//
+// A long-lived compile service over a line protocol on stdin/stdout,
+// wrapping service::CompileService. One process keeps the LRU of compiled
+// artifacts warm across requests, so editors and build drivers pay the
+// cold compile once per (source, -D binding, backend) and a cache probe
+// thereafter.
+//
+// Protocol (one request per line, length-prefixed payload):
+//
+//   COMPILE <backend> <bytes> [name=value]...
+//   <payload: exactly <bytes> bytes of Descend source>
+//     -> OK hit=<0|1> ms=<float> <bytes>\n<artifact bytes>
+//     -> ERR <bytes>\n<diagnostics bytes>
+//
+//   STATS
+//     -> STATS hits=<n> misses=<n> coalesced=<n> failures=<n>
+//              evictions=<n> entries=<n>
+//
+//   QUIT (or EOF)
+//     -> exits 0
+//
+// A malformed request line gets `ERR <bytes>\n<message>` and the daemon
+// keeps serving — hostile input must never take the service down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace descend;
+
+namespace {
+
+void reply(const std::string &Head, const std::string &Payload) {
+  std::fprintf(stdout, "%s %zu\n", Head.c_str(), Payload.size());
+  std::fwrite(Payload.data(), 1, Payload.size(), stdout);
+  std::fflush(stdout);
+}
+
+void replyErr(const std::string &Msg) { reply("ERR", Msg + "\n"); }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t Capacity = 64;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--cache-capacity=", 0) == 0) {
+      Capacity = std::strtoull(Arg.c_str() + 17, nullptr, 10);
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: descendd [--cache-capacity=N]\n"
+                  "Serves COMPILE/STATS/QUIT requests on stdin; see the\n"
+                  "protocol comment in tools/descendd/main.cpp.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "descendd: error: unrecognized option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  service::CompileService Service(Capacity);
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    std::istringstream LS(Line);
+    std::string Cmd;
+    LS >> Cmd;
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "QUIT")
+      return 0;
+    if (Cmd == "STATS") {
+      service::ServiceStats St = Service.stats();
+      std::fprintf(stdout,
+                   "STATS hits=%llu misses=%llu coalesced=%llu "
+                   "failures=%llu evictions=%llu entries=%zu\n",
+                   (unsigned long long)St.Hits, (unsigned long long)St.Misses,
+                   (unsigned long long)St.Coalesced,
+                   (unsigned long long)St.Failures,
+                   (unsigned long long)St.Evictions, St.Entries);
+      std::fflush(stdout);
+      continue;
+    }
+    if (Cmd != "COMPILE") {
+      replyErr("unknown command `" + Cmd + "`");
+      continue;
+    }
+
+    service::CompileRequest Req;
+    Req.BufferName = "<descendd>";
+    long long Bytes = -1;
+    if (!(LS >> Req.Backend >> Bytes) || Bytes < 0) {
+      replyErr("malformed COMPILE request: expected "
+               "`COMPILE <backend> <bytes> [name=value]...`");
+      continue;
+    }
+    bool DefsOk = true;
+    std::string Def;
+    while (LS >> Def) {
+      size_t Eq = Def.find('=');
+      char *End = nullptr;
+      long long V = Eq == std::string::npos
+                        ? 0
+                        : std::strtoll(Def.c_str() + Eq + 1, &End, 10);
+      if (Eq == std::string::npos || Eq == 0 || End == Def.c_str() + Eq + 1 ||
+          *End != '\0') {
+        replyErr("malformed define `" + Def + "`: expected name=value");
+        DefsOk = false;
+        break;
+      }
+      Req.Defines[Def.substr(0, Eq)] = V;
+    }
+    if (!DefsOk) {
+      // The payload still follows; drain it to stay in sync.
+      for (long long I = 0; I < Bytes && std::cin.get() != EOF; ++I)
+        ;
+      continue;
+    }
+
+    Req.Source.resize((size_t)Bytes);
+    std::cin.read(Req.Source.data(), Bytes);
+    if (std::cin.gcount() != Bytes) {
+      replyErr("truncated payload: expected " + std::to_string(Bytes) +
+               " bytes, got " + std::to_string(std::cin.gcount()));
+      return 1; // stdin is gone; nothing left to serve
+    }
+
+    service::CompileReply Rep = Service.compile(Req);
+    if (!Rep.Ok) {
+      reply("ERR", Rep.Diagnostics);
+      continue;
+    }
+    char Head[96];
+    std::snprintf(Head, sizeof(Head), "OK hit=%d ms=%.3f",
+                  Rep.CacheHit ? 1 : 0, Rep.CompileMs);
+    reply(Head, Rep.Artifact);
+  }
+  return 0;
+}

@@ -141,6 +141,9 @@ for m in re.finditer(
 speed = re.search(
     r"^THROUGHPUT speedup pool_vs_spawn=([0-9.]+) streams_vs_spawn="
     r"([0-9.]+)$", log, re.M)
+service = re.search(
+    r"^THROUGHPUT service_summary hit_rate=([0-9.]+) cold_ms=([0-9.]+) "
+    r"warm_ms=([0-9.]+) warm_speedup=([0-9.]+) entries=(\d+)$", log, re.M)
 # bench_throughput pins its own worker count (the spawn-vs-pool
 # comparison is the same experiment on every machine); record it.
 pinned = re.search(r"launch-path throughput \(workers=(\d+)\)", log)
@@ -148,7 +151,13 @@ json.dump({"bench": "throughput", "unit": "ops/s", "rows": rows,
            "workers": int(pinned.group(1)) if pinned else None,
            "pool_vs_spawn_speedup": float(speed.group(1)) if speed else None,
            "streams_vs_spawn_speedup":
-               float(speed.group(2)) if speed else None},
+               float(speed.group(2)) if speed else None,
+           "service": None if not service else {
+               "hit_rate": float(service.group(1)),
+               "cold_ms": float(service.group(2)),
+               "warm_ms": float(service.group(3)),
+               "warm_speedup": float(service.group(4)),
+               "entries": int(service.group(5))}},
           open(sys.argv[2], "w"), indent=2)
 PY
 echo "-> $OUT_DIR/BENCH_throughput.json"
@@ -166,6 +175,25 @@ if measured is None:
 verdict = "PASS" if measured >= floor else "FAIL"
 print(f"bench gate: throughput pool-vs-spawn {measured:.2f}x "
       f"(floor {floor:.2f}x) -> {verdict}")
+if measured < floor:
+    sys.exit(1)
+PY
+
+# Regression gate: a compile-service cache hit must beat a cold compile
+# by at least service_min_hit_speedup — the whole point of the service is
+# that -D specialization is a cache probe, not a rebuild.
+python3 - "$OUT_DIR/BENCH_throughput.json" \
+          "$ROOT_DIR/tools/bench_baseline.json" <<'PY'
+import json, sys
+service = json.load(open(sys.argv[1])).get("service")
+floor = json.load(open(sys.argv[2])).get("service_min_hit_speedup", 10.0)
+if not service:
+    sys.exit("bench gate: no service summary in BENCH_throughput.json")
+measured = service["warm_speedup"]
+verdict = "PASS" if measured >= floor else "FAIL"
+print(f"bench gate: compile-service warm-hit {measured:.1f}x over cold "
+      f"(floor {floor:.1f}x, hit rate {service['hit_rate']:.3f}) "
+      f"-> {verdict}")
 if measured < floor:
     sys.exit(1)
 PY
