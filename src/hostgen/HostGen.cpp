@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -33,8 +34,9 @@ class Emitter {
 public:
   Emitter(const Module &M, const FnDef &Fn, HostTarget T,
           const std::string &FnSuffix)
-      : M(M), Fn(Fn), T(T), Stream(T == HostTarget::SimStream),
-        FnSuffix(FnSuffix) {}
+      : M(M), Fn(Fn), T(T),
+        Stream(T == HostTarget::SimStream || T == HostTarget::SimGraph),
+        Graph(T == HostTarget::SimGraph), FnSuffix(FnSuffix) {}
 
   HostGenResult run();
 
@@ -42,9 +44,14 @@ private:
   const Module &M;
   const FnDef &Fn;
   HostTarget T;
-  /// Emitting the asynchronous sim::Stream overload: device operations
-  /// enqueue, host-touching statements synchronize first.
+  /// Emitting an asynchronous sim::Stream-taking overload: device
+  /// operations enqueue, host-touching statements synchronize first.
+  /// (The graph overload reuses all of this machinery for its
+  /// non-captured tail.)
   bool Stream;
+  /// Emitting the graph-mode overload: capture the leading device-op run
+  /// on the first call, replay + rebind afterwards.
+  bool Graph;
   const std::string &FnSuffix;
 
   std::ostringstream OS;
@@ -135,7 +142,44 @@ private:
   bool emitCall(const CallExpr &C);
   bool emitLaunch(const CallExpr &C);
   bool emitForNat(const ForNatExpr &F);
+
+  // Graph mode ---------------------------------------------------------
+
+  /// Host-buffer slot of host variable \p Name, assigned in first-use
+  /// order during capture emission (also the bind emission order).
+  unsigned graphSlot(const std::string &Name) {
+    auto It = GraphSlots.find(Name);
+    if (It != GraphSlots.end())
+      return It->second;
+    unsigned Slot = static_cast<unsigned>(GraphSlots.size());
+    GraphSlots[Name] = Slot;
+    SlotBinds.emplace_back(Slot, Name);
+    return Slot;
+  }
+
+  bool captureStmtOk(const Expr &E, std::set<std::string> &Locals);
+  size_t scanCapturePrefix(const BlockExpr &Blk);
+  bool emitCaptureStmt(const Expr &E);
+  bool emitGraphBody(const BlockExpr &Blk, size_t Prefix);
+
+  std::map<std::string, unsigned> GraphSlots;
+  std::vector<std::pair<unsigned, std::string>> SlotBinds;
 };
+
+/// True when \p E (or anything nested in it) names one of \p Names.
+/// Conservative: used to reject graph capture when post-capture host code
+/// reaches into a capture-produced device buffer.
+bool mentionsAny(const Expr &E, const std::set<std::string> &Names) {
+  if (const auto *V = dyn_cast<PlaceVar>(&E))
+    if (Names.count(V->Name))
+      return true;
+  bool Found = false;
+  forEachChild(const_cast<Expr &>(E), [&](Expr &C) {
+    if (!Found && mentionsAny(C, Names))
+      Found = true;
+  });
+  return Found;
+}
 
 /// Root variable name of a borrow / place argument; empty for anything
 /// else (the callers report the error with context).
@@ -242,10 +286,13 @@ bool Emitter::emitSignature() {
       OS << ",\n    "; // after the device/stream argument
     First = false;
   };
-  if (Stream)
+  if (Stream) {
     OS << "descend::sim::Stream &_stream";
-  else if (isSim())
+    if (Graph)
+      OS << ",\n    descend::sim::GraphExec &_graph";
+  } else if (isSim()) {
     OS << "descend::sim::GpuDevice &_dev";
+  }
 
   for (const FnParam &P : Fn.Params) {
     HostVar V;
@@ -650,12 +697,162 @@ bool Emitter::emitLaunch(const CallExpr &C) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Graph mode: capture-prefix analysis and emission
+//===----------------------------------------------------------------------===//
+
+/// Is \p E a top-level statement the graph overload can capture? The
+/// capturable shapes are exactly the device-op run a serving loop repeats
+/// per request:
+///   * `let d = GpuGlobal::alloc_copy(&h)` with `h` a host-buffer
+///     *parameter* (the rebindable per-request data); `d` becomes a
+///     capture-local,
+///   * `copy_mem_to_host` / `copy_to_gpu` between a host-buffer parameter
+///     and a capture-local device buffer,
+///   * launches whose arguments are all capture-locals (a device-buffer
+///     parameter would replay the first call's buffer forever).
+bool Emitter::captureStmtOk(const Expr &E, std::set<std::string> &Locals) {
+  if (const auto *L = dyn_cast<LetExpr>(&E)) {
+    const auto *C = dyn_cast<CallExpr>(L->Init.get());
+    if (!C || C->Callee != "GpuGlobal::alloc_copy" || C->Args.size() != 1)
+      return false;
+    std::string Src = argVar(*C->Args[0]);
+    const HostVar *V = Src.empty() ? nullptr : lookup(Src);
+    if (!V || V->K != HostVar::HostBuf || !V->IsParam)
+      return false;
+    Locals.insert(L->Name);
+    return true;
+  }
+  const auto *C = dyn_cast<CallExpr>(&E);
+  if (!C)
+    return false;
+  if (C->IsLaunch) {
+    if (C->Args.empty())
+      return false;
+    for (const ExprPtr &A : C->Args) {
+      std::string Name = argVar(*A);
+      if (Name.empty() || !Locals.count(Name))
+        return false;
+    }
+    return true;
+  }
+  if (C->Callee == "copy_mem_to_host" || C->Callee == "copy_to_gpu") {
+    if (C->Args.size() != 2)
+      return false;
+    const bool ToHost = C->Callee == "copy_mem_to_host";
+    std::string Dst = argVar(*C->Args[0]);
+    std::string Src = argVar(*C->Args[1]);
+    const std::string &Host = ToHost ? Dst : Src;
+    const std::string &Device = ToHost ? Src : Dst;
+    const HostVar *HV = Host.empty() ? nullptr : lookup(Host);
+    return HV && HV->K == HostVar::HostBuf && HV->IsParam &&
+           Locals.count(Device) != 0;
+  }
+  return false;
+}
+
+/// Length of the maximal capturable leading run of \p Blk's top-level
+/// statements, or 0 when the program can't use capture at all (including
+/// when a post-prefix statement reaches into a capture-local: those live
+/// inside the first-call capture block and replay frozen, so any later
+/// mention would change meaning — fall back entirely).
+size_t Emitter::scanCapturePrefix(const BlockExpr &Blk) {
+  std::set<std::string> Locals;
+  size_t Prefix = 0;
+  while (Prefix != Blk.Stmts.size() &&
+         captureStmtOk(*Blk.Stmts[Prefix], Locals))
+    ++Prefix;
+  if (Prefix == 0)
+    return 0;
+  for (size_t I = Prefix; I != Blk.Stmts.size(); ++I)
+    if (mentionsAny(*Blk.Stmts[I], Locals))
+      return 0;
+  return Prefix;
+}
+
+/// Emits one capturable prefix statement in capture form: transfers go
+/// through the rt::*Capture helpers (slot-based, rebindable at replay);
+/// launches emit exactly the stream-mode enqueue — enqueue-during-capture
+/// records the closure as a graph node.
+bool Emitter::emitCaptureStmt(const Expr &E) {
+  if (const auto *L = dyn_cast<LetExpr>(&E)) {
+    const auto *C = cast<CallExpr>(L->Init.get());
+    std::string Src = argVar(*C->Args[0]);
+    const HostVar *SrcVar = lookup(Src);
+    indent();
+    OS << "auto " << L->Name << " = descend::rt::allocCopyCapture<"
+       << cppScalarType(SrcVar->Elem) << ">(_stream, " << graphSlot(Src)
+       << ", " << Src << ".size());\n";
+    HostVar V;
+    V.K = HostVar::DevBuf;
+    V.Elem = SrcVar->Elem;
+    V.Count = SrcVar->Count;
+    bind(L->Name, std::move(V));
+    return true;
+  }
+  const auto *C = cast<CallExpr>(&E);
+  if (C->IsLaunch)
+    return emitLaunch(*C);
+  const bool ToHost = C->Callee == "copy_mem_to_host";
+  std::string Dst = argVar(*C->Args[0]);
+  std::string Src = argVar(*C->Args[1]);
+  indent();
+  if (ToHost)
+    OS << "descend::rt::copyToHostCapture(_stream, " << graphSlot(Dst)
+       << ", " << Src << ");\n";
+  else
+    OS << "descend::rt::copyToGpuCapture(_stream, " << graphSlot(Src)
+       << ", " << Dst << ");\n";
+  return true;
+}
+
+/// The graph overload's body: capture the prefix once (first call),
+/// rebind the host-buffer slots to this call's parameters, replay the
+/// whole prefix as one stream operation, then emit the non-captured tail
+/// in plain stream form.
+bool Emitter::emitGraphBody(const BlockExpr &Blk, size_t Prefix) {
+  indent();
+  OS << "if (!_graph.instantiated()) {\n";
+  ++Depth;
+  indent();
+  OS << "_stream.beginCapture();\n";
+  for (size_t I = 0; I != Prefix; ++I)
+    if (!emitCaptureStmt(*Blk.Stmts[I]))
+      return false;
+  indent();
+  OS << "_graph = _stream.endCapture().instantiate();\n";
+  --Depth;
+  indent();
+  OS << "}\n";
+  PendingAsync = false; // capture records; nothing actually enqueued
+  for (const auto &SB : SlotBinds) {
+    indent();
+    OS << "_graph.bind(" << SB.first << ", " << SB.second << ");\n";
+  }
+  indent();
+  OS << "_graph.launch(_stream);\n";
+  PendingAsync = true; // the replay is one pending stream operation
+  for (size_t I = Prefix; I != Blk.Stmts.size(); ++I)
+    if (!emitStmt(*Blk.Stmts[I]))
+      return false;
+  return true;
+}
+
 HostGenResult Emitter::run() {
   HostGenResult R;
   pushScope();
   bool Ok = emitSignature();
-  if (Ok && Fn.Body)
-    Ok = emitBlock(*cast<BlockExpr>(Fn.Body.get()));
+  if (Ok && Fn.Body) {
+    const auto &Blk = *cast<BlockExpr>(Fn.Body.get());
+    const size_t Prefix = Graph ? scanCapturePrefix(Blk) : 0;
+    if (Graph && Prefix == 0) {
+      // Shape doesn't fit capture: the graph overload degrades to the
+      // plain stream body (emission is total, never a compile failure).
+      indent();
+      OS << "(void)_graph;\n";
+    }
+    Ok = Prefix > 0 ? emitGraphBody(Blk, Prefix) : emitBlock(Blk);
+  }
   if (Ok && T == HostTarget::Cuda)
     for (const std::string &Buf : DeviceBufs) {
       indent();

@@ -18,6 +18,17 @@
 //              touches host memory (and before returning), so results are
 //              bit-identical to the synchronous driver while consecutive
 //              device operations pipeline with a single join.
+//   simGraph   the graph-mode overload (sim::Stream + sim::GraphExec):
+//              the driver's leading run of device operations — transfers
+//              touching only host-buffer *parameters* plus launches over
+//              the buffers those transfers produced — is captured into a
+//              launch graph on the first call and *replayed* as one
+//              stream operation on every call, with the parameter buffers
+//              rebound per call (GraphExec::bind); any trailing host
+//              statements emit in stream form. Programs whose shape
+//              doesn't fit (no capturable prefix, or later statements
+//              reaching into capture-produced buffers) fall back to the
+//              plain stream body — emission is total.
 //   cuda       CUDA runtime API host code — std::vector staging,
 //              cudaMalloc / cudaMemcpy with statically computed byte
 //              counts, real kernel<<<grid, block>>> launches and cudaFree
@@ -47,8 +58,9 @@ namespace descend {
 namespace hostgen {
 
 /// Which host substrate to emit for. SimStream emits the asynchronous
-/// sim::Stream overload of the sim driver (the sim backend emits both).
-enum class HostTarget { Sim, SimStream, Cuda };
+/// sim::Stream overload of the sim driver; SimGraph the capture/replay
+/// overload (the sim backend emits all three).
+enum class HostTarget { Sim, SimStream, SimGraph, Cuda };
 
 /// Result of emitting one host function.
 struct HostGenResult {

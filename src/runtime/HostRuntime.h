@@ -3,8 +3,10 @@
 // Part of the Descend reproduction. The host API of Section 3.4/3.5 as a
 // C++ library over the simulator: heap allocation, CPU<->GPU transfer with
 // direction checking and kernel-launch configuration checking — each in a
-// synchronous form and an asynchronous form over sim::Stream (the
-// cudaMemcpyAsync analogue the generated stream drivers call).
+// synchronous form, an asynchronous form over sim::Stream (the
+// cudaMemcpyAsync analogue the generated stream drivers call), and a
+// graph-capture form recording rebindable transfer nodes (what the
+// generated graph-mode drivers call).
 //
 // In Descend these mistakes are compile-time errors; this runtime is the
 // substrate equivalent for *handwritten* host code (and for demonstrating,
@@ -107,6 +109,58 @@ void copyToGpuAsync(sim::Stream &S, sim::GpuDevice::Buffer<T> &Dst,
   const T *So = Src.data();
   const size_t Bytes = Src.size() * sizeof(T);
   S.enqueue([D, So, Bytes] { std::memcpy(D, So, Bytes); });
+}
+
+//===----------------------------------------------------------------------===//
+// Graph-capture variants — what the generated graph-mode drivers call
+// between Stream::beginCapture()/endCapture(). Device allocation still
+// happens eagerly, ONCE, at capture time (the buffer is reused by every
+// replay); the transfer records a graph node that reads its *host*
+// pointer from the GraphExec's slot table at replay time, so one
+// captured graph serves many requests' buffers via GraphExec::bind.
+// Sizes are pinned at capture: bind() rejects buffers of a different
+// byte size, preserving the eager-validation contract.
+//===----------------------------------------------------------------------===//
+
+/// GpuGlobal::alloc_copy under capture: allocates the device buffer now,
+/// declares host slot \p Slot and records the populating H2D copy.
+template <typename T>
+sim::GpuDevice::Buffer<T> allocCopyCapture(sim::Stream &S, unsigned Slot,
+                                           size_t Count) {
+  auto Buf = S.device().alloc<T>(Count);
+  const size_t Bytes = Count * sizeof(T);
+  S.declareCaptureSlot(Slot, Bytes);
+  T *Dst = Buf.data();
+  S.captureNode([Dst, Slot, Bytes](const sim::GraphExec &G) {
+    std::memcpy(Dst, G.slotPtr(Slot), Bytes);
+  });
+  return Buf;
+}
+
+/// copy_mem_to_host under capture: records a D2H copy into whatever host
+/// memory is bound to \p Slot at replay time.
+template <typename T>
+void copyToHostCapture(sim::Stream &S, unsigned Slot,
+                       const sim::GpuDevice::Buffer<T> &Src) {
+  const size_t Bytes = Src.size() * sizeof(T);
+  S.declareCaptureSlot(Slot, Bytes);
+  const T *So = Src.data();
+  S.captureNode([So, Slot, Bytes](const sim::GraphExec &G) {
+    std::memcpy(G.slotPtr(Slot), So, Bytes);
+  });
+}
+
+/// copy_to_gpu under capture: records an H2D copy from whatever host
+/// memory is bound to \p Slot at replay time.
+template <typename T>
+void copyToGpuCapture(sim::Stream &S, unsigned Slot,
+                      sim::GpuDevice::Buffer<T> &Dst) {
+  const size_t Bytes = Dst.size() * sizeof(T);
+  S.declareCaptureSlot(Slot, Bytes);
+  T *D = Dst.data();
+  S.captureNode([D, Slot, Bytes](const sim::GraphExec &G) {
+    std::memcpy(D, G.slotPtr(Slot), Bytes);
+  });
 }
 
 /// Checks a launch configuration against the element count a kernel

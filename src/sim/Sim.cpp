@@ -7,6 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -172,6 +175,34 @@ GpuDevice::~GpuDevice() {
   deviceSynchronize();
 }
 
+unsigned detail::parseWorkerCount(const char *Text, std::string *Warning) {
+  if (!Text)
+    return 0; // unset: no override, no warning
+  errno = 0;
+  char *End = nullptr;
+  const long V = std::strtol(Text, &End, 10);
+  // strtol silently skips leading whitespace; a worker count with stray
+  // whitespace is treated as malformed, like any other garbage.
+  if (std::isspace(static_cast<unsigned char>(Text[0])) || End == Text ||
+      *End != '\0') {
+    if (Warning)
+      *Warning = descend::strfmt(
+          "DESCEND_WORKERS=\"%s\" is not a number; using the default worker "
+          "count",
+          Text);
+    return 0;
+  }
+  if (errno == ERANGE || V <= 0 || V > MaxWorkerOverride) {
+    if (Warning)
+      *Warning = descend::strfmt(
+          "DESCEND_WORKERS=\"%s\" is out of range (want 1..%ld); using the "
+          "default worker count",
+          Text, MaxWorkerOverride);
+    return 0;
+  }
+  return static_cast<unsigned>(V);
+}
+
 unsigned GpuDevice::effectiveWorkers() const {
   if (RaceDetection)
     return 1;
@@ -179,12 +210,16 @@ unsigned GpuDevice::effectiveWorkers() const {
     return Workers;
   // DESCEND_WORKERS pins the default machine-wide (run_benches.sh stamps
   // it into the BENCH_*.json provenance, making numbers comparable
-  // across machines); otherwise use the hardware concurrency.
+  // across machines); otherwise use the hardware concurrency. Garbage,
+  // zero or out-of-range values fall back to the default with a one-time
+  // stderr warning instead of being silently misparsed.
   static const unsigned EnvWorkers = [] {
-    const char *E = std::getenv("DESCEND_WORKERS");
-    if (!E)
-      return 0L;
-    return std::max(0L, std::strtol(E, nullptr, 10));
+    std::string Warning;
+    unsigned N = detail::parseWorkerCount(std::getenv("DESCEND_WORKERS"),
+                                          &Warning);
+    if (!Warning.empty())
+      std::fprintf(stderr, "descend: warning: %s\n", Warning.c_str());
+    return N;
   }();
   if (EnvWorkers != 0)
     return EnvWorkers;
@@ -443,10 +478,117 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
 }
 
 //===----------------------------------------------------------------------===//
+// Events
+//===----------------------------------------------------------------------===//
+
+/// Marks generation \p Gen complete and fires every waiter whose target
+/// it satisfies. Callbacks run outside the event mutex — a waiter may
+/// resubmit a stream pump, which takes other locks.
+void detail::signalEventGen(const std::shared_ptr<EventState> &St,
+                            uint64_t Gen) {
+  std::vector<std::function<void()>> Due;
+  {
+    std::lock_guard<std::mutex> G(St->M);
+    St->Completed = std::max(St->Completed, Gen);
+    for (size_t I = 0; I != St->Waiters.size();) {
+      if (St->Waiters[I].first <= St->Completed) {
+        Due.push_back(std::move(St->Waiters[I].second));
+        St->Waiters.erase(St->Waiters.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+    St->CV.notify_all();
+  }
+  for (std::function<void()> &Fn : Due)
+    Fn();
+}
+
+/// Record-and-signal in one step: what a captured record node does at
+/// replay time (the generation is minted when the node runs, so every
+/// replay re-arms the event afresh).
+void detail::signalEventNow(const std::shared_ptr<EventState> &St) {
+  uint64_t Gen;
+  {
+    std::lock_guard<std::mutex> G(St->M);
+    Gen = ++St->Recorded;
+  }
+  signalEventGen(St, Gen);
+}
+
+bool Event::query() const {
+  std::lock_guard<std::mutex> G(St->M);
+  return St->Completed >= St->Recorded;
+}
+
+void Event::synchronize() const {
+  std::unique_lock<std::mutex> L(St->M);
+  const uint64_t Target = St->Recorded;
+  St->CV.wait(L, [&] { return St->Completed >= Target; });
+}
+
+//===----------------------------------------------------------------------===//
+// Launch graphs
+//===----------------------------------------------------------------------===//
+
+GraphExec Graph::instantiate() const {
+  if (!D)
+    throw std::logic_error("Graph::instantiate: empty graph handle");
+  GraphExec E;
+  E.D = D;
+  return E;
+}
+
+void GraphExec::bind(unsigned Slot, void *Ptr, size_t Bytes) {
+  if (!D)
+    throw std::logic_error("GraphExec::bind: graph not instantiated");
+  auto It = D->SlotBytes.find(Slot);
+  if (It == D->SlotBytes.end())
+    throw std::invalid_argument(
+        descend::strfmt("graph slot %u: not declared by the capture", Slot));
+  if (It->second != Bytes)
+    throw std::invalid_argument(
+        descend::strfmt("graph slot %u: bound %zu bytes, captured %zu", Slot,
+                        Bytes, It->second));
+  Bound[Slot] = Ptr;
+}
+
+void *GraphExec::slotPtr(unsigned Slot) const {
+  auto It = Bound.find(Slot);
+  assert(It != Bound.end() && "graph slot unbound (launch() validates)");
+  return It->second;
+}
+
+void GraphExec::launch(Stream &S) const {
+  if (!D)
+    throw std::logic_error("GraphExec::launch: graph not instantiated");
+  for (const auto &SB : D->SlotBytes)
+    if (!Bound.count(SB.first))
+      throw std::logic_error(descend::strfmt(
+          "GraphExec::launch: slot %u is unbound", SB.first));
+  // The whole captured sequence replays as ONE stream operation: a
+  // serving loop pays a single enqueue per request instead of one per
+  // transfer/launch. `this` must outlive the replay (generated drivers
+  // synchronize before returning).
+  const GraphExec *Self = this;
+  S.enqueue([Self] {
+    for (const std::function<void(const GraphExec &)> &Node : Self->D->Nodes)
+      Node(*Self);
+  });
+}
+
+//===----------------------------------------------------------------------===//
 // Streams
 //===----------------------------------------------------------------------===//
 
 void Stream::enqueue(std::function<void()> Op) {
+  // Capture records instead of executing — also on sequential devices,
+  // so a captured graph is identical no matter the worker count.
+  if (InCapture) {
+    CapNodes.push_back(
+        [Fn = std::move(Op)](const GraphExec &) { Fn(); });
+    return;
+  }
   // Sequential devices (including race detection, which forces one
   // worker) execute immediately: deterministic, in order, on the calling
   // thread — the behaviour the race-detector fixtures pin down.
@@ -458,7 +600,7 @@ void Stream::enqueue(std::function<void()> Op) {
   bool StartPump = false;
   {
     std::lock_guard<std::mutex> G(M);
-    Ops.push_back(std::move(Op));
+    Ops.push_back(OpItem{std::move(Op), nullptr, 0});
     if (!Running) {
       Running = true;
       StartPump = true;
@@ -471,6 +613,8 @@ void Stream::enqueue(std::function<void()> Op) {
 void Stream::pump() {
   for (;;) {
     std::function<void()> Op;
+    std::shared_ptr<detail::EventState> WaitSt;
+    uint64_t WaitTarget = 0;
     {
       std::lock_guard<std::mutex> G(M);
       if (Ops.empty()) {
@@ -478,10 +622,44 @@ void Stream::pump() {
         CV.notify_all();
         return;
       }
-      Op = std::move(Ops.front());
+      OpItem &Front = Ops.front();
+      if (Front.Fn) {
+        Op = std::move(Front.Fn);
+        Ops.pop_front();
+      } else {
+        // Event-wait marker: peek without popping — if the event is not
+        // done we park, and the marker must still be at the front when
+        // the waiter callback resubmits this pump.
+        WaitSt = Front.WaitSt;
+        WaitTarget = Front.WaitTarget;
+      }
+    }
+    if (Op) {
+      Op();
+      Dev->asyncOpEnd();
+      continue;
+    }
+    // Never hold the stream mutex while taking the event mutex.
+    {
+      std::unique_lock<std::mutex> EL(WaitSt->M);
+      if (WaitSt->Completed < WaitTarget) {
+        // Park: re-arm the pump from the event's completion callback
+        // instead of blocking this pool worker. Running stays true, so
+        // synchronize() keeps blocking and no second pump starts.
+        GpuDevice *D = Dev;
+        Stream *Self = this;
+        WaitSt->Waiters.emplace_back(
+            WaitTarget, [D, Self] { D->pool().submit([Self] { Self->pump(); }); });
+        return;
+      }
+    }
+    // Satisfied: consume the marker and continue draining.
+    {
+      std::lock_guard<std::mutex> G(M);
+      assert(!Ops.empty() && !Ops.front().Fn &&
+             "wait marker vanished while the pump held it");
       Ops.pop_front();
     }
-    Op();
     Dev->asyncOpEnd();
   }
 }
@@ -496,7 +674,131 @@ void Stream::launch(Dim3 Grid, Dim3 Block, size_t SharedBytes,
   });
 }
 
+void Stream::record(Event &E) {
+  std::shared_ptr<detail::EventState> St = E.St;
+  if (InCapture) {
+    // The generation is minted when the node *runs*: each replay re-arms
+    // the event afresh. Recording at capture time would leave the event
+    // permanently "pending" between capture and first replay.
+    captureNode([St](const GraphExec &) { detail::signalEventNow(St); });
+    return;
+  }
+  uint64_t Gen;
+  {
+    std::lock_guard<std::mutex> G(St->M);
+    Gen = ++St->Recorded;
+  }
+  // Everything enqueued so far is ordered before this closure within the
+  // stream, so signalling here is exactly "all prior work done".
+  // Sequential devices run it immediately: the event completes inline.
+  enqueue([St, Gen] { detail::signalEventGen(St, Gen); });
+}
+
+void Stream::wait(Event &E) {
+  std::shared_ptr<detail::EventState> St = E.St;
+  if (InCapture) {
+    // Replay-time blocking wait: the replaying pump worker waits on the
+    // event CV. (Captured graphs replay as one node sequence; a parked
+    // resumption point inside the sequence has nothing to resume into.)
+    captureNode([St](const GraphExec &) {
+      std::unique_lock<std::mutex> L(St->M);
+      const uint64_t Target = St->Recorded;
+      St->CV.wait(L, [&] { return St->Completed >= Target; });
+    });
+    return;
+  }
+  uint64_t Target;
+  {
+    std::lock_guard<std::mutex> G(St->M);
+    Target = St->Recorded;
+  }
+  if (Target == 0)
+    return; // waiting on a never-recorded event is a no-op (CUDA)
+  if (Dev->effectiveWorkers() <= 1) {
+    // Sequential devices execute inline, so anything this stream enqueues
+    // next runs on the calling thread — block it here. (The recorder may
+    // live on a multi-worker device; the CV handles that.)
+    std::unique_lock<std::mutex> L(St->M);
+    St->CV.wait(L, [&] { return St->Completed >= Target; });
+    return;
+  }
+  Dev->asyncOpBegin();
+  bool StartPump = false;
+  {
+    std::lock_guard<std::mutex> G(M);
+    Ops.push_back(OpItem{nullptr, std::move(St), Target});
+    if (!Running) {
+      Running = true;
+      StartPump = true;
+    }
+  }
+  if (StartPump)
+    Dev->pool().submit([this] { pump(); });
+}
+
+bool Stream::query() {
+  std::lock_guard<std::mutex> G(M);
+  return Ops.empty() && !Running;
+}
+
 void Stream::synchronize() {
+  // Stream operations are typically a few microseconds; spin briefly on
+  // the atomic Running flag before sleeping so short tails — a graph
+  // replay, a single launch — skip the futex sleep/wake round trip.
+  // Completion is confirmed under M, which the pump held when it cleared
+  // the flag, so the op's side effects happen-before we return.
+  for (int Spin = 0; Spin != 16384; ++Spin) {
+    if (!Running.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> G(M);
+      if (Ops.empty() && !Running)
+        return;
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
   std::unique_lock<std::mutex> L(M);
   CV.wait(L, [&] { return Ops.empty() && !Running; });
+}
+
+void Stream::beginCapture() {
+  if (InCapture)
+    throw std::logic_error("Stream::beginCapture: already capturing");
+  InCapture = true;
+  CapNodes.clear();
+  CapSlots.clear();
+}
+
+Graph Stream::endCapture() {
+  if (!InCapture)
+    throw std::logic_error("Stream::endCapture: no capture in progress");
+  InCapture = false;
+  auto D = std::make_shared<Graph::Data>();
+  D->Nodes = std::move(CapNodes);
+  D->SlotBytes = std::move(CapSlots);
+  CapNodes.clear();
+  CapSlots.clear();
+  return Graph(std::move(D));
+}
+
+void Stream::captureNode(std::function<void(const GraphExec &)> Fn) {
+  if (!InCapture)
+    throw std::logic_error("Stream::captureNode: not capturing");
+  CapNodes.push_back(std::move(Fn));
+}
+
+void Stream::declareCaptureSlot(unsigned Slot, size_t Bytes) {
+  if (!InCapture)
+    throw std::logic_error("Stream::declareCaptureSlot: not capturing");
+  auto It = CapSlots.find(Slot);
+  if (It == CapSlots.end()) {
+    CapSlots[Slot] = Bytes;
+    return;
+  }
+  if (It->second != Bytes)
+    throw std::invalid_argument(descend::strfmt(
+        "graph slot %u: declared %zu bytes, previously %zu", Slot, Bytes,
+        It->second));
 }

@@ -28,6 +28,17 @@
 //    asynchronously, in order per stream, overlapping across streams on
 //    the same pool — the CUDA async-launch model. The default,
 //    stream-less entry points stay synchronous and bit-identical.
+//  * Events (class Event, the cudaEvent_t analogue) let streams fan out
+//    and rejoin: Stream::record snapshots "everything enqueued so far",
+//    Stream::wait orders a stream after that snapshot without draining
+//    the device. A waiting stream *parks* (its pump re-arms from the
+//    event's completion callback) instead of blocking a pool worker.
+//  * Launch graphs (Graph / GraphExec, the cudaGraph analogue): a
+//    stream's transfer/launch/event sequence recorded once between
+//    beginCapture()/endCapture(), instantiated, rebound to fresh host
+//    buffers per request (GraphExec::bind) and replayed as ONE stream
+//    operation — the per-op enqueue cost of a serving loop collapses to
+//    a single enqueue per request.
 //
 // Observability (both off by default; the hot path pays one predicted
 // branch):
@@ -49,8 +60,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +112,36 @@ constexpr unsigned FirstSharedBufferId = 0x80000000u;
 /// One arena per OS thread, reused across launches: block execution pays
 /// no allocator traffic after warm-up.
 std::byte *threadArena(size_t Bytes);
+
+/// Strictly parses a DESCEND_WORKERS-style worker-count override.
+/// Returns the count for a well-formed positive integer within
+/// [1, MaxWorkerOverride]; returns 0 (meaning "use the default") for
+/// null, empty, non-numeric, trailing-garbage, zero, negative or
+/// out-of-range text, filling \p Warning (when non-null and the text was
+/// present but unusable) with a one-line explanation for stderr.
+constexpr long MaxWorkerOverride = 4096;
+unsigned parseWorkerCount(const char *Text, std::string *Warning = nullptr);
+
+/// Shared state of an Event: generation counters plus parked waiters.
+/// `Recorded` counts record() calls (the generation a wait targets);
+/// `Completed` is the highest generation whose recorded work has
+/// executed. Waiters are (target generation, callback) pairs fired — in
+/// registration order, outside the lock — once Completed reaches their
+/// target; parked stream pumps re-arm through them.
+struct EventState {
+  std::mutex M;
+  std::condition_variable CV;
+  uint64_t Recorded = 0;
+  uint64_t Completed = 0;
+  std::vector<std::pair<uint64_t, std::function<void()>>> Waiters;
+};
+
+/// Marks \p Gen complete on \p St and fires every due waiter (outside
+/// the event lock).
+void signalEventGen(const std::shared_ptr<EventState> &St, uint64_t Gen);
+/// Records-and-completes a fresh generation in one step (graph replay:
+/// a captured record re-records at replay time).
+void signalEventNow(const std::shared_ptr<EventState> &St);
 
 /// A persistent pool of worker threads parked on a condition variable.
 /// Owned by a GpuDevice, created lazily at the first parallel launch and
@@ -407,6 +450,100 @@ private:
 void launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                    const PhaseProgram &Prog);
 
+class Stream;
+class GraphExec;
+
+/// The cudaEvent_t analogue: a reusable marker streams record and wait
+/// on. Copying an Event copies the handle, not the state — all copies
+/// observe the same record/complete history. Recording again *re-arms*
+/// the event (a new generation); query()/synchronize()/wait target the
+/// latest record at the time of the call, matching CUDA semantics.
+class Event {
+public:
+  Event() : St(std::make_shared<detail::EventState>()) {}
+
+  /// True when everything captured by the latest record() has executed.
+  /// Never-recorded events are trivially complete.
+  bool query() const;
+
+  /// Blocks the calling host thread until query() is true.
+  void synchronize() const;
+
+private:
+  friend class Stream;
+  std::shared_ptr<detail::EventState> St;
+};
+
+/// An immutable captured operation sequence (the cudaGraph analogue):
+/// the transfers, launches and event edges a stream recorded between
+/// beginCapture() and endCapture(), plus the host-buffer slots the
+/// capture declared (slot -> byte size). instantiate() yields the
+/// executable form.
+class Graph {
+public:
+  Graph() = default;
+
+  /// Number of captured operations (0 for an empty/default graph).
+  size_t opCount() const { return D ? D->Nodes.size() : 0; }
+  /// Number of declared host-buffer slots.
+  size_t slotCount() const { return D ? D->SlotBytes.size() : 0; }
+
+  /// The executable form: shares this graph's immutable nodes and adds a
+  /// mutable slot-pointer table (bind). Throws on an empty graph handle.
+  GraphExec instantiate() const;
+
+private:
+  friend class Stream;
+  friend class GraphExec;
+  struct Data {
+    std::vector<std::function<void(const GraphExec &)>> Nodes;
+    std::map<unsigned, size_t> SlotBytes;
+  };
+  explicit Graph(std::shared_ptr<const Data> D) : D(std::move(D)) {}
+  std::shared_ptr<const Data> D;
+};
+
+/// An instantiated launch graph: immutable captured nodes plus the
+/// per-instance host-buffer bindings. bind() rebinds a slot to fresh
+/// host memory (size-checked against the capture), launch() replays the
+/// whole sequence as ONE stream operation. The GraphExec must stay alive
+/// until the replaying stream synchronizes (generated graph drivers
+/// join before returning).
+class GraphExec {
+public:
+  GraphExec() = default;
+
+  /// False for a default-constructed handle (the generated drivers'
+  /// capture-on-first-call check).
+  bool instantiated() const { return static_cast<bool>(D); }
+  size_t opCount() const { return D ? D->Nodes.size() : 0; }
+
+  /// Binds \p Bytes of host memory at \p Ptr to \p Slot. Throws on an
+  /// unknown slot or a size differing from the captured declaration —
+  /// the same eager validation the rt:: copies perform.
+  void bind(unsigned Slot, void *Ptr, size_t Bytes);
+
+  /// Convenience overload for anything with data()/size() (e.g.
+  /// rt::HostBuffer): binds the buffer's storage.
+  template <typename BufT> void bind(unsigned Slot, BufT &Buffer) {
+    bind(Slot, const_cast<void *>(static_cast<const void *>(Buffer.data())),
+         Buffer.size() * sizeof(*Buffer.data()));
+  }
+
+  /// The memory currently bound to \p Slot (replay-time use by captured
+  /// transfer nodes; launch() guarantees every slot is bound).
+  void *slotPtr(unsigned Slot) const;
+
+  /// Replays the captured sequence on \p S as a single enqueued
+  /// operation. Throws when any declared slot is unbound.
+  void launch(Stream &S) const;
+
+private:
+  friend class Graph;
+  std::shared_ptr<const Graph::Data> D;
+  std::map<unsigned, void *> Bound;
+};
+
 /// A CUDA-style stream: kernel launches and host<->device copies enqueue
 /// asynchronously and execute *in order within the stream* on the
 /// device's worker pool; independent streams overlap. synchronize()
@@ -418,6 +555,12 @@ void launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
 /// enabled, which forces one worker — enqueued work runs immediately on
 /// the calling thread: execution stays sequential and deterministic, and
 /// findRaces() sees exactly the log a synchronous launch produces.
+///
+/// Capture (beginCapture/endCapture) is a host-thread activity: begin,
+/// the captured operations and end must all come from the thread driving
+/// the stream, and while capturing, enqueue/record/wait *record* instead
+/// of executing — also on single-worker devices, so a captured graph is
+/// identical no matter the worker count.
 class Stream {
 public:
   explicit Stream(GpuDevice &Dev) : Dev(&Dev) {}
@@ -430,23 +573,78 @@ public:
   /// Enqueues an arbitrary host-side operation (a copy, a launch wrapped
   /// in a closure, ...). The operation must not throw; anything it
   /// captures must stay alive until the stream is synchronized. Runs
-  /// immediately when the device executes sequentially.
+  /// immediately when the device executes sequentially; records a graph
+  /// node while capturing.
   void enqueue(std::function<void()> Op);
 
   /// Enqueues a phase-program launch (the stream-side launchProgram).
   void launch(Dim3 Grid, Dim3 Block, size_t SharedBytes, PhaseProgram Prog);
 
+  /// Records \p E: the event completes once everything enqueued on this
+  /// stream so far has executed (cudaEventRecord). Re-recording re-arms
+  /// the event with a new generation.
+  void record(Event &E);
+
+  /// Orders everything enqueued on this stream *after* this call behind
+  /// the latest record() of \p E (cudaStreamWaitEvent) — without
+  /// draining the device: the stream parks until the event fires.
+  /// Waiting on a never-recorded event is a no-op (CUDA semantics).
+  void wait(Event &E);
+
+  /// Non-blocking completion probe: true when every operation enqueued
+  /// so far has executed (cudaStreamQuery).
+  bool query();
+
   /// Blocks until every operation enqueued so far has executed.
   void synchronize();
+
+  // Graph capture ----------------------------------------------------
+
+  /// Enters capture mode: subsequent enqueue/record/wait calls record
+  /// graph nodes instead of executing. Throws if already capturing.
+  void beginCapture();
+
+  /// Ends capture mode and returns the immutable captured graph.
+  /// Throws without a matching beginCapture().
+  Graph endCapture();
+
+  /// True between beginCapture() and endCapture().
+  bool capturing() const { return InCapture; }
+
+  /// Records a replay-aware node (rt:: capture helpers: transfer nodes
+  /// that read their host pointer from the GraphExec's slot table at
+  /// replay time). Throws outside capture mode.
+  void captureNode(std::function<void(const GraphExec &)> Fn);
+
+  /// Declares host-buffer slot \p Slot with \p Bytes bytes. Re-declaring
+  /// with the same size is idempotent; a size mismatch throws.
+  void declareCaptureSlot(unsigned Slot, size_t Bytes);
 
 private:
   void pump(); // drains Ops in order; runs on a pool worker
 
+  /// One queued stream operation: a closure to run, or — when Fn is
+  /// null — an event-wait marker the pump parks on.
+  struct OpItem {
+    std::function<void()> Fn;
+    std::shared_ptr<detail::EventState> WaitSt;
+    uint64_t WaitTarget = 0;
+  };
+
   GpuDevice *Dev;
   std::mutex M;
   std::condition_variable CV;
-  std::deque<std::function<void()>> Ops;
-  bool Running = false; // a pump task is active on the pool
+  std::deque<OpItem> Ops;
+  /// A pump task is active (or parked on an event). Written under M;
+  /// atomic so synchronize() can spin on it locklessly before falling
+  /// back to the condition variable (completion is still confirmed
+  /// under M, which provides the happens-before for the op's effects).
+  std::atomic<bool> Running{false};
+
+  // Capture state; touched only by the host thread driving the stream.
+  bool InCapture = false;
+  std::vector<std::function<void(const GraphExec &)>> CapNodes;
+  std::map<unsigned, size_t> CapSlots;
 };
 
 /// Launches a straight-line phase-structured kernel: each Phase must be

@@ -173,8 +173,15 @@ TEST(HostGenStream, EmitsAsyncOverloadWithSingleJoin) {
       std::string::npos)
       << O.Artifact;
   // ...and exactly one join sits before the CPU finish reads partials.
-  std::string StreamPart = O.Artifact.substr(
-      O.Artifact.find("inline void run(descend::sim::Stream &_stream"));
+  // (The graph overload follows with the same signature prefix; bound the
+  // stream overload at its start.)
+  size_t StreamStart =
+      O.Artifact.find("inline void run(descend::sim::Stream &_stream");
+  size_t GraphStart = O.Artifact.find(
+      "inline void run(descend::sim::Stream &_stream", StreamStart + 1);
+  ASSERT_NE(GraphStart, std::string::npos) << O.Artifact;
+  std::string StreamPart =
+      O.Artifact.substr(StreamStart, GraphStart - StreamStart);
   size_t FirstSync = StreamPart.find("_stream.synchronize();");
   ASSERT_NE(FirstSync, std::string::npos) << StreamPart;
   EXPECT_LT(FirstSync, StreamPart.find("total[0] = 0.0;")) << StreamPart;
@@ -234,6 +241,123 @@ fn main<nb: nat>(staging: &uniq cpu.mem [f64; nb*256],
   EXPECT_GT(LastSync, Body.find("scale(_dev, d)"))
       << "the join must come after the enqueued launch\n"
       << Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph overloads (capture on first call, replay + rebind after)
+//===----------------------------------------------------------------------===//
+
+TEST(HostGenGraph, EmitsCaptureReplayOverload) {
+  Outcome O = compileProgram("quickstart_host.descend", "sim", {{"nb", 8}});
+  ASSERT_TRUE(O.Ok) << O.Rendered;
+  // The third overload takes the stream plus a GraphExec...
+  size_t GraphFn = O.Artifact.find(
+      "inline void run(descend::sim::Stream &_stream,\n"
+      "    descend::sim::GraphExec &_graph");
+  ASSERT_NE(GraphFn, std::string::npos) << O.Artifact;
+  std::string GraphPart = O.Artifact.substr(GraphFn);
+  // ...captures the transfer/launch sequence on the first call only...
+  EXPECT_NE(GraphPart.find("if (!_graph.instantiated()) {"),
+            std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_stream.beginCapture();"), std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("descend::rt::allocCopyCapture<double>(_stream, "
+                           "0, host_vec.size())"),
+            std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("descend::rt::copyToHostCapture(_stream, 0, "
+                           "d_vec);"),
+            std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_graph = _stream.endCapture().instantiate();"),
+            std::string::npos)
+      << GraphPart;
+  // ...and rebinds + replays on every call.
+  EXPECT_NE(GraphPart.find("_graph.bind(0, host_vec);"), std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_graph.launch(_stream);"), std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_stream.synchronize();"), std::string::npos)
+      << GraphPart;
+}
+
+TEST(HostGenGraph, ReductionCapturesPrefixAndKeepsHostTail) {
+  Outcome O = compileProgram("reduction_host.descend", "sim", {{"nb", 8}});
+  ASSERT_TRUE(O.Ok) << O.Rendered;
+  size_t GraphFn = O.Artifact.find("descend::sim::GraphExec &_graph");
+  ASSERT_NE(GraphFn, std::string::npos) << O.Artifact;
+  std::string GraphPart = O.Artifact.substr(GraphFn);
+  // data and partials each get a slot, in first-use order...
+  EXPECT_NE(GraphPart.find("allocCopyCapture<double>(_stream, 0, "
+                           "data.size())"),
+            std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("allocCopyCapture<double>(_stream, 1, "
+                           "partials.size())"),
+            std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_graph.bind(0, data);"), std::string::npos)
+      << GraphPart;
+  EXPECT_NE(GraphPart.find("_graph.bind(1, partials);"), std::string::npos)
+      << GraphPart;
+  // ...the D2H copy reuses partials' slot...
+  EXPECT_NE(GraphPart.find("copyToHostCapture(_stream, 1, d_out);"),
+            std::string::npos)
+      << GraphPart;
+  // ...and the CPU finish loop emits as a plain host tail after the
+  // replay, behind a join.
+  size_t Launch = GraphPart.find("_graph.launch(_stream);");
+  size_t Sync = GraphPart.find("_stream.synchronize();");
+  size_t Tail = GraphPart.find("total[0] = 0.0;");
+  ASSERT_NE(Launch, std::string::npos) << GraphPart;
+  ASSERT_NE(Sync, std::string::npos) << GraphPart;
+  ASSERT_NE(Tail, std::string::npos) << GraphPart;
+  EXPECT_LT(Launch, Sync) << GraphPart;
+  EXPECT_LT(Sync, Tail) << GraphPart;
+}
+
+TEST(HostGenGraph, UncapturableShapeFallsBackToStreamBody) {
+  // The loop re-transfers into the capture-produced buffer `d`, so the
+  // prefix is unusable (post-prefix statements reach into a capture
+  // local): the graph overload must degrade to the plain stream body
+  // instead of failing the compile.
+  CompilerInvocation Inv;
+  Inv.BufferName = "pipeline.descend";
+  Inv.Defines["nb"] = 4;
+  Inv.BackendName = "sim";
+  Session S(Inv);
+  CompileResult R = S.run(R"(
+fn scale<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
+-[grid: gpu.grid<X<nb>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 3.0
+    }
+  }
+}
+fn main<nb: nat>(staging: &uniq cpu.mem [f64; nb*256],
+                 ticks: &uniq cpu.mem [f64; 4])
+-[t: cpu.thread]-> () {
+  let d = GpuGlobal::alloc_copy(&*staging);
+  for r in [0..3] {
+    (*ticks)[0] = 1.0;
+    copy_to_gpu(&uniq d, &*staging);
+    scale::<<<X<nb>, X<256>>>>(&uniq d)
+  }
+}
+)");
+  ASSERT_TRUE(R.Ok) << S.renderDiagnostics();
+  size_t GraphFn = R.Artifact.find("descend::sim::GraphExec &_graph");
+  ASSERT_NE(GraphFn, std::string::npos) << R.Artifact;
+  std::string GraphPart = R.Artifact.substr(GraphFn);
+  EXPECT_NE(GraphPart.find("(void)_graph;"), std::string::npos) << GraphPart;
+  EXPECT_EQ(GraphPart.find("beginCapture"), std::string::npos) << GraphPart;
+  // The stream-mode body still emits in full.
+  EXPECT_NE(GraphPart.find("descend::rt::allocCopyAsync(_stream, staging)"),
+            std::string::npos)
+      << GraphPart;
 }
 
 //===----------------------------------------------------------------------===//

@@ -374,6 +374,58 @@ TEST(Stream, GeneratedStyleStreamDriverMatchesSyncDriver) {
     EXPECT_EQ(HostSync[I], HostStream[I]);
 }
 
+TEST(Stream, QueryPollsCompletionWithoutJoining) {
+  // Satellite: non-blocking completion probes. A fresh stream is idle; a
+  // stream with a gated op in flight reports busy without blocking the
+  // poller; after release + synchronize it reports idle again.
+  GpuDevice Dev;
+  Dev.setWorkers(4);
+  Stream S(Dev);
+  EXPECT_TRUE(S.query()) << "fresh stream must be idle";
+
+  std::atomic<bool> Release{false};
+  Event Done;
+  S.enqueue([&Release] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  S.record(Done);
+  EXPECT_FALSE(S.query()) << "gated op still pending";
+  EXPECT_FALSE(Done.query()) << "event records after the gated op";
+  Release = true;
+  S.synchronize();
+  EXPECT_TRUE(S.query());
+  EXPECT_TRUE(Done.query());
+
+  // Poll-until-done is the intended use.
+  std::atomic<bool> Release2{false};
+  S.enqueue([&Release2] {
+    while (!Release2.load())
+      std::this_thread::yield();
+  });
+  EXPECT_FALSE(S.query());
+  Release2 = true;
+  while (!S.query())
+    std::this_thread::yield();
+  EXPECT_TRUE(S.query());
+}
+
+TEST(Stream, QueryIsAlwaysTrueOnSequentialDevices) {
+  // Inline execution never leaves ops pending (the race-detector mode).
+  GpuDevice Dev;
+  Dev.setRaceDetection(true);
+  Stream S(Dev);
+  auto Buf = Dev.alloc<int>(32);
+  S.enqueue([&Dev, Buf] {
+    launchPhases(Dev, Dim3{1}, Dim3{32}, 0,
+                 [Buf](BlockCtx &B, ThreadCtx &T) { Buf.store(B, T.X, 3); });
+  });
+  EXPECT_TRUE(S.query());
+  Event E;
+  S.record(E);
+  EXPECT_TRUE(E.query());
+}
+
 TEST(SharedIds, GlobalAllocationsNeverEnterTheSharedIdRange) {
   // Satellite: shared-memory logical ids live in a reserved range; a
   // long-lived device allocating many buffers must never produce a

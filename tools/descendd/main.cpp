@@ -15,7 +15,8 @@
 //
 //   STATS
 //     -> STATS hits=<n> misses=<n> coalesced=<n> failures=<n>
-//              evictions=<n> entries=<n>
+//              evictions=<n> entries=<n> hit_rate=<r>
+//        (hit_rate = hits / all requests; 0.000 before the first request)
 //
 //   QUIT (or EOF)
 //     -> exits 0
@@ -79,13 +80,18 @@ int main(int argc, char **argv) {
       return 0;
     if (Cmd == "STATS") {
       service::ServiceStats St = Service.stats();
+      const unsigned long long Requests =
+          St.Hits + St.Misses + St.Coalesced + St.Failures;
+      const double HitRate =
+          Requests ? static_cast<double>(St.Hits) / Requests : 0.0;
       std::fprintf(stdout,
                    "STATS hits=%llu misses=%llu coalesced=%llu "
-                   "failures=%llu evictions=%llu entries=%zu\n",
+                   "failures=%llu evictions=%llu entries=%zu "
+                   "hit_rate=%.3f\n",
                    (unsigned long long)St.Hits, (unsigned long long)St.Misses,
                    (unsigned long long)St.Coalesced,
                    (unsigned long long)St.Failures,
-                   (unsigned long long)St.Evictions, St.Entries);
+                   (unsigned long long)St.Evictions, St.Entries, HitRate);
       std::fflush(stdout);
       continue;
     }

@@ -143,7 +143,16 @@ speed = re.search(
     r"([0-9.]+)$", log, re.M)
 service = re.search(
     r"^THROUGHPUT service_summary hit_rate=([0-9.]+) cold_ms=([0-9.]+) "
-    r"warm_ms=([0-9.]+) warm_speedup=([0-9.]+) entries=(\d+)$", log, re.M)
+    r"warm_ms=([0-9.]+) warm_speedup=([0-9.]+) entries=(\d+) "
+    r"evictions=(\d+)$", log, re.M)
+shape = re.search(
+    r"^THROUGHPUT graph_shape ops_quickstart=(\d+) ops_reduction=(\d+) "
+    r"replays=(\d+)$", log, re.M)
+pipe_shape = re.search(
+    r"^THROUGHPUT graph_shape ops_pipeline=(\d+) replays=(\d+)$", log, re.M)
+graph = re.search(
+    r"^THROUGHPUT graph_summary replay_vs_reenqueue=([0-9.]+) "
+    r"replays=(\d+)$", log, re.M)
 # bench_throughput pins its own worker count (the spawn-vs-pool
 # comparison is the same experiment on every machine); record it.
 pinned = re.search(r"launch-path throughput \(workers=(\d+)\)", log)
@@ -157,7 +166,18 @@ json.dump({"bench": "throughput", "unit": "ops/s", "rows": rows,
                "cold_ms": float(service.group(2)),
                "warm_ms": float(service.group(3)),
                "warm_speedup": float(service.group(4)),
-               "entries": int(service.group(5))}},
+               "entries": int(service.group(5)),
+               "evictions": int(service.group(6))},
+           "graph": None if not graph else {
+               "replay_vs_reenqueue": float(graph.group(1)),
+               "requests": int(graph.group(2)),
+               "ops_quickstart": int(shape.group(1)) if shape else None,
+               "ops_reduction": int(shape.group(2)) if shape else None,
+               "driver_replays": int(shape.group(3)) if shape else None,
+               "ops_pipeline":
+                   int(pipe_shape.group(1)) if pipe_shape else None,
+               "pipeline_replays":
+                   int(pipe_shape.group(2)) if pipe_shape else None}},
           open(sys.argv[2], "w"), indent=2)
 PY
 echo "-> $OUT_DIR/BENCH_throughput.json"
@@ -193,6 +213,27 @@ measured = service["warm_speedup"]
 verdict = "PASS" if measured >= floor else "FAIL"
 print(f"bench gate: compile-service warm-hit {measured:.1f}x over cold "
       f"(floor {floor:.1f}x, hit rate {service['hit_rate']:.3f}) "
+      f"-> {verdict}")
+if measured < floor:
+    sys.exit(1)
+PY
+
+# Regression gate: replaying the captured mixed serving pipeline must
+# beat re-enqueueing every op each iteration by at least
+# graph_min_replay_speedup — the single-enqueue replay path is the point
+# of sim::Graph, and this keeps it from quietly regressing to per-op
+# enqueue cost.
+python3 - "$OUT_DIR/BENCH_throughput.json" \
+          "$ROOT_DIR/tools/bench_baseline.json" <<'PY'
+import json, sys
+graph = json.load(open(sys.argv[1])).get("graph")
+floor = json.load(open(sys.argv[2])).get("graph_min_replay_speedup", 2.0)
+if not graph:
+    sys.exit("bench gate: no graph summary in BENCH_throughput.json")
+measured = graph["replay_vs_reenqueue"]
+verdict = "PASS" if measured >= floor else "FAIL"
+print(f"bench gate: graph replay {measured:.2f}x over re-enqueue "
+      f"(floor {floor:.2f}x, {graph['ops_pipeline']} ops/replay) "
       f"-> {verdict}")
 if measured < floor:
     sys.exit(1)
