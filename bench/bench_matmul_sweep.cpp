@@ -70,6 +70,15 @@ void runSweepPoint(unsigned NT, GenFn Gen, int Reps) {
   double GenMs = medianMs([&] { Gen(Dev, A, B, CG); }, Reps);
   std::printf("MMsweep    nt=%-4u %12.3f %14.3f %9.3fx\n", NT, HandMs,
               GenMs, HandMs / GenMs);
+
+  // One counted (untimed) generated run per sweep point; run_benches.sh
+  // folds the JSON into the matching BENCH_matmul_sweep.json row.
+  Dev.setCounters(true);
+  Gen(Dev, A, B, CG);
+  sim::LaunchStats LS = Dev.totalStats();
+  Dev.setCounters(false);
+  Dev.resetStats();
+  std::printf("COUNTERS MMsweep nt=%u %s\n", NT, LS.json().c_str());
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "obs/Trace.h"
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
 #include "typeck/TypeChecker.h"
@@ -136,6 +137,12 @@ template <typename Fn> bool Session::timed(Stage S, Fn &&Body) {
   Timings.push_back(
       {S, std::chrono::duration<double, std::milli>(T1 - T0).count(),
        /*Failed=*/!Ok});
+  // StageTiming doubles as the trace span for the stage, so --time-passes
+  // and the trace JSON always agree.
+  if (obs::TraceCollector::global().enabled()) [[unlikely]]
+    obs::TraceCollector::global().addComplete(
+        "pipeline", stageName(S), T0, T1,
+        Ok ? std::string() : std::string("{\"failed\":true}"));
   if (Ok)
     Reached = S;
   return Ok;
@@ -263,6 +270,8 @@ ExecuteResult Session::executeMain(const std::string &Source,
   }
 
   sim::GpuDevice Dev;
+  if (Inv.CollectKernelStats)
+    Dev.setCounters(true);
   std::vector<vm::HostVal> Args;
   std::vector<std::shared_ptr<vm::HostArray>> Held; // observe results
   for (size_t I = 0; I != Main->Params.size(); ++I) {
@@ -294,6 +303,10 @@ ExecuteResult Session::executeMain(const std::string &Source,
   }
 
   vm::RunStatus St = vm::runHostFn(Dev, *C.Program, *Main, Args);
+  if (Inv.CollectKernelStats)
+    // Collected even on failure: a trapping launch is precisely the one
+    // whose counters are worth reading.
+    Out.KernelStats = Dev.launchLog();
   if (!St.Ok) {
     Out.Error = St.Error;
     return Out;

@@ -25,6 +25,7 @@
 
 #include "ast/Item.h"
 #include "codegen/Backend.h"
+#include "obs/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 
@@ -67,6 +68,11 @@ struct CompilerInvocation {
   /// Stage cutoff: run() stops after this stage (e.g. Stage::Typecheck for
   /// `--emit=check`).
   Stage RunUntil = Stage::Codegen;
+
+  /// executeMain only: enable the device's perf counters and return one
+  /// obs::LaunchStats per kernel launch in ExecuteResult::KernelStats
+  /// (`descendc --kernel-stats`).
+  bool CollectKernelStats = false;
 };
 
 /// Wall-clock time of one executed stage. A stage that ran and failed is
@@ -110,6 +116,10 @@ struct ExecuteResult {
   /// host-array parameter of `main`, in declaration order — a stable,
   /// comparable digest of the program's observable output.
   std::string Output;
+
+  /// Per-launch perf counters in launch order, labeled with kernel
+  /// names; filled only under CompilerInvocation::CollectKernelStats.
+  std::vector<obs::LaunchStats> KernelStats;
 };
 
 /// One compilation session: owns the source manager, the diagnostics and

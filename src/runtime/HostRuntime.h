@@ -17,6 +17,7 @@
 #ifndef DESCEND_RUNTIME_HOSTRUNTIME_H
 #define DESCEND_RUNTIME_HOSTRUNTIME_H
 
+#include "obs/Trace.h"
 #include "sim/Sim.h"
 
 #include <cstring>
@@ -85,7 +86,10 @@ sim::GpuDevice::Buffer<T> allocCopyAsync(sim::Stream &S,
   T *Dst = Buf.data();
   const T *Src = Host.data();
   const size_t Bytes = Host.size() * sizeof(T);
-  S.enqueue([Dst, Src, Bytes] { std::memcpy(Dst, Src, Bytes); });
+  S.enqueue([Dst, Src, Bytes] {
+    obs::Span CopySpan("stream", "allocCopy");
+    std::memcpy(Dst, Src, Bytes);
+  });
   return Buf;
 }
 
@@ -97,7 +101,10 @@ void copyToHostAsync(sim::Stream &S, HostBuffer<T> &Dst,
   T *D = Dst.data();
   const T *So = Src.data();
   const size_t Bytes = Src.size() * sizeof(T);
-  S.enqueue([D, So, Bytes] { std::memcpy(D, So, Bytes); });
+  S.enqueue([D, So, Bytes] {
+    obs::Span CopySpan("stream", "copyToHost");
+    std::memcpy(D, So, Bytes);
+  });
 }
 
 template <typename T>
@@ -108,7 +115,10 @@ void copyToGpuAsync(sim::Stream &S, sim::GpuDevice::Buffer<T> &Dst,
   T *D = Dst.data();
   const T *So = Src.data();
   const size_t Bytes = Src.size() * sizeof(T);
-  S.enqueue([D, So, Bytes] { std::memcpy(D, So, Bytes); });
+  S.enqueue([D, So, Bytes] {
+    obs::Span CopySpan("stream", "copyToGpu");
+    std::memcpy(D, So, Bytes);
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -132,6 +142,7 @@ sim::GpuDevice::Buffer<T> allocCopyCapture(sim::Stream &S, unsigned Slot,
   S.declareCaptureSlot(Slot, Bytes);
   T *Dst = Buf.data();
   S.captureNode([Dst, Slot, Bytes](const sim::GraphExec &G) {
+    obs::Span CopySpan("stream", "allocCopyReplay");
     std::memcpy(Dst, G.slotPtr(Slot), Bytes);
   });
   return Buf;
@@ -146,6 +157,7 @@ void copyToHostCapture(sim::Stream &S, unsigned Slot,
   S.declareCaptureSlot(Slot, Bytes);
   const T *So = Src.data();
   S.captureNode([So, Slot, Bytes](const sim::GraphExec &G) {
+    obs::Span CopySpan("stream", "copyToHostReplay");
     std::memcpy(G.slotPtr(Slot), So, Bytes);
   });
 }
@@ -159,6 +171,7 @@ void copyToGpuCapture(sim::Stream &S, unsigned Slot,
   S.declareCaptureSlot(Slot, Bytes);
   T *D = Dst.data();
   S.captureNode([D, Slot, Bytes](const sim::GraphExec &G) {
+    obs::Span CopySpan("stream", "copyToGpuReplay");
     std::memcpy(D, G.slotPtr(Slot), Bytes);
   });
 }

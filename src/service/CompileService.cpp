@@ -3,11 +3,51 @@
 #include "service/CompileService.h"
 
 #include "driver/Pipeline.h"
+#include "obs/Trace.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <optional>
 
 using namespace descend;
 using namespace descend::service;
+
+double LatencyHistogram::bucketUpperMs(size_t I) {
+  if (I + 1 >= NumBuckets)
+    return std::numeric_limits<double>::infinity();
+  return 0.25 * static_cast<double>(1ull << I);
+}
+
+void LatencyHistogram::record(double Ms) {
+  size_t I = 0;
+  while (I + 1 < NumBuckets && Ms >= bucketUpperMs(I))
+    ++I;
+  ++Counts[I];
+  ++Total;
+  SumMs += Ms;
+  if (Ms > MaxMs)
+    MaxMs = Ms;
+}
+
+double LatencyHistogram::quantileUpperMs(double Q) const {
+  if (Total == 0)
+    return 0.0;
+  // Nearest-rank: the smallest value with at least ceil(Q * Total)
+  // observations at or below it.
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * Total));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Seen += Counts[I];
+    if (Seen >= Rank)
+      return I + 1 < NumBuckets ? bucketUpperMs(I) : MaxMs;
+  }
+  return MaxMs;
+}
 
 CompileService::CompileService(size_t Capacity)
     : Capacity(Capacity ? Capacity : 1) {}
@@ -87,37 +127,53 @@ CompileReply CompileService::compile(const CompileRequest &Req) {
         .count();
   };
 
+  // Stamps the reply's latency into the histogram and emits one trace
+  // span per request, named after how it was served.
+  auto Finish = [&](CompileReply Rep, const char *How) {
+    Rep.CompileMs = Elapsed();
+    {
+      std::lock_guard<std::mutex> G(M);
+      Latency.record(Rep.CompileMs);
+    }
+    if (obs::TraceCollector::global().enabled()) [[unlikely]]
+      obs::TraceCollector::global().addComplete(
+          "compile", How, T0, std::chrono::steady_clock::now(),
+          "{\"backend\":\"" + Req.Backend + "\"}");
+    return Rep;
+  };
+
   const std::string Key = makeKey(Req);
   std::shared_future<CompileReply> Wait;
   std::promise<CompileReply> Mine;
   bool Owner = false;
+  std::optional<CompileReply> HitRep;
 
   {
     std::lock_guard<std::mutex> G(M);
     if (auto It = Cache.find(Key); It != Cache.end()) {
       Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
       ++Stats.Hits;
-      CompileReply Rep = It->second->second;
-      Rep.CacheHit = true;
-      Rep.CompileMs = Elapsed();
-      return Rep;
-    }
-    if (auto It = InFlight.find(Key); It != InFlight.end()) {
+      HitRep = It->second->second;
+      HitRep->CacheHit = true;
+    } else if (auto IfIt = InFlight.find(Key); IfIt != InFlight.end()) {
       ++Stats.Coalesced;
-      Wait = It->second;
+      Wait = IfIt->second;
     } else {
       Owner = true;
       InFlight.emplace(Key, Mine.get_future().share());
+      Stats.InFlight = InFlight.size();
     }
   }
+
+  if (HitRep)
+    return Finish(std::move(*HitRep), "hit");
 
   if (!Owner) {
     // An identical compile is running; its result serves this request
     // too (but it is not a cache hit — the latency is a cold compile's).
     CompileReply Rep = Wait.get();
     Rep.CacheHit = false;
-    Rep.CompileMs = Elapsed();
-    return Rep;
+    return Finish(std::move(Rep), "coalesced");
   }
 
   CompileReply Rep = doCompile(Req); // outside the lock; never throws
@@ -125,6 +181,7 @@ CompileReply CompileService::compile(const CompileRequest &Req) {
   {
     std::lock_guard<std::mutex> G(M);
     InFlight.erase(Key);
+    Stats.InFlight = InFlight.size();
     if (Rep.Ok) {
       ++Stats.Misses;
       Lru.emplace_front(Key, Rep);
@@ -145,13 +202,18 @@ CompileReply CompileService::compile(const CompileRequest &Req) {
 
   Mine.set_value(Rep); // always reached: doCompile never throws
   Rep.CacheHit = false;
-  Rep.CompileMs = Elapsed();
-  return Rep;
+  const char *How = Rep.Ok ? "miss" : "fail";
+  return Finish(std::move(Rep), How);
 }
 
 ServiceStats CompileService::stats() const {
   std::lock_guard<std::mutex> G(M);
   return Stats;
+}
+
+LatencyHistogram CompileService::latency() const {
+  std::lock_guard<std::mutex> G(M);
+  return Latency;
 }
 
 void CompileService::clear() {

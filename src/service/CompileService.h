@@ -67,6 +67,26 @@ struct ServiceStats {
   uint64_t Failures = 0;  ///< requests that produced diagnostics
   uint64_t Evictions = 0; ///< entries dropped by the LRU policy
   size_t Entries = 0;     ///< current cache size
+  size_t InFlight = 0;    ///< compiles running right now
+};
+
+/// Serve-latency histogram over every finished request (hits included —
+/// the distribution's bimodality IS the cache story). Log2 buckets in
+/// milliseconds: bucket I covers [upper(I-1), upper(I)) with
+/// upper(I) = 0.25 * 2^I, and the last bucket is open-ended.
+struct LatencyHistogram {
+  static constexpr size_t NumBuckets = 12;
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Total = 0;
+  double MaxMs = 0.0;
+  double SumMs = 0.0;
+
+  /// Upper bound of bucket \p I in ms (infinity for the last).
+  static double bucketUpperMs(size_t I);
+  void record(double Ms);
+  /// Upper bound of the bucket holding quantile \p Q in [0,1] — a
+  /// conservative p50/p95 estimate; 0 when empty.
+  double quantileUpperMs(double Q) const;
 };
 
 /// The long-lived compile front end. All public members are thread-safe;
@@ -83,6 +103,9 @@ public:
   CompileReply compile(const CompileRequest &Req);
 
   ServiceStats stats() const;
+
+  /// Snapshot of the serve-latency histogram (descendd METRICS).
+  LatencyHistogram latency() const;
 
   /// Drops every cached artifact (stats keep accumulating).
   void clear();
@@ -103,6 +126,7 @@ private:
   /// Identical requests currently compiling, for coalescing.
   std::unordered_map<std::string, std::shared_future<CompileReply>> InFlight;
   ServiceStats Stats;
+  LatencyHistogram Latency;
 };
 
 } // namespace service

@@ -2,6 +2,7 @@
 
 #include "sim/Sim.h"
 
+#include "obs/Trace.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -78,6 +79,10 @@ bool detail::WorkerPool::claimAndRun(Job &J) {
   if (Begin >= J.NumItems)
     return false;
   const unsigned End = std::min(Begin + J.Chunk, J.NumItems);
+  std::string SpanArgs;
+  if (obs::TraceCollector::global().enabled()) [[unlikely]]
+    SpanArgs = descend::strfmt("{\"items\":%u}", End - Begin);
+  obs::Span PoolSpan("pool", J.Body ? "blocks" : "task", std::move(SpanArgs));
   for (unsigned I = Begin; I != End; ++I)
     J.runItem(I);
   const unsigned Ran = End - Begin;
@@ -303,6 +308,68 @@ void GpuDevice::clearLogs() {
   BoundsViolations.clear();
 }
 
+void GpuDevice::setCounters(bool On) {
+  // Quiesce first so no in-flight launch straddles the transition (the
+  // flag is read once per launch in detail::runBlocks).
+  deviceSynchronize();
+  CountersOn.store(On, std::memory_order_relaxed);
+}
+
+LaunchStats GpuDevice::lastLaunchStats() const {
+  std::lock_guard<std::mutex> G(StatsM);
+  return LastLaunch;
+}
+
+LaunchStats GpuDevice::totalStats() const {
+  std::lock_guard<std::mutex> G(StatsM);
+  return Total;
+}
+
+std::vector<LaunchStats> GpuDevice::launchLog() const {
+  std::lock_guard<std::mutex> G(StatsM);
+  return LaunchLog;
+}
+
+uint64_t GpuDevice::droppedLaunchStats() const {
+  std::lock_guard<std::mutex> G(StatsM);
+  return DroppedLaunches;
+}
+
+void GpuDevice::resetStats() {
+  std::lock_guard<std::mutex> G(StatsM);
+  LastLaunch = LaunchStats();
+  Total = LaunchStats();
+  LaunchLog.clear();
+  DroppedLaunches = 0;
+}
+
+void GpuDevice::recordLaunchStats(LaunchStats LS) {
+  std::lock_guard<std::mutex> G(StatsM);
+  Total.merge(LS);
+  if (LaunchLog.size() < MaxLaunchLog)
+    LaunchLog.push_back(LS);
+  else
+    ++DroppedLaunches; // counts still land in Total above
+  LastLaunch = std::move(LS);
+}
+
+void GpuDevice::labelLastLaunch(const std::string &Name) {
+  std::lock_guard<std::mutex> G(StatsM);
+  LastLaunch.Label = Name;
+  if (!LaunchLog.empty())
+    LaunchLog.back().Label = Name;
+}
+
+void GpuDevice::noteLaunchTraps(uint64_t N) {
+  if (N == 0)
+    return;
+  std::lock_guard<std::mutex> G(StatsM);
+  LastLaunch.Traps += N;
+  Total.Traps += N;
+  if (!LaunchLog.empty())
+    LaunchLog.back().Traps += N;
+}
+
 std::vector<RaceReport> GpuDevice::findRaces() const {
   std::vector<detail::Access> Log = AccessLog;
   std::sort(Log.begin(), Log.end(),
@@ -407,19 +474,39 @@ const std::vector<PhaseProgram::Node> &PhaseProgram::nodes() const {
 
 namespace {
 
+/// Static phases in a node list: the counter slot count (loop bodies
+/// count once, not once per iteration).
+unsigned staticPhaseCount(const std::vector<PhaseProgram::Node> &Nodes) {
+  unsigned N = 0;
+  for (const PhaseProgram::Node &Node : Nodes)
+    N += Node.Fn ? 1 : staticPhaseCount(Node.Body);
+  return N;
+}
+
+/// \p PhaseIdx is the *dynamic* phase counter (increments across loop
+/// iterations — the ordering the race detector keys on); \p StaticBase is
+/// the pre-order tree position perf counters key on, so a loop's phases
+/// accumulate into stable slots across iterations. Static ids are only
+/// maintained when counters are on.
 void runProgramNodes(const std::vector<PhaseProgram::Node> &Nodes,
-                     BlockCtx &B, unsigned &PhaseIdx) {
+                     BlockCtx &B, unsigned &PhaseIdx, unsigned StaticBase) {
+  const bool Count = B.Counters != nullptr;
+  unsigned StaticId = StaticBase;
   for (const PhaseProgram::Node &N : Nodes) {
     if (N.Fn) {
       B.CurPhase = PhaseIdx++;
+      if (Count) [[unlikely]]
+        B.Counters->beginPhase(StaticId++);
       N.Fn(B);
       continue;
     }
     const long long Lo = N.Lo(B), Hi = N.Hi(B);
     for (long long V = Lo; V < Hi; ++V) {
       B.LoopVars[N.Slot] = V;
-      runProgramNodes(N.Body, B, PhaseIdx);
+      runProgramNodes(N.Body, B, PhaseIdx, StaticId);
     }
+    if (Count) [[unlikely]]
+      StaticId += staticPhaseCount(N.Body);
   }
 }
 
@@ -430,7 +517,7 @@ void descend::sim::launchProgram(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
                                  const PhaseProgram &Prog) {
   detail::runBlocks(Dev, Grid, Block, SharedBytes, [&](BlockCtx &B) {
     unsigned PhaseIdx = 0;
-    runProgramNodes(Prog.nodes(), B, PhaseIdx);
+    runProgramNodes(Prog.nodes(), B, PhaseIdx, 0);
   });
 }
 
@@ -442,6 +529,23 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
     return;
   const unsigned NumWorkers = std::min(Dev.effectiveWorkers(), NumBlocks);
   const size_t ArenaBytes = SharedBytes ? SharedBytes : 1;
+
+  // Per-launch counters: blocks count into private BlockCounters and
+  // merge here under MergeM. Every merge is a commutative sum, so totals
+  // are bit-equal no matter how the pool distributed the blocks.
+  const bool Count = Dev.countersEnabled();
+  LaunchStats LS;
+  std::mutex MergeM;
+  size_t RaceLogBefore = 0;
+  if (Count) [[unlikely]] {
+    LS.Launches = 1;
+    LS.Blocks = NumBlocks;
+    LS.ThreadsPerBlock = Block.total();
+    LS.ArenaBytesPerBlock = SharedBytes;
+    LS.ArenaBytesTotal = static_cast<uint64_t>(SharedBytes) * NumBlocks;
+    LS.Workers = NumWorkers;
+    RaceLogBefore = Dev.accessLogSize();
+  }
 
   auto RunOne = [&](unsigned Linear, std::byte *Arena) {
     BlockCtx B;
@@ -458,23 +562,55 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
     B.SharedBufferId = FirstSharedBufferId + Linear;
     if (SharedBytes)
       std::memset(Arena, 0, SharedBytes);
+    if (!Count) {
+      RunBlock(B);
+      return;
+    }
+    obs::BlockCounters BC;
+    B.Counters = &BC;
     RunBlock(B);
+    BC.finish();
+    std::lock_guard<std::mutex> G(MergeM);
+    if (LS.Phases.size() < BC.phases().size())
+      LS.Phases.resize(BC.phases().size());
+    for (size_t I = 0; I < BC.phases().size(); ++I)
+      LS.Phases[I] += BC.phases()[I];
   };
 
-  if (NumWorkers <= 1) {
-    std::byte *Arena = threadArena(ArenaBytes);
-    for (unsigned L = 0; L != NumBlocks; ++L)
-      RunOne(L, Arena);
-    return;
+  {
+    std::string SpanArgs;
+    if (obs::TraceCollector::global().enabled()) [[unlikely]]
+      SpanArgs = descend::strfmt(
+          "{\"blocks\":%u,\"threads_per_block\":%u,\"workers\":%u}", NumBlocks,
+          Block.total(), NumWorkers);
+    obs::Span LaunchSpan("sim", "launch", std::move(SpanArgs));
+
+    if (NumWorkers <= 1) {
+      std::byte *Arena = threadArena(ArenaBytes);
+      for (unsigned L = 0; L != NumBlocks; ++L)
+        RunOne(L, Arena);
+      if (Count) [[unlikely]]
+        LS.ChunkClaims = 1; // the caller ran everything in one run
+    } else {
+      // Chunked claiming: around eight claims per worker amortizes the
+      // atomic on large grids while keeping the tail balanced; small
+      // grids fall back to one block per claim.
+      const unsigned Chunk = std::max(1u, NumBlocks / (NumWorkers * 8));
+      if (Count) [[unlikely]]
+        LS.ChunkClaims = (NumBlocks + Chunk - 1) / Chunk;
+      Dev.pool().parallelFor(NumBlocks, Chunk, [&](unsigned L) {
+        RunOne(L, threadArena(ArenaBytes));
+      });
+    }
   }
 
-  // Chunked claiming: around eight claims per worker amortizes the atomic
-  // on large grids while keeping the tail balanced; small grids fall back
-  // to one block per claim.
-  const unsigned Chunk = std::max(1u, NumBlocks / (NumWorkers * 8));
-  Dev.pool().parallelFor(NumBlocks, Chunk, [&](unsigned L) {
-    RunOne(L, threadArena(ArenaBytes));
-  });
+  if (Count) [[unlikely]] {
+    // Only race detection grows the access log, and it forces sequential
+    // execution, so this delta is deterministic (and 0 when detection is
+    // off).
+    LS.RaceLogEntries = Dev.accessLogSize() - RaceLogBefore;
+    Dev.recordLaunchStats(std::move(LS));
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -572,6 +708,10 @@ void GraphExec::launch(Stream &S) const {
   // synchronize before returning).
   const GraphExec *Self = this;
   S.enqueue([Self] {
+    std::string SpanArgs;
+    if (obs::TraceCollector::global().enabled()) [[unlikely]]
+      SpanArgs = descend::strfmt("{\"ops\":%zu}", Self->D->Nodes.size());
+    obs::Span ReplaySpan("stream", "graphReplay", std::move(SpanArgs));
     for (const std::function<void(const GraphExec &)> &Node : Self->D->Nodes)
       Node(*Self);
   });
@@ -654,6 +794,8 @@ void Stream::pump() {
       }
     }
     // Satisfied: consume the marker and continue draining.
+    if (obs::TraceCollector::global().enabled()) [[unlikely]]
+      obs::TraceCollector::global().addInstant("stream", "eventWait");
     {
       std::lock_guard<std::mutex> G(M);
       assert(!Ops.empty() && !Ops.front().Fn &&
@@ -670,6 +812,7 @@ void Stream::launch(Dim3 Grid, Dim3 Block, size_t SharedBytes,
   auto P = std::make_shared<const PhaseProgram>(std::move(Prog));
   GpuDevice *D = Dev;
   enqueue([D, Grid, Block, SharedBytes, P] {
+    obs::Span LaunchSpan("stream", "launch");
     launchProgram(*D, Grid, Block, SharedBytes, *P);
   });
 }
@@ -691,7 +834,11 @@ void Stream::record(Event &E) {
   // Everything enqueued so far is ordered before this closure within the
   // stream, so signalling here is exactly "all prior work done".
   // Sequential devices run it immediately: the event completes inline.
-  enqueue([St, Gen] { detail::signalEventGen(St, Gen); });
+  enqueue([St, Gen] {
+    if (obs::TraceCollector::global().enabled()) [[unlikely]]
+      obs::TraceCollector::global().addInstant("stream", "eventRecord");
+    detail::signalEventGen(St, Gen);
+  });
 }
 
 void Stream::wait(Event &E) {

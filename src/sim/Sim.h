@@ -54,6 +54,8 @@
 #ifndef DESCEND_SIM_SIM_H
 #define DESCEND_SIM_SIM_H
 
+#include "obs/Counters.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -69,6 +71,10 @@
 #include <vector>
 
 namespace descend::sim {
+
+/// Per-launch perf counters (defined in obs/Counters.h; the simulator
+/// fills them, GpuDevice::lastLaunchStats() and friends expose them).
+using LaunchStats = obs::LaunchStats;
 
 struct Dim3 {
   unsigned X = 1, Y = 1, Z = 1;
@@ -203,6 +209,11 @@ struct BlockCtx {
   unsigned CurThread = 0;      // linear id of the executing thread
   unsigned CurPhase = 0;
 
+  /// Per-block perf counters; null (and free apart from the predicted
+  /// branch per access) unless GpuDevice::setCounters(true). Block-local
+  /// like everything else here, so counting needs no synchronization.
+  obs::BlockCounters *Counters = nullptr;
+
   /// Host-side phase-loop variables (PhaseProgram loop nodes), one slot
   /// per nesting level. Block-local, so parallel block execution may sit
   /// at different iterations.
@@ -249,6 +260,38 @@ public:
   void setBoundsChecking(bool On) { BoundsChecking = On; }
   bool boundsChecking() const { return BoundsChecking; }
 
+  /// Enables per-launch perf counters (obs::LaunchStats). Orthogonal to
+  /// race detection and composable with it: under race detection the
+  /// sequential schedule makes even the execution-shape fields
+  /// deterministic. Synchronizes the device first so no launch straddles
+  /// the transition. Host-side API, like setWorkers.
+  void setCounters(bool On);
+  bool countersEnabled() const {
+    return CountersOn.load(std::memory_order_relaxed);
+  }
+
+  /// Stats of the most recent counted launch (value-copied under the
+  /// stats lock; empty before the first counted launch).
+  LaunchStats lastLaunchStats() const;
+  /// Accumulated stats over every counted launch since resetStats().
+  LaunchStats totalStats() const;
+  /// Every counted launch in completion order (capped; see
+  /// droppedLaunchStats), labels included once labelLastLaunch ran.
+  std::vector<LaunchStats> launchLog() const;
+  /// Launches not logged because the log hit its cap (their counts are
+  /// still in totalStats()).
+  uint64_t droppedLaunchStats() const;
+  void resetStats();
+
+  // Internal: launcher/interpreter hooks on the stats log.
+  void recordLaunchStats(LaunchStats LS);
+  /// Tags the most recent counted launch with a kernel name (the vm
+  /// interpreter knows it; generated C++ code does not).
+  void labelLastLaunch(const std::string &Name);
+  /// Adds vm-kernel trap counts to the most recent counted launch.
+  void noteLaunchTraps(uint64_t N);
+  size_t accessLogSize() const { return AccessLog.size(); }
+
   /// Worker threads for block execution; 0 = the DESCEND_WORKERS
   /// environment variable if set, else hardware concurrency.
   /// Synchronizes the device and tears down the current pool; the next
@@ -287,7 +330,15 @@ public:
 private:
   bool RaceDetection = false;
   bool BoundsChecking = false;
+  std::atomic<bool> CountersOn{false}; // read by concurrent launches
   unsigned Workers = 0;
+
+  static constexpr size_t MaxLaunchLog = 65536;
+  mutable std::mutex StatsM;
+  LaunchStats LastLaunch;
+  LaunchStats Total;
+  std::vector<LaunchStats> LaunchLog;
+  uint64_t DroppedLaunches = 0;
 
   std::unique_ptr<detail::WorkerPool> Pool;
   std::mutex PoolM; // guards lazy pool creation
@@ -315,8 +366,12 @@ public:
   T *data() { return Data; }
   const T *data() const { return Data; }
 
-  /// Device-side access from inside a kernel phase.
+  /// Device-side access from inside a kernel phase. Counters tick before
+  /// the bounds check, mirroring the race log: the access was *issued*
+  /// whether or not it lands.
   T load(const BlockCtx &B, size_t I) const {
+    if (B.Counters) [[unlikely]]
+      B.Counters->countGlobal(/*Write=*/false);
     if (Dev->raceDetection()) [[unlikely]]
       Dev->logAccess(B, Id, I, /*Write=*/false);
     if (Dev->boundsChecking()) [[unlikely]] {
@@ -328,6 +383,8 @@ public:
     return Data[I];
   }
   void store(const BlockCtx &B, size_t I, T Value) const {
+    if (B.Counters) [[unlikely]]
+      B.Counters->countGlobal(/*Write=*/true);
     if (Dev->raceDetection()) [[unlikely]]
       Dev->logAccess(B, Id, I, /*Write=*/true);
     if (Dev->boundsChecking()) [[unlikely]] {
@@ -358,6 +415,8 @@ template <typename T> GpuDevice::Buffer<T> GpuDevice::alloc(size_t Count) {
 
 template <typename T>
 T BlockCtx::sharedLoad(size_t Base, size_t I) const {
+  if (Counters) [[unlikely]]
+    Counters->countShared(Base + I * sizeof(T), /*Write=*/false, CurThread);
   if (Dev->raceDetection()) [[unlikely]]
     Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), false);
   return shared<T>(Base)[I];
@@ -365,6 +424,8 @@ T BlockCtx::sharedLoad(size_t Base, size_t I) const {
 
 template <typename T>
 void BlockCtx::sharedStore(size_t Base, size_t I, T V) const {
+  if (Counters) [[unlikely]]
+    Counters->countShared(Base + I * sizeof(T), /*Write=*/true, CurThread);
   if (Dev->raceDetection()) [[unlikely]]
     Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), true);
   shared<T>(Base)[I] = V;
@@ -661,6 +722,8 @@ void launchPhases(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
     unsigned PhaseIdx = 0;
     auto RunPhase = [&](auto &&Phase) {
       B.CurPhase = PhaseIdx;
+      if (B.Counters) [[unlikely]]
+        B.Counters->beginPhase(PhaseIdx);
       ThreadCtx T;
       for (T.Z = 0; T.Z != Block.Z; ++T.Z)
         for (T.Y = 0; T.Y != Block.Y; ++T.Y)

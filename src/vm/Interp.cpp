@@ -165,9 +165,11 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
       const DevBuf &D = E.Bufs[I.Imm];
       const bool Write = I.K == Op::StoreGlobal;
       long long Idx = R[I.B].I;
-      // Replicates GpuDevice::Buffer<T>::load/store: log first, then
-      // bounds-check. A negative index wraps to a huge size_t exactly
-      // like the size_t parameter of Buffer::load would.
+      // Replicates GpuDevice::Buffer<T>::load/store: count and log
+      // first, then bounds-check. A negative index wraps to a huge
+      // size_t exactly like the size_t parameter of Buffer::load would.
+      if (B.Counters) [[unlikely]]
+        B.Counters->countGlobal(Write);
       if (B.Dev->raceDetection()) [[unlikely]]
         B.Dev->logAccess(B, D.Id, static_cast<size_t>(Idx), Write);
       if (Idx < 0 || static_cast<size_t>(Idx) >= D.Count) {
@@ -201,8 +203,11 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
       long long Idx = R[I.B].I;
       size_t Base = static_cast<size_t>(I.Imm) + (Arena ? E.K.LocalsBase : 0);
       size_t Off = Base + static_cast<size_t>(Idx) * ES;
-      // sharedLoad/sharedStore log the byte offset; arena (spill) slots
-      // are per-thread-private and stay unlogged, like BlockCtx::shared.
+      // sharedLoad/sharedStore count and log the byte offset; arena
+      // (spill) slots are per-thread-private and stay uncounted and
+      // unlogged, like BlockCtx::shared.
+      if (!Arena && B.Counters) [[unlikely]]
+        B.Counters->countShared(Off, Write, B.CurThread);
       if (!Arena && B.Dev->raceDetection()) [[unlikely]]
         B.Dev->logAccess(B, B.SharedBufferId, Off, Write);
       if (Idx < 0 || Off + ES > B.SharedBytes || Off < Base)
@@ -744,6 +749,13 @@ RunStatus vm::launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
   // Synchronous, like every generated sim launch; phase numbering and
   // loopVar slots are maintained by launchProgram itself.
   sim::launchProgram(Dev, K.Grid, K.Block, K.ArenaBytes, Prog);
+  if (Dev.countersEnabled()) {
+    // Unlike generated C++ launches, the interpreter knows the kernel's
+    // name and whether it faulted: tag the launch it just recorded.
+    Dev.labelLastLaunch(K.Name);
+    if (Trap.tripped())
+      Dev.noteLaunchTraps(1);
+  }
   if (Trap.tripped())
     return {false, Trap.Msg};
   return {};

@@ -280,4 +280,108 @@ TEST(DescendcCli, ArgsWithoutRunExitsTwo) {
       << R.Stderr;
 }
 
+//===----------------------------------------------------------------------===//
+// Observability flags: --time-passes=json, --kernel-stats, --trace-json
+//===----------------------------------------------------------------------===//
+
+TEST(DescendcCli, TimePassesJsonPrintsOneObjectOnStdout) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") +
+                            " --emit=check -D nb=4 --time-passes=json");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_EQ(R.Stdout.front(), '{') << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"reached\":\"typecheck\""), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"name\":\"parse\""), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"failed\":false"), std::string::npos)
+      << R.Stdout;
+  // The JSON mode replaces the stderr table, not the diagnostics stream.
+  EXPECT_EQ(R.Stderr.find("pass timings"), std::string::npos) << R.Stderr;
+}
+
+TEST(DescendcCli, TimePassesJsonKeepsTheExitCodeContract) {
+  // Codegen on the uninstantiated matmul fails; JSON mode still reports
+  // the failed stage and the process still exits 1.
+  RunResult R = runDescendc(kernel("matmul.descend") +
+                            " --emit=cuda --time-passes=json -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Stdout.find("\"reached\":\"typecheck\""), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"name\":\"codegen\",\"ms\":"), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"failed\":true"), std::string::npos) << R.Stdout;
+}
+
+TEST(DescendcCli, TimePassesUnknownModeExitsTwo) {
+  RunResult R = runDescendc(kernel("scale_vec.descend") +
+                            " --time-passes=xml");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("unknown --time-passes mode 'xml'"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, KernelStatsReportsCountersAndResults) {
+  RunResult R = runDescendc("--kernel-stats " +
+                            program("quickstart_host.descend") + " -D nb=8");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stdout.find("scale_vec:"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("global: 2048 loads, 2048 stores"),
+            std::string::npos)
+      << R.Stdout;
+  // The RESULT digest still prints in human mode.
+  EXPECT_NE(R.Stdout.find("RESULT host_vec n=2048 sum=6144"),
+            std::string::npos)
+      << R.Stdout;
+}
+
+TEST(DescendcCli, KernelStatsJsonIsOneObject) {
+  RunResult R = runDescendc("--kernel-stats=json " +
+                            program("quickstart_host.descend") + " -D nb=8");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_EQ(R.Stdout.front(), '{') << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"launches\":["), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"label\":\"scale_vec\""), std::string::npos)
+      << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"global_loads\":2048"), std::string::npos)
+      << R.Stdout;
+  // One JSON object only: no RESULT lines in the machine-readable mode.
+  EXPECT_EQ(R.Stdout.find("RESULT"), std::string::npos) << R.Stdout;
+}
+
+TEST(DescendcCli, KernelStatsInheritsRunConflictRules) {
+  RunResult R = runDescendc("--kernel-stats " +
+                            program("quickstart_host.descend") +
+                            " --emit=sim -D nb=8");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--kernel-stats cannot be combined with --emit"),
+            std::string::npos)
+      << R.Stderr;
+}
+
+TEST(DescendcCli, TraceJsonWritesALoadableTraceFile) {
+  std::string Trace = ::testing::TempDir() + "descendc_cli_trace.json";
+  std::remove(Trace.c_str());
+  RunResult R = runDescendc("--trace-json=" + Trace + " --run " +
+                            program("quickstart_host.descend") + " -D nb=8");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  std::ifstream In(Trace);
+  ASSERT_TRUE(In.good()) << "trace file not written: " << Trace;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+  EXPECT_NE(Doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Doc.find("\"cat\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"cat\":\"sim\""), std::string::npos);
+  std::remove(Trace.c_str());
+}
+
+TEST(DescendcCli, TraceJsonWithoutPathExitsTwo) {
+  RunResult R = runDescendc("--trace-json " + kernel("scale_vec.descend"));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("--trace-json expects a file path"),
+            std::string::npos)
+      << R.Stderr;
+}
+
 } // namespace

@@ -7,10 +7,11 @@
 // (wait-before-record, re-record re-arming, reuse across streams,
 // destruction with pending waiters), graph capture -> instantiate ->
 // bind -> replay with slot validation, and the hardened DESCEND_WORKERS
-// parse.
+// and DESCEND_TRACE parses (the same strictness discipline).
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "runtime/HostRuntime.h"
 #include "sim/Sim.h"
 
@@ -403,6 +404,47 @@ TEST(WorkerEnv, ZeroNegativeAndHugeFallBackWithWarning) {
     EXPECT_EQ(detail::parseWorkerCount(Bad, &W), 0u) << "input: " << Bad;
     EXPECT_NE(W.find("out of range"), std::string::npos)
         << "input: " << Bad << " warning: " << W;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DESCEND_TRACE parsing (the DESCEND_WORKERS strictness discipline)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceEnv, UnsetAndExplicitOffAreSilent) {
+  std::string Path, W = "sentinel";
+  EXPECT_FALSE(descend::obs::parseTraceEnv(nullptr, &Path, &W));
+  EXPECT_TRUE(W.empty());
+  EXPECT_FALSE(descend::obs::parseTraceEnv("0", &Path, &W));
+  EXPECT_TRUE(W.empty());
+  EXPECT_FALSE(descend::obs::parseTraceEnv("off", &Path, &W));
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(TraceEnv, OnSelectsTheDefaultPath) {
+  for (const char *On : {"1", "on"}) {
+    std::string Path, W;
+    EXPECT_TRUE(descend::obs::parseTraceEnv(On, &Path, &W)) << On;
+    EXPECT_EQ(Path, descend::obs::DefaultTracePath) << On;
+    EXPECT_TRUE(W.empty()) << On;
+  }
+}
+
+TEST(TraceEnv, CleanTokenIsTheOutputPath) {
+  std::string Path, W;
+  EXPECT_TRUE(descend::obs::parseTraceEnv("/tmp/my_trace.json", &Path, &W));
+  EXPECT_EQ(Path, "/tmp/my_trace.json");
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(TraceEnv, GarbageDisablesWithWarning) {
+  for (const char *Bad : {"", " ", "a b", "x\ty", "p\nq", " on", "on "}) {
+    std::string Path, W;
+    EXPECT_FALSE(descend::obs::parseTraceEnv(Bad, &Path, &W))
+        << "input: '" << Bad << "'";
+    EXPECT_NE(W.find("DESCEND_TRACE"), std::string::npos)
+        << "input: '" << Bad << "' warning: " << W;
+    EXPECT_NE(W.find("tracing is off"), std::string::npos) << W;
   }
 }
 

@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -225,6 +228,120 @@ TEST(ServiceConcurrency, IdenticalConcurrentRequestsCoalesce) {
   service::ServiceStats St = Svc.stats();
   EXPECT_EQ(St.Misses, 1u) << "exactly one cold compile";
   EXPECT_EQ(St.Hits + St.Coalesced, static_cast<uint64_t>(Threads - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Serve-latency histogram (descendd METRICS)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceLatency, EmptyHistogramReportsZeroes) {
+  service::LatencyHistogram H;
+  EXPECT_EQ(H.Total, 0u);
+  EXPECT_EQ(H.quantileUpperMs(0.5), 0.0);
+  EXPECT_EQ(H.quantileUpperMs(0.95), 0.0);
+  EXPECT_EQ(H.MaxMs, 0.0);
+}
+
+TEST(ServiceLatency, BucketsAreLog2WithOpenEnd) {
+  EXPECT_DOUBLE_EQ(service::LatencyHistogram::bucketUpperMs(0), 0.25);
+  EXPECT_DOUBLE_EQ(service::LatencyHistogram::bucketUpperMs(1), 0.5);
+  EXPECT_DOUBLE_EQ(service::LatencyHistogram::bucketUpperMs(2), 1.0);
+  EXPECT_TRUE(std::isinf(service::LatencyHistogram::bucketUpperMs(
+      service::LatencyHistogram::NumBuckets - 1)));
+}
+
+TEST(ServiceLatency, QuantilesReturnConservativeBucketBounds) {
+  service::LatencyHistogram H;
+  for (int I = 0; I != 9; ++I)
+    H.record(0.1); // bucket 0 (< 0.25 ms)
+  H.record(100.0); // bucket [64, 128)
+  EXPECT_EQ(H.Total, 10u);
+  EXPECT_DOUBLE_EQ(H.MaxMs, 100.0);
+  EXPECT_DOUBLE_EQ(H.quantileUpperMs(0.5), 0.25);
+  // Conservative: the tail sample reports its bucket's upper bound.
+  EXPECT_DOUBLE_EQ(H.quantileUpperMs(0.95), 128.0);
+
+  // A sample in the open-ended last bucket reports the observed maximum
+  // instead of infinity.
+  service::LatencyHistogram Tail;
+  Tail.record(1000.0);
+  EXPECT_DOUBLE_EQ(Tail.quantileUpperMs(0.95), 1000.0);
+}
+
+TEST(ServiceLatency, EveryServedRequestIsRecorded) {
+  service::CompileService Svc;
+  service::CompileRequest Req;
+  Req.Source = tinyKernel("4.0");
+  Req.Defines["nb"] = 2;
+  ASSERT_TRUE(Svc.compile(Req).Ok);
+  service::CompileReply Hit = Svc.compile(Req);
+  ASSERT_TRUE(Hit.Ok);
+  EXPECT_TRUE(Hit.CacheHit);
+
+  service::LatencyHistogram H = Svc.latency();
+  EXPECT_EQ(H.Total, 2u) << "hits are recorded too";
+  EXPECT_GT(H.MaxMs, 0.0);
+  EXPECT_EQ(Svc.stats().InFlight, 0u) << "no compile left running";
+}
+
+//===----------------------------------------------------------------------===//
+// descendd protocol: METRICS and STATS answer even on an idle daemon
+//===----------------------------------------------------------------------===//
+
+/// Pipes \p Input into the descendd binary and returns its stdout.
+std::string runDescendd(const std::string &Input) {
+  static int Counter = 0;
+  std::string Base = ::testing::TempDir() + "descendd_io_" +
+                     std::to_string(Counter++);
+  std::string InFile = Base + ".in", OutFile = Base + ".out";
+  {
+    std::ofstream Out(InFile);
+    Out << Input;
+  }
+  std::string Cmd = std::string(DESCENDD_BIN) + " < " + InFile + " > " +
+                    OutFile + " 2>/dev/null";
+  EXPECT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
+  std::string Result = readFile(OutFile);
+  std::remove(InFile.c_str());
+  std::remove(OutFile.c_str());
+  return Result;
+}
+
+TEST(DescenddProtocol, MetricsBeforeAnyCompileIsOneCompleteLine) {
+  std::string Out = runDescendd("METRICS\nQUIT\n");
+  // One complete, newline-terminated line — never silence on an empty
+  // cache.
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.back(), '\n') << Out;
+  EXPECT_EQ(Out.rfind("METRICS ", 0), 0u) << Out;
+  EXPECT_NE(Out.find("requests=0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("inflight=0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("hit_rate=0.000"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("latency_count=0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("latency_p95_ms=0.000"), std::string::npos) << Out;
+}
+
+TEST(DescenddProtocol, StatsBeforeAnyCompileIsOneCompleteLine) {
+  std::string Out = runDescendd("STATS\nQUIT\n");
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.back(), '\n') << Out;
+  EXPECT_EQ(Out.rfind("STATS ", 0), 0u) << Out;
+  EXPECT_NE(Out.find("hit_rate=0.000"), std::string::npos) << Out;
+}
+
+TEST(DescenddProtocol, MetricsReflectsServedCompiles) {
+  std::string Src = tinyKernel("4.0");
+  std::string Req = "COMPILE vm " + std::to_string(Src.size()) + " nb=2\n";
+  std::string Out =
+      runDescendd(Req + Src + Req + Src + "METRICS\nQUIT\n");
+  size_t M = Out.find("METRICS ");
+  ASSERT_NE(M, std::string::npos) << Out;
+  std::string Line = Out.substr(M);
+  EXPECT_NE(Line.find("requests=2"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("hits=1"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("misses=1"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("hit_rate=0.500"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("latency_count=2"), std::string::npos) << Line;
 }
 
 } // namespace

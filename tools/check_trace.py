@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by --trace-json.
+
+Usage: check_trace.py TRACE.json [CATEGORY...]
+
+Checks that the file parses, is shaped like a Chrome trace ("traceEvents"
+list whose entries carry name/cat/ph/ts), and — when categories are given
+on the command line — that at least one event exists per category. CI runs
+this over a traced --run so a broken exporter (malformed JSON, missing
+spans) fails the build instead of silently producing an unloadable trace.
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_trace.py TRACE.json [CATEGORY...]")
+    path, want_cats = argv[1], argv[2:]
+
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: top level must be an object with a traceEvents key")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents must be a list")
+    if not events:
+        fail(f"{path}: traceEvents is empty")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        for key in ("name", "cat", "ph", "ts"):
+            if key not in ev:
+                fail(f"{path}: traceEvents[{i}] is missing {key!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{path}: complete event traceEvents[{i}] is missing 'dur'")
+
+    seen = {ev["cat"] for ev in events}
+    missing = [c for c in want_cats if c not in seen]
+    if missing:
+        fail(f"{path}: no events in categories {missing} "
+             f"(present: {sorted(seen)})")
+
+    print(f"check_trace: {path} OK — {len(events)} events, "
+          f"categories {sorted(seen)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

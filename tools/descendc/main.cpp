@@ -2,9 +2,11 @@
 //
 // Usage:
 //   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
-//            [--fn-suffix=SUFFIX] [--time-passes] [--dump-phase-ir]
-//            [--dump-kir] [-o OUTPUT]
+//            [--fn-suffix=SUFFIX] [--time-passes[=json]] [--dump-phase-ir]
+//            [--dump-kir] [--trace-json=FILE] [-o OUTPUT]
 //   descendc --run INPUT.descend [-D name=value]... [--args N...]
+//   descendc --kernel-stats[=json] INPUT.descend [-D name=value]...
+//            [--args N...]
 //   descendc --list-backends
 //   descendc --help | -h
 //
@@ -22,13 +24,22 @@
 // --run compiles through the vm backend and executes the program's host
 // `fn main` in-process on a simulated device — no C++ compiler in the
 // loop. --args supplies one number per `main` parameter (fill value for
-// array parameters, value for scalars). Exit codes keep the driver
-// contract: 0 success, 1 compile/runtime diagnostic, 2 usage error.
+// array parameters, value for scalars). --kernel-stats runs the same way
+// with the device's perf counters on and reports one per-launch counter
+// block (obs::LaunchStats) per kernel launch, human-readable by default
+// or as one JSON object with `=json`. --time-passes=json prints the
+// stage table as one JSON object on stdout (the plain form keeps its
+// stderr table). --trace-json=FILE records a Chrome-trace-event JSON of
+// the whole invocation (pipeline stages, launches, stream ops, pool
+// activity), equivalent to DESCEND_TRACE=FILE. Exit codes keep the
+// driver contract: 0 success, 1 compile/runtime diagnostic, 2 usage
+// error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/PhaseIR.h"
 #include "driver/Pipeline.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,10 +55,13 @@ static void printUsage(std::FILE *Out) {
     Emits += "|" + Name;
   std::fprintf(Out,
                "usage: descendc INPUT.descend [--emit=%s] "
-               "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes] "
-               "[--dump-phase-ir] [--dump-kir] [-o OUTPUT]\n"
+               "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes[=json]] "
+               "[--dump-phase-ir] [--dump-kir] [--trace-json=FILE] "
+               "[-o OUTPUT]\n"
                "       descendc --run INPUT.descend [-D name=value]... "
                "[--args N...]\n"
+               "       descendc --kernel-stats[=json] INPUT.descend "
+               "[-D name=value]... [--args N...]\n"
                "       descendc --list-backends\n"
                "       descendc --help\n\n"
                "backends:\n",
@@ -95,6 +109,59 @@ static bool parseDefine(const std::string &Def,
   return true;
 }
 
+/// Minimal JSON string escape for paths and stage names.
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// `--time-passes=json`: one JSON object on stdout. The plain form's
+/// stderr table stays unchanged; both render the same StageTiming rows.
+static void printTimingsJson(const std::string &Input, Stage Reached,
+                             const std::vector<StageTiming> &Timings) {
+  std::string J = "{\"file\":\"" + jsonEscape(Input) + "\",\"reached\":\"";
+  J += stageName(Reached);
+  J += "\",\"stages\":[";
+  bool First = true;
+  for (const StageTiming &T : Timings) {
+    if (!First)
+      J += ',';
+    First = false;
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"ms\":%.3f,\"failed\":%s}",
+                  stageName(T.S), T.Millis, T.Failed ? "true" : "false");
+    J += Buf;
+  }
+  J += "]}\n";
+  std::fwrite(J.data(), 1, J.size(), stdout);
+}
+
 static int listBackends() {
   std::string Line;
   for (const std::string &Name :
@@ -106,8 +173,10 @@ static int listBackends() {
 
 int main(int argc, char **argv) {
   std::string Input, Output, Emit = "check";
-  bool TimePasses = false, DumpPhaseIR = false, DumpKIR = false;
+  bool TimePasses = false, TimePassesJson = false;
+  bool DumpPhaseIR = false, DumpKIR = false;
   bool Run = false, EmitSeen = false;
+  bool KernelStats = false, KernelStatsJson = false;
   std::vector<double> RunArgs;
   CompilerInvocation Inv;
 
@@ -139,6 +208,27 @@ int main(int argc, char **argv) {
       Inv.FnSuffix = Arg.substr(12);
     } else if (Arg == "--time-passes") {
       TimePasses = true;
+    } else if (Arg == "--time-passes=json") {
+      TimePasses = TimePassesJson = true;
+    } else if (Arg.rfind("--time-passes=", 0) == 0) {
+      return usageError("unknown --time-passes mode '" + Arg.substr(14) +
+                        "' (the only mode is json)");
+    } else if (Arg == "--kernel-stats") {
+      KernelStats = true;
+    } else if (Arg == "--kernel-stats=json") {
+      KernelStats = KernelStatsJson = true;
+    } else if (Arg.rfind("--kernel-stats=", 0) == 0) {
+      return usageError("unknown --kernel-stats mode '" + Arg.substr(15) +
+                        "' (the only mode is json)");
+    } else if (Arg.rfind("--trace-json=", 0) == 0) {
+      std::string Path = Arg.substr(13);
+      if (Path.empty())
+        return usageError("--trace-json expects a file path: "
+                          "--trace-json=FILE");
+      obs::TraceCollector::global().enable(Path);
+    } else if (Arg == "--trace-json") {
+      return usageError("--trace-json expects a file path: "
+                        "--trace-json=FILE");
     } else if (Arg == "--dump-phase-ir") {
       DumpPhaseIR = true;
     } else if (Arg == "--dump-kir") {
@@ -168,19 +258,29 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usageError("no input file");
+  if (KernelStats) {
+    // --kernel-stats is --run with counters on; it inherits --run's
+    // conflict rules and may be combined with --run itself.
+    Run = true;
+    Inv.CollectKernelStats = true;
+  }
   if (Run) {
+    const char *Mode = KernelStats ? "--kernel-stats" : "--run";
     if (EmitSeen)
-      return usageError("--run cannot be combined with --emit (it always "
+      return usageError(std::string(Mode) +
+                        " cannot be combined with --emit (it always "
                         "executes through the vm backend)");
     if (DumpPhaseIR || DumpKIR)
-      return usageError("--run cannot be combined with --dump-phase-ir or "
+      return usageError(std::string(Mode) +
+                        " cannot be combined with --dump-phase-ir or "
                         "--dump-kir");
     if (!Output.empty())
-      return usageError("--run cannot be combined with -o (results go to "
+      return usageError(std::string(Mode) +
+                        " cannot be combined with -o (results go to "
                         "stdout)");
   }
   if (!RunArgs.empty() && !Run)
-    return usageError("--args requires --run");
+    return usageError("--args requires --run or --kernel-stats");
   if ((DumpPhaseIR || DumpKIR) && Emit != "check") {
     std::fprintf(stderr, "descendc: error: --dump-%s cannot be "
                          "combined with --emit=%s\n",
@@ -216,11 +316,44 @@ int main(int argc, char **argv) {
     std::string Rendered = S.renderDiagnostics();
     if (!Rendered.empty())
       std::fprintf(stderr, "%s", Rendered.c_str());
+    if (TimePasses) {
+      if (TimePassesJson) {
+        printTimingsJson(Input, S.reached(), S.timings());
+      } else {
+        std::fprintf(stderr,
+                     "descendc: pass timings for '%s' (stage reached: %s)\n",
+                     Input.c_str(), stageName(S.reached()));
+        for (const StageTiming &T : S.timings())
+          std::fprintf(stderr, "  %-12s %9.3f ms%s\n", stageName(T.S),
+                       T.Millis, T.Failed ? "  (failed)" : "");
+      }
+    }
+    // Counters are reported even when the run failed: a trapping launch
+    // is precisely the one whose counters are worth reading.
+    if (KernelStats) {
+      if (KernelStatsJson) {
+        std::string J = "{\"file\":\"" + jsonEscape(Input) +
+                        "\",\"launches\":[";
+        for (size_t I = 0; I != E.KernelStats.size(); ++I) {
+          if (I)
+            J += ',';
+          J += E.KernelStats[I].json();
+        }
+        J += "]}\n";
+        std::fwrite(J.data(), 1, J.size(), stdout);
+      } else {
+        for (const obs::LaunchStats &LS : E.KernelStats)
+          std::fprintf(stdout, "%s", LS.str().c_str());
+      }
+    }
     if (!E.Ok) {
       std::fprintf(stderr, "descendc: error: %s\n", E.Error.c_str());
       return 1;
     }
-    std::fwrite(E.Output.data(), 1, E.Output.size(), stdout);
+    // --kernel-stats=json keeps stdout a single JSON object; the RESULT
+    // digest lines are the human modes' output.
+    if (!KernelStatsJson)
+      std::fwrite(E.Output.data(), 1, E.Output.size(), stdout);
     return 0;
   }
 
@@ -232,14 +365,18 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s", Rendered.c_str());
 
   if (TimePasses) {
-    std::fprintf(stderr, "descendc: pass timings for '%s' (stage reached: "
-                         "%s)\n",
-                 Input.c_str(), stageName(R.Reached));
-    // A stage that ran but failed is timed too; mark it so the table
-    // agrees with the stage-reached label above.
-    for (const StageTiming &T : R.Timings)
-      std::fprintf(stderr, "  %-12s %9.3f ms%s\n", stageName(T.S), T.Millis,
-                   T.Failed ? "  (failed)" : "");
+    if (TimePassesJson) {
+      printTimingsJson(Input, R.Reached, R.Timings);
+    } else {
+      std::fprintf(stderr, "descendc: pass timings for '%s' (stage reached: "
+                           "%s)\n",
+                   Input.c_str(), stageName(R.Reached));
+      // A stage that ran but failed is timed too; mark it so the table
+      // agrees with the stage-reached label above.
+      for (const StageTiming &T : R.Timings)
+        std::fprintf(stderr, "  %-12s %9.3f ms%s\n", stageName(T.S), T.Millis,
+                     T.Failed ? "  (failed)" : "");
+    }
   }
 
   if (!R.Ok)

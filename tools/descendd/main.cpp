@@ -18,6 +18,16 @@
 //              evictions=<n> entries=<n> hit_rate=<r>
 //        (hit_rate = hits / all requests; 0.000 before the first request)
 //
+//   METRICS
+//     -> METRICS requests=<n> hits=<n> misses=<n> coalesced=<n>
+//                failures=<n> evictions=<n> entries=<n> inflight=<n>
+//                hit_rate=<r> latency_count=<n> latency_mean_ms=<ms>
+//                latency_p50_ms=<ms> latency_p95_ms=<ms> latency_max_ms=<ms>
+//        (one line; the latency quantiles are conservative log2-bucket
+//        upper bounds over every served request, hits included. All
+//        fields are zero before the first COMPILE — the reply is always
+//        one complete, flushed line, never silence.)
+//
 //   QUIT (or EOF)
 //     -> exits 0
 //
@@ -57,8 +67,8 @@ int main(int argc, char **argv) {
       Capacity = std::strtoull(Arg.c_str() + 17, nullptr, 10);
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: descendd [--cache-capacity=N]\n"
-                  "Serves COMPILE/STATS/QUIT requests on stdin; see the\n"
-                  "protocol comment in tools/descendd/main.cpp.\n");
+                  "Serves COMPILE/STATS/METRICS/QUIT requests on stdin; see\n"
+                  "the protocol comment in tools/descendd/main.cpp.\n");
       return 0;
     } else {
       std::fprintf(stderr, "descendd: error: unrecognized option '%s'\n",
@@ -92,6 +102,31 @@ int main(int argc, char **argv) {
                    (unsigned long long)St.Coalesced,
                    (unsigned long long)St.Failures,
                    (unsigned long long)St.Evictions, St.Entries, HitRate);
+      std::fflush(stdout);
+      continue;
+    }
+    if (Cmd == "METRICS") {
+      service::ServiceStats St = Service.stats();
+      service::LatencyHistogram L = Service.latency();
+      const unsigned long long Requests =
+          St.Hits + St.Misses + St.Coalesced + St.Failures;
+      const double HitRate =
+          Requests ? static_cast<double>(St.Hits) / Requests : 0.0;
+      const double MeanMs = L.Total ? L.SumMs / L.Total : 0.0;
+      std::fprintf(stdout,
+                   "METRICS requests=%llu hits=%llu misses=%llu "
+                   "coalesced=%llu failures=%llu evictions=%llu "
+                   "entries=%zu inflight=%zu hit_rate=%.3f "
+                   "latency_count=%llu latency_mean_ms=%.3f "
+                   "latency_p50_ms=%.3f latency_p95_ms=%.3f "
+                   "latency_max_ms=%.3f\n",
+                   Requests, (unsigned long long)St.Hits,
+                   (unsigned long long)St.Misses,
+                   (unsigned long long)St.Coalesced,
+                   (unsigned long long)St.Failures,
+                   (unsigned long long)St.Evictions, St.Entries, St.InFlight,
+                   HitRate, (unsigned long long)L.Total, MeanMs,
+                   L.quantileUpperMs(0.5), L.quantileUpperMs(0.95), L.MaxMs);
       std::fflush(stdout);
       continue;
     }

@@ -59,6 +59,13 @@ if [ "${DESCEND_BENCH_QUICK:-0}" != "1" ]; then
   python3 - "$OUT_DIR/bench_fig8.log" "$OUT_DIR/BENCH_fig8.json" <<'PY'
 import json, re, sys
 log = open(sys.argv[1]).read()
+# Per-row perf-counter summaries: one counted run per (bench, size),
+# printed by bench_fig8 after the timing table.
+counters = {}
+for m in re.finditer(
+    r"^COUNTERS (Reduce|Transpose|Scan|MM) (small|medium|large) (\{.*\})$",
+    log, re.M):
+    counters[(m.group(1), m.group(2))] = json.loads(m.group(3))
 rows = []
 for m in re.finditer(
     r"^(Reduce|Transpose|Scan|MM)\s+(small|medium|large)\s+"
@@ -66,7 +73,8 @@ for m in re.finditer(
     rows.append({"bench": m.group(1), "size": m.group(2),
                  "cuda_ms": float(m.group(3)),
                  "descend_ms": float(m.group(4)),
-                 "relative": float(m.group(5))})
+                 "relative": float(m.group(5)),
+                 "counters": counters.get((m.group(1), m.group(2)))})
 mean = re.search(r"^Mean\s+([0-9.]+)x$", log, re.M)
 json.dump({"bench": "fig8", "unit": "ms", "rows": rows,
            "geomean_relative": float(mean.group(1)) if mean else None},
@@ -107,13 +115,17 @@ python3 - "$OUT_DIR/bench_matmul_sweep.log" \
           "$OUT_DIR/BENCH_matmul_sweep.json" <<'PY'
 import json, re, sys
 log = open(sys.argv[1]).read()
+counters = {}
+for m in re.finditer(r"^COUNTERS MMsweep nt=(\d+) (\{.*\})$", log, re.M):
+    counters[int(m.group(1))] = json.loads(m.group(2))
 rows = []
 for m in re.finditer(
     r"^MMsweep\s+nt=(\d+)\s+([0-9.]+)\s+([0-9.]+)\s+([0-9.]+)x$", log, re.M):
     rows.append({"bench": "MM", "nt": int(m.group(1)),
                  "cuda_ms": float(m.group(2)),
                  "descend_ms": float(m.group(3)),
-                 "relative": float(m.group(4))})
+                 "relative": float(m.group(4)),
+                 "counters": counters.get(int(m.group(1)))})
 json.dump({"bench": "matmul_sweep", "unit": "ms", "rows": rows},
           open(sys.argv[2], "w"), indent=2)
 PY
