@@ -1,11 +1,19 @@
 //===- bench/bench_matmul_sweep.cpp - Matmul tile-count sweep ----------------===//
 //
-// Sweeps the Figure 8 matmul over tile counts nt = 4 / 16 / 32 and
+// Sweeps the Figure 8 matmul over tile counts nt = 4 / 8 / 16 / 32 and
 // reports the handwritten-vs-generated relative runtime per nt. This is
 // the regression guard for the phase-program IR: with the tile loop kept
 // as host-side loop structure the generated code size is independent of
 // nt, so the ratio must stay flat instead of collapsing at nt >= 16 the
 // way the unrolling lowerer did (2-6x slower, see ROADMAP history).
+//
+// Since the schedule-pass PR every sweep point also runs the *tuned*
+// instantiation (built with `--pad-shared=1`, the config
+// `descendc --autotune` selects): the MMtuned rows and their COUNTERS
+// lines are the autotuner's regression harness — run_benches.sh computes
+// the default-vs-tuned bank-conflict delta per nt and gates on the
+// minimum improvement. Tuned outputs are verified bit-identical to the
+// handwritten baseline like every other row.
 //
 // Output rows are parsed by tools/run_benches.sh into
 // BENCH_matmul_sweep.json.
@@ -17,7 +25,13 @@
 // Generated at build time by descendc --emit=sim from kernels/matmul.descend.
 #include "gen_fig8_matmul_large.h"  // nt=32, suffix _large
 #include "gen_fig8_matmul_small.h"  // nt=16, suffix _small
+#include "gen_matmul_nt8.h"         // nt=8,  suffix _nt8
 #include "gen_matmul_small.h"       // nt=4, unsuffixed
+// The same nts with the shared-padding schedule pass on (--pad-shared=1).
+#include "gen_matmul_tuned16.h"     // nt=16, suffix _tuned16
+#include "gen_matmul_tuned32.h"     // nt=32, suffix _tuned32
+#include "gen_matmul_tuned4.h"      // nt=4,  suffix _tuned4
+#include "gen_matmul_tuned8.h"      // nt=8,  suffix _tuned8
 
 #include <algorithm>
 #include <chrono>
@@ -45,8 +59,11 @@ double medianMs(const std::function<void()> &Fn, int Reps) {
   return T[T.size() / 2];
 }
 
+/// One sweep point: correctness against the handwritten kernel, the
+/// timing row, and one counted run. \p Label is the row tag ("MMsweep"
+/// for the default lowering, "MMtuned" for the padded one).
 template <typename GenFn>
-void runSweepPoint(unsigned NT, GenFn Gen, int Reps) {
+void runSweepPoint(const char *Label, unsigned NT, GenFn Gen, int Reps) {
   GpuDevice Dev;
   const unsigned N = NT * 16;
   auto A = Dev.alloc<double>((size_t)N * N);
@@ -62,13 +79,14 @@ void runSweepPoint(unsigned NT, GenFn Gen, int Reps) {
   Gen(Dev, A, B, CG);
   for (size_t I = 0; I != (size_t)N * N; ++I)
     if (CH.data()[I] != CG.data()[I]) {
-      std::fprintf(stderr, "matmul nt=%u: generated != handwritten!\n", NT);
+      std::fprintf(stderr, "matmul %s nt=%u: generated != handwritten!\n",
+                   Label, NT);
       std::exit(1);
     }
 
   double HandMs = medianMs([&] { hand::matmul(Dev, A, B, CH, NT); }, Reps);
   double GenMs = medianMs([&] { Gen(Dev, A, B, CG); }, Reps);
-  std::printf("MMsweep    nt=%-4u %12.3f %14.3f %9.3fx\n", NT, HandMs,
+  std::printf("%-10s nt=%-4u %12.3f %14.3f %9.3fx\n", Label, NT, HandMs,
               GenMs, HandMs / GenMs);
 
   // One counted (untimed) generated run per sweep point; run_benches.sh
@@ -78,7 +96,13 @@ void runSweepPoint(unsigned NT, GenFn Gen, int Reps) {
   sim::LaunchStats LS = Dev.totalStats();
   Dev.setCounters(false);
   Dev.resetStats();
-  std::printf("COUNTERS MMsweep nt=%u %s\n", NT, LS.json().c_str());
+  std::printf("COUNTERS %s nt=%u %s\n", Label, NT, LS.json().c_str());
+}
+
+template <typename GenFn, typename TunedFn>
+void runSweepPair(unsigned NT, GenFn Gen, TunedFn Tuned, int Reps) {
+  runSweepPoint("MMsweep", NT, Gen, Reps);
+  runSweepPoint("MMtuned", NT, Tuned, Reps);
 }
 
 } // namespace
@@ -89,8 +113,11 @@ int main() {
               "lowering holds)\n\n");
   std::printf("%-10s %-7s %12s %14s %10s\n", "benchmark", "size",
               "CUDA [ms]", "Descend [ms]", "relative");
-  runSweepPoint(4, descend::gen::matmul, 51);
-  runSweepPoint(16, descend::gen::matmul_small, 21);
-  runSweepPoint(32, descend::gen::matmul_large, 11);
+  runSweepPair(4, descend::gen::matmul, descend::gen::matmul_tuned4, 51);
+  runSweepPair(8, descend::gen::matmul_nt8, descend::gen::matmul_tuned8, 31);
+  runSweepPair(16, descend::gen::matmul_small, descend::gen::matmul_tuned16,
+               21);
+  runSweepPair(32, descend::gen::matmul_large, descend::gen::matmul_tuned32,
+               11);
   return 0;
 }

@@ -18,6 +18,8 @@
 #ifndef DESCEND_CODEGEN_BACKEND_H
 #define DESCEND_CODEGEN_BACKEND_H
 
+#include "kir/Schedule.h"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +42,10 @@ struct BackendOptions {
   /// Appended to every emitted function name so multiple instantiations of
   /// the same kernel can coexist in one binary (sim backend).
   std::string FnSuffix;
+
+  /// Opt-in schedule passes to run over the lowered kernel IR before
+  /// printing (kir/Schedule.h). Default: none.
+  kir::PassConfig Passes;
 };
 
 /// Abstract code-generation backend. Implementations must be stateless

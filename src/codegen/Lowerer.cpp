@@ -566,7 +566,16 @@ bool Lowerer::genStmt(const Expr &E) {
       S.Dims = Dims;
       S.ByteBase = (SharedBytes + 7) & ~size_t(7);
       SharedBytes = S.ByteBase + Bytes;
-      SharedDecls.push_back(SharedDecl{L->Name, Elem, Elems});
+      // Innermost row width: elements per slice of the outermost
+      // dimension. The padding pass needs it to recognize `row*W + col`.
+      size_t RowWidth = 0;
+      if (Dims.size() > 1) {
+        auto Outer = Dims.front().evaluate({});
+        if (Outer && *Outer > 0)
+          RowWidth = Elems / *Outer;
+      }
+      SharedDecls.push_back(
+          SharedDecl{L->Name, Elem, Elems, RowWidth, S.ByteBase});
       BufferSpaces[L->Name] = kir::MemSpace::Shared;
       bind(L->Name, std::move(S));
       return true;
@@ -809,7 +818,65 @@ bool Lowerer::genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi) {
 // Pass pipeline & verification
 //===----------------------------------------------------------------------===//
 
+std::vector<kir::BodyRef> Lowerer::scheduleBodies() {
+  std::vector<kir::BodyRef> Bodies;
+  if (B == LowerTarget::Cuda) {
+    Bodies.push_back(kir::BodyRef{&Body, {}});
+    return Bodies;
+  }
+  // Straight phases, each seeing the (literal) bounds of its enclosing
+  // phase loops. Non-literal bounds map to -1, "unbounded".
+  std::function<void(std::vector<PhaseNode> &, const kir::VarBounds &)> Walk =
+      [&](std::vector<PhaseNode> &Nodes, const kir::VarBounds &Enclosing) {
+        for (PhaseNode &N : Nodes) {
+          if (N.K == PhaseNode::Straight) {
+            Bodies.push_back(kir::BodyRef{&N.Body, Enclosing});
+            continue;
+          }
+          kir::VarBounds Inner = Enclosing;
+          Nat Hi = N.Hi.isNull() ? N.Hi : N.Hi.simplified();
+          Inner[N.Var] = (!Hi.isNull() && Hi.isLit()) ? Hi.litValue() : -1;
+          Walk(N.Children, Inner);
+        }
+      };
+  Walk(Program.Nodes, {});
+  return Bodies;
+}
+
+bool Lowerer::runSchedulePasses() {
+  if (!Passes.any())
+    return true;
+  std::vector<kir::BodyRef> Bodies = scheduleBodies();
+
+  if (Passes.SharedPad != 0) {
+    std::vector<kir::ScheduleSharedBuffer> Bufs;
+    for (const SharedDecl &D : SharedDecls)
+      Bufs.push_back(kir::ScheduleSharedBuffer{D.Name, D.Elem, D.Elems,
+                                               D.ByteBase, D.RowWidth});
+    if (kir::padSharedBuffers(Bodies, Bufs, SharedBytes, Passes.SharedPad,
+                              CoordBounds, &SchedStats)) {
+      for (size_t I = 0; I != Bufs.size(); ++I) {
+        SharedDecls[I].Elems = Bufs[I].Elems;
+        SharedDecls[I].ByteBase = Bufs[I].ByteBase;
+      }
+    }
+    if (!verifyKernel())
+      return fail("after shared-padding pass: " + Error);
+  }
+
+  if (Passes.Vectorize) {
+    kir::vectorizeAccesses(Bodies, CoordBounds, &SchedStats);
+    if (!verifyKernel())
+      return fail("after vectorize pass: " + Error);
+  }
+  return true;
+}
+
 bool Lowerer::runPasses() {
+  // Opt-in schedule passes first: they match raw `row*W + col` indices
+  // and adjacent accesses, which index CSE would hoist out of sight.
+  if (!runSchedulePasses())
+    return false;
   if (B == LowerTarget::Cuda) {
     kir::elideRedundantBarriers(Body, /*IsKernelTopLevel=*/true);
     kir::cseIndexes(Body);
@@ -894,6 +961,24 @@ bool Lowerer::runKernel(const FnDef &Fn) {
     return fail("kernel block dimensions must be concrete; instantiate "
                 "generic sizes first (--define)");
   ThreadsPerBlock = *Threads;
+
+  // Coordinate bounds for the schedule passes: each raw coordinate ranges
+  // over [0, extent) of its axis.
+  CoordBounds.clear();
+  SchedStats = kir::ScheduleStats{};
+  auto NoteAxis = [&](const char *Var, const Nat &Extent) {
+    if (Extent.isNull())
+      return;
+    if (auto V = Extent.evaluate({}))
+      CoordBounds[Var] = *V;
+  };
+  NoteAxis("_bx", Fn.Exec.GridDim.X);
+  NoteAxis("_by", Fn.Exec.GridDim.Y);
+  NoteAxis("_bz", Fn.Exec.GridDim.Z);
+  NoteAxis("_tx", Fn.Exec.BlockDim.X);
+  NoteAxis("_ty", Fn.Exec.BlockDim.Y);
+  NoteAxis("_tz", Fn.Exec.BlockDim.Z);
+  CoordBounds["_lin"] = (long long)ThreadsPerBlock;
 
   pushScope();
   ExecResource Grid =

@@ -35,6 +35,7 @@
 #include "codegen/PhaseIR.h"
 #include "exec/ExecResource.h"
 #include "kir/KIR.h"
+#include "kir/Schedule.h"
 #include "views/View.h"
 
 #include <map>
@@ -88,13 +89,20 @@ struct SharedDecl {
   std::string Name;
   ScalarKind Elem = ScalarKind::F64;
   size_t Elems = 0;
+  /// Innermost row width in elements (product of every dimension but the
+  /// first); 0 for a 1-D allocation. Feeds the shared-padding pass.
+  size_t RowWidth = 0;
+  /// Byte offset inside the shared arena (8-aligned; may move when the
+  /// padding pass grows an earlier allocation).
+  size_t ByteBase = 0;
 };
 
 /// Lowers one GPU grid function into typed kernel IR: a linear statement
 /// body (CUDA) or a phase program (sim).
 class Lowerer {
 public:
-  Lowerer(const Module &Mod, LowerTarget B) : Mod(Mod), B(B) {
+  Lowerer(const Module &Mod, LowerTarget B, kir::PassConfig Passes = {})
+      : Mod(Mod), B(B), Passes(Passes) {
     Views.addModuleViews(Mod);
   }
 
@@ -106,11 +114,13 @@ public:
   std::vector<SharedDecl> SharedDecls;  // cuda shell: __shared__ decls
   size_t SharedBytes = 0;               // shared allocations
   size_t LocalBytesPerThread = 0;       // per-thread register arena
+  kir::ScheduleStats SchedStats;        // what the schedule passes did
   std::string Error;
 
 private:
   const Module &Mod;
   LowerTarget B;
+  kir::PassConfig Passes;
   ViewRegistry Views;
 
   std::map<std::string, std::vector<Sym>> Syms;
@@ -176,6 +186,13 @@ private:
   bool checkLoopBounds(const Nat &Lo, const Nat &Hi);
   bool genPhaseLoop(const ForNatExpr &F, Nat Lo, Nat Hi);
   bool genStmt(const Expr &E);
+  /// Exclusive upper bounds of the coordinate variables of the kernel
+  /// being lowered (from its grid/block dims), for the schedule passes.
+  kir::VarBounds CoordBounds;
+  /// The statement lists the schedule passes rewrite: the CUDA body, or
+  /// every straight phase with its enclosing literal loop bounds.
+  std::vector<kir::BodyRef> scheduleBodies();
+  bool runSchedulePasses();
   bool runPasses();
   bool verifyKernel();
 };

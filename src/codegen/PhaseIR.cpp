@@ -78,13 +78,14 @@ std::string PhaseProgramIR::dumpStmts() const {
 }
 
 bool codegen::dumpPhasePrograms(const Module &M, std::string &Out,
-                                std::string &Error) {
+                                std::string &Error,
+                                const kir::PassConfig &Passes) {
   std::ostringstream OS;
   for (const auto &FnPtr : M.Fns) {
     const FnDef &Fn = *FnPtr;
     if (!Fn.isGpuFn())
       continue;
-    Lowerer L(M, LowerTarget::Sim);
+    Lowerer L(M, LowerTarget::Sim, Passes);
     if (!L.runKernel(Fn)) {
       Error = "while lowering `" + Fn.Name + "`: " + L.Error;
       return false;
@@ -99,14 +100,15 @@ bool codegen::dumpPhasePrograms(const Module &M, std::string &Out,
 }
 
 bool codegen::dumpKernelIRs(const Module &M, std::string &Out,
-                            std::string &Error) {
+                            std::string &Error,
+                            const kir::PassConfig &Passes) {
   std::ostringstream OS;
   for (const auto &FnPtr : M.Fns) {
     const FnDef &Fn = *FnPtr;
     if (!Fn.isGpuFn())
       continue;
     // The phase-structured (sim-target) lowering: the canonical KIR view.
-    Lowerer L(M, LowerTarget::Sim);
+    Lowerer L(M, LowerTarget::Sim, Passes);
     if (!L.runKernel(Fn)) {
       Error = "while lowering `" + Fn.Name + "`: " + L.Error;
       return false;

@@ -28,6 +28,7 @@
 #define DESCEND_CODEGEN_PHASEIR_H
 
 #include "kir/KIR.h"
+#include "kir/Schedule.h"
 #include "nat/Nat.h"
 
 #include <string>
@@ -103,13 +104,17 @@ struct PhaseProgramIR {
 /// Lowers every GPU grid function of \p M (which must have passed the
 /// type checker) and renders the phase-program IR of each, separated by
 /// blank lines. On failure returns false with the lowering error in
-/// \p Error. Backs `descendc --dump-phase-ir`.
-bool dumpPhasePrograms(const Module &M, std::string &Out, std::string &Error);
+/// \p Error. Backs `descendc --dump-phase-ir`. \p Passes selects the
+/// opt-in schedule passes to run before dumping (none by default, so
+/// `--dump-kir=pre` and the historical output are identical).
+bool dumpPhasePrograms(const Module &M, std::string &Out, std::string &Error,
+                       const kir::PassConfig &Passes = {});
 
 /// Like dumpPhasePrograms, but renders every phase body of the
 /// phase-structured (sim-target) lowering as the backend-neutral
-/// kernel-IR statement dump. Backs `descendc --dump-kir`.
-bool dumpKernelIRs(const Module &M, std::string &Out, std::string &Error);
+/// kernel-IR statement dump. Backs `descendc --dump-kir[=pre|post]`.
+bool dumpKernelIRs(const Module &M, std::string &Out, std::string &Error,
+                   const kir::PassConfig &Passes = {});
 
 } // namespace codegen
 } // namespace descend

@@ -27,9 +27,10 @@ public:
   }
 
   GenResult emit(const Module &M, const BackendOptions &Opts) const override {
-    (void)Opts; // bytecode is never linked, so FnSuffix has no effect
+    // Bytecode is never linked, so FnSuffix has no effect — but the
+    // opt-in schedule passes do change the emitted code.
     GenResult R;
-    vm::CompileVmResult C = vm::compile(M);
+    vm::CompileVmResult C = vm::compile(M, Opts.Passes);
     if (!C.Ok) {
       R.Error = C.Error;
       return R;

@@ -1,0 +1,110 @@
+//===- driver/Autotune.h - Schedule-pass autotuner --------------*- C++ -*-===//
+//
+// Part of the Descend reproduction. The autotuner behind
+// `descendc --autotune[=json]`: it enumerates a candidate grid
+//
+//   (tuned -D nat bindings) x (shared pad 0/1) x (vectorize off/on),
+//
+// compiles every candidate through a CompileService — pass configs and
+// `-D` rebindings are distinct cache keys, so re-visiting a
+// specialization is a probe, not a recompile — executes each one's host
+// `fn main` on a private simulated device with perf counters on, and
+// ranks the candidates by the counters the bank-conflict model exposes.
+//
+// Safety discipline: a candidate only ranks if its observable output is
+// BIT-IDENTICAL to the baseline run at the same `-D` bindings with every
+// schedule pass off. The passes are semantics-preserving by
+// construction (kir::verify runs after each one); the byte comparison
+// re-checks that end to end, so the tuner can never "win" by computing
+// something else.
+//
+// Scoring is lexicographic and deterministic:
+//   (bank conflicts, shared transactions, barriers, global accesses,
+//    pass-config simplicity, wall-clock, enumeration index)
+// — counters first because they are exact and reproducible; wall-clock
+// only as a late tiebreak so CI selection never flaps on timing noise.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_DRIVER_AUTOTUNE_H
+#define DESCEND_DRIVER_AUTOTUNE_H
+
+#include "kir/Schedule.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace descend {
+
+/// What to sweep. Defines not named in TuneGrid stay at their BaseDefines
+/// value for every candidate.
+struct AutotuneOptions {
+  /// Base `-D` bindings (the non-tuned nats every candidate shares).
+  std::map<std::string, long long> BaseDefines;
+
+  /// Tuned nat names with their candidate values, e.g. {"nt", {4, 8}}.
+  /// The grid is the cartesian product over all named nats; empty means
+  /// the sweep only varies the schedule passes.
+  std::map<std::string, std::vector<long long>> TuneGrid;
+
+  /// Fill values for `main`'s parameters (see Session::executeMain).
+  std::vector<double> ArgFills;
+
+  /// Diagnostics buffer name.
+  std::string BufferName = "<autotune>";
+};
+
+/// One evaluated candidate.
+struct AutotuneRow {
+  std::map<std::string, long long> Defines; ///< full bindings used
+  kir::PassConfig Passes;
+
+  bool Ok = false;       ///< compiled and executed without fault
+  std::string Error;     ///< when !Ok
+  bool CacheHit = false; ///< served from the compile-service LRU
+
+  // Summed over every kernel launch of the run.
+  uint64_t Conflicts = 0;
+  uint64_t SharedTransactions = 0;
+  uint64_t Barriers = 0;
+  uint64_t GlobalAccesses = 0;
+  double RunMs = 0.0;
+
+  /// Output bytes equal the same-Defines all-passes-off baseline.
+  bool BitIdentical = false;
+
+  /// `-D a=1 -D b=2 --pad-shared=1 --vectorize` style spelling.
+  std::string label() const;
+};
+
+struct AutotuneResult {
+  bool Ok = false;   ///< a best candidate exists (>= the baseline ran)
+  std::string Error; ///< when !Ok
+
+  /// Every candidate, ranked best first (unrankable ones — failed or
+  /// not bit-identical — sort after all ranked ones, in enumeration
+  /// order).
+  std::vector<AutotuneRow> Rows;
+
+  /// Index into Rows of the selected candidate (0 when Ok).
+  size_t BestIndex = 0;
+
+  /// Human-readable ranked table (`descendc --autotune`).
+  std::string table() const;
+
+  /// One JSON object (`descendc --autotune=json`): the candidate rows
+  /// plus a `best` object, shape-stable for CI validation.
+  std::string json() const;
+};
+
+/// Runs the sweep over \p Source. Never throws; every failure mode is an
+/// AutotuneResult with Error set (per-candidate failures land in their
+/// row and simply rank last).
+AutotuneResult autotune(const std::string &Source,
+                        const AutotuneOptions &Opts);
+
+} // namespace descend
+
+#endif // DESCEND_DRIVER_AUTOTUNE_H

@@ -192,6 +192,7 @@ codegen::GenResult Session::emit(const codegen::BackendRegistry &Registry) {
     }
     codegen::BackendOptions Opts;
     Opts.FnSuffix = Inv.FnSuffix;
+    Opts.Passes = Inv.Passes;
     R = B->emit(*Mod, Opts);
     if (!R.Ok)
       Diags.error(DiagCode::BackendFailed, SourceRange(),
@@ -257,7 +258,7 @@ ExecuteResult Session::executeMain(const std::string &Source,
     return Out;
   }
 
-  vm::CompileVmResult C = vm::compile(*Mod);
+  vm::CompileVmResult C = vm::compile(*Mod, Inv.Passes);
   if (!C.Ok) {
     Out.Error = C.Error;
     return Out;

@@ -25,6 +25,7 @@
 
 #include "ast/Item.h"
 #include "codegen/Backend.h"
+#include "kir/Schedule.h"
 #include "obs/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -64,6 +65,12 @@ struct CompilerInvocation {
 
   /// Appended to every emitted function name (see BackendOptions).
   std::string FnSuffix;
+
+  /// Opt-in, semantics-preserving schedule passes run over the lowered
+  /// kernel IR before emission (`--pad-shared=N`, `--vectorize`). The
+  /// default (no passes) keeps every artifact byte-identical to the
+  /// historical output. Part of the compile-service cache key.
+  kir::PassConfig Passes;
 
   /// Stage cutoff: run() stops after this stage (e.g. Stage::Typecheck for
   /// `--emit=check`).

@@ -376,6 +376,23 @@ std::string kir::natToCpp(const Nat &N, const CppStyle &Style,
 // Backend spellings
 //===----------------------------------------------------------------------===//
 
+std::string CppStyle::wideStore(const MemRef &Ref, const std::string &Idx,
+                                const std::string &V0,
+                                const std::string &V1) const {
+  // Fallback: two narrow stores — semantically equivalent, no fusion.
+  return store(Ref, Idx, V0) + " " + store(Ref, "(" + Idx + " + 1)", V1);
+}
+
+std::vector<std::string> CppStyle::wideLet(const MemRef &Ref,
+                                           const std::string &Idx,
+                                           const std::string &N0,
+                                           const std::string &N1) const {
+  const char *T = cppScalarType(Ref.Elem);
+  return {std::string(T) + " " + N0 + " = " + load(Ref, Idx) + ";",
+          std::string(T) + " " + N1 + " = " + load(Ref, "(" + Idx + " + 1)") +
+              ";"};
+}
+
 std::string CudaStyle::mapVar(const std::string &V) const {
   if (V == "_bx")
     return "blockIdx.x";
@@ -404,6 +421,34 @@ std::string CudaStyle::store(const MemRef &Ref, const std::string &Idx,
 }
 
 std::string CudaStyle::barrier() const { return "__syncthreads();"; }
+
+namespace {
+/// CUDA vector type of a two-element f32/f64 access.
+const char *cudaVec2Type(ScalarKind K) {
+  return K == ScalarKind::F32 ? "float2" : "double2";
+}
+} // namespace
+
+std::string CudaStyle::wideStore(const MemRef &Ref, const std::string &Idx,
+                                 const std::string &V0,
+                                 const std::string &V1) const {
+  const char *V2 = cudaVec2Type(Ref.Elem);
+  return strfmt("*reinterpret_cast<%s *>(&%s[%s]) = make_%s(%s, %s);", V2,
+                Ref.Name.c_str(), Idx.c_str(), V2, V0.c_str(), V1.c_str());
+}
+
+std::vector<std::string> CudaStyle::wideLet(const MemRef &Ref,
+                                            const std::string &Idx,
+                                            const std::string &N0,
+                                            const std::string &N1) const {
+  const char *V2 = cudaVec2Type(Ref.Elem);
+  const char *T = cppScalarType(Ref.Elem);
+  std::string Tmp = N0 + "_w2";
+  return {strfmt("const %s %s = *reinterpret_cast<const %s *>(&%s[%s]);", V2,
+                 Tmp.c_str(), V2, Ref.Name.c_str(), Idx.c_str()),
+          strfmt("%s %s = %s.x;", T, N0.c_str(), Tmp.c_str()),
+          strfmt("%s %s = %s.y;", T, N1.c_str(), Tmp.c_str())};
+}
 
 std::string SimStyle::load(const MemRef &Ref, const std::string &Idx) const {
   switch (Ref.Space) {
@@ -438,6 +483,43 @@ std::string SimStyle::store(const MemRef &Ref, const std::string &Idx,
 std::string SimStyle::barrier() const {
   // Unreachable through printStmts (allowsBarriers() is false).
   return "/*phase boundary*/;";
+}
+
+std::string SimStyle::wideStore(const MemRef &Ref, const std::string &Idx,
+                                const std::string &V0,
+                                const std::string &V1) const {
+  switch (Ref.Space) {
+  case MemSpace::Global:
+    return Ref.Name + ".store2(_b, " + Idx + ", " + V0 + ", " + V1 + ");";
+  case MemSpace::Shared:
+    return strfmt("_b.sharedStore2<%s>(%zu, %s, %s, %s);",
+                  cppScalarType(Ref.Elem), Ref.ByteBase, Idx.c_str(),
+                  V0.c_str(), V1.c_str());
+  case MemSpace::Arena:
+    // Arena slots are per-thread; fusion buys nothing and the vectorize
+    // pass never produces this. Narrow fallback keeps printing total.
+    return CppStyle::wideStore(Ref, Idx, V0, V1);
+  }
+  return ";";
+}
+
+std::vector<std::string> SimStyle::wideLet(const MemRef &Ref,
+                                           const std::string &Idx,
+                                           const std::string &N0,
+                                           const std::string &N1) const {
+  const char *T = cppScalarType(Ref.Elem);
+  switch (Ref.Space) {
+  case MemSpace::Global:
+    return {strfmt("%s %s, %s;", T, N0.c_str(), N1.c_str()),
+            Ref.Name + ".load2(_b, " + Idx + ", " + N0 + ", " + N1 + ");"};
+  case MemSpace::Shared:
+    return {strfmt("%s %s, %s;", T, N0.c_str(), N1.c_str()),
+            strfmt("_b.sharedLoad2<%s>(%zu, %s, %s, %s);", T, Ref.ByteBase,
+                   Idx.c_str(), N0.c_str(), N1.c_str())};
+  case MemSpace::Arena:
+    return CppStyle::wideLet(Ref, Idx, N0, N1);
+  }
+  return {};
 }
 
 //===----------------------------------------------------------------------===//
@@ -515,6 +597,18 @@ private:
         fail("let without an initializer");
         return;
       }
+      if (S.Width == 2) {
+        if (S.Value->K != ExprKind::Load || S.Name2.empty()) {
+          fail("wide let that is not a two-target load");
+          return;
+        }
+        if (S.Value->Ref.Space == MemSpace::Arena && !Style.allowsArena())
+          fail("arena access in a target without per-thread spill slots");
+        for (const std::string &L :
+             Style.wideLet(S.Value->Ref, nat(S.Value->Index), S.Name, S.Name2))
+          line(L);
+        return;
+      }
       line(std::string(cppScalarType(S.Elem)) + " " + S.Name + " = " +
            expr(*S.Value) + ";");
       return;
@@ -535,6 +629,15 @@ private:
       }
       if (S.Ref.Space == MemSpace::Arena && !Style.allowsArena())
         fail("arena access in a target without per-thread spill slots");
+      if (S.Width == 2) {
+        if (!S.Value2) {
+          fail("wide store without a second value");
+          return;
+        }
+        line(Style.wideStore(S.Ref, nat(S.Index), expr(*S.Value),
+                             expr(*S.Value2)));
+        return;
+      }
       line(Style.store(S.Ref, nat(S.Index), expr(*S.Value)));
       return;
     case StmtKind::If:
@@ -630,6 +733,12 @@ void dumpStmts(const std::vector<Stmt> &List, unsigned Indent,
   for (const Stmt &S : List) {
     switch (S.K) {
     case StmtKind::Let:
+      if (S.Width == 2) {
+        Line(strfmt("let2 %s %s, %s = %s", cppScalarType(S.Elem),
+                    S.Name.c_str(), S.Name2.c_str(),
+                    S.Value ? kir::dump(*S.Value).c_str() : "?"));
+        break;
+      }
       Line(strfmt("let%s %s %s = %s", S.SpillReload ? ".reload" : "",
                   cppScalarType(S.Elem), S.Name.c_str(),
                   S.Value ? kir::dump(*S.Value).c_str() : "?"));
@@ -641,6 +750,13 @@ void dumpStmts(const std::vector<Stmt> &List, unsigned Indent,
       Line(S.Name + " = " + (S.Value ? kir::dump(*S.Value) : "?"));
       break;
     case StmtKind::Store:
+      if (S.Width == 2) {
+        Line(strfmt("st2 %s %s[%s] = %s, %s", memoryName(S.Ref.Space),
+                    S.Ref.Name.c_str(), S.Index.simplified().str().c_str(),
+                    S.Value ? kir::dump(*S.Value).c_str() : "?",
+                    S.Value2 ? kir::dump(*S.Value2).c_str() : "?"));
+        break;
+      }
       Line(strfmt("st%s %s %s[%s] = %s", S.SpillReload ? ".spill" : "",
                   memoryName(S.Ref.Space), S.Ref.Name.c_str(),
                   S.Index.simplified().str().c_str(),
@@ -806,9 +922,26 @@ private:
         expr(*S.Value);
         if (S.Elem == ScalarKind::Unit)
           fail("let `" + S.Name + "` of unit type");
+        if (S.Width == 2) {
+          if (S.Value->K != ExprKind::Load)
+            fail("wide let `" + S.Name + "` whose initializer is not a load");
+          else if (S.Value->Ref.Space == MemSpace::Arena)
+            fail("wide let `" + S.Name + "` from the per-thread arena");
+          else if (S.Value->Ref.Elem != ScalarKind::F32 &&
+                   S.Value->Ref.Elem != ScalarKind::F64)
+            fail("wide let `" + S.Name + "` of a non-float element type");
+          if (S.Name2.empty())
+            fail("wide let `" + S.Name + "` without a second target");
+          else if (definedInCurrentScope(S.Name2) || S.Name2 == S.Name)
+            fail("redefinition of `" + S.Name2 + "` in the same scope");
+        } else if (S.Width != 1) {
+          fail("let `" + S.Name + "` with unsupported width");
+        }
         if (definedInCurrentScope(S.Name))
           fail("redefinition of `" + S.Name + "` in the same scope");
         define(S.Name);
+        if (S.Width == 2 && !S.Name2.empty())
+          define(S.Name2);
         break;
       case StmtKind::LetIndex:
         checkNat(S.Index, "index let");
@@ -831,6 +964,19 @@ private:
           expr(*S.Value);
         else
           fail("store without a value");
+        if (S.Width == 2) {
+          if (S.Ref.Space == MemSpace::Arena)
+            fail("wide store to the per-thread arena");
+          else if (S.Ref.Elem != ScalarKind::F32 &&
+                   S.Ref.Elem != ScalarKind::F64)
+            fail("wide store of a non-float element type");
+          if (S.Value2)
+            expr(*S.Value2);
+          else
+            fail("wide store without a second value");
+        } else if (S.Width != 1) {
+          fail("store with unsupported width");
+        }
         break;
       case StmtKind::If:
         checkNat(S.CondL, "if condition");

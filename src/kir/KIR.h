@@ -138,6 +138,14 @@ struct Stmt {
   /// in a phase that never otherwise touches the local is dead and the
   /// dead-spill pass removes it.
   bool SpillReload = false;
+  /// Wide-access width: 1 = scalar (default), 2 = a fused two-element
+  /// access produced by the vectorize schedule pass. A Width=2 Store
+  /// writes Ref[Index] = Value and Ref[Index + 1] = Value2 as one issued
+  /// transaction; a Width=2 Let loads Ref[Index]/[Index + 1] into
+  /// Name/Name2.
+  unsigned Width = 1;
+  ExprPtr Value2;                       // Store (Width == 2): second value
+  std::string Name2;                    // Let (Width == 2): second target
   Nat CondL, CondR;                     // If: CondL < CondR
   std::vector<Stmt> Then, Else;         // If
   Nat Lo, Hi;                           // For: half-open [Lo..Hi)
@@ -188,6 +196,21 @@ public:
 
   /// Barrier statement, `;` included.
   virtual std::string barrier() const = 0;
+
+  /// Wide (two-element) store: writes Ref[Idx] and Ref[Idx + 1] as one
+  /// issued transaction. The base implementation falls back to two narrow
+  /// stores (semantically equivalent, no transaction fusion).
+  virtual std::string wideStore(const MemRef &Ref, const std::string &Idx,
+                                const std::string &V0,
+                                const std::string &V1) const;
+
+  /// Wide (two-element) load into the fresh scalar locals \p N0 / \p N1,
+  /// rendered as one or more full statements (`;` included). The base
+  /// implementation falls back to two narrow load-lets.
+  virtual std::vector<std::string> wideLet(const MemRef &Ref,
+                                           const std::string &Idx,
+                                           const std::string &N0,
+                                           const std::string &N1) const;
 };
 
 /// CUDA spelling: `buf[idx]`, `__syncthreads();`, blockIdx/threadIdx
@@ -201,6 +224,12 @@ public:
   std::string store(const MemRef &Ref, const std::string &Idx,
                     const std::string &Value) const override;
   std::string barrier() const override;
+  std::string wideStore(const MemRef &Ref, const std::string &Idx,
+                        const std::string &V0,
+                        const std::string &V1) const override;
+  std::vector<std::string> wideLet(const MemRef &Ref, const std::string &Idx,
+                                   const std::string &N0,
+                                   const std::string &N1) const override;
 };
 
 /// Simulator spelling against sim/Sim.h: `buf.load(_b, idx)`,
@@ -214,6 +243,12 @@ public:
   std::string store(const MemRef &Ref, const std::string &Idx,
                     const std::string &Value) const override;
   std::string barrier() const override;
+  std::string wideStore(const MemRef &Ref, const std::string &Idx,
+                        const std::string &V0,
+                        const std::string &V1) const override;
+  std::vector<std::string> wideLet(const MemRef &Ref, const std::string &Idx,
+                                   const std::string &N0,
+                                   const std::string &N1) const override;
 };
 
 /// Renders \p N as a C++ expression in \p Style: standard precedence,

@@ -30,6 +30,8 @@ template <typename ExprFn> void forEachExpr(Stmt &S, ExprFn Fn) {
   };
   if (S.Value)
     Walk(*S.Value);
+  if (S.Value2)
+    Walk(*S.Value2);
   for (Stmt &C : S.Then)
     forEachExpr(C, Fn);
   for (Stmt &C : S.Else)
@@ -57,6 +59,8 @@ void collectUsedNames(const std::vector<Stmt> &Stmts,
   for (const Stmt &S : Stmts) {
     if (!S.Name.empty())
       Out.insert(S.Name);
+    if (!S.Name2.empty())
+      Out.insert(S.Name2);
     if (!S.Ref.Name.empty())
       Out.insert(S.Ref.Name);
     AddNatVars(S.Index);
@@ -129,6 +133,8 @@ void countIndexes(const std::vector<Stmt> &Stmts,
                 WalkE(*E.Sub);
             };
             WalkE(*S.Value);
+            if (S.Value2)
+              WalkE(*S.Value2);
           }
           Walk(S.Then);
           Walk(S.Else);
@@ -160,6 +166,8 @@ void replaceIndex(std::vector<Stmt> &Stmts, const std::string &Key,
       S.Index = Repl;
     if (S.Value)
       WalkE(*S.Value);
+    if (S.Value2)
+      WalkE(*S.Value2);
     replaceIndex(S.Then, Key, Repl, KeyVars);
     replaceIndex(S.Else, Key, Repl, KeyVars);
     if (S.K == StmtKind::For &&

@@ -1,0 +1,427 @@
+//===- kir/Schedule.cpp - Schedule-transformation passes ----------------------===//
+
+#include "kir/Schedule.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace descend;
+using namespace descend::kir;
+
+std::string PassConfig::cacheKey() const {
+  std::string Key;
+  if (SharedPad != 0)
+    Key += "pad=" + std::to_string(SharedPad);
+  if (Vectorize) {
+    if (!Key.empty())
+      Key += ",";
+    Key += "vec";
+  }
+  return Key;
+}
+
+size_t kir::scheduleScalarSize(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I32:
+  case ScalarKind::U32:
+  case ScalarKind::F32:
+    return 4;
+  case ScalarKind::I64:
+  case ScalarKind::U64:
+  case ScalarKind::F64:
+    return 8;
+  case ScalarKind::Bool:
+    return 1;
+  case ScalarKind::Unit:
+    return 0;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Access walking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Visits every memory access of a statement list: Store statements and
+/// Load expressions (including wide-store second values), pre-order. The
+/// callback gets the access's MemRef and index, both mutable, plus the
+/// variable bounds in scope at the access (the entry bounds extended by
+/// literal-bounded enclosing `for` variables; a non-literal loop bound
+/// maps to -1, "unbounded").
+using AccessFn = std::function<void(MemRef &, Nat &, const VarBounds &)>;
+
+void walkAccesses(std::vector<Stmt> &Stmts, VarBounds Bounds,
+                  const AccessFn &Fn) {
+  std::function<void(Expr &)> WalkE = [&](Expr &E) {
+    if (E.K == ExprKind::Load)
+      Fn(E.Ref, E.Index, Bounds);
+    if (E.Lhs)
+      WalkE(*E.Lhs);
+    if (E.Rhs)
+      WalkE(*E.Rhs);
+    if (E.Sub)
+      WalkE(*E.Sub);
+  };
+  for (Stmt &S : Stmts) {
+    if (S.K == StmtKind::Store)
+      Fn(S.Ref, S.Index, Bounds);
+    if (S.Value)
+      WalkE(*S.Value);
+    if (S.Value2)
+      WalkE(*S.Value2);
+    walkAccesses(S.Then, Bounds, Fn);
+    walkAccesses(S.Else, Bounds, Fn);
+    if (S.K == StmtKind::For) {
+      VarBounds Inner = Bounds;
+      Nat Hi = S.Hi.isNull() ? S.Hi : S.Hi.simplified();
+      Inner[S.Name] = (!Hi.isNull() && Hi.isLit()) ? Hi.litValue() : -1;
+      walkAccesses(S.Body, Inner, Fn);
+    } else {
+      walkAccesses(S.Body, Bounds, Fn);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Value-range analysis over Nats
+//===----------------------------------------------------------------------===//
+
+struct Range {
+  long long Min = 0;
+  long long Max = 0;
+};
+
+/// Conservative [min, max] of \p N under \p Bounds, treating every bound
+/// variable as ranging over [0, bound). Unknown or unbounded (-1)
+/// variables, and operators the analysis does not model, yield nullopt.
+std::optional<Range> rangeOf(const Nat &N, const VarBounds &Bounds) {
+  if (N.isNull())
+    return std::nullopt;
+  switch (N.kind()) {
+  case NatKind::Lit:
+    return Range{N.litValue(), N.litValue()};
+  case NatKind::Var: {
+    auto It = Bounds.find(N.varName());
+    if (It == Bounds.end() || It->second <= 0)
+      return std::nullopt;
+    return Range{0, It->second - 1};
+  }
+  case NatKind::Add: {
+    auto L = rangeOf(N.lhs(), Bounds), R = rangeOf(N.rhs(), Bounds);
+    if (!L || !R)
+      return std::nullopt;
+    return Range{L->Min + R->Min, L->Max + R->Max};
+  }
+  case NatKind::Sub: {
+    auto L = rangeOf(N.lhs(), Bounds), R = rangeOf(N.rhs(), Bounds);
+    if (!L || !R)
+      return std::nullopt;
+    return Range{L->Min - R->Max, L->Max - R->Min};
+  }
+  case NatKind::Mul: {
+    auto L = rangeOf(N.lhs(), Bounds), R = rangeOf(N.rhs(), Bounds);
+    if (!L || !R)
+      return std::nullopt;
+    long long C[4] = {L->Min * R->Min, L->Min * R->Max, L->Max * R->Min,
+                      L->Max * R->Max};
+    return Range{*std::min_element(C, C + 4), *std::max_element(C, C + 4)};
+  }
+  default: {
+    // Div/Mod/Pow: only a fully constant subtree is modeled.
+    auto V = N.evaluate({});
+    if (!V)
+      return std::nullopt;
+    return Range{*V, *V};
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-memory padding
+//===----------------------------------------------------------------------===//
+
+/// One additive term of a flattened index polynomial: Coeff * Rest, where
+/// Rest is a product of non-literal factors (null for a pure literal
+/// term).
+struct Term {
+  long long Coeff = 1;
+  Nat Rest;
+};
+
+void flattenTerms(const Nat &N, long long Sign, std::vector<Term> &Out,
+                  bool &Failed) {
+  if (N.isNull()) {
+    Failed = true;
+    return;
+  }
+  switch (N.kind()) {
+  case NatKind::Add:
+    flattenTerms(N.lhs(), Sign, Out, Failed);
+    flattenTerms(N.rhs(), Sign, Out, Failed);
+    return;
+  case NatKind::Sub:
+    flattenTerms(N.lhs(), Sign, Out, Failed);
+    flattenTerms(N.rhs(), -Sign, Out, Failed);
+    return;
+  default:
+    break;
+  }
+  // A single monomial: split into literal coefficient and symbolic rest.
+  long long Coeff = Sign;
+  Nat Rest;
+  std::function<void(const Nat &)> SplitMul = [&](const Nat &M) {
+    if (M.kind() == NatKind::Mul) {
+      SplitMul(M.lhs());
+      SplitMul(M.rhs());
+      return;
+    }
+    if (M.isLit()) {
+      Coeff *= M.litValue();
+      return;
+    }
+    Rest = Rest.isNull() ? M : Nat::mul(Rest, M);
+  };
+  SplitMul(N);
+  Out.push_back(Term{Coeff, Rest});
+}
+
+/// Tries to decompose flat index \p I as q*W + r with 0 <= r < W provable
+/// under \p Bounds. On success returns the quotient q as a Nat (null for
+/// a zero quotient).
+std::optional<Nat> decomposeIndex(const Nat &I, size_t W,
+                                  const VarBounds &Bounds) {
+  std::vector<Term> Terms;
+  bool Failed = false;
+  flattenTerms(I.simplified(), 1, Terms, Failed);
+  if (Failed)
+    return std::nullopt;
+
+  Nat Quotient, Remainder;
+  auto Accumulate = [](Nat &Acc, const Term &T, long long Coeff) {
+    Nat Mono = T.Rest.isNull() ? Nat::lit(Coeff)
+                               : Nat::mul(Nat::lit(Coeff), T.Rest);
+    Acc = Acc.isNull() ? Mono : Nat::add(Acc, Mono);
+  };
+  for (const Term &T : Terms) {
+    if (T.Coeff % (long long)W == 0 && T.Coeff != 0)
+      Accumulate(Quotient, T, T.Coeff / (long long)W);
+    else
+      Accumulate(Remainder, T, T.Coeff);
+  }
+
+  if (!Remainder.isNull()) {
+    auto R = rangeOf(Remainder.simplified(), Bounds);
+    if (!R || R->Min < 0 || R->Max >= (long long)W)
+      return std::nullopt;
+  }
+  return Quotient; // may be null: a row-constant access needs no rewrite
+}
+
+} // namespace
+
+unsigned kir::padSharedBuffers(const std::vector<BodyRef> &Bodies,
+                               std::vector<ScheduleSharedBuffer> &Buffers,
+                               size_t &SharedBytes, unsigned Pad,
+                               const VarBounds &Bounds,
+                               ScheduleStats *Stats) {
+  if (Pad == 0 || Buffers.empty())
+    return 0;
+
+  unsigned Padded = 0;
+  for (ScheduleSharedBuffer &Buf : Buffers) {
+    if (Buf.RowWidth < 2 || Buf.Elems == 0 || Buf.Elems % Buf.RowWidth != 0)
+      continue; // no row structure to pad
+
+    // Analysis: every access of this buffer, in every body, must
+    // decompose as q*W + r. Record the rewrite targets; bail wholesale
+    // on the first failure.
+    struct Rewrite {
+      Nat *Index;
+      Nat Quotient;
+    };
+    std::vector<Rewrite> Rewrites;
+    bool Paddable = true;
+    for (const BodyRef &B : Bodies) {
+      VarBounds Entry = Bounds;
+      for (const auto &[V, Bound] : B.Extra)
+        Entry[V] = Bound;
+      walkAccesses(*B.List, Entry,
+                   [&](MemRef &Ref, Nat &Index, const VarBounds &InScope) {
+                     if (!Paddable || Ref.Space != MemSpace::Shared ||
+                         Ref.Name != Buf.Name)
+                       return;
+                     auto Q = decomposeIndex(Index, Buf.RowWidth, InScope);
+                     if (!Q) {
+                       Paddable = false;
+                       return;
+                     }
+                     if (!Q->isNull())
+                       Rewrites.push_back(Rewrite{&Index, *Q});
+                   });
+      if (!Paddable)
+        break;
+    }
+    if (!Paddable)
+      continue;
+
+    // Rewrite: index += q * Pad; the allocation grows by Pad elements per
+    // row.
+    for (Rewrite &R : Rewrites) {
+      *R.Index =
+          Nat::add(*R.Index, Nat::mul(R.Quotient, Nat::lit(Pad))).simplified();
+      if (Stats)
+        ++Stats->RewrittenAccesses;
+    }
+    Buf.Elems += (Buf.Elems / Buf.RowWidth) * Pad;
+    ++Padded;
+    if (Stats)
+      ++Stats->PaddedBuffers;
+  }
+
+  if (Padded == 0)
+    return 0;
+
+  // Re-lay-out the shared region for the grown allocations (same 8-byte
+  // alignment rule the Lowerer uses) and point every shared access at its
+  // buffer's new byte base.
+  size_t Cursor = 0;
+  for (ScheduleSharedBuffer &Buf : Buffers) {
+    Buf.ByteBase = (Cursor + 7) & ~size_t(7);
+    Cursor = Buf.ByteBase + Buf.Elems * scheduleScalarSize(Buf.Elem);
+  }
+  SharedBytes = Cursor;
+  for (const BodyRef &B : Bodies)
+    walkAccesses(*B.List, {}, [&](MemRef &Ref, Nat &, const VarBounds &) {
+      if (Ref.Space != MemSpace::Shared)
+        return;
+      for (const ScheduleSharedBuffer &Buf : Buffers)
+        if (Buf.Name == Ref.Name) {
+          Ref.ByteBase = Buf.ByteBase;
+          break;
+        }
+    });
+  return Padded;
+}
+
+//===----------------------------------------------------------------------===//
+// Load/store vectorization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool vectorizableElem(ScalarKind K) {
+  return K == ScalarKind::F32 || K == ScalarKind::F64;
+}
+
+bool sameBuffer(const MemRef &A, const MemRef &B) {
+  return A.Space == B.Space && A.Name == B.Name && A.Elem == B.Elem;
+}
+
+/// Provably-different indices: a < b or b < a. proveEq(a, b) == false is
+/// NOT sufficient — it only means "not provably equal".
+bool provablyNe(const Nat &A, const Nat &B) {
+  auto LT = Nat::proveLt(A, B);
+  if (LT && *LT)
+    return true;
+  auto GT = Nat::proveLt(B, A);
+  return GT && *GT;
+}
+
+/// Wide-access legality for a pair of indices: I2 == I1 + 1 and I1 even,
+/// so the fused access is contiguous and naturally aligned.
+bool contiguousAligned(const Nat &I1, const Nat &I2) {
+  if (!Nat::proveEq(I2, Nat::add(I1, Nat::lit(1))))
+    return false;
+  auto Div = Nat::proveDivides(2, I1);
+  return Div && *Div;
+}
+
+/// True when \p E (or any subexpression) loads \p Ref at an index not
+/// provably different from \p WrittenIdx — the fusion-reordering hazard.
+bool readsCell(const Expr &E, const MemRef &Ref, const Nat &WrittenIdx) {
+  if (E.K == ExprKind::Load && sameBuffer(E.Ref, Ref) &&
+      !provablyNe(E.Index, WrittenIdx))
+    return true;
+  if (E.Lhs && readsCell(*E.Lhs, Ref, WrittenIdx))
+    return true;
+  if (E.Rhs && readsCell(*E.Rhs, Ref, WrittenIdx))
+    return true;
+  return E.Sub && readsCell(*E.Sub, Ref, WrittenIdx);
+}
+
+bool isPureLoad(const Stmt &S) {
+  return S.K == StmtKind::Let && !S.SpillReload && S.Width == 1 && S.Value &&
+         S.Value->K == ExprKind::Load;
+}
+
+bool isPlainStore(const Stmt &S) {
+  return S.K == StmtKind::Store && !S.SpillReload && S.Width == 1 &&
+         S.Ref.Space != MemSpace::Arena;
+}
+
+unsigned vectorizeList(std::vector<Stmt> &Stmts, ScheduleStats *Stats) {
+  unsigned Fused = 0;
+  for (size_t I = 0; I + 1 < Stmts.size();) {
+    Stmt &S1 = Stmts[I];
+    Stmt &S2 = Stmts[I + 1];
+
+    // store B[i] = e0; store B[i+1] = e1;  ->  st2 B[i] = e0, e1
+    if (isPlainStore(S1) && isPlainStore(S2) && sameBuffer(S1.Ref, S2.Ref) &&
+        vectorizableElem(S1.Ref.Elem)) {
+      bool Legal = contiguousAligned(S1.Index, S2.Index) &&
+                   !readsCell(*S2.Value, S1.Ref, S1.Index);
+      if (Legal) {
+        S1.Width = 2;
+        S1.Value2 = std::move(S2.Value);
+        Stmts.erase(Stmts.begin() + I + 1);
+        ++Fused;
+        if (Stats)
+          ++Stats->FusedStorePairs;
+        continue; // S1 may fuse again? no: Width == 2 now, scan moves on
+      }
+      if (Stats)
+        ++Stats->RejectedPairs;
+    }
+
+    // let x = B[i]; let y = B[i+1];  ->  let2 x, y = B[i]
+    if (isPureLoad(S1) && isPureLoad(S2) &&
+        sameBuffer(S1.Value->Ref, S2.Value->Ref) &&
+        vectorizableElem(S1.Value->Ref.Elem) && S1.Elem == S2.Elem &&
+        S1.Value->Ref.Space != MemSpace::Arena) {
+      if (contiguousAligned(S1.Value->Index, S2.Value->Index)) {
+        S1.Width = 2;
+        S1.Name2 = S2.Name;
+        Stmts.erase(Stmts.begin() + I + 1);
+        ++Fused;
+        if (Stats)
+          ++Stats->FusedLoadPairs;
+        continue;
+      }
+      if (Stats)
+        ++Stats->RejectedPairs;
+    }
+
+    ++I;
+  }
+  for (Stmt &S : Stmts) {
+    Fused += vectorizeList(S.Then, Stats);
+    Fused += vectorizeList(S.Else, Stats);
+    Fused += vectorizeList(S.Body, Stats);
+  }
+  return Fused;
+}
+
+} // namespace
+
+unsigned kir::vectorizeAccesses(const std::vector<BodyRef> &Bodies,
+                                const VarBounds &Bounds,
+                                ScheduleStats *Stats) {
+  (void)Bounds; // the contiguity/alignment proofs are bounds-free
+  unsigned Fused = 0;
+  for (const BodyRef &B : Bodies)
+    Fused += vectorizeList(*B.List, Stats);
+  return Fused;
+}

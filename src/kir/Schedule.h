@@ -1,0 +1,138 @@
+//===- kir/Schedule.h - Schedule-transformation passes ----------*- C++ -*-===//
+//
+// Part of the Descend reproduction. Opt-in, semantics-preserving schedule
+// passes over the typed kernel IR — the transformation catalogue of
+// source-to-source GPU schedule tuning, applied after lowering and before
+// the always-on cleanup passes (kir/Passes.h):
+//
+//   padSharedBuffers    rewrites the flat indices of a shared buffer laid
+//                       out as rows of width W from `q*W + r` to
+//                       `q*(W+pad) + r` and grows the allocation, so
+//                       column-constant warp accesses spread over banks
+//                       instead of serializing (the classic bank-conflict
+//                       padding). Only buffers whose *every* access
+//                       provably decomposes (0 <= r < W under the known
+//                       variable bounds) are padded; everything else is
+//                       left untouched.
+//   vectorizeAccesses   fuses two adjacent stores to (or load-lets from)
+//                       the same buffer at provably contiguous, 2-aligned
+//                       indices into one wide (Width = 2) access, modeled
+//                       by the simulator and the vm as a single issued
+//                       transaction. Pairs that are not provably
+//                       contiguous, not provably aligned, or where the
+//                       second value reads the first store's cell are
+//                       rejected.
+//
+// Both passes are pure IR rewrites: they never change what a kernel
+// computes, only how its accesses are laid out and issued — the property
+// tests pin with bit-identical outputs. The passes are selected by a
+// PassConfig threaded from CompilerInvocation through the backends, and
+// the config is part of the compile-service cache key, so tile-size
+// candidates expressed as `-D` rebindings plus pass toggles each get
+// their own cached artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DESCEND_KIR_SCHEDULE_H
+#define DESCEND_KIR_SCHEDULE_H
+
+#include "kir/KIR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace descend {
+namespace kir {
+
+/// Which opt-in schedule passes a compilation runs. Default-constructed:
+/// none (the always-on cleanup passes still run), so artifacts are
+/// byte-identical to pre-schedule-pass builds unless a config is set.
+struct PassConfig {
+  /// Elements appended to every innermost row of each paddable shared
+  /// buffer (0 = pass off). Element-granular so wide scalars stay
+  /// naturally aligned.
+  unsigned SharedPad = 0;
+
+  /// Fuse adjacent contiguous same-buffer accesses into Width=2 accesses.
+  bool Vectorize = false;
+
+  bool any() const { return SharedPad != 0 || Vectorize; }
+
+  /// Stable fragment for cache keys / labels: "" when no pass is on,
+  /// otherwise e.g. "pad=1" / "vec" / "pad=2,vec".
+  std::string cacheKey() const;
+
+  friend bool operator==(const PassConfig &, const PassConfig &) = default;
+};
+
+/// Exclusive upper bounds of nonnegative integer variables: Bounds["_tx"]
+/// = 16 means _tx in [0, 16). The provers below treat any variable
+/// without an entry as unbounded (and bail conservatively).
+using VarBounds = std::map<std::string, long long>;
+
+/// One statement list a pass should rewrite, with the bounds of the
+/// enclosing loop variables visible inside it (phase-loop variables for
+/// sim phase bodies; empty for a CUDA kernel body, whose `for` loops the
+/// passes walk themselves).
+struct BodyRef {
+  std::vector<Stmt> *List = nullptr;
+  VarBounds Extra;
+};
+
+/// One shared allocation as the schedule passes see it. RowWidth is the
+/// innermost row width W in elements (the product of every dimension but
+/// the first); 0 marks a buffer without row structure, which padding
+/// skips. Elems and ByteBase are updated in place by padSharedBuffers.
+struct ScheduleSharedBuffer {
+  std::string Name;
+  ScalarKind Elem = ScalarKind::F64;
+  size_t Elems = 0;
+  size_t ByteBase = 0;
+  size_t RowWidth = 0;
+};
+
+/// What the schedule passes did, for tests and tooling.
+struct ScheduleStats {
+  unsigned PaddedBuffers = 0;     ///< buffers whose layout was rewritten
+  unsigned RewrittenAccesses = 0; ///< accesses with a changed index/base
+  unsigned FusedStorePairs = 0;   ///< store pairs fused to Width=2
+  unsigned FusedLoadPairs = 0;    ///< load-let pairs fused to Width=2
+  unsigned RejectedPairs = 0;     ///< candidate pairs that failed legality
+};
+
+/// Element size in bytes of a scalar kind, as laid out in the shared
+/// arena (matches vm::scalarSize and the generated C++).
+size_t scheduleScalarSize(ScalarKind K);
+
+/// Shared-memory padding. Analyzes every access of every buffer in
+/// \p Buffers across all \p Bodies: an access with flat index I is
+/// paddable when I provably decomposes as q*W + r with 0 <= r < W under
+/// \p Bounds (plus each body's Extra bounds and literal-bounded `for`
+/// variables). Buffers whose accesses all decompose get Elems grown by
+/// Pad per row and every access rewritten to I + q*Pad; every shared
+/// buffer's ByteBase (and \p SharedBytes) is then recomputed for the new
+/// layout. Returns the number of padded buffers.
+unsigned padSharedBuffers(const std::vector<BodyRef> &Bodies,
+                          std::vector<ScheduleSharedBuffer> &Buffers,
+                          size_t &SharedBytes, unsigned Pad,
+                          const VarBounds &Bounds,
+                          ScheduleStats *Stats = nullptr);
+
+/// Load/store vectorization. Scans each statement list (recursing into
+/// if-branches and for-bodies) for adjacent fusable pairs:
+///   store B[i] = e0; store B[i+1] = e1;   ->  wide store (Width = 2)
+///   let x = B[i]; let y = B[i+1];         ->  wide load-let (Width = 2)
+/// Legality: same buffer, same f32/f64 element type, the second index
+/// provably equals the first + 1, the first index provably 2-aligned
+/// (so wide accesses stay naturally aligned), and — for stores — the
+/// second value must not read the first store's cell (fusing reorders
+/// that read before the first write). Returns the number of fused pairs.
+unsigned vectorizeAccesses(const std::vector<BodyRef> &Bodies,
+                           const VarBounds &Bounds,
+                           ScheduleStats *Stats = nullptr);
+
+} // namespace kir
+} // namespace descend
+
+#endif // DESCEND_KIR_SCHEDULE_H

@@ -67,6 +67,8 @@ std::string CompileService::makeKey(const CompileRequest &Req) {
     Key += ';';
   }
   Key += '\x1f';
+  Key += Req.Passes.cacheKey();
+  Key += '\x1f';
   Key += Req.Source;
   return Key;
 }
@@ -79,6 +81,7 @@ CompileReply CompileService::doCompile(const CompileRequest &Req) {
     Inv.Defines = Req.Defines;
     Inv.BackendName = Req.Backend;
     Inv.FnSuffix = Req.FnSuffix;
+    Inv.Passes = Req.Passes;
     // The vm backend's executable artifact comes from vm::compile — run
     // the pipeline to typecheck and compile once, instead of letting
     // emit() compile for the listing and then compiling again.
@@ -94,7 +97,7 @@ CompileReply CompileService::doCompile(const CompileRequest &Req) {
       return Rep;
     }
     if (IsVm) {
-      vm::CompileVmResult C = vm::compile(*S.module());
+      vm::CompileVmResult C = vm::compile(*S.module(), Req.Passes);
       if (!C.Ok) {
         Rep.Diagnostics = "vm: " + C.Error;
         return Rep;

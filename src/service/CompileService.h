@@ -5,10 +5,11 @@
 // nat bindings and a backend name; replies carry the textual artifact
 // and — for the vm backend — the directly executable CompiledProgram.
 // Successful results are cached in an LRU keyed by (backend, fn-suffix,
-// sorted defines, full source text), so re-requesting a kernel at the
-// same specialization is a cache probe instead of a recompile, and
-// requesting the same source at a different `-D` binding is a distinct
-// entry. Identical requests arriving concurrently are coalesced onto one
+// sorted defines, schedule passes, full source text), so re-requesting a
+// kernel at the same specialization is a cache probe instead of a
+// recompile, and requesting the same source at a different `-D` binding
+// or schedule-pass configuration is a distinct entry — the autotuner
+// leans on this to sweep tile sizes and pass configs. Identical requests arriving concurrently are coalesced onto one
 // compilation (the others wait for its result).
 //
 // Error discipline: malformed or hostile sources produce a reply with
@@ -42,6 +43,7 @@ struct CompileRequest {
   std::string Backend = "vm";
   std::string FnSuffix;
   std::string BufferName = "<service>"; ///< diagnostics point here
+  kir::PassConfig Passes; ///< opt-in schedule passes; part of the cache key
 };
 
 struct CompileReply {

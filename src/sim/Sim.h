@@ -231,6 +231,14 @@ struct BlockCtx {
   // Logged shared-memory access; see class GpuDevice for the global side.
   template <typename T> T sharedLoad(size_t Base, size_t I) const;
   template <typename T> void sharedStore(size_t Base, size_t I, T V) const;
+
+  // Wide (two-element) access at elements I and I+1, fused by the
+  // vectorize schedule pass into ONE issued transaction: a single counter
+  // tick at the first element's byte offset, both elements race-logged.
+  template <typename T>
+  void sharedLoad2(size_t Base, size_t I, T &V0, T &V1) const;
+  template <typename T>
+  void sharedStore2(size_t Base, size_t I, T V0, T V1) const;
 };
 
 /// Thread coordinates within a block.
@@ -396,6 +404,43 @@ public:
     Data[I] = Value;
   }
 
+  /// Wide (two-element) access at elements I and I+1, fused by the
+  /// vectorize schedule pass into ONE issued transaction: a single
+  /// counter tick, but both elements race-logged and bounds-checked.
+  void load2(const BlockCtx &B, size_t I, T &V0, T &V1) const {
+    if (B.Counters) [[unlikely]]
+      B.Counters->countGlobal(/*Write=*/false);
+    if (Dev->raceDetection()) [[unlikely]] {
+      Dev->logAccess(B, Id, I, /*Write=*/false);
+      Dev->logAccess(B, Id, I + 1, /*Write=*/false);
+    }
+    if (Dev->boundsChecking()) [[unlikely]] {
+      if (I + 1 >= Count) {
+        Dev->logBounds(Id, I + 1, Count);
+        V0 = V1 = T{};
+        return;
+      }
+    }
+    V0 = Data[I];
+    V1 = Data[I + 1];
+  }
+  void store2(const BlockCtx &B, size_t I, T V0, T V1) const {
+    if (B.Counters) [[unlikely]]
+      B.Counters->countGlobal(/*Write=*/true);
+    if (Dev->raceDetection()) [[unlikely]] {
+      Dev->logAccess(B, Id, I, /*Write=*/true);
+      Dev->logAccess(B, Id, I + 1, /*Write=*/true);
+    }
+    if (Dev->boundsChecking()) [[unlikely]] {
+      if (I + 1 >= Count) {
+        Dev->logBounds(Id, I + 1, Count);
+        return;
+      }
+    }
+    Data[I] = V0;
+    Data[I + 1] = V1;
+  }
+
 private:
   friend class GpuDevice;
   Buffer(GpuDevice *Dev, T *Data, size_t Count, unsigned Id)
@@ -429,6 +474,30 @@ void BlockCtx::sharedStore(size_t Base, size_t I, T V) const {
   if (Dev->raceDetection()) [[unlikely]]
     Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), true);
   shared<T>(Base)[I] = V;
+}
+
+template <typename T>
+void BlockCtx::sharedLoad2(size_t Base, size_t I, T &V0, T &V1) const {
+  if (Counters) [[unlikely]]
+    Counters->countShared(Base + I * sizeof(T), /*Write=*/false, CurThread);
+  if (Dev->raceDetection()) [[unlikely]] {
+    Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), false);
+    Dev->logAccess(*this, SharedBufferId, Base + (I + 1) * sizeof(T), false);
+  }
+  V0 = shared<T>(Base)[I];
+  V1 = shared<T>(Base)[I + 1];
+}
+
+template <typename T>
+void BlockCtx::sharedStore2(size_t Base, size_t I, T V0, T V1) const {
+  if (Counters) [[unlikely]]
+    Counters->countShared(Base + I * sizeof(T), /*Write=*/true, CurThread);
+  if (Dev->raceDetection()) [[unlikely]] {
+    Dev->logAccess(*this, SharedBufferId, Base + I * sizeof(T), true);
+    Dev->logAccess(*this, SharedBufferId, Base + (I + 1) * sizeof(T), true);
+  }
+  shared<T>(Base)[I] = V0;
+  shared<T>(Base)[I + 1] = V1;
 }
 
 namespace detail {

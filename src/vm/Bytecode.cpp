@@ -378,6 +378,81 @@ private:
     return fail("unhandled memory space");
   }
 
+  /// Wide (two-element) load: r[D], r[D+1] = buf[idx], buf[idx+1] as one
+  /// issued transaction. Returns the first register (second is D+1) or -1.
+  int compileLoad2(const kir::MemRef &Ref, const Nat &Index) {
+    int Idx = compileNat(Index);
+    int D0 = newReg();
+    int D1 = newReg(); // adjacent by construction
+    if (Idx < 0 || D0 < 0 || D1 < 0)
+      return -1;
+    uint16_t EK = static_cast<uint16_t>(Ref.Elem);
+    switch (Ref.Space) {
+    case kir::MemSpace::Global: {
+      auto It = ParamIdx.find(Ref.Name);
+      if (It == ParamIdx.end()) {
+        fail("unknown global buffer `" + Ref.Name + "`");
+        return -1;
+      }
+      emit(Op::LoadGlobal2, static_cast<uint16_t>(D0),
+           static_cast<uint16_t>(Idx), EK, static_cast<int32_t>(It->second));
+      return D0;
+    }
+    case kir::MemSpace::Shared: {
+      int Base = memByteBase(Ref);
+      if (Base < 0)
+        return -1;
+      emit(Op::LoadShared2, static_cast<uint16_t>(D0),
+           static_cast<uint16_t>(Idx), EK, Base);
+      return D0;
+    }
+    case kir::MemSpace::Arena:
+      break;
+    }
+    fail("wide access to the per-thread arena");
+    return -1;
+  }
+
+  bool compileStore2(const kir::MemRef &Ref, const Nat &Index,
+                     const kir::Expr &V0, const kir::Expr &V1) {
+    int Idx = compileNat(Index);
+    RV A = compileExpr(V0);
+    RV B = compileExpr(V1);
+    if (Idx < 0 || !A.ok() || !B.ok())
+      return false;
+    int R0 = convert(A.Reg, A.Kind, vkOf(Ref.Elem));
+    int R1 = convert(B.Reg, B.Kind, vkOf(Ref.Elem));
+    // The wide-store operands live in adjacent registers (A, A+1).
+    int D0 = newReg();
+    int D1 = newReg();
+    if (R0 < 0 || R1 < 0 || D0 < 0 || D1 < 0)
+      return false;
+    emit(Op::Move, static_cast<uint16_t>(D0), static_cast<uint16_t>(R0), 0, 0);
+    emit(Op::Move, static_cast<uint16_t>(D1), static_cast<uint16_t>(R1), 0, 0);
+    uint16_t EK = static_cast<uint16_t>(Ref.Elem);
+    switch (Ref.Space) {
+    case kir::MemSpace::Global: {
+      auto It = ParamIdx.find(Ref.Name);
+      if (It == ParamIdx.end())
+        return fail("unknown global buffer `" + Ref.Name + "`");
+      emit(Op::StoreGlobal2, static_cast<uint16_t>(D0),
+           static_cast<uint16_t>(Idx), EK, static_cast<int32_t>(It->second));
+      return true;
+    }
+    case kir::MemSpace::Shared: {
+      int Base = memByteBase(Ref);
+      if (Base < 0)
+        return false;
+      emit(Op::StoreShared2, static_cast<uint16_t>(D0),
+           static_cast<uint16_t>(Idx), EK, Base);
+      return true;
+    }
+    case kir::MemSpace::Arena:
+      break;
+    }
+    return fail("wide access to the per-thread arena");
+  }
+
   RV compileExpr(const kir::Expr &E) {
     switch (E.K) {
     case kir::ExprKind::NatVal:
@@ -533,6 +608,17 @@ private:
   bool compileStmt(const kir::Stmt &S) {
     switch (S.K) {
     case kir::StmtKind::Let: {
+      if (S.Width == 2) {
+        if (!S.Value || S.Value->K != kir::ExprKind::Load || S.Name2.empty())
+          return fail("wide let `" + S.Name + "` that is not a two-target "
+                      "load");
+        int D0 = compileLoad2(S.Value->Ref, S.Value->Index);
+        if (D0 < 0)
+          return false;
+        VK K = vkOf(S.Value->Ref.Elem);
+        return bindLocal(S.Name, RV{D0, K}, vkOf(S.Elem)) &&
+               bindLocal(S.Name2, RV{D0 + 1, K}, vkOf(S.Elem));
+      }
       RV V = compileExpr(*S.Value);
       if (!V.ok())
         return false;
@@ -559,6 +645,11 @@ private:
       return true;
     }
     case kir::StmtKind::Store:
+      if (S.Width == 2) {
+        if (!S.Value || !S.Value2)
+          return fail("wide store without both values");
+        return compileStore2(S.Ref, S.Index, *S.Value, *S.Value2);
+      }
       return compileStore(S.Ref, S.Index, *S.Value);
     case kir::StmtKind::If: {
       int L = compileNat(S.CondL);
@@ -674,9 +765,10 @@ bool compileNodes(const std::vector<codegen::PhaseNode> &Nodes,
   return true;
 }
 
-bool compileKernel(const Module &M, const FnDef &Fn, VmKernel &K,
+bool compileKernel(const Module &M, const FnDef &Fn,
+                   const kir::PassConfig &Passes, VmKernel &K,
                    std::string &Err) {
-  codegen::Lowerer L(M, codegen::LowerTarget::Sim);
+  codegen::Lowerer L(M, codegen::LowerTarget::Sim, Passes);
   if (!L.runKernel(Fn)) {
     Err = "while lowering `" + Fn.Name + "`: " + L.Error;
     return false;
@@ -1389,11 +1481,20 @@ void disasmCode(std::ostringstream &OS, const Code &C, const char *Indent) {
     case Op::StoreGlobal:
       OS << ", r" << In.B << ", param[" << In.Imm << "]";
       break;
+    case Op::LoadGlobal2:
+    case Op::StoreGlobal2:
+      OS << ":r" << (In.A + 1) << ", r" << In.B << ", param[" << In.Imm
+         << "]";
+      break;
     case Op::LoadShared:
     case Op::StoreShared:
     case Op::LoadArena:
     case Op::StoreArena:
       OS << ", r" << In.B << ", base=" << In.Imm;
+      break;
+    case Op::LoadShared2:
+    case Op::StoreShared2:
+      OS << ":r" << (In.A + 1) << ", r" << In.B << ", base=" << In.Imm;
       break;
     case Op::Ret:
     case Op::RetVal:
@@ -1502,6 +1603,10 @@ const char *vm::opName(Op O) {
   case Op::StoreShared: return "st.s";
   case Op::LoadArena: return "ld.a";
   case Op::StoreArena: return "st.a";
+  case Op::LoadGlobal2: return "ld.g2";
+  case Op::StoreGlobal2: return "st.g2";
+  case Op::LoadShared2: return "ld.s2";
+  case Op::StoreShared2: return "st.s2";
   case Op::AddI: return "add.i";
   case Op::SubI: return "sub.i";
   case Op::MulI: return "mul.i";
@@ -1577,7 +1682,7 @@ const HostFnIR *CompiledProgram::findHostFn(const std::string &Name) const {
   return nullptr;
 }
 
-CompileVmResult vm::compile(const Module &M) {
+CompileVmResult vm::compile(const Module &M, const kir::PassConfig &Passes) {
   CompileVmResult R;
   try {
     auto P = std::make_shared<CompiledProgram>();
@@ -1586,7 +1691,7 @@ CompileVmResult vm::compile(const Module &M) {
       if (!Fn.isGpuFn())
         continue;
       VmKernel K;
-      if (!compileKernel(M, Fn, K, R.Error))
+      if (!compileKernel(M, Fn, Passes, K, R.Error))
         return R;
       P->Kernels.push_back(std::move(K));
     }

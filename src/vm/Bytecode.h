@@ -25,6 +25,7 @@
 #define DESCEND_VM_BYTECODE_H
 
 #include "ast/Type.h" // ScalarKind
+#include "kir/Schedule.h" // kir::PassConfig
 #include "nat/Nat.h"
 #include "sim/Sim.h" // sim::Dim3
 
@@ -61,6 +62,14 @@ enum class Op : uint8_t {
   StoreShared, ///< _b.sharedStore<C>(Imm, r[B], r[A])
   LoadArena,   ///< r[A] = _b.shared<C>(_locals_base + Imm)[r[B]] (unlogged)
   StoreArena,  ///< _b.shared<C>(_locals_base + Imm)[r[B]] = r[A]
+
+  // Wide (two-element) accesses from the vectorize schedule pass: one
+  // issued transaction covering elements r[B] and r[B]+1. The second
+  // register is implicitly A+1 (the compiler allocates them adjacent).
+  LoadGlobal2,  ///< r[A], r[A+1] = buffers[Imm].load2(_b, r[B]); elem in C
+  StoreGlobal2, ///< buffers[Imm].store2(_b, r[B], r[A], r[A+1])
+  LoadShared2,  ///< r[A], r[A+1] = _b.sharedLoad2<C>(Imm, r[B])
+  StoreShared2, ///< _b.sharedStore2<C>(Imm, r[B], r[A], r[A+1])
 
   AddI, SubI, MulI, DivI, ModI, PowI, ///< r[A] = r[B] op r[C] (i64)
   AddF, SubF, MulF, DivF,             ///< r[A] = r[B] op r[C] (double)
@@ -225,8 +234,9 @@ struct CompileVmResult {
 /// Compiles every GPU kernel and host function of \p M (which must have
 /// passed the type checker, with all nats instantiated) into bytecode.
 /// Never throws: malformed or uninstantiated modules produce an error
-/// result.
-CompileVmResult compile(const Module &M);
+/// result. \p Passes selects the opt-in schedule passes to run over the
+/// lowered kernel IR before bytecode generation (none by default).
+CompileVmResult compile(const Module &M, const kir::PassConfig &Passes = {});
 
 /// Human-readable listing of a compiled program (the `--emit=vm`
 /// artifact): per kernel the geometry, parameters and a disassembly of

@@ -192,6 +192,41 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
       break;
     }
 
+    case Op::LoadGlobal2:
+    case Op::StoreGlobal2: {
+      const DevBuf &D = E.Bufs[I.Imm];
+      const bool Write = I.K == Op::StoreGlobal2;
+      long long Idx = R[I.B].I;
+      // Replicates Buffer<T>::load2/store2: ONE counted transaction for
+      // the fused pair, both elements race-logged, bounds through Idx+1.
+      if (B.Counters) [[unlikely]]
+        B.Counters->countGlobal(Write);
+      if (B.Dev->raceDetection()) [[unlikely]] {
+        B.Dev->logAccess(B, D.Id, static_cast<size_t>(Idx), Write);
+        B.Dev->logAccess(B, D.Id, static_cast<size_t>(Idx) + 1, Write);
+      }
+      if (Idx < 0 || static_cast<size_t>(Idx) + 1 >= D.Count) {
+        if (B.Dev->boundsChecking()) {
+          B.Dev->logBounds(D.Id, static_cast<size_t>(Idx) + 1, D.Count);
+          if (!Write)
+            R[I.A] = R[I.A + 1] = Value{};
+          break;
+        }
+        return Trap("global buffer `" + E.K.Params[I.Imm].Name +
+                    "` wide index " + std::to_string(Idx) +
+                    " out of range [0, " + std::to_string(D.Count) + ")");
+      }
+      ScalarKind EK = static_cast<ScalarKind>(I.C);
+      if (Write) {
+        storeElem(D.Data, EK, static_cast<size_t>(Idx), R[I.A]);
+        storeElem(D.Data, EK, static_cast<size_t>(Idx) + 1, R[I.A + 1]);
+      } else {
+        R[I.A] = loadElem(D.Data, EK, static_cast<size_t>(Idx));
+        R[I.A + 1] = loadElem(D.Data, EK, static_cast<size_t>(Idx) + 1);
+      }
+      break;
+    }
+
     case Op::LoadShared:
     case Op::StoreShared:
     case Op::LoadArena:
@@ -219,6 +254,36 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
         storeElem(B.SharedArena + Off, EK, 0, R[I.A]);
       else
         R[I.A] = loadElem(B.SharedArena + Off, EK, 0);
+      break;
+    }
+
+    case Op::LoadShared2:
+    case Op::StoreShared2: {
+      const bool Write = I.K == Op::StoreShared2;
+      ScalarKind EK = static_cast<ScalarKind>(I.C);
+      const size_t ES = scalarSize(EK);
+      long long Idx = R[I.B].I;
+      size_t Base = static_cast<size_t>(I.Imm);
+      size_t Off = Base + static_cast<size_t>(Idx) * ES;
+      // Replicates sharedLoad2/sharedStore2: ONE counted transaction at
+      // the first element's byte offset, both elements race-logged.
+      if (B.Counters) [[unlikely]]
+        B.Counters->countShared(Off, Write, B.CurThread);
+      if (B.Dev->raceDetection()) [[unlikely]] {
+        B.Dev->logAccess(B, B.SharedBufferId, Off, Write);
+        B.Dev->logAccess(B, B.SharedBufferId, Off + ES, Write);
+      }
+      if (Idx < 0 || Off + 2 * ES > B.SharedBytes || Off < Base)
+        return Trap("shared wide access at byte " + std::to_string(Off) +
+                    " outside the block arena of " +
+                    std::to_string(B.SharedBytes) + " bytes");
+      if (Write) {
+        storeElem(B.SharedArena + Off, EK, 0, R[I.A]);
+        storeElem(B.SharedArena + Off + ES, EK, 0, R[I.A + 1]);
+      } else {
+        R[I.A] = loadElem(B.SharedArena + Off, EK, 0);
+        R[I.A + 1] = loadElem(B.SharedArena + Off + ES, EK, 0);
+      }
       break;
     }
 

@@ -376,6 +376,112 @@ TEST(DescendcCli, TraceJsonWritesALoadableTraceFile) {
   std::remove(Trace.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Schedule passes and the autotuner: --pad-shared, --vectorize,
+// --dump-kir=pre|post, --autotune
+//===----------------------------------------------------------------------===//
+
+TEST(DescendcCli, PadSharedRewritesDumpedIndexesPostOnly) {
+  std::string Base = kernel("matmul.descend") + " -D nt=4 --pad-shared=1";
+  RunResult Plain =
+      runDescendc(kernel("matmul.descend") + " -D nt=4 --dump-kir");
+  RunResult Pre = runDescendc(Base + " --dump-kir=pre");
+  RunResult Post = runDescendc(Base + " --dump-kir=post");
+  ASSERT_EQ(Plain.ExitCode, 0) << Plain.Stderr;
+  ASSERT_EQ(Pre.ExitCode, 0) << Pre.Stderr;
+  ASSERT_EQ(Post.ExitCode, 0) << Post.Stderr;
+  // =pre shows the IR before the schedule passes run: byte-identical to
+  // the dump without any passes requested.
+  EXPECT_EQ(Pre.Stdout, Plain.Stdout);
+  // =post shows the padded 16x17 tiles.
+  EXPECT_EQ(Pre.Stdout.find("* 17"), std::string::npos) << Pre.Stdout;
+  EXPECT_NE(Post.Stdout.find("* 17"), std::string::npos) << Post.Stdout;
+}
+
+TEST(DescendcCli, VectorizeFusesDumpedStores) {
+  std::string Base = kernel("scale2.descend") + " -D nb=2 --vectorize";
+  RunResult Pre = runDescendc(Base + " --dump-kir=pre");
+  RunResult Post = runDescendc(Base + " --dump-kir=post");
+  ASSERT_EQ(Pre.ExitCode, 0) << Pre.Stderr;
+  ASSERT_EQ(Post.ExitCode, 0) << Post.Stderr;
+  EXPECT_EQ(Pre.Stdout.find("st2 "), std::string::npos) << Pre.Stdout;
+  EXPECT_NE(Post.Stdout.find("st2 global "), std::string::npos)
+      << Post.Stdout;
+}
+
+TEST(DescendcCli, PadSharedRunKeepsResultsBitIdentical) {
+  std::string Base = "--run " + program("matmul_host.descend") + " -D nt=4";
+  RunResult Def = runDescendc(Base);
+  RunResult Padded = runDescendc(Base + " --pad-shared=1");
+  ASSERT_EQ(Def.ExitCode, 0) << Def.Stderr;
+  ASSERT_EQ(Padded.ExitCode, 0) << Padded.Stderr;
+  EXPECT_NE(Def.Stdout.find("RESULT c n=4096"), std::string::npos)
+      << Def.Stdout;
+  // Padding is layout-only: the RESULT digests (sum/first/last to 17
+  // significant digits) must agree exactly.
+  EXPECT_EQ(Def.Stdout, Padded.Stdout);
+}
+
+TEST(DescendcCli, AutotuneSelectsThePaddedMatmul) {
+  RunResult R = runDescendc("--autotune " + program("matmul_host.descend") +
+                            " -D nt=4");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stdout.find("best: -D nt=4 --pad-shared=1"),
+            std::string::npos)
+      << R.Stdout;
+}
+
+TEST(DescendcCli, AutotuneJsonIsOneObjectWithRankedCandidates) {
+  RunResult R = runDescendc("--autotune=json " +
+                            program("matmul_host.descend") + " -D nt=4");
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_EQ(R.Stdout.front(), '{') << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"best\":"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"pad\":1"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("\"bit_identical\":true"), std::string::npos)
+      << R.Stdout;
+  // One JSON object only: no table rows in the machine-readable mode.
+  EXPECT_EQ(R.Stdout.find("best: "), std::string::npos) << R.Stdout;
+}
+
+TEST(DescendcCli, AutotuneFlagConflictsExitTwo) {
+  RunResult E = runDescendc("--autotune " + program("matmul_host.descend") +
+                            " --emit=sim -D nt=4");
+  EXPECT_EQ(E.ExitCode, 2);
+  EXPECT_NE(E.Stderr.find("--autotune cannot be combined"),
+            std::string::npos)
+      << E.Stderr;
+
+  // Explicit pass flags contradict the sweep.
+  RunResult P = runDescendc("--autotune " + program("matmul_host.descend") +
+                            " --pad-shared=1 -D nt=4");
+  EXPECT_EQ(P.ExitCode, 2);
+  EXPECT_NE(P.Stderr.find("sweeps the schedule passes itself"),
+            std::string::npos)
+      << P.Stderr;
+
+  RunResult T = runDescendc(program("matmul_host.descend") +
+                            " --tune nt=4,8");
+  EXPECT_EQ(T.ExitCode, 2);
+  EXPECT_NE(T.Stderr.find("--tune requires --autotune"), std::string::npos)
+      << T.Stderr;
+}
+
+TEST(DescendcCli, MalformedScheduleFlagsExitTwo) {
+  RunResult P = runDescendc(kernel("scale_vec.descend") + " --pad-shared=x");
+  EXPECT_EQ(P.ExitCode, 2);
+  EXPECT_NE(P.Stderr.find("--pad-shared expects a non-negative integer"),
+            std::string::npos)
+      << P.Stderr;
+
+  RunResult D = runDescendc(kernel("matmul.descend") +
+                            " --dump-kir=sideways -D nt=4");
+  EXPECT_EQ(D.ExitCode, 2);
+  EXPECT_NE(D.Stderr.find("unknown --dump-kir mode 'sideways'"),
+            std::string::npos)
+      << D.Stderr;
+}
+
 TEST(DescendcCli, TraceJsonWithoutPathExitsTwo) {
   RunResult R = runDescendc("--trace-json " + kernel("scale_vec.descend"));
   EXPECT_EQ(R.ExitCode, 2);

@@ -3,12 +3,14 @@
 // Builder/printer round-trips over hand-built KIR, the kir::verify()
 // structural checker rejecting malformed IR, and unit tests for the pass
 // pipeline (index CSE, redundant-barrier elimination, dead spill-pair
-// elision, pow-of-2 shift emission).
+// elision, pow-of-2 shift emission) plus the opt-in schedule passes
+// (shared-memory padding, load/store vectorization — kir/Schedule.h).
 //
 //===----------------------------------------------------------------------===//
 
 #include "kir/KIR.h"
 #include "kir/Passes.h"
+#include "kir/Schedule.h"
 
 #include <gtest/gtest.h>
 
@@ -376,6 +378,233 @@ TEST(KirPasses, DeadSpillPairsAreElided) {
                              /*SpillReload=*/true));
   EXPECT_EQ(elideDeadSpillPairs(Live), 0u);
   EXPECT_EQ(Live.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule passes (kir/Schedule.h)
+//===----------------------------------------------------------------------===//
+
+TEST(KirSchedule, PaddingRewritesRowMajorIndexes) {
+  // A 16x16 f64 tile accessed as `_ty*16 + _tx`: padding by 1 must turn
+  // the index into `_ty*17 + _tx` and grow the allocation by one element
+  // per row.
+  std::vector<Stmt> S;
+  Nat Idx = Nat::var("_ty") * Nat::lit(16) + tid();
+  S.push_back(Stmt::store(sharedBuf("tmp"), Idx,
+                          Expr::load(globalBuf("arr"), tid())));
+  S.push_back(Stmt::let("x_0", ScalarKind::F64,
+                        Expr::load(sharedBuf("tmp"), Idx)));
+
+  std::vector<ScheduleSharedBuffer> Bufs = {
+      {"tmp", ScalarKind::F64, 256, 0, 16}};
+  size_t SharedBytes = 2048;
+  VarBounds Bounds = {{"_tx", 16}, {"_ty", 16}};
+  ScheduleStats Stats;
+  std::vector<BodyRef> Bodies = {{&S, {}}};
+  EXPECT_EQ(padSharedBuffers(Bodies, Bufs, SharedBytes, 1, Bounds, &Stats),
+            1u);
+  EXPECT_EQ(Stats.PaddedBuffers, 1u);
+  EXPECT_EQ(Stats.RewrittenAccesses, 2u);
+  EXPECT_EQ(Bufs[0].Elems, 272u); // 16 rows of 16+1
+  EXPECT_EQ(SharedBytes, 272u * 8u);
+  Nat Want = Nat::var("_ty") * Nat::lit(17) + tid();
+  EXPECT_TRUE(Nat::proveEq(S[0].Index, Want)) << S[0].Index.str();
+  EXPECT_TRUE(Nat::proveEq(S[1].Value->Index, Want))
+      << S[1].Value->Index.str();
+  // The rewritten body still verifies.
+  std::string Err;
+  EXPECT_TRUE(verify(S, kernelCtx(), Err)) << Err;
+}
+
+TEST(KirSchedule, PaddingSkipsUndecomposableAccesses) {
+  // `_lin` ranges over [0, 256): it does not provably decompose as
+  // q*16 + r with r < 16, so the buffer must stay untouched.
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(sharedBuf("tmp"), Nat::var("_lin"),
+                          Expr::floatLit(0.0, ScalarKind::F64)));
+  std::vector<ScheduleSharedBuffer> Bufs = {
+      {"tmp", ScalarKind::F64, 256, 0, 16}};
+  size_t SharedBytes = 2048;
+  VarBounds Bounds = {{"_lin", 256}};
+  std::vector<BodyRef> Bodies = {{&S, {}}};
+  EXPECT_EQ(padSharedBuffers(Bodies, Bufs, SharedBytes, 1, Bounds, nullptr),
+            0u);
+  EXPECT_EQ(Bufs[0].Elems, 256u);
+  EXPECT_EQ(SharedBytes, 2048u);
+  EXPECT_TRUE(Nat::proveEq(S[0].Index, Nat::var("_lin")));
+}
+
+TEST(KirSchedule, PaddingUsesForLoopBoundsAndRelaysByteBases) {
+  // The remainder variable is a `for` loop counter, not an entry bound,
+  // and a second shared buffer behind the padded one must have its
+  // ByteBase pushed back (and every access re-pointed at it).
+  std::vector<Stmt> S;
+  Stmt For = Stmt::forLoop("k", Nat::lit(0), Nat::lit(16));
+  For.Body.push_back(Stmt::store(sharedBuf("tmp"),
+                                 Nat::var("_ty") * Nat::lit(16) +
+                                     Nat::var("k"),
+                                 Expr::floatLit(1.0, ScalarKind::F64)));
+  For.Body.push_back(Stmt::store(sharedBuf("aux", 2048), tid(),
+                                 Expr::floatLit(2.0, ScalarKind::F64)));
+  S.push_back(std::move(For));
+
+  std::vector<ScheduleSharedBuffer> Bufs = {
+      {"tmp", ScalarKind::F64, 256, 0, 16},
+      {"aux", ScalarKind::F64, 16, 2048, 0}}; // no row structure: skipped
+  size_t SharedBytes = 2048 + 128;
+  VarBounds Bounds = {{"_tx", 16}, {"_ty", 16}};
+  std::vector<BodyRef> Bodies = {{&S, {}}};
+  EXPECT_EQ(padSharedBuffers(Bodies, Bufs, SharedBytes, 1, Bounds, nullptr),
+            1u);
+  EXPECT_EQ(Bufs[0].Elems, 272u);
+  EXPECT_EQ(Bufs[1].Elems, 16u);
+  EXPECT_EQ(Bufs[1].ByteBase, 272u * 8u); // already 8-byte aligned
+  EXPECT_EQ(SharedBytes, 272u * 8u + 128u);
+  EXPECT_EQ(S[0].Body[1].Ref.ByteBase, 272u * 8u);
+}
+
+TEST(KirSchedule, VectorizeFusesContiguousAlignedPairs) {
+  // Thread _tx owns the even-based adjacent pair (2*_tx, 2*_tx + 1):
+  // both the store pair and the load-let pair fuse to Width = 2.
+  Nat Even = tid() * Nat::lit(2);
+  Nat Odd = tid() * Nat::lit(2) + Nat::lit(1);
+  std::vector<Stmt> S;
+  S.push_back(Stmt::let("x_0", ScalarKind::F64,
+                        Expr::load(globalBuf("arr"), Even)));
+  S.push_back(Stmt::let("x_1", ScalarKind::F64,
+                        Expr::load(globalBuf("arr"), Odd)));
+  S.push_back(Stmt::store(globalBuf("arr"), Even, Expr::varRef("x_0")));
+  S.push_back(Stmt::store(globalBuf("arr"), Odd, Expr::varRef("x_1")));
+
+  ScheduleStats Stats;
+  std::vector<BodyRef> Bodies = {{&S, {}}};
+  EXPECT_EQ(vectorizeAccesses(Bodies, {}, &Stats), 2u);
+  EXPECT_EQ(Stats.FusedLoadPairs, 1u);
+  EXPECT_EQ(Stats.FusedStorePairs, 1u);
+  EXPECT_EQ(Stats.RejectedPairs, 0u);
+  ASSERT_EQ(S.size(), 2u);
+  EXPECT_EQ(S[0].K, StmtKind::Let);
+  EXPECT_EQ(S[0].Width, 2u);
+  EXPECT_EQ(S[0].Name2, "x_1");
+  EXPECT_EQ(S[1].K, StmtKind::Store);
+  EXPECT_EQ(S[1].Width, 2u);
+  ASSERT_TRUE(S[1].Value2);
+  EXPECT_EQ(S[1].Value2->Name, "x_1");
+  // The fused body still verifies, and the sim printer spells the wide
+  // accesses as the runtime's *2 entry points.
+  std::string Err;
+  EXPECT_TRUE(verify(S, kernelCtx(), Err)) << Err;
+  std::string Out;
+  ASSERT_TRUE(printStmts(S, SimStyle(), 1, Out, Err)) << Err;
+  EXPECT_NE(Out.find("arr.load2(_b, _tx * 2, x_0, x_1);"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("arr.store2(_b, _tx * 2, x_0, x_1);"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(KirSchedule, VectorizeRejectsIllegalPairs) {
+  Nat Even = tid() * Nat::lit(2);
+  // Not contiguous: stride-2 partners.
+  std::vector<Stmt> Gap;
+  Gap.push_back(Stmt::store(globalBuf("arr"), Even,
+                            Expr::floatLit(0.0, ScalarKind::F64)));
+  Gap.push_back(Stmt::store(globalBuf("arr"), Even + Nat::lit(2),
+                            Expr::floatLit(1.0, ScalarKind::F64)));
+  ScheduleStats Stats;
+  std::vector<BodyRef> GapBodies = {{&Gap, {}}};
+  EXPECT_EQ(vectorizeAccesses(GapBodies, {}, &Stats), 0u);
+  EXPECT_EQ(Gap.size(), 2u);
+  EXPECT_EQ(Stats.RejectedPairs, 1u);
+
+  // Contiguous but the first index is odd: the wide access would be
+  // misaligned.
+  std::vector<Stmt> Odd;
+  Odd.push_back(Stmt::store(globalBuf("arr"), Even + Nat::lit(1),
+                            Expr::floatLit(0.0, ScalarKind::F64)));
+  Odd.push_back(Stmt::store(globalBuf("arr"), Even + Nat::lit(2),
+                            Expr::floatLit(1.0, ScalarKind::F64)));
+  std::vector<BodyRef> OddBodies = {{&Odd, {}}};
+  EXPECT_EQ(vectorizeAccesses(OddBodies, {}, nullptr), 0u);
+  EXPECT_EQ(Odd.size(), 2u);
+
+  // The second store's value reads the first store's cell: fusing would
+  // reorder that read before the write.
+  std::vector<Stmt> Hazard;
+  Hazard.push_back(Stmt::store(globalBuf("arr"), Even,
+                               Expr::floatLit(0.0, ScalarKind::F64)));
+  Hazard.push_back(Stmt::store(globalBuf("arr"), Even + Nat::lit(1),
+                               Expr::load(globalBuf("arr"), Even)));
+  std::vector<BodyRef> HazardBodies = {{&Hazard, {}}};
+  EXPECT_EQ(vectorizeAccesses(HazardBodies, {}, nullptr), 0u);
+  EXPECT_EQ(Hazard.size(), 2u);
+
+  // Different element types never fuse, even at contiguous indices.
+  std::vector<Stmt> Mixed;
+  Mixed.push_back(Stmt::store(globalBuf("arr", ScalarKind::I64), Even,
+                              Expr::intLit(0, ScalarKind::I64)));
+  Mixed.push_back(Stmt::store(globalBuf("arr", ScalarKind::I64),
+                              Even + Nat::lit(1),
+                              Expr::intLit(1, ScalarKind::I64)));
+  std::vector<BodyRef> MixedBodies = {{&Mixed, {}}};
+  EXPECT_EQ(vectorizeAccesses(MixedBodies, {}, nullptr), 0u);
+  EXPECT_EQ(Mixed.size(), 2u);
+}
+
+TEST(KirVerify, WideAccessRules) {
+  Nat Even = tid() * Nat::lit(2);
+  std::string Err;
+
+  // Wide store without a second value.
+  std::vector<Stmt> S;
+  S.push_back(Stmt::store(globalBuf("arr"), Even,
+                          Expr::floatLit(0.0, ScalarKind::F64)));
+  S[0].Width = 2;
+  EXPECT_FALSE(verify(S, kernelCtx(), Err));
+  EXPECT_NE(Err.find("wide store without a second value"),
+            std::string::npos)
+      << Err;
+
+  // Wide let whose initializer is not a load.
+  std::vector<Stmt> S2;
+  S2.push_back(Stmt::let("x_0", ScalarKind::F64,
+                         Expr::floatLit(0.0, ScalarKind::F64)));
+  S2[0].Width = 2;
+  EXPECT_FALSE(verify(S2, kernelCtx(), Err));
+  EXPECT_NE(Err.find("initializer is not a load"), std::string::npos)
+      << Err;
+
+  // Wide let without a second target name.
+  std::vector<Stmt> S2b;
+  S2b.push_back(Stmt::let("x_0", ScalarKind::F64,
+                          Expr::load(globalBuf("arr"), Even)));
+  S2b[0].Width = 2;
+  EXPECT_FALSE(verify(S2b, kernelCtx(), Err));
+  EXPECT_NE(Err.find("without a second target"), std::string::npos) << Err;
+
+  // Wide access to the per-thread arena.
+  MemRef Slot;
+  Slot.Space = MemSpace::Arena;
+  Slot.Name = "acc_0";
+  Slot.Elem = ScalarKind::F64;
+  std::vector<Stmt> S3;
+  S3.push_back(Stmt::store(Slot, Nat::var("_lin"),
+                           Expr::floatLit(0.0, ScalarKind::F64)));
+  S3[0].Width = 2;
+  S3[0].Value2 = Expr::floatLit(1.0, ScalarKind::F64);
+  EXPECT_FALSE(verify(S3, kernelCtx(), Err));
+  EXPECT_NE(Err.find("wide store to the per-thread arena"),
+            std::string::npos)
+      << Err;
+
+  // Any width other than 1 or 2.
+  std::vector<Stmt> S4;
+  S4.push_back(Stmt::store(globalBuf("arr"), Even,
+                           Expr::floatLit(0.0, ScalarKind::F64)));
+  S4[0].Width = 4;
+  EXPECT_FALSE(verify(S4, kernelCtx(), Err));
+  EXPECT_NE(Err.find("unsupported width"), std::string::npos) << Err;
 }
 
 TEST(KirExpr, CloneIsDeep) {

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "kir/Schedule.h"
 #include "obs/Trace.h"
 #include "runtime/HostRuntime.h"
 #include "vm/Interp.h"
@@ -40,8 +41,8 @@ std::string readFile(const std::string &Path) {
 }
 
 std::shared_ptr<const vm::CompiledProgram>
-compileVm(const std::string &Path,
-          std::map<std::string, long long> Defines) {
+compileVm(const std::string &Path, std::map<std::string, long long> Defines,
+          kir::PassConfig Passes = {}) {
   CompilerInvocation Inv;
   Inv.BufferName = Path;
   Inv.Defines = std::move(Defines);
@@ -51,7 +52,7 @@ compileVm(const std::string &Path,
   EXPECT_TRUE(R.Ok) << S.renderDiagnostics();
   if (!R.Ok)
     return nullptr;
-  vm::CompileVmResult C = vm::compile(*S.module());
+  vm::CompileVmResult C = vm::compile(*S.module(), Passes);
   EXPECT_TRUE(C.Ok) << C.Error;
   return C.Ok ? C.Program : nullptr;
 }
@@ -201,6 +202,66 @@ TEST(ObsCounters, VmInterpreterMatchesGeneratedSim) {
   EXPECT_EQ(Vm.Label, "matmul");
   EXPECT_EQ(Vm.globalLoads(), MatmulGlobalLoads);
   EXPECT_EQ(Vm.bankConflicts(), MatmulBankConflicts);
+}
+
+TEST(ObsCounters, TunedMatmulEliminatesInnerConflictsBitIdentically) {
+  // The schedule-pass acceptance pin: --pad-shared=1 (the config the
+  // autotuner selects for matmul) must drive the inner-product phase's
+  // bank conflicts to exactly zero, leaving only the tile-fill phase's
+  // unavoidable 2-way store conflicts — with the C output bit-identical
+  // to the default lowering.
+  const int NT = 4, N = NT * 16;
+  auto Run = [&](kir::PassConfig Passes, sim::LaunchStats &Stats) {
+    auto P =
+        compileVm(DESCEND_KERNEL_DIR "/matmul.descend", {{"nt", NT}}, Passes);
+    if (!P)
+      return std::vector<double>();
+    const vm::VmKernel *K = P->findKernel("matmul");
+    EXPECT_NE(K, nullptr);
+    sim::GpuDevice Dev;
+    Dev.setWorkers(1);
+    Dev.setCounters(true);
+    vm::DevBuf A = vm::allocDev(Dev, ScalarKind::F64, N * N);
+    vm::DevBuf B = vm::allocDev(Dev, ScalarKind::F64, N * N);
+    vm::DevBuf C = vm::allocDev(Dev, ScalarKind::F64, N * N);
+    for (int I = 0; I != N * N; ++I) {
+      reinterpret_cast<double *>(A.Data)[I] = fillVal(I);
+      reinterpret_cast<double *>(B.Data)[I] = fillVal(I + 17);
+    }
+    EXPECT_TRUE(vm::launchKernel(Dev, *K, {A, B, C}).Ok);
+    Stats = Dev.lastLaunchStats();
+    const double *Out = reinterpret_cast<const double *>(C.Data);
+    return std::vector<double>(Out, Out + N * N);
+  };
+
+  sim::LaunchStats Def, Tuned;
+  std::vector<double> DefOut = Run({}, Def);
+  std::vector<double> TunedOut = Run(kir::PassConfig{1, false}, Tuned);
+  ASSERT_EQ(DefOut.size(), (size_t)N * N);
+  ASSERT_EQ(TunedOut.size(), (size_t)N * N);
+
+  // Bit-identical result: padding only moves bytes around shared memory.
+  EXPECT_EQ(DefOut, TunedOut);
+
+  // Default profile: the pinned 9216 conflicts (1024 fill + 8192 inner).
+  EXPECT_EQ(Def.bankConflicts(), MatmulBankConflicts);
+
+  // Tuned profile: the inner-product phase is conflict-free; the total is
+  // the fill phase's 1024 alone, and shared transactions drop with it.
+  // The padded 16x17 tiles grow the per-block arena by 2*16 doubles.
+  ASSERT_EQ(Tuned.Phases.size(), 4u);
+  EXPECT_EQ(Tuned.Phases[2].BankConflicts, 0u);
+  EXPECT_EQ(Tuned.bankConflicts(), 1024u);
+  EXPECT_EQ(Tuned.sharedTransactions(), 18432u);
+  EXPECT_EQ(Tuned.ArenaBytesPerBlock, 6400u);
+
+  // The access *counts* are untouched — padding changes layout, never how
+  // many loads and stores the kernel issues.
+  EXPECT_EQ(Tuned.globalLoads(), Def.globalLoads());
+  EXPECT_EQ(Tuned.globalStores(), Def.globalStores());
+  EXPECT_EQ(Tuned.sharedLoads(), Def.sharedLoads());
+  EXPECT_EQ(Tuned.sharedStores(), Def.sharedStores());
+  EXPECT_EQ(Tuned.barriers(), Def.barriers());
 }
 
 TEST(ObsCounters, GraphReplayMatchesSyncLaunch) {

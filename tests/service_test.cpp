@@ -230,6 +230,33 @@ TEST(ServiceConcurrency, IdenticalConcurrentRequestsCoalesce) {
   EXPECT_EQ(St.Hits + St.Coalesced, static_cast<uint64_t>(Threads - 1));
 }
 
+TEST(ServiceRobustness, SchedulePassesAreDistinctCacheKeys) {
+  // Same source, same defines, different PassConfig: each config is its
+  // own cache entry (the autotuner depends on this — a padded candidate
+  // must never be served the default artifact), and re-requesting any of
+  // them is a hit.
+  service::CompileService Svc;
+  service::CompileRequest Plain;
+  Plain.Source = tinyKernel("7.0");
+  Plain.Defines["nb"] = 2;
+  service::CompileRequest Padded = Plain;
+  Padded.Passes.SharedPad = 1;
+  service::CompileRequest Vectorized = Plain;
+  Vectorized.Passes.Vectorize = true;
+
+  EXPECT_FALSE(Svc.compile(Plain).CacheHit);
+  EXPECT_FALSE(Svc.compile(Padded).CacheHit);
+  EXPECT_FALSE(Svc.compile(Vectorized).CacheHit);
+  service::ServiceStats St = Svc.stats();
+  EXPECT_EQ(St.Misses, 3u);
+  EXPECT_EQ(St.Entries, 3u);
+
+  EXPECT_TRUE(Svc.compile(Plain).CacheHit);
+  EXPECT_TRUE(Svc.compile(Padded).CacheHit);
+  EXPECT_TRUE(Svc.compile(Vectorized).CacheHit);
+  EXPECT_EQ(Svc.stats().Hits, 3u);
+}
+
 //===----------------------------------------------------------------------===//
 // Serve-latency histogram (descendd METRICS)
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate `descendc --autotune=json` output.
+
+Usage: check_autotune.py [--expect-pad N] < AUTOTUNE.json
+
+Checks that the document parses, is shaped like an autotune report (ok
+flag, ranked "candidates" list whose entries carry defines/pad/vectorize
+and the scored counters, and a "best" object that is the rank-1
+candidate), that ranked candidates are sorted by the scoring key
+(conflicts, then shared transactions), and that every ranked candidate
+was verified bit-identical. With --expect-pad the best config's shared
+padding must match — CI pins the matmul sweep to the padded schedule.
+
+Exit code 0 on success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_autotune: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+CANDIDATE_KEYS = ("rank", "defines", "pad", "vectorize", "ok",
+                  "bit_identical", "cache_hit", "conflicts",
+                  "shared_transactions", "barriers", "global_accesses",
+                  "run_ms", "label")
+
+
+def main(argv):
+    expect_pad = None
+    args = argv[1:]
+    while args:
+        if args[0] == "--expect-pad" and len(args) >= 2:
+            expect_pad = int(args[1])
+            args = args[2:]
+        else:
+            fail("usage: check_autotune.py [--expect-pad N] < AUTOTUNE.json")
+
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        fail(f"stdin is not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("ok") is not True:
+        fail(f"autotune run failed: {doc.get('error', 'ok != true')}")
+    cands = doc.get("candidates")
+    if not isinstance(cands, list) or not cands:
+        fail("candidates must be a non-empty list")
+
+    ranked = []
+    for i, c in enumerate(cands):
+        if not isinstance(c, dict):
+            fail(f"candidates[{i}] is not an object")
+        for key in CANDIDATE_KEYS:
+            if key not in c:
+                fail(f"candidates[{i}] is missing {key!r}")
+        if not isinstance(c["defines"], dict):
+            fail(f"candidates[{i}].defines is not an object")
+        if c["rank"] is not None:
+            if not c["ok"] or not c["bit_identical"]:
+                fail(f"candidates[{i}] is ranked but not verified "
+                     f"(ok={c['ok']}, bit_identical={c['bit_identical']})")
+            ranked.append(c)
+
+    if not ranked:
+        fail("no candidate survived verification")
+    ranks = [c["rank"] for c in ranked]
+    if ranks != list(range(1, len(ranked) + 1)):
+        fail(f"ranks are not 1..{len(ranked)}: {ranks}")
+    keys = [(c["conflicts"], c["shared_transactions"]) for c in ranked]
+    if keys != sorted(keys):
+        fail(f"ranked candidates are not sorted by (conflicts, sharedTx): "
+             f"{keys}")
+
+    best = doc.get("best")
+    if not isinstance(best, dict):
+        fail("best must be an object")
+    if best.get("label") != ranked[0]["label"]:
+        fail(f"best {best.get('label')!r} is not the rank-1 candidate "
+             f"{ranked[0]['label']!r}")
+    if expect_pad is not None and best.get("pad") != expect_pad:
+        fail(f"best config has pad={best.get('pad')}, expected "
+             f"{expect_pad} ({best.get('label')!r})")
+
+    print(f"check_autotune: OK — {len(cands)} candidates, "
+          f"{len(ranked)} ranked, best {best['label']!r} "
+          f"({best['conflicts']} conflicts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,10 +3,13 @@
 // Usage:
 //   descendc INPUT.descend [--emit=check|<backend>] [-D name=value]...
 //            [--fn-suffix=SUFFIX] [--time-passes[=json]] [--dump-phase-ir]
-//            [--dump-kir] [--trace-json=FILE] [-o OUTPUT]
+//            [--dump-kir[=pre|post]] [--pad-shared=N] [--vectorize]
+//            [--trace-json=FILE] [-o OUTPUT]
 //   descendc --run INPUT.descend [-D name=value]... [--args N...]
 //   descendc --kernel-stats[=json] INPUT.descend [-D name=value]...
 //            [--args N...]
+//   descendc --autotune[=json] INPUT.descend [-D name=value]...
+//            [--tune name=v1,v2,...]... [--args N...]
 //   descendc --list-backends
 //   descendc --help | -h
 //
@@ -20,6 +23,20 @@
 // of an artifact; --dump-kir prints the same tree with every phase body
 // rendered statement by statement in the typed kernel IR (kir::dump).
 // --list-backends prints the registered backend names.
+//
+// --pad-shared=N and --vectorize enable the opt-in, semantics-preserving
+// schedule passes (kir/Schedule.h) for every mode that lowers kernels;
+// --dump-kir=pre prints the IR with the passes off (the historical
+// output) and --dump-kir=post (the default) with the invocation's passes
+// applied, so `diff <(... =pre) <(... =post)` shows exactly what a pass
+// rewrote.
+//
+// --autotune sweeps the candidate grid (every --tune nat binding times
+// pad 0/1 times vectorize off/on), compiles each through a compile
+// service, runs it on the simulator with counters on, rejects any
+// candidate whose output is not bit-identical to the same-binding
+// baseline, and prints a ranked table (or one JSON object with `=json`)
+// plus the best config. See driver/Autotune.h for the scoring order.
 //
 // --run compiles through the vm backend and executes the program's host
 // `fn main` in-process on a simulated device — no C++ compiler in the
@@ -38,6 +55,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/PhaseIR.h"
+#include "driver/Autotune.h"
 #include "driver/Pipeline.h"
 #include "obs/Trace.h"
 
@@ -56,12 +74,14 @@ static void printUsage(std::FILE *Out) {
   std::fprintf(Out,
                "usage: descendc INPUT.descend [--emit=%s] "
                "[-D name=value]... [--fn-suffix=SUFFIX] [--time-passes[=json]] "
-               "[--dump-phase-ir] [--dump-kir] [--trace-json=FILE] "
-               "[-o OUTPUT]\n"
+               "[--dump-phase-ir] [--dump-kir[=pre|post]] [--pad-shared=N] "
+               "[--vectorize] [--trace-json=FILE] [-o OUTPUT]\n"
                "       descendc --run INPUT.descend [-D name=value]... "
                "[--args N...]\n"
                "       descendc --kernel-stats[=json] INPUT.descend "
                "[-D name=value]... [--args N...]\n"
+               "       descendc --autotune[=json] INPUT.descend "
+               "[-D name=value]... [--tune name=v1,v2,...]... [--args N...]\n"
                "       descendc --list-backends\n"
                "       descendc --help\n\n"
                "backends:\n",
@@ -106,6 +126,40 @@ static bool parseDefine(const std::string &Def,
     return false;
   }
   Defines[Name] = V;
+  return true;
+}
+
+/// Parses "name=v1,v2,..." into \p Grid for --tune.
+static bool parseTune(const std::string &Spec,
+                      std::map<std::string, std::vector<long long>> &Grid,
+                      std::string &Err) {
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos || Eq == 0) {
+    Err = "malformed --tune argument '" + Spec +
+          "': expected name=v1,v2,...";
+    return false;
+  }
+  std::string Name = Spec.substr(0, Eq);
+  std::vector<long long> Values;
+  std::string Rest = Spec.substr(Eq + 1);
+  size_t Pos = 0;
+  while (Pos <= Rest.size()) {
+    size_t Comma = Rest.find(',', Pos);
+    std::string Val = Rest.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    char *End = nullptr;
+    long long V = std::strtoll(Val.c_str(), &End, 10);
+    if (Val.empty() || End == Val.c_str() || *End != '\0') {
+      Err = "malformed --tune argument '" + Spec + "': '" + Val +
+            "' is not an integer";
+      return false;
+    }
+    Values.push_back(V);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  Grid[Name] = std::move(Values);
   return true;
 }
 
@@ -174,9 +228,11 @@ static int listBackends() {
 int main(int argc, char **argv) {
   std::string Input, Output, Emit = "check";
   bool TimePasses = false, TimePassesJson = false;
-  bool DumpPhaseIR = false, DumpKIR = false;
+  bool DumpPhaseIR = false, DumpKIR = false, DumpKIRPre = false;
   bool Run = false, EmitSeen = false;
   bool KernelStats = false, KernelStatsJson = false;
+  bool Autotune = false, AutotuneJson = false;
+  std::map<std::string, std::vector<long long>> TuneGrid;
   std::vector<double> RunArgs;
   CompilerInvocation Inv;
 
@@ -231,8 +287,41 @@ int main(int argc, char **argv) {
                         "--trace-json=FILE");
     } else if (Arg == "--dump-phase-ir") {
       DumpPhaseIR = true;
-    } else if (Arg == "--dump-kir") {
+    } else if (Arg == "--dump-kir" || Arg == "--dump-kir=post") {
       DumpKIR = true;
+    } else if (Arg == "--dump-kir=pre") {
+      DumpKIR = DumpKIRPre = true;
+    } else if (Arg.rfind("--dump-kir=", 0) == 0) {
+      return usageError("unknown --dump-kir mode '" + Arg.substr(11) +
+                        "' (modes: pre, post)");
+    } else if (Arg.rfind("--pad-shared=", 0) == 0) {
+      std::string Val = Arg.substr(13);
+      char *End = nullptr;
+      long long V = std::strtoll(Val.c_str(), &End, 10);
+      if (Val.empty() || End == Val.c_str() || *End != '\0' || V < 0)
+        return usageError("--pad-shared expects a non-negative integer, "
+                          "got '" + Val + "'");
+      Inv.Passes.SharedPad = static_cast<unsigned>(V);
+    } else if (Arg == "--vectorize") {
+      Inv.Passes.Vectorize = true;
+    } else if (Arg == "--autotune") {
+      Autotune = true;
+    } else if (Arg == "--autotune=json") {
+      Autotune = AutotuneJson = true;
+    } else if (Arg.rfind("--autotune=", 0) == 0) {
+      return usageError("unknown --autotune mode '" + Arg.substr(11) +
+                        "' (the only mode is json)");
+    } else if (Arg == "--tune") {
+      if (I + 1 >= argc)
+        return usageError("--tune expects an argument: "
+                          "--tune name=v1,v2,...");
+      std::string Err;
+      if (!parseTune(argv[++I], TuneGrid, Err))
+        return usageError(Err);
+    } else if (Arg.rfind("--tune=", 0) == 0) {
+      std::string Err;
+      if (!parseTune(Arg.substr(7), TuneGrid, Err))
+        return usageError(Err);
     } else if (Arg == "-D") {
       if (I + 1 >= argc)
         return usageError("-D expects an argument: -D name=value");
@@ -258,6 +347,17 @@ int main(int argc, char **argv) {
   }
   if (Input.empty())
     return usageError("no input file");
+  if (Autotune) {
+    if (EmitSeen || Run || KernelStats || DumpPhaseIR || DumpKIR ||
+        !Output.empty())
+      return usageError("--autotune cannot be combined with --emit, --run, "
+                        "--kernel-stats, --dump-phase-ir, --dump-kir or -o");
+    if (Inv.Passes.any())
+      return usageError("--autotune sweeps the schedule passes itself; drop "
+                        "--pad-shared/--vectorize");
+  } else if (!TuneGrid.empty()) {
+    return usageError("--tune requires --autotune");
+  }
   if (KernelStats) {
     // --kernel-stats is --run with counters on; it inherits --run's
     // conflict rules and may be combined with --run itself.
@@ -279,8 +379,9 @@ int main(int argc, char **argv) {
                         " cannot be combined with -o (results go to "
                         "stdout)");
   }
-  if (!RunArgs.empty() && !Run)
-    return usageError("--args requires --run or --kernel-stats");
+  if (!RunArgs.empty() && !Run && !Autotune)
+    return usageError("--args requires --run, --kernel-stats or "
+                      "--autotune");
   if ((DumpPhaseIR || DumpKIR) && Emit != "check") {
     std::fprintf(stderr, "descendc: error: --dump-%s cannot be "
                          "combined with --emit=%s\n",
@@ -309,6 +410,27 @@ int main(int argc, char **argv) {
   SS << In.rdbuf();
 
   Inv.BufferName = Input;
+
+  if (Autotune) {
+    AutotuneOptions Opts;
+    Opts.BaseDefines = Inv.Defines;
+    Opts.TuneGrid = TuneGrid;
+    Opts.ArgFills = RunArgs;
+    Opts.BufferName = Input;
+    AutotuneResult R = descend::autotune(SS.str(), Opts);
+    if (AutotuneJson) {
+      std::string J = R.json();
+      std::fwrite(J.data(), 1, J.size(), stdout);
+    } else {
+      std::string T = R.table();
+      std::fwrite(T.data(), 1, T.size(), stdout);
+    }
+    if (!R.Ok) {
+      std::fprintf(stderr, "descendc: error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   if (Run) {
     Session S(Inv);
@@ -386,14 +508,19 @@ int main(int argc, char **argv) {
   if (DumpPhaseIR || DumpKIR) {
     std::string Dump, Error;
     if (DumpPhaseIR) {
-      if (!codegen::dumpPhasePrograms(*S.module(), Dump, Error)) {
+      if (!codegen::dumpPhasePrograms(*S.module(), Dump, Error,
+                                      Inv.Passes)) {
         std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
         return 1;
       }
       Payload += Dump;
     }
     if (DumpKIR) {
-      if (!codegen::dumpKernelIRs(*S.module(), Dump, Error)) {
+      // =pre dumps with every pass off (the historical output); =post —
+      // the default — applies the invocation's passes.
+      if (!codegen::dumpKernelIRs(*S.module(), Dump, Error,
+                                  DumpKIRPre ? kir::PassConfig{}
+                                             : Inv.Passes)) {
         std::fprintf(stderr, "descendc: error: %s\n", Error.c_str());
         return 1;
       }

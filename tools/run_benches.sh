@@ -105,8 +105,10 @@ else
 fi
 
 #===---------------------------------------------------------------------===#
-# bench_matmul_sweep: matmul nt=4/16/32 ratios -> BENCH_matmul_sweep.json
-# (the phase-program IR regression guard: ratios must stay flat over nt)
+# bench_matmul_sweep: matmul nt=4/8/16/32 ratios, default and tuned
+# (--pad-shared=1) variants -> BENCH_matmul_sweep.json
+# (the phase-program IR regression guard: ratios must stay flat over nt;
+# the tuned rows are the schedule-pass/autotuner regression harness)
 #===---------------------------------------------------------------------===#
 
 echo "== bench_matmul_sweep =="
@@ -116,20 +118,66 @@ python3 - "$OUT_DIR/bench_matmul_sweep.log" \
 import json, re, sys
 log = open(sys.argv[1]).read()
 counters = {}
-for m in re.finditer(r"^COUNTERS MMsweep nt=(\d+) (\{.*\})$", log, re.M):
-    counters[int(m.group(1))] = json.loads(m.group(2))
+for m in re.finditer(r"^COUNTERS (MMsweep|MMtuned) nt=(\d+) (\{.*\})$",
+                     log, re.M):
+    counters[(m.group(1), int(m.group(2)))] = json.loads(m.group(3))
 rows = []
 for m in re.finditer(
-    r"^MMsweep\s+nt=(\d+)\s+([0-9.]+)\s+([0-9.]+)\s+([0-9.]+)x$", log, re.M):
-    rows.append({"bench": "MM", "nt": int(m.group(1)),
-                 "cuda_ms": float(m.group(2)),
-                 "descend_ms": float(m.group(3)),
-                 "relative": float(m.group(4)),
-                 "counters": counters.get(int(m.group(1)))})
-json.dump({"bench": "matmul_sweep", "unit": "ms", "rows": rows},
+    r"^(MMsweep|MMtuned)\s+nt=(\d+)\s+([0-9.]+)\s+([0-9.]+)\s+([0-9.]+)x$",
+    log, re.M):
+    rows.append({"bench": "MM",
+                 "variant": "tuned" if m.group(1) == "MMtuned" else "default",
+                 "nt": int(m.group(2)),
+                 "cuda_ms": float(m.group(3)),
+                 "descend_ms": float(m.group(4)),
+                 "relative": float(m.group(5)),
+                 "counters": counters.get((m.group(1), int(m.group(2))))})
+# Per-nt default-vs-tuned counter deltas: what the shared-padding pass
+# bought, by the deterministic counters (the autotuner's scoring signal).
+tuned = {}
+for nt in sorted({r["nt"] for r in rows}):
+    default = next((r for r in rows
+                    if r["nt"] == nt and r["variant"] == "default"), None)
+    t = next((r for r in rows
+              if r["nt"] == nt and r["variant"] == "tuned"), None)
+    if not default or not t or not default["counters"] or not t["counters"]:
+        continue
+    dc = default["counters"]["bank_conflicts"]
+    tc = t["counters"]["bank_conflicts"]
+    tuned[str(nt)] = {
+        "default_conflicts": dc,
+        "tuned_conflicts": tc,
+        "conflict_improvement": (dc - tc) / dc if dc else 0.0,
+        "default_shared_transactions": default["counters"][
+            "shared_transactions"],
+        "tuned_shared_transactions": t["counters"]["shared_transactions"]}
+json.dump({"bench": "matmul_sweep", "unit": "ms", "rows": rows,
+           "tuned_deltas": tuned},
           open(sys.argv[2], "w"), indent=2)
 PY
 echo "-> $OUT_DIR/BENCH_matmul_sweep.json"
+
+# Regression gate: the tuned (--pad-shared=1) matmul must reduce bank
+# conflicts vs the default lowering by at least
+# matmul_tuned_min_improvement at EVERY sweep nt — the schedule passes
+# exist to buy this, and the gate keeps a lowerer or pass change from
+# quietly giving it back. (Measured ~0.889 at the schedule-pass PR.)
+python3 - "$OUT_DIR/BENCH_matmul_sweep.json" \
+          "$ROOT_DIR/tools/bench_baseline.json" <<'PY'
+import json, sys
+deltas = json.load(open(sys.argv[1])).get("tuned_deltas") or {}
+floor = json.load(open(sys.argv[2])).get("matmul_tuned_min_improvement", 0.5)
+if not deltas:
+    sys.exit("bench gate: no tuned_deltas in BENCH_matmul_sweep.json")
+worst_nt = min(deltas, key=lambda nt: deltas[nt]["conflict_improvement"])
+worst = deltas[worst_nt]["conflict_improvement"]
+verdict = "PASS" if worst >= floor else "FAIL"
+print(f"bench gate: matmul tuned conflict improvement "
+      f"{worst:.3f} at nt={worst_nt} (worst of {len(deltas)} nts, "
+      f"floor {floor:.3f}) -> {verdict}")
+if worst < floor:
+    sys.exit(1)
+PY
 
 #===---------------------------------------------------------------------===#
 # bench_throughput: launch-path throughput -> BENCH_throughput.json
