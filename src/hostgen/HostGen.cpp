@@ -70,7 +70,9 @@ private:
   bool isSim() const { return T != HostTarget::Cuda; }
 
   /// Stream mode: joins the stream before a host-memory-touching
-  /// statement (no-op otherwise).
+  /// statement (no-op otherwise). Every join is followed by a
+  /// rt::checkDevice so a sticky device error surfaces as a structured
+  /// rt::Error at the join instead of the driver returning half-done.
   void syncIfPending() {
     if (!Stream)
       return;
@@ -79,6 +81,8 @@ private:
       return;
     indent();
     OS << "_stream.synchronize();\n";
+    indent();
+    OS << "descend::rt::checkDevice(_dev, \"stream synchronize\");\n";
     PendingAsync = false;
   }
 
@@ -424,6 +428,8 @@ bool Emitter::emitForNat(const ForNatExpr &F) {
   if (Ok && Stream && PendingAsync && HostTouches != TouchesBefore) {
     indent();
     OS << "_stream.synchronize();\n";
+    indent();
+    OS << "descend::rt::checkDevice(_dev, \"stream synchronize\");\n";
     PendingAsync = false;
   }
   popScope();
@@ -571,15 +577,19 @@ bool Emitter::emitCall(const CallExpr &C) {
       return fail("`" + C.Callee + "` expects buffer variable references");
     indent();
     if (isSim()) {
+      // Pass the host-program variable names through so a size-mismatch
+      // rt::Error names the offending buffers, not just the counts.
       if (Stream) {
         OS << (ToHost ? "descend::rt::copyToHostAsync(_stream, "
                       : "descend::rt::copyToGpuAsync(_stream, ")
-           << Dst << ", " << Src << ");\n";
+           << Dst << ", " << Src << ", \"" << Dst << "\", \"" << Src
+           << "\");\n";
         PendingAsync = true;
       } else {
         OS << (ToHost ? "descend::rt::copyToHost("
                       : "descend::rt::copyToGpu(")
-           << Dst << ", " << Src << ");\n";
+           << Dst << ", " << Src << ", \"" << Dst << "\", \"" << Src
+           << "\");\n";
       }
       return true;
     }
@@ -668,6 +678,12 @@ bool Emitter::emitLaunch(const CallExpr &C) {
     for (const std::string &A : Args)
       OS << ", " << A;
     OS << ");\n";
+    // Synchronous launches complete before returning; surface a sticky
+    // device error (trap, timeout) here as a structured rt::Error
+    // instead of silently running the rest of the driver on a poisoned
+    // device.
+    indent();
+    OS << "descend::rt::checkDevice(_dev, \"launch " << C.Callee << "\");\n";
     return true;
   }
   auto DimOf = [&](const Dim &D) -> std::optional<std::string> {
@@ -782,7 +798,7 @@ bool Emitter::emitCaptureStmt(const Expr &E) {
     indent();
     OS << "auto " << L->Name << " = descend::rt::allocCopyCapture<"
        << cppScalarType(SrcVar->Elem) << ">(_stream, " << graphSlot(Src)
-       << ", " << Src << ".size());\n";
+       << ", " << Src << ".size(), \"" << Src << "\");\n";
     HostVar V;
     V.K = HostVar::DevBuf;
     V.Elem = SrcVar->Elem;
@@ -799,10 +815,10 @@ bool Emitter::emitCaptureStmt(const Expr &E) {
   indent();
   if (ToHost)
     OS << "descend::rt::copyToHostCapture(_stream, " << graphSlot(Dst)
-       << ", " << Src << ");\n";
+       << ", " << Src << ", \"" << Dst << "\");\n";
   else
     OS << "descend::rt::copyToGpuCapture(_stream, " << graphSlot(Src)
-       << ", " << Dst << ");\n";
+       << ", " << Dst << ", \"" << Src << "\");\n";
   return true;
 }
 
@@ -827,7 +843,8 @@ bool Emitter::emitGraphBody(const BlockExpr &Blk, size_t Prefix) {
   PendingAsync = false; // capture records; nothing actually enqueued
   for (const auto &SB : SlotBinds) {
     indent();
-    OS << "_graph.bind(" << SB.first << ", " << SB.second << ");\n";
+    OS << "_graph.bind(" << SB.first << ", " << SB.second << ", \""
+       << SB.second << "\");\n";
   }
   indent();
   OS << "_graph.launch(_stream);\n";

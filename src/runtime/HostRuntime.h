@@ -18,13 +18,49 @@
 #define DESCEND_RUNTIME_HOSTRUNTIME_H
 
 #include "obs/Trace.h"
+#include "sim/Fault.h"
 #include "sim/Sim.h"
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace descend::rt {
+
+/// The structured error type every rt:: failure and every generated
+/// hostgen driver surfaces: sim::DeviceError, carrying the
+/// machine-readable sim::ErrorCode alongside the text. Callers switch on
+/// code() instead of parsing messages.
+using Error = sim::DeviceError;
+
+/// Fail-fast check the generated drivers emit after every synchronous
+/// launch and every stream synchronize: throws the device's sticky error
+/// as a structured rt::Error (naming the failed step) instead of letting
+/// a half-completed driver return as if it had succeeded. Free when the
+/// device is healthy — one relaxed atomic load.
+inline void checkDevice(sim::GpuDevice &Dev, const char *What = nullptr) {
+  if (!Dev.poisoned()) [[likely]]
+    return;
+  std::string Msg;
+  const sim::ErrorCode Code = Dev.getLastError(&Msg);
+  throw Error(Code, std::string(What ? What : "device operation") +
+                        " failed: " + Msg);
+}
+
+namespace detail {
+/// Structured size-mismatch text: keeps the historical
+/// "<op>: size mismatch" prefix (callers grep for it) and appends the
+/// offending buffers by name and element count.
+inline std::string sizeMismatch(const char *Op, const char *DstName,
+                                size_t DstCount, const char *SrcName,
+                                size_t SrcCount) {
+  return std::string(Op) + ": size mismatch: destination `" +
+         (DstName ? DstName : "?") + "` holds " + std::to_string(DstCount) +
+         " elements, source `" + (SrcName ? SrcName : "?") + "` holds " +
+         std::to_string(SrcCount);
+}
+} // namespace detail
 
 /// CpuHeap::new — host heap allocation (the paper's `[T; n] @ cpu.mem`).
 template <typename T> class HostBuffer {
@@ -53,18 +89,27 @@ sim::GpuDevice::Buffer<T> allocCopy(sim::GpuDevice &Dev,
 
 /// copy_mem_to_host — checked direction and size (what cudaMemcpy does not
 /// verify; Section 2.3's swapped-arguments bug surfaces here at runtime
-/// instead of compile time).
+/// instead of compile time). \p DstName / \p SrcName (the generated
+/// drivers pass the host-program variable names) make the mismatch text
+/// name the offending buffers; the throw is a structured rt::Error with
+/// code CopyFailed.
 template <typename T>
-void copyToHost(HostBuffer<T> &Dst, const sim::GpuDevice::Buffer<T> &Src) {
+void copyToHost(HostBuffer<T> &Dst, const sim::GpuDevice::Buffer<T> &Src,
+                const char *DstName = nullptr, const char *SrcName = nullptr) {
   if (Dst.size() != Src.size())
-    throw std::runtime_error("copy_mem_to_host: size mismatch");
+    throw Error(sim::ErrorCode::CopyFailed,
+                detail::sizeMismatch("copy_mem_to_host", DstName, Dst.size(),
+                                     SrcName, Src.size()));
   std::memcpy(Dst.data(), Src.data(), Src.size() * sizeof(T));
 }
 
 template <typename T>
-void copyToGpu(sim::GpuDevice::Buffer<T> &Dst, const HostBuffer<T> &Src) {
+void copyToGpu(sim::GpuDevice::Buffer<T> &Dst, const HostBuffer<T> &Src,
+               const char *DstName = nullptr, const char *SrcName = nullptr) {
   if (Dst.size() != Src.size())
-    throw std::runtime_error("copy_to_gpu: size mismatch");
+    throw Error(sim::ErrorCode::CopyFailed,
+                detail::sizeMismatch("copy_to_gpu", DstName, Dst.size(),
+                                     SrcName, Src.size()));
   std::memcpy(Dst.data(), Src.data(), Src.size() * sizeof(T));
 }
 
@@ -95,9 +140,13 @@ sim::GpuDevice::Buffer<T> allocCopyAsync(sim::Stream &S,
 
 template <typename T>
 void copyToHostAsync(sim::Stream &S, HostBuffer<T> &Dst,
-                     const sim::GpuDevice::Buffer<T> &Src) {
+                     const sim::GpuDevice::Buffer<T> &Src,
+                     const char *DstName = nullptr,
+                     const char *SrcName = nullptr) {
   if (Dst.size() != Src.size())
-    throw std::runtime_error("copy_mem_to_host: size mismatch");
+    throw Error(sim::ErrorCode::CopyFailed,
+                detail::sizeMismatch("copy_mem_to_host", DstName, Dst.size(),
+                                     SrcName, Src.size()));
   T *D = Dst.data();
   const T *So = Src.data();
   const size_t Bytes = Src.size() * sizeof(T);
@@ -109,9 +158,12 @@ void copyToHostAsync(sim::Stream &S, HostBuffer<T> &Dst,
 
 template <typename T>
 void copyToGpuAsync(sim::Stream &S, sim::GpuDevice::Buffer<T> &Dst,
-                    const HostBuffer<T> &Src) {
+                    const HostBuffer<T> &Src, const char *DstName = nullptr,
+                    const char *SrcName = nullptr) {
   if (Dst.size() != Src.size())
-    throw std::runtime_error("copy_to_gpu: size mismatch");
+    throw Error(sim::ErrorCode::CopyFailed,
+                detail::sizeMismatch("copy_to_gpu", DstName, Dst.size(),
+                                     SrcName, Src.size()));
   T *D = Dst.data();
   const T *So = Src.data();
   const size_t Bytes = Src.size() * sizeof(T);
@@ -133,13 +185,15 @@ void copyToGpuAsync(sim::Stream &S, sim::GpuDevice::Buffer<T> &Dst,
 //===----------------------------------------------------------------------===//
 
 /// GpuGlobal::alloc_copy under capture: allocates the device buffer now,
-/// declares host slot \p Slot and records the populating H2D copy.
+/// declares host slot \p Slot (named \p Name for diagnostics) and
+/// records the populating H2D copy.
 template <typename T>
 sim::GpuDevice::Buffer<T> allocCopyCapture(sim::Stream &S, unsigned Slot,
-                                           size_t Count) {
+                                           size_t Count,
+                                           const char *Name = nullptr) {
   auto Buf = S.device().alloc<T>(Count);
   const size_t Bytes = Count * sizeof(T);
-  S.declareCaptureSlot(Slot, Bytes);
+  S.declareCaptureSlot(Slot, Bytes, Name ? Name : "");
   T *Dst = Buf.data();
   S.captureNode([Dst, Slot, Bytes](const sim::GraphExec &G) {
     obs::Span CopySpan("stream", "allocCopyReplay");
@@ -152,9 +206,10 @@ sim::GpuDevice::Buffer<T> allocCopyCapture(sim::Stream &S, unsigned Slot,
 /// memory is bound to \p Slot at replay time.
 template <typename T>
 void copyToHostCapture(sim::Stream &S, unsigned Slot,
-                       const sim::GpuDevice::Buffer<T> &Src) {
+                       const sim::GpuDevice::Buffer<T> &Src,
+                       const char *Name = nullptr) {
   const size_t Bytes = Src.size() * sizeof(T);
-  S.declareCaptureSlot(Slot, Bytes);
+  S.declareCaptureSlot(Slot, Bytes, Name ? Name : "");
   const T *So = Src.data();
   S.captureNode([So, Slot, Bytes](const sim::GraphExec &G) {
     obs::Span CopySpan("stream", "copyToHostReplay");
@@ -166,9 +221,10 @@ void copyToHostCapture(sim::Stream &S, unsigned Slot,
 /// memory is bound to \p Slot at replay time.
 template <typename T>
 void copyToGpuCapture(sim::Stream &S, unsigned Slot,
-                      sim::GpuDevice::Buffer<T> &Dst) {
+                      sim::GpuDevice::Buffer<T> &Dst,
+                      const char *Name = nullptr) {
   const size_t Bytes = Dst.size() * sizeof(T);
-  S.declareCaptureSlot(Slot, Bytes);
+  S.declareCaptureSlot(Slot, Bytes, Name ? Name : "");
   T *D = Dst.data();
   S.captureNode([D, Slot, Bytes](const sim::GraphExec &G) {
     obs::Span CopySpan("stream", "copyToGpuReplay");

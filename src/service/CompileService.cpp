@@ -4,6 +4,7 @@
 
 #include "driver/Pipeline.h"
 #include "obs/Trace.h"
+#include "sim/Fault.h"
 
 #include <chrono>
 #include <cmath>
@@ -75,6 +76,17 @@ std::string CompileService::makeKey(const CompileRequest &Req) {
 
 CompileReply CompileService::doCompile(const CompileRequest &Req) {
   CompileReply Rep;
+  // Deterministic fault seam (DESCEND_FAULTS compile:fail=N): the N-th
+  // cold compile fails transiently, exactly once — what descendd's
+  // retry-with-backoff is tested against. Ahead of the real work so the
+  // failure is cheap and the ordinal deterministic.
+  if (sim::FaultInjector::global().armed() &&
+      sim::FaultInjector::global().shouldFailCompile()) {
+    Rep.Transient = true;
+    Rep.Diagnostics = "transient compile failure (fault injection, "
+                      "compile:fail)";
+    return Rep;
+  }
   try {
     CompilerInvocation Inv;
     Inv.BufferName = Req.BufferName;

@@ -51,6 +51,12 @@ struct CompileReply {
   bool CacheHit = false; ///< served from the LRU without compiling
   double CompileMs = 0.0; ///< wall-clock serve time of this request
 
+  /// Failure was environmental (resource pressure, injected fault), not
+  /// a property of the source: retrying the identical request may
+  /// succeed. Source diagnostics keep this false — retrying a parse
+  /// error is pointless. descendd's bounded retry keys off this.
+  bool Transient = false;
+
   /// Rendered diagnostics when !Ok. Never empty on failure.
   std::string Diagnostics;
 

@@ -52,7 +52,7 @@ struct detail::WorkerPool::Job {
 detail::WorkerPool::WorkerPool(unsigned ThreadCount) {
   Workers.reserve(ThreadCount);
   for (unsigned I = 0; I != ThreadCount; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I + 1); });
 }
 
 detail::WorkerPool::~WorkerPool() {
@@ -94,7 +94,7 @@ bool detail::WorkerPool::claimAndRun(Job &J) {
   return true;
 }
 
-void detail::WorkerPool::workerLoop() {
+void detail::WorkerPool::workerLoop(unsigned Ordinal) {
   std::unique_lock<std::mutex> L(M);
   while (true) {
     WorkCV.wait(L, [&] { return Stopping || !Queue.empty(); });
@@ -105,6 +105,14 @@ void detail::WorkerPool::workerLoop() {
     }
     std::shared_ptr<Job> J = Queue.front();
     L.unlock();
+    // Fault injection: `delay:worker=K:ms=M` stalls worker K before each
+    // work batch — the deterministic stand-in for a descheduled or slow
+    // worker that the TSan stress run leans on.
+    uint64_t DelayMs = 0;
+    if (FaultInjector::global().armed() &&
+        FaultInjector::global().shouldDelayWorker(Ordinal, DelayMs))
+      [[unlikely]]
+      std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
     if (!claimAndRun(*J))
       removeFromQueue(J); // exhausted; stop offering it to workers
     L.lock();
@@ -171,7 +179,128 @@ std::string BoundsReport::str() const {
       Offset, Size);
 }
 
-GpuDevice::GpuDevice() = default;
+bool detail::parseWatchdogConfig(const char *Text,
+                                 GpuDevice::WatchdogConfig &Out,
+                                 std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (!Text)
+    return Fail("null watchdog config");
+  GpuDevice::WatchdogConfig W;
+  bool SawSteps = false, SawMs = false;
+  const std::string S(Text);
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t End = S.find(',', Pos);
+    if (End == std::string::npos)
+      End = S.size();
+    const std::string Clause = S.substr(Pos, End - Pos);
+    uint64_t *Target = nullptr;
+    std::string Num;
+    if (Clause.rfind("steps=", 0) == 0 && !SawSteps) {
+      Target = &W.StepBudget;
+      SawSteps = true;
+      Num = Clause.substr(6);
+    } else if (Clause.rfind("ms=", 0) == 0 && !SawMs) {
+      Target = &W.LaunchTimeoutMs;
+      SawMs = true;
+      Num = Clause.substr(3);
+    } else {
+      return Fail("bad clause '" + Clause + "' (want steps=N and/or ms=M)");
+    }
+    // Same strictness as parseWorkerCount: digits only, nonzero, in
+    // range — a typo disables nothing and enables nothing.
+    if (Num.empty() || Num[0] < '0' || Num[0] > '9')
+      return Fail("bad number in '" + Clause + "'");
+    errno = 0;
+    char *NumEnd = nullptr;
+    unsigned long long V = std::strtoull(Num.c_str(), &NumEnd, 10);
+    if (errno == ERANGE || NumEnd != Num.c_str() + Num.size() || V == 0)
+      return Fail("bad number in '" + Clause + "'");
+    *Target = V;
+    Pos = End + 1;
+  }
+  Out = W;
+  return true;
+}
+
+GpuDevice::GpuDevice() {
+  // DESCEND_WATCHDOG seeds the default limits machine-wide (parsed once,
+  // with a one-time warning on garbage — all-or-nothing, like
+  // DESCEND_WORKERS); setWatchdog overrides per device.
+  static const WatchdogConfig EnvWd = [] {
+    WatchdogConfig W;
+    const char *Text = std::getenv("DESCEND_WATCHDOG");
+    if (!Text || !*Text)
+      return W;
+    std::string Err;
+    if (!detail::parseWatchdogConfig(Text, W, &Err)) {
+      std::fprintf(stderr,
+                   "descend: warning: ignoring invalid DESCEND_WATCHDOG="
+                   "\"%s\": %s\n",
+                   Text, Err.c_str());
+      W = WatchdogConfig();
+    }
+    return W;
+  }();
+  WdStepBudget.store(EnvWd.StepBudget, std::memory_order_relaxed);
+  WdTimeoutMs.store(EnvWd.LaunchTimeoutMs, std::memory_order_relaxed);
+}
+
+void GpuDevice::setWatchdog(WatchdogConfig W) {
+  deviceSynchronize(); // no in-flight launch straddles the change
+  WdStepBudget.store(W.StepBudget, std::memory_order_relaxed);
+  WdTimeoutMs.store(W.LaunchTimeoutMs, std::memory_order_relaxed);
+}
+
+GpuDevice::WatchdogConfig GpuDevice::watchdog() const {
+  WatchdogConfig W;
+  W.StepBudget = WdStepBudget.load(std::memory_order_relaxed);
+  W.LaunchTimeoutMs = WdTimeoutMs.load(std::memory_order_relaxed);
+  return W;
+}
+
+ErrorCode GpuDevice::getLastError(std::string *MsgOut) const {
+  std::lock_guard<std::mutex> G(ErrM);
+  if (MsgOut)
+    *MsgOut = ErrMsg;
+  return Err;
+}
+
+ErrorCode GpuDevice::peekLastError(std::string *MsgOut) const {
+  return getLastError(MsgOut);
+}
+
+void GpuDevice::setDeviceError(ErrorCode Code, const std::string &Msg) {
+  {
+    std::lock_guard<std::mutex> G(ErrM);
+    if (Err == ErrorCode::Ok) { // first error wins; later ones only bump
+      Err = Code;               // the sequence below
+      ErrMsg = Msg;
+      HasErr.store(true, std::memory_order_release);
+    }
+  }
+  ErrSeq.fetch_add(1, std::memory_order_acq_rel);
+  if (obs::TraceCollector::global().enabled()) [[unlikely]]
+    obs::TraceCollector::global().addInstant("error", errorCodeName(Code));
+}
+
+void GpuDevice::reset() {
+  deviceSynchronize();
+  {
+    std::lock_guard<std::mutex> G(ErrM);
+    Err = ErrorCode::Ok;
+    ErrMsg.clear();
+    HasErr.store(false, std::memory_order_release);
+  }
+  clearLogs();
+  resetStats();
+  std::lock_guard<std::mutex> G(PoolM);
+  Pool.reset(); // recreated lazily at the next parallel launch
+}
 
 GpuDevice::~GpuDevice() {
   // Streams created against this device must have been destroyed (each
@@ -265,6 +394,18 @@ void GpuDevice::deviceSynchronize() {
 }
 
 std::byte *GpuDevice::allocRaw(size_t Bytes, unsigned &IdOut) {
+  // Fault injection: `alloc:N` fails the N-th device allocation — the
+  // deterministic stand-in for device-memory exhaustion. The failure is
+  // sticky (CUDA: an allocation failure poisons the context) and
+  // surfaces as a structured DeviceError.
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.armed() && FI.shouldFailAlloc()) [[unlikely]] {
+    const std::string Msg = descend::strfmt(
+        "device allocation of %zu bytes failed (fault injection, alloc:%llu)",
+        Bytes, static_cast<unsigned long long>(FI.plan().AllocFailAt));
+    setDeviceError(ErrorCode::AllocFailed, Msg);
+    throw DeviceError(ErrorCode::AllocFailed, Msg);
+  }
   auto Mem = std::make_unique<std::byte[]>(Bytes);
   std::memset(Mem.get(), 0, Bytes);
   // Several host threads may serve requests against one device (each
@@ -493,6 +634,11 @@ void runProgramNodes(const std::vector<PhaseProgram::Node> &Nodes,
   const bool Count = B.Counters != nullptr;
   unsigned StaticId = StaticBase;
   for (const PhaseProgram::Node &N : Nodes) {
+    // Watchdog cancellation points: before each phase and each loop
+    // iteration — the phase boundaries, where no barrier is mid-flight.
+    // Counter bookkeeping of a cancelled launch is abandoned with it.
+    if (B.cancelled()) [[unlikely]]
+      return;
     if (N.Fn) {
       B.CurPhase = PhaseIdx++;
       if (Count) [[unlikely]]
@@ -502,6 +648,8 @@ void runProgramNodes(const std::vector<PhaseProgram::Node> &Nodes,
     }
     const long long Lo = N.Lo(B), Hi = N.Hi(B);
     for (long long V = Lo; V < Hi; ++V) {
+      if (B.cancelled()) [[unlikely]]
+        return;
       B.LoopVars[N.Slot] = V;
       runProgramNodes(N.Body, B, PhaseIdx, StaticId);
     }
@@ -527,8 +675,36 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
   const unsigned NumBlocks = Grid.total();
   if (NumBlocks == 0)
     return;
+  // Fault injection: `trap:launch=N` traps the N-th launch whole — no
+  // block runs, no buffer is touched, the device records a sticky
+  // KernelTrap. Every launch path (generated C++, vm, handwritten)
+  // funnels through here, so the ordinal is backend-independent.
+  {
+    FaultInjector &FI = FaultInjector::global();
+    if (FI.armed() && FI.shouldTrapLaunch()) [[unlikely]] {
+      Dev.setDeviceError(
+          ErrorCode::KernelTrap,
+          descend::strfmt("kernel trap: forced at launch %llu "
+                          "(fault injection, trap:launch=%llu)",
+                          static_cast<unsigned long long>(
+                              FI.plan().TrapAtLaunch),
+                          static_cast<unsigned long long>(
+                              FI.plan().TrapAtLaunch)));
+      return;
+    }
+  }
   const unsigned NumWorkers = std::min(Dev.effectiveWorkers(), NumBlocks);
   const size_t ArenaBytes = SharedBytes ? SharedBytes : 1;
+
+  // Wall-clock watchdog: arm a per-launch deadline every block polls at
+  // phase boundaries. Off (and free) unless a timeout is configured.
+  const GpuDevice::WatchdogConfig Wd = Dev.watchdog();
+  LaunchControl Ctl;
+  if (Wd.LaunchTimeoutMs) {
+    Ctl.HasDeadline = true;
+    Ctl.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(Wd.LaunchTimeoutMs);
+  }
 
   // Per-launch counters: blocks count into private BlockCounters and
   // merge here under MergeM. Every merge is a commutative sum, so totals
@@ -560,6 +736,11 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
     // Shared arenas are per block instance: give each block its own
     // logical buffer id so the detector separates them.
     B.SharedBufferId = FirstSharedBufferId + Linear;
+    if (Wd.LaunchTimeoutMs) {
+      B.Ctl = &Ctl;
+      if (Ctl.cancelled()) [[unlikely]]
+        return; // watchdog fired: remaining blocks are dropped whole
+    }
     if (SharedBytes)
       std::memset(Arena, 0, SharedBytes);
     if (!Count) {
@@ -603,6 +784,14 @@ void detail::runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block,
       });
     }
   }
+
+  if (Wd.LaunchTimeoutMs && Ctl.Cancel.load(std::memory_order_relaxed))
+    Dev.setDeviceError(
+        ErrorCode::KernelTimeout,
+        descend::strfmt("kernel timeout: launch exceeded the %llu ms "
+                        "watchdog budget and was cancelled at a phase "
+                        "boundary",
+                        static_cast<unsigned long long>(Wd.LaunchTimeoutMs)));
 
   if (Count) [[unlikely]] {
     // Only race detection grows the access log, and it forces sequential
@@ -675,17 +864,26 @@ GraphExec Graph::instantiate() const {
   return E;
 }
 
-void GraphExec::bind(unsigned Slot, void *Ptr, size_t Bytes) {
+const char *GraphExec::slotNameOr(unsigned Slot, const char *Fallback) const {
+  auto It = D->SlotNames.find(Slot);
+  return It != D->SlotNames.end() && !It->second.empty() ? It->second.c_str()
+                                                         : Fallback;
+}
+
+void GraphExec::bind(unsigned Slot, void *Ptr, size_t Bytes,
+                     const char *Name) {
   if (!D)
     throw std::logic_error("GraphExec::bind: graph not instantiated");
+  const char *Bind = Name ? Name : "?";
   auto It = D->SlotBytes.find(Slot);
   if (It == D->SlotBytes.end())
-    throw std::invalid_argument(
-        descend::strfmt("graph slot %u: not declared by the capture", Slot));
+    throw std::invalid_argument(descend::strfmt(
+        "graph slot %u: not declared by the capture (binding `%s`)", Slot,
+        Bind));
   if (It->second != Bytes)
-    throw std::invalid_argument(
-        descend::strfmt("graph slot %u: bound %zu bytes, captured %zu", Slot,
-                        Bytes, It->second));
+    throw std::invalid_argument(descend::strfmt(
+        "graph slot %u (`%s`): bound %zu bytes from `%s`, captured %zu",
+        Slot, slotNameOr(Slot, "?"), Bytes, Bind, It->second));
   Bound[Slot] = Ptr;
 }
 
@@ -701,7 +899,9 @@ void GraphExec::launch(Stream &S) const {
   for (const auto &SB : D->SlotBytes)
     if (!Bound.count(SB.first))
       throw std::logic_error(descend::strfmt(
-          "GraphExec::launch: slot %u is unbound", SB.first));
+          "GraphExec::launch: slot %u (`%s`) is unbound — bind() every "
+          "declared slot before launching",
+          SB.first, slotNameOr(SB.first, "?")));
   // The whole captured sequence replays as ONE stream operation: a
   // serving loop pays a single enqueue per request instead of one per
   // transfer/launch. `this` must outlive the replay (generated drivers
@@ -721,7 +921,52 @@ void GraphExec::launch(Stream &S) const {
 // Streams
 //===----------------------------------------------------------------------===//
 
+void Stream::poison(ErrorCode Code, const std::string &Msg) {
+  std::lock_guard<std::mutex> G(M);
+  if (PoisonedFlag.load(std::memory_order_relaxed))
+    return; // first error wins
+  PoisonCode = Code;
+  PoisonMsg = Msg;
+  PoisonedFlag.store(true, std::memory_order_release);
+}
+
+ErrorCode Stream::error(std::string *MsgOut) const {
+  if (!PoisonedFlag.load(std::memory_order_acquire))
+    return ErrorCode::Ok;
+  std::lock_guard<std::mutex> G(M);
+  if (MsgOut)
+    *MsgOut = PoisonMsg;
+  return PoisonCode;
+}
+
+void Stream::failFastIfPoisoned(const char *What) const {
+  if (!PoisonedFlag.load(std::memory_order_acquire)) [[likely]]
+    return;
+  std::string Msg;
+  const ErrorCode Code = error(&Msg);
+  throw DeviceError(Code,
+                    descend::strfmt("Stream::%s: stream poisoned by earlier "
+                                    "%s: %s",
+                                    What, errorCodeName(Code), Msg.c_str()));
+}
+
+void Stream::runOpObservingErrors(const std::function<void()> &Op) {
+  // Attribution rule: the operation in flight when a device error
+  // appeared is the operation that carried it — exactly one stream
+  // poisons per deterministic injected fault, and a healthy sibling
+  // stream with nothing in flight stays healthy.
+  const uint64_t Seq0 = Dev->errorSeq();
+  Op();
+  if (Dev->errorSeq() != Seq0) [[unlikely]] {
+    std::string Msg;
+    const ErrorCode Code = Dev->getLastError(&Msg);
+    if (Code != ErrorCode::Ok)
+      poison(Code, Msg);
+  }
+}
+
 void Stream::enqueue(std::function<void()> Op) {
+  failFastIfPoisoned("enqueue");
   // Capture records instead of executing — also on sequential devices,
   // so a captured graph is identical no matter the worker count.
   if (InCapture) {
@@ -733,7 +978,7 @@ void Stream::enqueue(std::function<void()> Op) {
   // worker) execute immediately: deterministic, in order, on the calling
   // thread — the behaviour the race-detector fixtures pin down.
   if (Dev->effectiveWorkers() <= 1) {
-    Op();
+    runOpObservingErrors(Op);
     return;
   }
   Dev->asyncOpBegin();
@@ -775,7 +1020,7 @@ void Stream::pump() {
       }
     }
     if (Op) {
-      Op();
+      runOpObservingErrors(Op);
       Dev->asyncOpEnd();
       continue;
     }
@@ -818,6 +1063,7 @@ void Stream::launch(Dim3 Grid, Dim3 Block, size_t SharedBytes,
 }
 
 void Stream::record(Event &E) {
+  failFastIfPoisoned("record");
   std::shared_ptr<detail::EventState> St = E.St;
   if (InCapture) {
     // The generation is minted when the node *runs*: each replay re-arms
@@ -834,7 +1080,21 @@ void Stream::record(Event &E) {
   // Everything enqueued so far is ordered before this closure within the
   // stream, so signalling here is exactly "all prior work done".
   // Sequential devices run it immediately: the event completes inline.
-  enqueue([St, Gen] {
+  GpuDevice *D = Dev;
+  enqueue([St, Gen, D] {
+    // Fault injection: `drop:event=N` models a lost completion
+    // interrupt. The device records a sticky EventDropped (poisoning
+    // this stream), but the generation still completes — a detected,
+    // reported fault must never become an undetectable hang.
+    FaultInjector &FI = FaultInjector::global();
+    if (FI.armed() && FI.shouldDropEvent()) [[unlikely]]
+      D->setDeviceError(
+          ErrorCode::EventDropped,
+          descend::strfmt("event signal dropped (fault injection, "
+                          "drop:event=%llu); generation completed anyway to "
+                          "avoid a hang",
+                          static_cast<unsigned long long>(
+                              FI.plan().DropEventAt)));
     if (obs::TraceCollector::global().enabled()) [[unlikely]]
       obs::TraceCollector::global().addInstant("stream", "eventRecord");
     detail::signalEventGen(St, Gen);
@@ -842,6 +1102,7 @@ void Stream::record(Event &E) {
 }
 
 void Stream::wait(Event &E) {
+  failFastIfPoisoned("wait");
   std::shared_ptr<detail::EventState> St = E.St;
   if (InCapture) {
     // Replay-time blocking wait: the replaying pump worker waits on the
@@ -884,6 +1145,7 @@ void Stream::wait(Event &E) {
 }
 
 bool Stream::query() {
+  failFastIfPoisoned("query");
   std::lock_guard<std::mutex> G(M);
   return Ops.empty() && !Running;
 }
@@ -916,6 +1178,7 @@ void Stream::beginCapture() {
   InCapture = true;
   CapNodes.clear();
   CapSlots.clear();
+  CapSlotNames.clear();
 }
 
 Graph Stream::endCapture() {
@@ -925,8 +1188,10 @@ Graph Stream::endCapture() {
   auto D = std::make_shared<Graph::Data>();
   D->Nodes = std::move(CapNodes);
   D->SlotBytes = std::move(CapSlots);
+  D->SlotNames = std::move(CapSlotNames);
   CapNodes.clear();
   CapSlots.clear();
+  CapSlotNames.clear();
   return Graph(std::move(D));
 }
 
@@ -936,9 +1201,12 @@ void Stream::captureNode(std::function<void(const GraphExec &)> Fn) {
   CapNodes.push_back(std::move(Fn));
 }
 
-void Stream::declareCaptureSlot(unsigned Slot, size_t Bytes) {
+void Stream::declareCaptureSlot(unsigned Slot, size_t Bytes,
+                                const std::string &Name) {
   if (!InCapture)
     throw std::logic_error("Stream::declareCaptureSlot: not capturing");
+  if (!Name.empty())
+    CapSlotNames.emplace(Slot, Name); // first declaration names the slot
   auto It = CapSlots.find(Slot);
   if (It == CapSlots.end()) {
     CapSlots[Slot] = Bytes;

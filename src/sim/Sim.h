@@ -49,14 +49,26 @@
 //  * Bounds checking records out-of-range accesses instead of corrupting
 //    memory (used to demonstrate the Section 2.3 launch-size bug).
 //
+// Failure semantics (sim/Fault.h): a kernel trap, failed allocation,
+// dropped event signal or watchdog timeout records a sticky device-level
+// ErrorCode (first error wins) and poisons the sim::Stream that carried
+// the failing operation — subsequent host-side calls on that stream fail
+// fast with the original error, and GpuDevice::reset() is the only way
+// back to a healthy device. DESCEND_FAULTS injects exactly these
+// failures deterministically; DESCEND_WATCHDOG (or setWatchdog) arms a
+// per-launch wall-clock timeout whose cancel flag every block observes
+// at phase boundaries, plus a vm instruction budget.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DESCEND_SIM_SIM_H
 #define DESCEND_SIM_SIM_H
 
 #include "obs/Counters.h"
+#include "sim/Fault.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -149,6 +161,29 @@ void signalEventGen(const std::shared_ptr<EventState> &St, uint64_t Gen);
 /// a captured record re-records at replay time).
 void signalEventNow(const std::shared_ptr<EventState> &St);
 
+/// Per-launch cancellation state for the wall-clock watchdog. Blocks
+/// poll cancelled() at phase boundaries — the only points where stopping
+/// is well-defined (no thread is mid-phase, so no barrier is torn). The
+/// first poller past the deadline trips the flag for every block;
+/// runBlocks converts the trip into a KernelTimeout sticky device error
+/// once the launch drains. One steady_clock read per phase boundary,
+/// paid only when a timeout is armed.
+struct LaunchControl {
+  std::atomic<bool> Cancel{false};
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+
+  bool cancelled() {
+    if (Cancel.load(std::memory_order_relaxed))
+      return true;
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      Cancel.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
 /// A persistent pool of worker threads parked on a condition variable.
 /// Owned by a GpuDevice, created lazily at the first parallel launch and
 /// torn down with the device (or when setWorkers resizes it).
@@ -182,7 +217,9 @@ public:
 
 private:
   struct Job;
-  void workerLoop();
+  /// \p Ordinal is the worker's 1-based index — the `delay:worker=K`
+  /// fault-injection clause keys on it.
+  void workerLoop(unsigned Ordinal);
   bool claimAndRun(Job &J);
   void removeFromQueue(const std::shared_ptr<Job> &J);
 
@@ -213,6 +250,12 @@ struct BlockCtx {
   /// branch per access) unless GpuDevice::setCounters(true). Block-local
   /// like everything else here, so counting needs no synchronization.
   obs::BlockCounters *Counters = nullptr;
+
+  /// Wall-clock watchdog control of the enclosing launch; null unless a
+  /// launch timeout is armed. Kernels poll cancelled() at phase
+  /// boundaries (launchPhases and runProgramNodes do it for them).
+  detail::LaunchControl *Ctl = nullptr;
+  bool cancelled() const { return Ctl && Ctl->cancelled(); }
 
   /// Host-side phase-loop variables (PhaseProgram loop nodes), one slot
   /// per nesting level. Block-local, so parallel block execution may sit
@@ -317,6 +360,47 @@ public:
   /// streams has executed (cudaDeviceSynchronize).
   void deviceSynchronize();
 
+  // Sticky errors (see sim/Fault.h) ----------------------------------
+
+  /// The first device-level error since construction (or the last
+  /// reset()); Ok while healthy, with \p MsgOut (when non-null) set to
+  /// the original diagnostic. Sticky: unlike cudaGetLastError this does
+  /// NOT clear — reset() is the only way back to Ok.
+  ErrorCode getLastError(std::string *MsgOut = nullptr) const;
+  /// Alias of getLastError (CUDA exposes both; ours are equally sticky).
+  ErrorCode peekLastError(std::string *MsgOut = nullptr) const;
+  /// True once any device error was recorded. One relaxed load.
+  bool poisoned() const { return HasErr.load(std::memory_order_acquire); }
+
+  /// Internal: records \p Code / \p Msg. The first error wins (later
+  /// calls keep the original text but still bump errorSeq so in-flight
+  /// streams observe them) and emits an "error" trace instant.
+  void setDeviceError(ErrorCode Code, const std::string &Msg);
+  /// Internal: monotone error-observation counter. A stream snapshots it
+  /// around each operation to attribute a device error to the operation
+  /// that was in flight when the error appeared.
+  uint64_t errorSeq() const { return ErrSeq.load(std::memory_order_acquire); }
+
+  /// The cudaDeviceReset analogue and the only path from poisoned back
+  /// to healthy: drains the device, clears the sticky error, the stats
+  /// and the logs, and tears down the worker pool (recreated lazily).
+  /// Buffers stay allocated but their contents are unspecified; streams
+  /// that were poisoned before the reset stay poisoned — create fresh
+  /// ones.
+  void reset();
+
+  // Watchdogs --------------------------------------------------------
+
+  struct WatchdogConfig {
+    uint64_t StepBudget = 0;      ///< vm instructions per launch; 0 = off
+    uint64_t LaunchTimeoutMs = 0; ///< wall-clock ms per launch; 0 = off
+  };
+  /// Installs watchdog limits (the DESCEND_WATCHDOG environment
+  /// variable, e.g. "steps=1000000,ms=2000", seeds the default).
+  /// Synchronizes first so no in-flight launch straddles the change.
+  void setWatchdog(WatchdogConfig W);
+  WatchdogConfig watchdog() const;
+
   // Internal: stream-operation accounting (see class Stream).
   void asyncOpBegin() { PendingOps.fetch_add(1, std::memory_order_relaxed); }
   void asyncOpEnd();
@@ -347,6 +431,18 @@ private:
   LaunchStats Total;
   std::vector<LaunchStats> LaunchLog;
   uint64_t DroppedLaunches = 0;
+
+  // Sticky error state: first error wins; HasErr is the lock-free
+  // poisoned() probe, ErrSeq the per-operation attribution counter.
+  mutable std::mutex ErrM;
+  ErrorCode Err = ErrorCode::Ok; // guarded by ErrM
+  std::string ErrMsg;            // guarded by ErrM
+  std::atomic<bool> HasErr{false};
+  std::atomic<uint64_t> ErrSeq{0};
+
+  // Watchdog limits; atomics because launches on pool workers read them.
+  std::atomic<uint64_t> WdStepBudget{0};
+  std::atomic<uint64_t> WdTimeoutMs{0};
 
   std::unique_ptr<detail::WorkerPool> Pool;
   std::mutex PoolM; // guards lazy pool creation
@@ -507,6 +603,13 @@ namespace detail {
 /// deterministic) when the device's effective worker count is 1.
 void runBlocks(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
                const std::function<void(BlockCtx &)> &RunBlock);
+
+/// Strictly parses a DESCEND_WATCHDOG value ("steps=N", "ms=M", or both
+/// comma-separated, each at most once, N/M positive). Returns false —
+/// leaving \p Out untouched, \p Err set — on any malformed or unknown
+/// clause, same all-or-nothing discipline as FaultPlan::parse.
+bool parseWatchdogConfig(const char *Text, GpuDevice::WatchdogConfig &Out,
+                         std::string *Err = nullptr);
 } // namespace detail
 
 /// A phase program: the host-side runtime mirror of the compiler's
@@ -628,6 +731,9 @@ private:
   struct Data {
     std::vector<std::function<void(const GraphExec &)>> Nodes;
     std::map<unsigned, size_t> SlotBytes;
+    /// Host-variable names the capture declared per slot (may be empty
+    /// for handwritten captures); bind/launch diagnostics use them.
+    std::map<unsigned, std::string> SlotNames;
   };
   explicit Graph(std::shared_ptr<const Data> D) : D(std::move(D)) {}
   std::shared_ptr<const Data> D;
@@ -650,14 +756,18 @@ public:
 
   /// Binds \p Bytes of host memory at \p Ptr to \p Slot. Throws on an
   /// unknown slot or a size differing from the captured declaration —
-  /// the same eager validation the rt:: copies perform.
-  void bind(unsigned Slot, void *Ptr, size_t Bytes);
+  /// the same eager validation the rt:: copies perform. \p Name (when
+  /// non-null) is the host variable being bound; diagnostics name it
+  /// alongside the slot's captured name.
+  void bind(unsigned Slot, void *Ptr, size_t Bytes,
+            const char *Name = nullptr);
 
   /// Convenience overload for anything with data()/size() (e.g.
   /// rt::HostBuffer): binds the buffer's storage.
-  template <typename BufT> void bind(unsigned Slot, BufT &Buffer) {
+  template <typename BufT>
+  void bind(unsigned Slot, BufT &Buffer, const char *Name = nullptr) {
     bind(Slot, const_cast<void *>(static_cast<const void *>(Buffer.data())),
-         Buffer.size() * sizeof(*Buffer.data()));
+         Buffer.size() * sizeof(*Buffer.data()), Name);
   }
 
   /// The memory currently bound to \p Slot (replay-time use by captured
@@ -670,6 +780,11 @@ public:
 
 private:
   friend class Graph;
+
+  /// The captured host-variable name of \p Slot, or \p Fallback when the
+  /// capture recorded none (handwritten captures).
+  const char *slotNameOr(unsigned Slot, const char *Fallback) const;
+
   std::shared_ptr<const Graph::Data> D;
   std::map<unsigned, void *> Bound;
 };
@@ -722,11 +837,28 @@ public:
   void wait(Event &E);
 
   /// Non-blocking completion probe: true when every operation enqueued
-  /// so far has executed (cudaStreamQuery).
+  /// so far has executed (cudaStreamQuery). Throws the original
+  /// DeviceError when the stream is poisoned.
   bool query();
 
-  /// Blocks until every operation enqueued so far has executed.
+  /// Blocks until every operation enqueued so far has executed. Never
+  /// throws (the destructor relies on it); a poisoned stream still
+  /// drains the operations accepted before the failure.
   void synchronize();
+
+  // Sticky stream errors ---------------------------------------------
+
+  /// The stream's sticky error: Ok while healthy; after a failure, the
+  /// original device error the stream's operation carried (\p MsgOut
+  /// gets the original diagnostic). Poisoning is permanent for the
+  /// stream's lifetime — GpuDevice::reset() heals the device, not
+  /// existing streams.
+  ErrorCode error(std::string *MsgOut = nullptr) const;
+
+  /// Internal: marks this stream failed with \p Code / \p Msg (first
+  /// error wins). The pump calls it when a device error surfaces while
+  /// one of this stream's operations is in flight.
+  void poison(ErrorCode Code, const std::string &Msg);
 
   // Graph capture ----------------------------------------------------
 
@@ -747,11 +879,22 @@ public:
   void captureNode(std::function<void(const GraphExec &)> Fn);
 
   /// Declares host-buffer slot \p Slot with \p Bytes bytes. Re-declaring
-  /// with the same size is idempotent; a size mismatch throws.
-  void declareCaptureSlot(unsigned Slot, size_t Bytes);
+  /// with the same size is idempotent; a size mismatch throws. \p Name
+  /// (when non-empty) records the host variable the slot stands for, so
+  /// bind/launch diagnostics can name it.
+  void declareCaptureSlot(unsigned Slot, size_t Bytes,
+                          const std::string &Name = std::string());
 
 private:
   void pump(); // drains Ops in order; runs on a pool worker
+
+  /// Throws the stream's original DeviceError when poisoned; the
+  /// fail-fast guard at the top of every mutating entry point.
+  void failFastIfPoisoned(const char *What) const;
+
+  /// Runs \p Op and poisons this stream if a device error surfaced
+  /// while it ran (errorSeq attribution).
+  void runOpObservingErrors(const std::function<void()> &Op);
 
   /// One queued stream operation: a closure to run, or — when Fn is
   /// null — an event-wait marker the pump parks on.
@@ -762,9 +905,15 @@ private:
   };
 
   GpuDevice *Dev;
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable CV;
   std::deque<OpItem> Ops;
+
+  // Sticky poison state: the flag is the lock-free fast path; code and
+  // message are guarded by M.
+  std::atomic<bool> PoisonedFlag{false};
+  ErrorCode PoisonCode = ErrorCode::Ok;
+  std::string PoisonMsg;
   /// A pump task is active (or parked on an event). Written under M;
   /// atomic so synchronize() can spin on it locklessly before falling
   /// back to the condition variable (completion is still confirmed
@@ -775,6 +924,7 @@ private:
   bool InCapture = false;
   std::vector<std::function<void(const GraphExec &)>> CapNodes;
   std::map<unsigned, size_t> CapSlots;
+  std::map<unsigned, std::string> CapSlotNames;
 };
 
 /// Launches a straight-line phase-structured kernel: each Phase must be
@@ -790,6 +940,10 @@ void launchPhases(GpuDevice &Dev, Dim3 Grid, Dim3 Block, size_t SharedBytes,
   detail::runBlocks(Dev, Grid, Block, SharedBytes, [&](BlockCtx &B) {
     unsigned PhaseIdx = 0;
     auto RunPhase = [&](auto &&Phase) {
+      // Watchdog cancellation point: a phase boundary is the only place
+      // a block may stop without tearing a barrier.
+      if (B.cancelled()) [[unlikely]]
+        return;
       B.CurPhase = PhaseIdx;
       if (B.Counters) [[unlikely]]
         B.Counters->beginPhase(PhaseIdx);

@@ -102,11 +102,14 @@ struct TrapState {
   std::atomic<bool> Tripped{false};
   std::mutex M;
   std::string Msg;
+  bool Timedout = false; ///< first fault was a step-budget expiry
 
-  void trip(const std::string &S) {
+  void trip(const std::string &S, bool Timeout = false) {
     std::lock_guard<std::mutex> G(M);
-    if (!Tripped.load(std::memory_order_relaxed))
+    if (!Tripped.load(std::memory_order_relaxed)) {
       Msg = S;
+      Timedout = Timeout;
+    }
     Tripped.store(true, std::memory_order_release);
   }
   bool tripped() const { return Tripped.load(std::memory_order_relaxed); }
@@ -116,6 +119,7 @@ struct KernelEnv {
   const VmKernel &K;
   const std::vector<DevBuf> &Bufs;
   TrapState &Trap;
+  uint64_t StepBudget = 0; ///< per-thread instruction cap (0 = unlimited)
 };
 
 /// Runs one code object for the current thread. Returns false if a trap
@@ -133,7 +137,21 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
     return false;
   };
 
+  // The watchdog step budget: each thread's run of a code object may
+  // retire at most Budget instructions. An infinite Jmp loop trips here
+  // instead of hanging the pool worker forever.
+  const uint64_t Budget = E.StepBudget;
+  uint64_t Steps = 0;
+
   while (PC < N) {
+    if (Budget && ++Steps > Budget) [[unlikely]] {
+      E.Trap.trip("in kernel `" + E.K.Name + "`: step budget of " +
+                      std::to_string(Budget) +
+                      " instructions exceeded (watchdog steps=" +
+                      std::to_string(Budget) + "); launch cancelled",
+                  /*Timeout=*/true);
+      return false;
+    }
     const Instr &I = Ins[PC++];
     switch (I.K) {
     case Op::Const:
@@ -403,6 +421,13 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
       if (RetOut)
         *RetOut = R[I.A].I;
       return true;
+    default:
+      // Unreachable after validateKernel, but bytecode that dodged
+      // validation (or a latent compiler bug) must trap, not fall into
+      // undefined behavior.
+      return Trap("invalid opcode " +
+                  std::to_string(static_cast<unsigned>(I.K)) + " at pc " +
+                  std::to_string(PC - 1) + " (corrupted bytecode?)");
     }
   }
   return true; // fell off the end: treated like Ret
@@ -413,6 +438,186 @@ bool execCode(const Code &C, KernelEnv &E, sim::BlockCtx &B,
 #undef F32_BIN
 #undef CMP_I
 #undef CMP_F
+
+//===----------------------------------------------------------------------===//
+// Bytecode validation
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned NumOps = static_cast<unsigned>(Op::RetVal) + 1;
+
+/// Checks every instruction of \p C against its register file, constant
+/// pool, jump range and the kernel's parameter schema. Returns the first
+/// problem as text, empty when clean.
+std::string validateCode(const Code &C, const VmKernel &K,
+                         const char *What) {
+  const size_t N = C.Instrs.size();
+  for (size_t PC = 0; PC != N; ++PC) {
+    const Instr &I = C.Instrs[PC];
+    const unsigned OpV = static_cast<unsigned>(I.K);
+    auto Bad = [&](const std::string &Why) {
+      return std::string(What) + " of kernel `" + K.Name + "`, pc " +
+             std::to_string(PC) + " (" +
+             (OpV < NumOps ? opName(I.K) : "invalid") + "): " + Why;
+    };
+    if (OpV >= NumOps)
+      return Bad("opcode " + std::to_string(OpV) + " out of range");
+
+    // Register operands. Wide ops implicitly touch r[A+1].
+    const bool Wide = I.K == Op::LoadGlobal2 || I.K == Op::StoreGlobal2 ||
+                      I.K == Op::LoadShared2 || I.K == Op::StoreShared2;
+    auto RegOk = [&](uint16_t Rg, bool WidePair = false) {
+      return static_cast<unsigned>(Rg) + (WidePair ? 1u : 0u) < C.NumRegs;
+    };
+    auto ElemKindOk = [&] {
+      return I.C <= static_cast<uint16_t>(ScalarKind::Unit);
+    };
+    auto JumpOk = [&] {
+      // pc == Instrs.size() is a valid landing spot: the loop exits.
+      return I.Imm >= 0 && static_cast<size_t>(I.Imm) <= N;
+    };
+
+    switch (I.K) {
+    case Op::Const:
+      if (!RegOk(I.A))
+        return Bad("register r" + std::to_string(I.A) + " out of range (" +
+                   std::to_string(C.NumRegs) + " registers)");
+      if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= C.Consts.size())
+        return Bad("constant index " + std::to_string(I.Imm) +
+                   " out of range (pool holds " +
+                   std::to_string(C.Consts.size()) + ")");
+      break;
+    case Op::Coord:
+      if (!RegOk(I.A))
+        return Bad("register out of range");
+      break;
+    case Op::Slot:
+      if (!RegOk(I.A))
+        return Bad("register out of range");
+      if (I.Imm < 0 ||
+          static_cast<unsigned>(I.Imm) >= sim::BlockCtx::MaxLoopSlots)
+        return Bad("loop slot " + std::to_string(I.Imm) +
+                   " out of range (max " +
+                   std::to_string(sim::BlockCtx::MaxLoopSlots) + ")");
+      break;
+    case Op::Move:
+      if (!RegOk(I.A) || !RegOk(I.B))
+        return Bad("register out of range");
+      break;
+    case Op::LoadGlobal:
+    case Op::StoreGlobal:
+    case Op::LoadGlobal2:
+    case Op::StoreGlobal2:
+      if (!RegOk(I.A, Wide) || !RegOk(I.B))
+        return Bad("register out of range");
+      if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= K.Params.size())
+        return Bad("buffer index " + std::to_string(I.Imm) +
+                   " out of range (kernel has " +
+                   std::to_string(K.Params.size()) + " parameters)");
+      if (!ElemKindOk())
+        return Bad("invalid element kind " + std::to_string(I.C));
+      break;
+    case Op::LoadShared:
+    case Op::StoreShared:
+    case Op::LoadArena:
+    case Op::StoreArena:
+    case Op::LoadShared2:
+    case Op::StoreShared2:
+      if (!RegOk(I.A, Wide) || !RegOk(I.B))
+        return Bad("register out of range");
+      if (I.Imm < 0)
+        return Bad("negative shared-memory base offset " +
+                   std::to_string(I.Imm));
+      if (!ElemKindOk())
+        return Bad("invalid element kind " + std::to_string(I.C));
+      break;
+    case Op::AddI:
+    case Op::SubI:
+    case Op::MulI:
+    case Op::DivI:
+    case Op::ModI:
+    case Op::PowI:
+    case Op::AddF:
+    case Op::SubF:
+    case Op::MulF:
+    case Op::DivF:
+    case Op::AddF32:
+    case Op::SubF32:
+    case Op::MulF32:
+    case Op::DivF32:
+    case Op::LtI:
+    case Op::LeI:
+    case Op::GtI:
+    case Op::GeI:
+    case Op::EqI:
+    case Op::NeI:
+    case Op::LtF:
+    case Op::LeF:
+    case Op::GtF:
+    case Op::GeF:
+    case Op::EqF:
+    case Op::NeF:
+    case Op::AndI:
+    case Op::OrI:
+      if (!RegOk(I.A) || !RegOk(I.B) || !RegOk(I.C))
+        return Bad("register out of range");
+      break;
+    case Op::NotI:
+    case Op::NegI:
+    case Op::NegF:
+    case Op::NegF32:
+    case Op::I2F:
+    case Op::F2I:
+    case Op::F2F32:
+      if (!RegOk(I.A) || !RegOk(I.B))
+        return Bad("register out of range");
+      break;
+    case Op::Jmp:
+      if (!JumpOk())
+        return Bad("jump target " + std::to_string(I.Imm) +
+                   " out of range [0, " + std::to_string(N) + "]");
+      break;
+    case Op::Jz:
+      if (!RegOk(I.A))
+        return Bad("register out of range");
+      if (!JumpOk())
+        return Bad("jump target " + std::to_string(I.Imm) +
+                   " out of range [0, " + std::to_string(N) + "]");
+      break;
+    case Op::Ret:
+      break;
+    case Op::RetVal:
+      if (!RegOk(I.A))
+        return Bad("register out of range");
+      break;
+    }
+  }
+  return {};
+}
+
+std::string validateNodes(const std::vector<VmNode> &Nodes,
+                          const VmKernel &K) {
+  for (const VmNode &Nd : Nodes) {
+    if (Nd.K == VmNode::Straight) {
+      if (std::string E = validateCode(Nd.Body, K, "phase body");
+          !E.empty())
+        return E;
+      continue;
+    }
+    if (Nd.Slot >= sim::BlockCtx::MaxLoopSlots)
+      return "loop node of kernel `" + K.Name + "` uses slot " +
+             std::to_string(Nd.Slot) + " (max " +
+             std::to_string(sim::BlockCtx::MaxLoopSlots) + ")";
+    if (std::string E = validateCode(Nd.Lo, K, "loop lower bound");
+        !E.empty())
+      return E;
+    if (std::string E = validateCode(Nd.Hi, K, "loop upper bound");
+        !E.empty())
+      return E;
+    if (std::string E = validateNodes(Nd.Children, K); !E.empty())
+      return E;
+  }
+  return {};
+}
 
 long long evalBound(const Code &C, KernelEnv &E, const sim::BlockCtx &B) {
   if (E.Trap.tripped())
@@ -793,8 +998,23 @@ std::shared_ptr<HostArray> vm::makeHostArray(ScalarKind Elem, size_t Count,
   return Arr;
 }
 
+RunStatus vm::validateKernel(const VmKernel &K) {
+  if (std::string E = validateNodes(K.Nodes, K); !E.empty())
+    return {false, "invalid bytecode: " + E};
+  return {};
+}
+
 RunStatus vm::launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
                            const std::vector<DevBuf> &Args) {
+  // CUDA sticky-error semantics: a poisoned device rejects every launch
+  // with the original error until GpuDevice::reset().
+  if (Dev.poisoned()) {
+    std::string Msg;
+    sim::ErrorCode Code = Dev.getLastError(&Msg);
+    return {false, "kernel `" + K.Name + "` not launched: device in error "
+                   "state (" +
+                       sim::errorCodeName(Code) + "): " + Msg};
+  }
   if (Args.size() != K.Params.size())
     return {false, "kernel `" + K.Name + "` expects " +
                        std::to_string(K.Params.size()) + " buffers, got " +
@@ -807,8 +1027,12 @@ RunStatus vm::launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
                          std::to_string(K.Params[I].Count) + " x " +
                          scalarKindName(K.Params[I].Elem)};
 
+  if (RunStatus V = validateKernel(K); !V.Ok)
+    return V;
+
   TrapState Trap;
-  KernelEnv Env{K, Args, Trap};
+  KernelEnv Env{K, Args, Trap, Dev.watchdog().StepBudget};
+  const uint64_t Seq0 = Dev.errorSeq();
   sim::PhaseProgram Prog;
   buildProgram(Prog, K.Nodes, Env, K.Block);
   // Synchronous, like every generated sim launch; phase numbering and
@@ -821,8 +1045,21 @@ RunStatus vm::launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
     if (Trap.tripped())
       Dev.noteLaunchTraps(1);
   }
-  if (Trap.tripped())
+  if (Trap.tripped()) {
+    // Workers have synchronized by now, so Msg/Timedout are stable. The
+    // trap becomes the device's sticky error, like a CUDA kernel fault.
+    Dev.setDeviceError(Trap.Timedout ? sim::ErrorCode::KernelTimeout
+                                     : sim::ErrorCode::KernelTrap,
+                       Trap.Msg);
     return {false, Trap.Msg};
+  }
+  if (Dev.errorSeq() != Seq0) {
+    // The launch machinery itself failed under us (injected launch trap,
+    // wall-clock watchdog): report the device's error, not success.
+    std::string Msg;
+    sim::ErrorCode Code = Dev.getLastError(&Msg);
+    return {false, std::string(sim::errorCodeName(Code)) + ": " + Msg};
+  }
   return {};
 }
 

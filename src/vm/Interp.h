@@ -13,8 +13,14 @@
 // Error discipline: kernel runtime faults (division by zero, arena or
 // shared accesses outside the block's allocation, out-of-range global
 // accesses with bounds checking off) trip a shared trap flag and halt
-// the launch — they never throw on pool workers. Host-side faults
-// surface as a RunStatus error; nothing escapes these entry points as an
+// the launch — they never throw on pool workers. A tripped trap is also
+// recorded as the device's sticky error (sim::ErrorCode::KernelTrap, or
+// KernelTimeout when the watchdog step budget expired), so subsequent
+// launches fail fast until GpuDevice::reset(). Bytecode is structurally
+// validated before every launch (validateKernel): truncated or
+// bit-flipped artifacts and out-of-range register indices produce a
+// RunStatus error, never undefined behavior. Host-side faults surface
+// as a RunStatus error; nothing escapes these entry points as an
 // exception.
 //
 //===----------------------------------------------------------------------===//
@@ -93,10 +99,24 @@ struct RunStatus {
   std::string Error;
 };
 
+/// Structural validation of every code object in \p K: opcode in range,
+/// register / constant-pool / jump-target / buffer / loop-slot indices
+/// in bounds, element kinds valid. Returns a failing RunStatus naming
+/// the first malformed instruction — the interpreter's defense against
+/// truncated or bit-flipped bytecode reaching the unchecked dispatch
+/// loop. launchKernel runs this before executing anything.
+RunStatus validateKernel(const VmKernel &K);
+
 /// Launches \p K on \p Dev with one device buffer per kernel parameter.
 /// Synchronous (like the generated sim launches); honors the device's
 /// race-detection and bounds-checking modes. Argument arity, element
-/// kinds and counts are validated against the kernel's parameter schema.
+/// kinds and counts are validated against the kernel's parameter schema,
+/// and the bytecode itself through validateKernel. Fails fast (without
+/// launching) while the device carries a sticky error; a kernel trap
+/// poisons the device in turn. When the device watchdog configures a
+/// step budget (DESCEND_WATCHDOG steps=N), each thread's phase body may
+/// execute at most N instructions before the launch is cancelled as a
+/// KernelTimeout.
 RunStatus launchKernel(sim::GpuDevice &Dev, const VmKernel &K,
                        const std::vector<DevBuf> &Args);
 

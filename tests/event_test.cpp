@@ -297,9 +297,39 @@ TEST(Graph, BindValidatesSlotAndSize) {
   (void)D;
   GraphExec Exec = S.endCapture().instantiate();
   descend::rt::HostBuffer<double> Right(64, 0.0), Wrong(32, 0.0);
-  EXPECT_THROW(Exec.bind(1, Right), std::invalid_argument); // unknown slot
-  EXPECT_THROW(Exec.bind(0, Wrong), std::invalid_argument); // wrong size
-  EXPECT_THROW(Exec.launch(S), std::logic_error);           // slot unbound
+  // The structured texts name the slot, the sizes, and the binding so a
+  // failed launch is diagnosable without a debugger — pin them.
+  try {
+    Exec.bind(1, Right, "Right"); // unknown slot
+    FAIL() << "expected invalid_argument for an undeclared slot";
+  } catch (const std::invalid_argument &E) {
+    EXPECT_NE(std::string(E.what())
+                  .find("graph slot 1: not declared by the capture "
+                        "(binding `Right`)"),
+              std::string::npos)
+        << E.what();
+  }
+  try {
+    Exec.bind(0, Wrong, "Wrong"); // wrong size: 256 bytes vs 512 captured
+    FAIL() << "expected invalid_argument for a size mismatch";
+  } catch (const std::invalid_argument &E) {
+    std::string What = E.what();
+    EXPECT_NE(What.find("graph slot 0"), std::string::npos) << What;
+    EXPECT_NE(What.find("bound 256 bytes from `Wrong`, captured 512"),
+              std::string::npos)
+        << What;
+  }
+  try {
+    Exec.launch(S); // slot unbound
+    FAIL() << "expected logic_error for an unbound slot";
+  } catch (const std::logic_error &E) {
+    std::string What = E.what();
+    EXPECT_NE(What.find("GraphExec::launch: slot 0"), std::string::npos)
+        << What;
+    EXPECT_NE(What.find("is unbound"), std::string::npos) << What;
+    EXPECT_NE(What.find("bind() every declared slot"), std::string::npos)
+        << What;
+  }
   Exec.bind(0, Right);
   Exec.launch(S);
   S.synchronize();

@@ -1,0 +1,396 @@
+//===- tests/fault_test.cpp - Sticky errors, fault injection, watchdogs ---===//
+//
+// The acceptance gate for the robustness layer: a forced kernel trap at
+// launch N poisons exactly the affected stream, getLastError stays
+// sticky until GpuDevice::reset(), an infinite-loop kernel is cancelled
+// within the watchdog budget instead of hanging the suite, and every
+// DESCEND_FAULTS / DESCEND_WATCHDOG clause parses strictly (all-or-
+// nothing, like DESCEND_SIM_WORKERS). Runs under ASan and TSan in CI —
+// the injection seams sit on pool-worker code paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HostRuntime.h"
+#include "service/CompileService.h"
+#include "sim/Fault.h"
+#include "sim/Sim.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace descend;
+using namespace descend::sim;
+
+namespace {
+
+/// Every test arming the global FaultInjector must disarm it on exit —
+/// the injector outlives the test, the plan must not.
+struct FaultGuard {
+  FaultGuard() { FaultInjector::global().setPlanForTest(FaultPlan{}); }
+  ~FaultGuard() { FaultInjector::global().setPlanForTest(FaultPlan{}); }
+  void arm(const std::string &Text) {
+    FaultPlan P;
+    std::string Err;
+    ASSERT_TRUE(FaultPlan::parse(Text, P, &Err)) << Err;
+    FaultInjector::global().setPlanForTest(P);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Plan / watchdog parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, ParsesFullGrammarAndRoundTrips) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse(
+      "alloc:3,trap:launch=5,delay:worker=2:ms=10,drop:event=1,"
+      "compile:fail=4",
+      P, &Err))
+      << Err;
+  EXPECT_EQ(P.AllocFailAt, 3u);
+  EXPECT_EQ(P.TrapAtLaunch, 5u);
+  EXPECT_EQ(P.DelayWorker, 2u);
+  EXPECT_EQ(P.DelayMs, 10u);
+  EXPECT_EQ(P.DropEventAt, 1u);
+  EXPECT_EQ(P.CompileFailAt, 4u);
+  EXPECT_TRUE(P.armed());
+  // str() renders the canonical spelling, which re-parses to the same
+  // plan.
+  FaultPlan Q;
+  ASSERT_TRUE(FaultPlan::parse(P.str(), Q, &Err)) << Err;
+  EXPECT_EQ(Q.str(), P.str());
+
+  FaultPlan Empty;
+  ASSERT_TRUE(FaultPlan::parse("", Empty, &Err));
+  EXPECT_FALSE(Empty.armed());
+  EXPECT_EQ(Empty.str(), "off");
+}
+
+TEST(FaultPlan, RejectsMalformedPlansWholesale) {
+  const char *Bad[] = {
+      "alloc",           // missing ordinal
+      "alloc:",          // empty ordinal
+      "alloc:0",         // ordinals are 1-based
+      "alloc:-1",        // no signs
+      "alloc:3x",        // trailing garbage
+      " alloc:3",        // no whitespace
+      "alloc:3,",        // empty clause
+      "trap:5",          // trap wants launch=N
+      "trap:launch=",    // empty ordinal
+      "delay:worker=1",  // delay wants both worker= and ms=
+      "drop:3",          // drop wants event=N
+      "compile:3",       // compile wants fail=N
+      "bogus:3",         // unknown kind
+      "alloc:3,bogus:1", // one bad clause poisons the whole plan
+  };
+  for (const char *Text : Bad) {
+    FaultPlan P;
+    std::string Err;
+    EXPECT_FALSE(FaultPlan::parse(Text, P, &Err)) << Text;
+    EXPECT_FALSE(Err.empty()) << Text;
+  }
+}
+
+TEST(Watchdog, ParsesConfigStrictly) {
+  GpuDevice::WatchdogConfig W;
+  std::string Err;
+  ASSERT_TRUE(detail::parseWatchdogConfig("steps=1000,ms=50", W, &Err))
+      << Err;
+  EXPECT_EQ(W.StepBudget, 1000u);
+  EXPECT_EQ(W.LaunchTimeoutMs, 50u);
+
+  GpuDevice::WatchdogConfig StepsOnly;
+  ASSERT_TRUE(detail::parseWatchdogConfig("steps=7", StepsOnly, &Err));
+  EXPECT_EQ(StepsOnly.StepBudget, 7u);
+  EXPECT_EQ(StepsOnly.LaunchTimeoutMs, 0u);
+
+  const char *Bad[] = {"steps=0", "ms=", "steps=1,steps=2", "budget=3",
+                       "steps=1x", ""};
+  for (const char *Text : Bad) {
+    GpuDevice::WatchdogConfig Out;
+    EXPECT_FALSE(detail::parseWatchdogConfig(Text, Out, &Err)) << Text;
+  }
+}
+
+TEST(Watchdog, SetWatchdogRoundTrips) {
+  GpuDevice Dev;
+  GpuDevice::WatchdogConfig W;
+  W.StepBudget = 123;
+  W.LaunchTimeoutMs = 456;
+  Dev.setWatchdog(W);
+  EXPECT_EQ(Dev.watchdog().StepBudget, 123u);
+  EXPECT_EQ(Dev.watchdog().LaunchTimeoutMs, 456u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sticky device errors
+//===----------------------------------------------------------------------===//
+
+TEST(StickyError, FirstErrorWinsAndResetRestores) {
+  GpuDevice Dev;
+  EXPECT_FALSE(Dev.poisoned());
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+
+  const uint64_t Seq0 = Dev.errorSeq();
+  Dev.setDeviceError(ErrorCode::KernelTrap, "first fault");
+  Dev.setDeviceError(ErrorCode::AllocFailed, "second fault");
+  EXPECT_TRUE(Dev.poisoned());
+  EXPECT_EQ(Dev.errorSeq(), Seq0 + 2); // both recorded for attribution
+
+  std::string Msg;
+  EXPECT_EQ(Dev.getLastError(&Msg), ErrorCode::KernelTrap);
+  EXPECT_EQ(Msg, "first fault");
+  // Sticky: reading does not clear.
+  EXPECT_EQ(Dev.peekLastError(), ErrorCode::KernelTrap);
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::KernelTrap);
+
+  Dev.reset();
+  EXPECT_FALSE(Dev.poisoned());
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+}
+
+TEST(StickyError, AllocInjectionFailsNthAllocationOnly) {
+  FaultGuard G;
+  G.arm("alloc:2");
+  GpuDevice Dev;
+  auto First = Dev.alloc<double>(16); // allocation #1 succeeds
+  (void)First;
+  try {
+    auto Second = Dev.alloc<double>(16); // #2 is the injected failure
+    FAIL() << "allocation #2 should have thrown";
+  } catch (const DeviceError &E) {
+    EXPECT_EQ(E.code(), ErrorCode::AllocFailed);
+    EXPECT_NE(std::string(E.what()).find("fault injection"),
+              std::string::npos)
+        << E.what();
+  }
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::AllocFailed);
+  // The plan fired once; after reset() the device allocates again.
+  Dev.reset();
+  auto Third = Dev.alloc<double>(16);
+  EXPECT_NE(Third.data(), nullptr);
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+}
+
+TEST(StickyError, TrapAtLaunchPoisonsExactlyTheAffectedStream) {
+  FaultGuard G;
+  G.arm("trap:launch=1");
+  GpuDevice Dev;
+  Dev.setWorkers(2);
+  auto Buf = Dev.alloc<double>(64);
+
+  Stream Victim(Dev), Bystander(Dev);
+  Victim.enqueue([&] {
+    launchPhases(Dev, Dim3{1}, Dim3{64}, 0, [&](BlockCtx &B, ThreadCtx &T) {
+      Buf.store(B, T.X, 1.0);
+    });
+  });
+  Victim.synchronize(); // never throws, even on a poisoned stream
+
+  // The trapped launch poisons its stream and the device...
+  EXPECT_EQ(Victim.error(), ErrorCode::KernelTrap);
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::KernelTrap);
+  EXPECT_THROW(Victim.enqueue([] {}), DeviceError);
+  EXPECT_THROW(Victim.query(), DeviceError);
+  try {
+    Victim.enqueue([] {});
+    FAIL();
+  } catch (const DeviceError &E) {
+    EXPECT_EQ(E.code(), ErrorCode::KernelTrap);
+    EXPECT_NE(std::string(E.what()).find("stream poisoned"),
+              std::string::npos)
+        << E.what();
+  }
+
+  // ...but ONLY that stream: the bystander keeps working (its launch is
+  // past the armed ordinal, so it runs clean).
+  EXPECT_EQ(Bystander.error(), ErrorCode::Ok);
+  Bystander.enqueue([&] {
+    launchPhases(Dev, Dim3{1}, Dim3{64}, 0, [&](BlockCtx &B, ThreadCtx &T) {
+      Buf.store(B, T.X, 2.0);
+    });
+  });
+  Bystander.synchronize();
+  EXPECT_EQ(Bystander.error(), ErrorCode::Ok);
+  EXPECT_EQ(Buf.data()[0], 2.0);
+
+  // reset() heals the device; already-poisoned streams stay poisoned,
+  // fresh streams work.
+  Dev.reset();
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+  EXPECT_THROW(Victim.enqueue([] {}), DeviceError);
+  Stream Fresh(Dev);
+  Fresh.enqueue([&] {
+    launchPhases(Dev, Dim3{1}, Dim3{64}, 0, [&](BlockCtx &B, ThreadCtx &T) {
+      Buf.store(B, T.X, 3.0);
+    });
+  });
+  Fresh.synchronize();
+  EXPECT_EQ(Fresh.error(), ErrorCode::Ok);
+  EXPECT_EQ(Buf.data()[0], 3.0);
+}
+
+TEST(StickyError, DropEventReportsButStillCompletesGeneration) {
+  FaultGuard G;
+  G.arm("drop:event=1");
+  GpuDevice Dev;
+  Dev.setWorkers(2);
+  Stream S(Dev);
+  Event E;
+  S.enqueue([] {});
+  S.record(E);
+  // The detected fault must never become an undetectable hang: the
+  // generation still completes, so synchronize() returns...
+  E.synchronize();
+  S.synchronize();
+  // ...and the drop is reported as the device's sticky error.
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::EventDropped);
+  Dev.reset();
+}
+
+TEST(StickyError, WorkerDelayInjectionOnlySlowsExecution) {
+  // delay:worker=K:ms=M must perturb timing, never results — this is
+  // the clause the TSan stress job runs the whole suite under.
+  FaultGuard G;
+  G.arm("delay:worker=1:ms=1");
+  GpuDevice Dev;
+  Dev.setWorkers(4);
+  auto Buf = Dev.alloc<double>(512);
+  launchPhases(Dev, Dim3{8}, Dim3{64}, 0, [&](BlockCtx &B, ThreadCtx &T) {
+    size_t I = B.X * 64 + T.X;
+    Buf.store(B, I, static_cast<double>(I) * 2.0);
+  });
+  for (size_t I = 0; I != 512; ++I)
+    ASSERT_EQ(Buf.data()[I], static_cast<double>(I) * 2.0);
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdogs
+//===----------------------------------------------------------------------===//
+
+TEST(Watchdog, WallClockBudgetCancelsRunawayLaunch) {
+  GpuDevice Dev;
+  GpuDevice::WatchdogConfig W;
+  W.LaunchTimeoutMs = 25;
+  Dev.setWatchdog(W);
+
+  // A phase-program loop that would run for ~100 seconds unchecked; the
+  // watchdog must cancel it at a phase boundary within the budget.
+  PhaseProgram Prog;
+  Prog.loopBegin(0, 0, 100000);
+  Prog.straight([](BlockCtx &, ThreadCtx &) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  Prog.loopEnd();
+
+  auto T0 = std::chrono::steady_clock::now();
+  launchProgram(Dev, Dim3{1}, Dim3{1}, 0, Prog);
+  auto ElapsedMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  std::string Msg;
+  EXPECT_EQ(Dev.getLastError(&Msg), ErrorCode::KernelTimeout);
+  EXPECT_NE(Msg.find("watchdog"), std::string::npos) << Msg;
+  // Generous bound: cancellation plus drain must be near the budget,
+  // nowhere near the 100 s the loop wanted.
+  EXPECT_LT(ElapsedMs, 5000.0);
+  Dev.reset();
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::Ok);
+}
+
+TEST(Watchdog, VmStepBudgetTrapsInfiniteLoop) {
+  GpuDevice Dev;
+  GpuDevice::WatchdogConfig W;
+  W.StepBudget = 10000;
+  Dev.setWatchdog(W);
+
+  // A hand-built bytecode kernel that spins forever: `0: Jmp 0`.
+  vm::VmKernel Spin;
+  Spin.Name = "spin_forever";
+  Spin.Grid = Dim3{1};
+  Spin.Block = Dim3{1};
+  Spin.StraightPhases = 1;
+  vm::VmNode N;
+  N.K = vm::VmNode::Straight;
+  vm::Instr Jmp;
+  Jmp.K = vm::Op::Jmp;
+  Jmp.Imm = 0;
+  N.Body.Instrs = {Jmp};
+  N.Body.NumRegs = 0;
+  Spin.Nodes.push_back(std::move(N));
+
+  vm::RunStatus St = vm::launchKernel(Dev, Spin, {});
+  EXPECT_FALSE(St.Ok);
+  EXPECT_NE(St.Error.find("step budget"), std::string::npos) << St.Error;
+  EXPECT_EQ(Dev.getLastError(), ErrorCode::KernelTimeout);
+
+  // Sticky: the next launch fails fast without running...
+  vm::VmKernel Trivial;
+  Trivial.Name = "trivial";
+  Trivial.Grid = Dim3{1};
+  Trivial.Block = Dim3{1};
+  Trivial.StraightPhases = 1;
+  vm::VmNode T;
+  T.K = vm::VmNode::Straight;
+  T.Body.Instrs = {vm::Instr{}}; // Ret
+  T.Body.NumRegs = 0;
+  Trivial.Nodes.push_back(std::move(T));
+  vm::RunStatus Blocked = vm::launchKernel(Dev, Trivial, {});
+  EXPECT_FALSE(Blocked.Ok);
+  EXPECT_NE(Blocked.Error.find("device in error state"), std::string::npos)
+      << Blocked.Error;
+
+  // ...and reset() restores a working device.
+  Dev.reset();
+  EXPECT_TRUE(vm::launchKernel(Dev, Trivial, {}).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Transient compile failures feed the service retry path
+//===----------------------------------------------------------------------===//
+
+TEST(FaultService, InjectedCompileFailureIsTransientAndUncached) {
+  FaultGuard G;
+  G.arm("compile:fail=1");
+  service::CompileService Service(8);
+  service::CompileRequest Req;
+  Req.Backend = "vm";
+  Req.Defines["nb"] = 2;
+  Req.Source = R"(
+fn scale_vec<nb: nat>(vec: &uniq gpu.global [f64; nb*256])
+-[grid: gpu.grid<X<nb>, X<256>>]-> () {
+  sched(X) block in grid {
+    sched(X) thread in block {
+      vec.group::<256>[[block]][[thread]] =
+        vec.group::<256>[[block]][[thread]] * 3.0
+    }
+  }
+}
+)";
+
+  service::CompileReply First = Service.compile(Req);
+  EXPECT_FALSE(First.Ok);
+  EXPECT_TRUE(First.Transient);
+  EXPECT_NE(First.Diagnostics.find("fault injection"), std::string::npos)
+      << First.Diagnostics;
+
+  // Failures are never cached; the identical retry compiles cleanly and
+  // a genuine source error stays non-transient.
+  service::CompileReply Second = Service.compile(Req);
+  EXPECT_TRUE(Second.Ok) << Second.Diagnostics;
+  EXPECT_FALSE(Second.Transient);
+
+  service::CompileRequest Broken = Req;
+  Broken.Source = "fn nonsense(";
+  service::CompileReply Bad = Service.compile(Broken);
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_FALSE(Bad.Transient);
+}
+
+} // namespace

@@ -86,7 +86,14 @@ TEST(HostGen, QuickstartSimDriver) {
       << O.Artifact;
   EXPECT_NE(O.Artifact.find("scale_vec(_dev, d_vec);"), std::string::npos)
       << O.Artifact;
-  EXPECT_NE(O.Artifact.find("descend::rt::copyToHost(host_vec, d_vec);"),
+  EXPECT_NE(O.Artifact.find("descend::rt::copyToHost(host_vec, d_vec, "
+                            "\"host_vec\", \"d_vec\");"),
+            std::string::npos)
+      << O.Artifact;
+  // Synchronous launches are followed by a device check so sticky errors
+  // surface as structured rt::Errors at the failing step.
+  EXPECT_NE(O.Artifact.find("descend::rt::checkDevice(_dev, \"launch "
+                            "scale_vec\");"),
             std::string::npos)
       << O.Artifact;
 }
@@ -104,7 +111,8 @@ TEST(HostGen, ReductionSimDriverLowersHostLoop) {
   // Two transfers in, one out.
   EXPECT_NE(O.Artifact.find("allocCopy(_dev, data)"), std::string::npos);
   EXPECT_NE(O.Artifact.find("allocCopy(_dev, partials)"), std::string::npos);
-  EXPECT_NE(O.Artifact.find("copyToHost(partials, d_out)"),
+  EXPECT_NE(O.Artifact.find(
+                "copyToHost(partials, d_out, \"partials\", \"d_out\")"),
             std::string::npos);
 }
 
@@ -263,18 +271,19 @@ TEST(HostGenGraph, EmitsCaptureReplayOverload) {
   EXPECT_NE(GraphPart.find("_stream.beginCapture();"), std::string::npos)
       << GraphPart;
   EXPECT_NE(GraphPart.find("descend::rt::allocCopyCapture<double>(_stream, "
-                           "0, host_vec.size())"),
+                           "0, host_vec.size(), \"host_vec\")"),
             std::string::npos)
       << GraphPart;
   EXPECT_NE(GraphPart.find("descend::rt::copyToHostCapture(_stream, 0, "
-                           "d_vec);"),
+                           "d_vec, \"host_vec\");"),
             std::string::npos)
       << GraphPart;
   EXPECT_NE(GraphPart.find("_graph = _stream.endCapture().instantiate();"),
             std::string::npos)
       << GraphPart;
   // ...and rebinds + replays on every call.
-  EXPECT_NE(GraphPart.find("_graph.bind(0, host_vec);"), std::string::npos)
+  EXPECT_NE(GraphPart.find("_graph.bind(0, host_vec, \"host_vec\");"),
+            std::string::npos)
       << GraphPart;
   EXPECT_NE(GraphPart.find("_graph.launch(_stream);"), std::string::npos)
       << GraphPart;
@@ -290,19 +299,22 @@ TEST(HostGenGraph, ReductionCapturesPrefixAndKeepsHostTail) {
   std::string GraphPart = O.Artifact.substr(GraphFn);
   // data and partials each get a slot, in first-use order...
   EXPECT_NE(GraphPart.find("allocCopyCapture<double>(_stream, 0, "
-                           "data.size())"),
+                           "data.size(), \"data\")"),
             std::string::npos)
       << GraphPart;
   EXPECT_NE(GraphPart.find("allocCopyCapture<double>(_stream, 1, "
-                           "partials.size())"),
+                           "partials.size(), \"partials\")"),
             std::string::npos)
       << GraphPart;
-  EXPECT_NE(GraphPart.find("_graph.bind(0, data);"), std::string::npos)
+  EXPECT_NE(GraphPart.find("_graph.bind(0, data, \"data\");"),
+            std::string::npos)
       << GraphPart;
-  EXPECT_NE(GraphPart.find("_graph.bind(1, partials);"), std::string::npos)
+  EXPECT_NE(GraphPart.find("_graph.bind(1, partials, \"partials\");"),
+            std::string::npos)
       << GraphPart;
   // ...the D2H copy reuses partials' slot...
-  EXPECT_NE(GraphPart.find("copyToHostCapture(_stream, 1, d_out);"),
+  EXPECT_NE(GraphPart.find("copyToHostCapture(_stream, 1, d_out, "
+                           "\"partials\");"),
             std::string::npos)
       << GraphPart;
   // ...and the CPU finish loop emits as a plain host tail after the

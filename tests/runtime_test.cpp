@@ -67,6 +67,21 @@ TEST(HostRuntime, CopyToHostSizeMismatchThrows) {
   EXPECT_THROW(rt::copyToHost(TooSmall, Buf), std::runtime_error);
   rt::HostBuffer<double> TooBig(64, 0.0);
   EXPECT_THROW(rt::copyToHost(TooBig, Buf), std::runtime_error);
+  // The structured form: an rt::Error classified CopyFailed whose text
+  // names both buffers and their element counts. Generated drivers pass
+  // the host variable names, so the diagnostic reads like the source.
+  try {
+    rt::copyToHost(TooSmall, Buf, "host_out", "d_data");
+    FAIL() << "expected rt::Error for a size mismatch";
+  } catch (const rt::Error &E) {
+    EXPECT_EQ(E.code(), sim::ErrorCode::CopyFailed);
+    EXPECT_NE(std::string(E.what())
+                  .find("copy_mem_to_host: size mismatch: destination "
+                        "`host_out` holds 16 elements, source `d_data` "
+                        "holds 32"),
+              std::string::npos)
+        << E.what();
+  }
 }
 
 TEST(HostRuntime, CopyToGpuSizeMismatchThrows) {
@@ -74,6 +89,26 @@ TEST(HostRuntime, CopyToGpuSizeMismatchThrows) {
   auto Buf = Dev.alloc<double>(16);
   rt::HostBuffer<double> Host(32, 0.0);
   EXPECT_THROW(rt::copyToGpu(Buf, Host), std::runtime_error);
+  try {
+    rt::copyToGpu(Buf, Host, "d_data", "host_in");
+    FAIL() << "expected rt::Error for a size mismatch";
+  } catch (const rt::Error &E) {
+    EXPECT_EQ(E.code(), sim::ErrorCode::CopyFailed);
+    EXPECT_NE(std::string(E.what())
+                  .find("copy_to_gpu: size mismatch: destination `d_data` "
+                        "holds 16 elements, source `host_in` holds 32"),
+              std::string::npos)
+        << E.what();
+  }
+  // Unnamed call sites degrade to `?`, never to garbage.
+  try {
+    rt::copyToGpu(Buf, Host);
+    FAIL() << "expected rt::Error for a size mismatch";
+  } catch (const rt::Error &E) {
+    EXPECT_NE(std::string(E.what()).find("destination `?`"),
+              std::string::npos)
+        << E.what();
+  }
 }
 
 TEST(HostRuntime, CheckLaunchConfigAcceptsExactCover) {

@@ -316,7 +316,12 @@ TEST(ServiceLatency, EveryServedRequestIsRecorded) {
 //===----------------------------------------------------------------------===//
 
 /// Pipes \p Input into the descendd binary and returns its stdout.
-std::string runDescendd(const std::string &Input) {
+/// \p EnvPrefix (e.g. "DESCEND_FAULTS=compile:fail=1 ") and \p Flags are
+/// spliced into the shell command; the daemon must always exit 0 — EOF,
+/// QUIT and even a truncated payload are orderly shutdowns.
+std::string runDescendd(const std::string &Input,
+                        const std::string &EnvPrefix = "",
+                        const std::string &Flags = "") {
   static int Counter = 0;
   std::string Base = ::testing::TempDir() + "descendd_io_" +
                      std::to_string(Counter++);
@@ -325,8 +330,8 @@ std::string runDescendd(const std::string &Input) {
     std::ofstream Out(InFile);
     Out << Input;
   }
-  std::string Cmd = std::string(DESCENDD_BIN) + " < " + InFile + " > " +
-                    OutFile + " 2>/dev/null";
+  std::string Cmd = EnvPrefix + std::string(DESCENDD_BIN) + Flags + " < " +
+                    InFile + " > " + OutFile + " 2>/dev/null";
   EXPECT_EQ(std::system(Cmd.c_str()), 0) << Cmd;
   std::string Result = readFile(OutFile);
   std::remove(InFile.c_str());
@@ -369,6 +374,85 @@ TEST(DescenddProtocol, MetricsReflectsServedCompiles) {
   EXPECT_NE(Line.find("misses=1"), std::string::npos) << Line;
   EXPECT_NE(Line.find("hit_rate=0.500"), std::string::npos) << Line;
   EXPECT_NE(Line.find("latency_count=2"), std::string::npos) << Line;
+}
+
+TEST(DescenddProtocol, MetricsIncludesHardeningCounters) {
+  std::string Out = runDescendd("METRICS\nQUIT\n");
+  EXPECT_NE(Out.find("timeouts=0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("retries=0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("sheds=0"), std::string::npos) << Out;
+}
+
+TEST(DescenddProtocol, PingIsALivenessProbe) {
+  // PONG comes back without touching the compile service — and the
+  // daemon keeps serving afterwards (METRICS still answers).
+  std::string Out = runDescendd("PING\nMETRICS\nPING\nQUIT\n");
+  EXPECT_EQ(Out.rfind("PONG\n", 0), 0u) << Out;
+  EXPECT_NE(Out.find("METRICS requests=0"), std::string::npos) << Out;
+  // Two PONGs: one before, one after the METRICS line.
+  size_t First = Out.find("PONG\n");
+  EXPECT_NE(Out.find("PONG\n", First + 1), std::string::npos) << Out;
+}
+
+TEST(DescenddProtocol, TruncatedPayloadAnswersErrAndExitsCleanly) {
+  // The header promises 4096 bytes but stdin ends after a few: the
+  // client died mid-request. The daemon must answer ERR (the client may
+  // still be reading) and exit 0 — runDescendd asserts the exit status.
+  std::string Out = runDescendd("COMPILE vm 4096 nb=2\nshort");
+  EXPECT_EQ(Out.rfind("ERR ", 0), 0u) << Out;
+  EXPECT_NE(Out.find("truncated payload"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("shutting down"), std::string::npos) << Out;
+}
+
+TEST(DescenddProtocol, EofWithoutQuitIsACleanExit) {
+  // A client that just closes the pipe (no QUIT) is an orderly shutdown:
+  // exit 0, and everything requested before the EOF was answered.
+  std::string Src = tinyKernel("4.0");
+  std::string Out = runDescendd("COMPILE vm " + std::to_string(Src.size()) +
+                                " nb=2\n" + Src);
+  EXPECT_EQ(Out.rfind("OK hit=0", 0), 0u) << Out.substr(0, 80);
+}
+
+TEST(DescenddProtocol, TransientCompileFailureIsRetriedToSuccess) {
+  // DESCEND_FAULTS=compile:fail=1 fails the first cold compile
+  // transiently; descendd's bounded retry recompiles and the client
+  // still sees OK. METRICS owns up to the retry.
+  std::string Src = tinyKernel("4.0");
+  std::string Out = runDescendd("COMPILE vm " + std::to_string(Src.size()) +
+                                    " nb=2\n" + Src + "METRICS\nQUIT\n",
+                                "DESCEND_FAULTS=compile:fail=1 ");
+  EXPECT_EQ(Out.rfind("OK hit=0", 0), 0u)
+      << "transient failure leaked to the client: " << Out.substr(0, 120);
+  size_t M = Out.find("METRICS ");
+  ASSERT_NE(M, std::string::npos) << Out;
+  std::string Line = Out.substr(M);
+  EXPECT_NE(Line.find("retries=1"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("failures=1"), std::string::npos)
+      << "the failed attempt is visible in the service stats: " << Line;
+}
+
+TEST(DescenddProtocol, RequestTimeoutNeverHangsTheProtocol) {
+  // A per-request timeout must never wedge the daemon: whether the
+  // compile beats the budget (OK) or not (ERR "request timeout" while it
+  // finishes in the background), the reply is one structured line and
+  // the loop keeps serving — METRICS answers and QUIT exits 0. Which
+  // branch fires is timing-dependent, so only invariants are pinned; the
+  // deterministic timeout path runs in the CI fault smoke.
+  std::string Src = tinyKernel("4.0");
+  std::string Out = runDescendd("COMPILE vm " + std::to_string(Src.size()) +
+                                    " nb=2\n" + Src + "METRICS\nQUIT\n",
+                                "", " --request-timeout-ms=1");
+  bool TimedOut = Out.rfind("ERR ", 0) == 0;
+  if (TimedOut)
+    EXPECT_NE(Out.find("request timeout"), std::string::npos) << Out;
+  else
+    EXPECT_EQ(Out.rfind("OK hit=0", 0), 0u) << Out.substr(0, 120);
+  size_t M = Out.find("METRICS ");
+  ASSERT_NE(M, std::string::npos) << "daemon wedged after a timed request: "
+                                  << Out;
+  EXPECT_NE(Out.find(TimedOut ? "timeouts=1" : "timeouts=0", M),
+            std::string::npos)
+      << Out.substr(M);
 }
 
 } // namespace

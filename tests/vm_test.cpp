@@ -254,6 +254,104 @@ TEST(VmKernel, ReportsOutOfRangeLaunchArguments) {
 }
 
 //===----------------------------------------------------------------------===//
+// Negative group: corrupted bytecode must trap, never hit UB. Runs under
+// ASan/UBSan in CI — any unchecked register/const/jump index would fire
+// there.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One-straight-node kernel around \p Body, no parameters.
+vm::VmKernel corruptKernel(std::vector<vm::Instr> Body, unsigned NumRegs) {
+  vm::VmKernel K;
+  K.Name = "corrupt";
+  K.Grid = sim::Dim3{1};
+  K.Block = sim::Dim3{1};
+  K.StraightPhases = 1;
+  vm::VmNode N;
+  N.K = vm::VmNode::Straight;
+  N.Body.Instrs = std::move(Body);
+  N.Body.NumRegs = NumRegs;
+  K.Nodes.push_back(std::move(N));
+  return K;
+}
+
+vm::Instr instr(vm::Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+                int32_t Imm = 0) {
+  vm::Instr I;
+  I.K = O;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Imm = Imm;
+  return I;
+}
+} // namespace
+
+TEST(VmValidate, RejectsOutOfRangeRegisterIndices) {
+  // r5 with a 1-register file — the dispatch loop would index past the
+  // register vector.
+  auto K = corruptKernel({instr(vm::Op::Move, /*A=*/5, /*B=*/0)},
+                         /*NumRegs=*/1);
+  vm::RunStatus V = vm::validateKernel(K);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("register"), std::string::npos) << V.Error;
+
+  // launchKernel refuses it too (same check, before anything runs).
+  sim::GpuDevice DV;
+  vm::RunStatus St = vm::launchKernel(DV, K, {});
+  EXPECT_FALSE(St.Ok);
+  EXPECT_NE(St.Error.find("invalid bytecode"), std::string::npos)
+      << St.Error;
+  EXPECT_FALSE(DV.poisoned()) << "rejected bytecode must not poison";
+}
+
+TEST(VmValidate, RejectsBitFlippedOpcode) {
+  auto K = corruptKernel({instr(static_cast<vm::Op>(0xEF))}, 1);
+  vm::RunStatus V = vm::validateKernel(K);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("opcode"), std::string::npos) << V.Error;
+}
+
+TEST(VmValidate, RejectsTruncatedArtifactShapes) {
+  // A constant pool shorter than the Const index refers to — what a
+  // truncated artifact looks like after deserialization.
+  auto Trunc = corruptKernel({instr(vm::Op::Const, 0, 0, 0, /*Imm=*/3)}, 1);
+  vm::RunStatus V1 = vm::validateKernel(Trunc);
+  EXPECT_FALSE(V1.Ok);
+  EXPECT_NE(V1.Error.find("constant index"), std::string::npos) << V1.Error;
+
+  // Jump past the instruction vector (backwards, via a negative Imm).
+  auto BadJmp = corruptKernel({instr(vm::Op::Jmp, 0, 0, 0, /*Imm=*/-7)}, 1);
+  vm::RunStatus V2 = vm::validateKernel(BadJmp);
+  EXPECT_FALSE(V2.Ok);
+  EXPECT_NE(V2.Error.find("jump target"), std::string::npos) << V2.Error;
+
+  // A global access against a parameter the kernel does not have.
+  auto BadBuf = corruptKernel(
+      {instr(vm::Op::LoadGlobal, 0, 0,
+             static_cast<uint16_t>(ScalarKind::F64), /*Imm=*/2)},
+      1);
+  vm::RunStatus V3 = vm::validateKernel(BadBuf);
+  EXPECT_FALSE(V3.Ok);
+  EXPECT_NE(V3.Error.find("buffer index"), std::string::npos) << V3.Error;
+
+  // Wide ops implicitly use r[A+1]: A = NumRegs-1 is out of range.
+  auto BadWide = corruptKernel(
+      {instr(vm::Op::LoadShared2, /*A=*/1, 0,
+             static_cast<uint16_t>(ScalarKind::F64), /*Imm=*/0)},
+      /*NumRegs=*/2);
+  vm::RunStatus V4 = vm::validateKernel(BadWide);
+  EXPECT_FALSE(V4.Ok);
+  EXPECT_NE(V4.Error.find("register"), std::string::npos) << V4.Error;
+
+  // And the compiled kernels in this suite all pass validation.
+  auto P = compileVm(DESCEND_KERNEL_DIR "/reduce.descend", {{"nb", 8}});
+  ASSERT_TRUE(P);
+  for (const vm::VmKernel &K : P->Kernels)
+    EXPECT_TRUE(vm::validateKernel(K).Ok);
+}
+
+//===----------------------------------------------------------------------===//
 // Host drivers: interpreted `main` vs generated driver, bit for bit
 //===----------------------------------------------------------------------===//
 

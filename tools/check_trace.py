@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Validate a Chrome trace-event JSON file written by --trace-json.
 
-Usage: check_trace.py TRACE.json [CATEGORY...]
+Usage: check_trace.py TRACE.json [REQUIREMENT...] [--forbid CATEGORY...]
 
 Checks that the file parses, is shaped like a Chrome trace ("traceEvents"
-list whose entries carry name/cat/ph/ts), and — when categories are given
-on the command line — that at least one event exists per category. CI runs
-this over a traced --run so a broken exporter (malformed JSON, missing
-spans) fails the build instead of silently producing an unloadable trace.
+list whose entries carry name/cat/ph/ts), and — when requirements are
+given on the command line — that at least one matching event exists per
+requirement. A requirement is either a bare category ("compile") or
+"category:name" ("service:retry", "error:device_error") to pin a specific
+instant emitted by the error/retry hardening paths. Categories after
+--forbid must have NO events: a clean, fault-free run asserting
+"--forbid error" fails loudly if a device error sneaked into the trace.
+
+CI runs this over a traced --run so a broken exporter (malformed JSON,
+missing spans) fails the build instead of silently producing an
+unloadable trace, and over fault-injected runs so the error/retry
+instants are known to reach the trace.
 
 Exit code 0 on success, 1 with a diagnostic on any failure.
 """
@@ -23,8 +31,17 @@ def fail(msg):
 
 def main(argv):
     if len(argv) < 2:
-        fail("usage: check_trace.py TRACE.json [CATEGORY...]")
-    path, want_cats = argv[1], argv[2:]
+        fail("usage: check_trace.py TRACE.json [REQUIREMENT...] "
+             "[--forbid CATEGORY...]")
+    path = argv[1]
+    wants, forbidden, forbidding = [], [], False
+    for arg in argv[2:]:
+        if arg == "--forbid":
+            forbidding = True
+        elif forbidding:
+            forbidden.append(arg)
+        else:
+            wants.append(arg)
 
     try:
         with open(path) as f:
@@ -51,14 +68,28 @@ def main(argv):
         if ev["ph"] == "X" and "dur" not in ev:
             fail(f"{path}: complete event traceEvents[{i}] is missing 'dur'")
 
-    seen = {ev["cat"] for ev in events}
-    missing = [c for c in want_cats if c not in seen]
+    seen_cats = {ev["cat"] for ev in events}
+    seen_named = {(ev["cat"], ev["name"]) for ev in events}
+    missing = []
+    for want in wants:
+        if ":" in want:
+            cat, name = want.split(":", 1)
+            if (cat, name) not in seen_named:
+                missing.append(want)
+        elif want not in seen_cats:
+            missing.append(want)
     if missing:
-        fail(f"{path}: no events in categories {missing} "
-             f"(present: {sorted(seen)})")
+        present = sorted(f"{c}:{n}" for c, n in seen_named)
+        fail(f"{path}: no events matching {missing} (present: {present})")
+
+    for cat in forbidden:
+        hits = [ev["name"] for ev in events if ev["cat"] == cat]
+        if hits:
+            fail(f"{path}: forbidden category {cat!r} has {len(hits)} "
+                 f"event(s): {sorted(set(hits))}")
 
     print(f"check_trace: {path} OK — {len(events)} events, "
-          f"categories {sorted(seen)}")
+          f"categories {sorted(seen_cats)}")
     return 0
 
 

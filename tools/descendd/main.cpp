@@ -23,27 +23,50 @@
 //                failures=<n> evictions=<n> entries=<n> inflight=<n>
 //                hit_rate=<r> latency_count=<n> latency_mean_ms=<ms>
 //                latency_p50_ms=<ms> latency_p95_ms=<ms> latency_max_ms=<ms>
+//                timeouts=<n> retries=<n> sheds=<n>
 //        (one line; the latency quantiles are conservative log2-bucket
 //        upper bounds over every served request, hits included. All
 //        fields are zero before the first COMPILE — the reply is always
 //        one complete, flushed line, never silence.)
 //
+//   PING
+//     -> PONG (liveness probe; never touches the service)
+//
 //   QUIT (or EOF)
 //     -> exits 0
 //
-// A malformed request line gets `ERR <bytes>\n<message>` and the daemon
-// keeps serving — hostile input must never take the service down.
+// Robustness contract: a malformed request line gets
+// `ERR <bytes>\n<message>` and the daemon keeps serving — hostile input
+// must never take the service down. A request truncated mid-payload
+// (the client died) is answered with ERR and the daemon exits 0: a dead
+// stdin is an orderly shutdown, not a crash. SIGPIPE is ignored — a
+// client that closes its read end surfaces as a write error, not a
+// silent kill. With --request-timeout-ms=N, a compile that exceeds N ms
+// is answered `ERR ... request timeout` while the work finishes in the
+// background; when --max-queue such background compiles have piled up,
+// new COMPILEs are shed with `BUSY <bytes>\n<message>` instead of
+// queueing without bound. Transient compile failures (fault injection,
+// resource pressure) are retried up to 3 times with 1/2/4 ms backoff
+// before the ERR is sent.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "service/CompileService.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace descend;
 
@@ -57,18 +80,31 @@ void reply(const std::string &Head, const std::string &Payload) {
 
 void replyErr(const std::string &Msg) { reply("ERR", Msg + "\n"); }
 
+void noteInstant(const char *Name) {
+  if (obs::TraceCollector::global().enabled()) [[unlikely]]
+    obs::TraceCollector::global().addInstant("service", Name);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   size_t Capacity = 64;
+  unsigned long long TimeoutMs = 0; // 0 = no per-request timeout
+  size_t MaxQueue = 8; // shed when this many timed-out compiles linger
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--cache-capacity=", 0) == 0) {
       Capacity = std::strtoull(Arg.c_str() + 17, nullptr, 10);
+    } else if (Arg.rfind("--request-timeout-ms=", 0) == 0) {
+      TimeoutMs = std::strtoull(Arg.c_str() + 21, nullptr, 10);
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      MaxQueue = std::strtoull(Arg.c_str() + 12, nullptr, 10);
     } else if (Arg == "--help" || Arg == "-h") {
-      std::printf("usage: descendd [--cache-capacity=N]\n"
-                  "Serves COMPILE/STATS/METRICS/QUIT requests on stdin; see\n"
-                  "the protocol comment in tools/descendd/main.cpp.\n");
+      std::printf(
+          "usage: descendd [--cache-capacity=N] [--request-timeout-ms=N]\n"
+          "                [--max-queue=N]\n"
+          "Serves COMPILE/STATS/METRICS/PING/QUIT requests on stdin; see\n"
+          "the protocol comment in tools/descendd/main.cpp.\n");
       return 0;
     } else {
       std::fprintf(stderr, "descendd: error: unrecognized option '%s'\n",
@@ -77,7 +113,47 @@ int main(int argc, char **argv) {
     }
   }
 
+#ifdef SIGPIPE
+  // A client closing its read end must surface as a write error on our
+  // next reply, not kill the daemon mid-serve.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
   service::CompileService Service(Capacity);
+
+  // Service-level hardening counters (reported by METRICS).
+  unsigned long long Timeouts = 0, Sheds = 0;
+  std::atomic<unsigned long long> Retries{0};
+
+  // Compiles that outlived their request timeout, still running on a
+  // detached-by-policy thread. Reaped opportunistically; bounded by the
+  // shed policy.
+  std::vector<std::future<service::CompileReply>> Zombies;
+  auto ReapZombies = [&Zombies] {
+    Zombies.erase(
+        std::remove_if(Zombies.begin(), Zombies.end(),
+                       [](std::future<service::CompileReply> &F) {
+                         return F.wait_for(std::chrono::seconds(0)) ==
+                                std::future_status::ready;
+                       }),
+        Zombies.end());
+  };
+
+  // One request's compile, including the bounded retry-with-backoff for
+  // transient failures (injected faults, resource pressure). Source
+  // diagnostics are never retried.
+  auto ServeCompile = [&Service, &Retries](service::CompileRequest Req) {
+    service::CompileReply Rep = Service.compile(Req);
+    for (unsigned Attempt = 0; !Rep.Ok && Rep.Transient && Attempt < 3;
+         ++Attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1ull << Attempt));
+      Retries.fetch_add(1, std::memory_order_relaxed);
+      noteInstant("retry");
+      Rep = Service.compile(Req);
+    }
+    return Rep;
+  };
 
   std::string Line;
   while (std::getline(std::cin, Line)) {
@@ -88,6 +164,11 @@ int main(int argc, char **argv) {
       continue;
     if (Cmd == "QUIT")
       return 0;
+    if (Cmd == "PING") {
+      std::fprintf(stdout, "PONG\n");
+      std::fflush(stdout);
+      continue;
+    }
     if (Cmd == "STATS") {
       service::ServiceStats St = Service.stats();
       const unsigned long long Requests =
@@ -119,14 +200,17 @@ int main(int argc, char **argv) {
                    "entries=%zu inflight=%zu hit_rate=%.3f "
                    "latency_count=%llu latency_mean_ms=%.3f "
                    "latency_p50_ms=%.3f latency_p95_ms=%.3f "
-                   "latency_max_ms=%.3f\n",
+                   "latency_max_ms=%.3f timeouts=%llu retries=%llu "
+                   "sheds=%llu\n",
                    Requests, (unsigned long long)St.Hits,
                    (unsigned long long)St.Misses,
                    (unsigned long long)St.Coalesced,
                    (unsigned long long)St.Failures,
                    (unsigned long long)St.Evictions, St.Entries, St.InFlight,
                    HitRate, (unsigned long long)L.Total, MeanMs,
-                   L.quantileUpperMs(0.5), L.quantileUpperMs(0.95), L.MaxMs);
+                   L.quantileUpperMs(0.5), L.quantileUpperMs(0.95), L.MaxMs,
+                   Timeouts, Retries.load(std::memory_order_relaxed),
+                   Sheds);
       std::fflush(stdout);
       continue;
     }
@@ -169,12 +253,45 @@ int main(int argc, char **argv) {
     Req.Source.resize((size_t)Bytes);
     std::cin.read(Req.Source.data(), Bytes);
     if (std::cin.gcount() != Bytes) {
+      // The client died mid-request: answer (it may still be reading)
+      // and shut down in an orderly way — a dead stdin is EOF, not a
+      // crash.
       replyErr("truncated payload: expected " + std::to_string(Bytes) +
-               " bytes, got " + std::to_string(std::cin.gcount()));
-      return 1; // stdin is gone; nothing left to serve
+               " bytes, got " + std::to_string(std::cin.gcount()) +
+               "; shutting down");
+      return 0;
     }
 
-    service::CompileReply Rep = Service.compile(Req);
+    // Overload shedding: the payload is consumed (the protocol stays in
+    // sync), but with too many timed-out compiles still running, taking
+    // on more work only digs the hole deeper. A structured BUSY tells
+    // the client to back off; it is not an error in the request.
+    ReapZombies();
+    if (TimeoutMs && MaxQueue && Zombies.size() >= MaxQueue) {
+      ++Sheds;
+      noteInstant("shed");
+      reply("BUSY", "server overloaded: " + std::to_string(Zombies.size()) +
+                        " compiles still running; retry later\n");
+      continue;
+    }
+
+    service::CompileReply Rep;
+    if (TimeoutMs == 0) {
+      Rep = ServeCompile(std::move(Req));
+    } else {
+      auto Fut = std::async(std::launch::async, ServeCompile, std::move(Req));
+      if (Fut.wait_for(std::chrono::milliseconds(TimeoutMs)) !=
+          std::future_status::ready) {
+        ++Timeouts;
+        noteInstant("timeout");
+        Zombies.push_back(std::move(Fut));
+        replyErr("request timeout: compile exceeded " +
+                 std::to_string(TimeoutMs) +
+                 " ms (still finishing in the background)");
+        continue;
+      }
+      Rep = Fut.get();
+    }
     if (!Rep.Ok) {
       reply("ERR", Rep.Diagnostics);
       continue;

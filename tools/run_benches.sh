@@ -15,6 +15,15 @@ OUT_DIR="${2:-bench-results}"
 ROOT_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT_DIR"
 
+# Benchmark numbers taken with fault injection armed would be garbage —
+# an injected delay or trap skews every timing and can poison a device
+# mid-bench. Refuse to run rather than produce silently-wrong results.
+if [ -n "${DESCEND_FAULTS:-}" ]; then
+  echo "run_benches.sh: error: DESCEND_FAULTS is set ('${DESCEND_FAULTS}');" \
+       "benchmarks must run with fault injection disabled" >&2
+  exit 2
+fi
+
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_safety bench_fig8 \
     bench_matmul_sweep bench_throughput >/dev/null
@@ -338,20 +347,28 @@ if [ -n "$CXX_BIN" ] && [ -x "$CXX_BIN" ]; then
 fi
 HW_CONCURRENCY="$(nproc 2>/dev/null || echo 1)"
 WORKERS="${DESCEND_WORKERS:-$HW_CONCURRENCY}"
+# The fault/watchdog environment the numbers were taken under. The guard
+# at the top guarantees faults are off; the watchdog (usually unset) is
+# recorded verbatim because a step budget could cancel — and so skew —
+# a long bench kernel.
+WATCHDOG="${DESCEND_WATCHDOG:-}"
 
 python3 - "$OUT_DIR" "$GIT_SHA$GIT_DIRTY" "$STAMP_UTC" "$COMPILER_VERSION" \
-          "$WORKERS" "$HW_CONCURRENCY" <<'PY'
+          "$WORKERS" "$HW_CONCURRENCY" "$WATCHDOG" <<'PY'
 import glob, json, sys
-out_dir, sha, stamp, compiler, workers, hw = sys.argv[1:7]
+out_dir, sha, stamp, compiler, workers, hw, watchdog = sys.argv[1:8]
 for path in sorted(glob.glob(out_dir + "/BENCH_*.json")):
     with open(path) as f:
         data = json.load(f)
     data["meta"] = {"git_sha": sha, "timestamp_utc": stamp,
                     "compiler": compiler, "workers": int(workers),
-                    "hardware_concurrency": int(hw)}
+                    "hardware_concurrency": int(hw),
+                    "faults": "disabled",
+                    "watchdog": watchdog or "disabled"}
     with open(path, "w") as f:
         json.dump(data, f, indent=2)
-    print(f"stamped {path} @ {sha[:12]} (workers={workers}, hw={hw})")
+    print(f"stamped {path} @ {sha[:12]} (workers={workers}, hw={hw}, "
+          f"watchdog={watchdog or 'disabled'})")
 PY
 
 echo "all benches done; results in $OUT_DIR/"
